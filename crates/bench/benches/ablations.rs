@@ -1,0 +1,78 @@
+//! Ablations over Apophenia's design choices (DESIGN.md §5).
+//!
+//! Criterion times the full engine under each variant on a fixed noisy
+//! loop; each variant's replayed fraction is printed once at setup so the
+//! quality dimension is visible alongside the timing.
+//!
+//! * mining algorithm: Algorithm 2 vs tandem repeats vs LZW;
+//! * buffer sampling: multi-scale ruler vs fixed whole-buffer batches;
+//! * scoring: full (decay + replay bonus) vs length-only.
+
+use apophenia::{Config, IdentifierAlgorithm, RepeatsAlgorithm, ScoringConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::driver::{run_workload, AppParams, Mode, ProblemSize};
+use workloads::synthetic::NoisyLoop;
+
+fn base_config() -> Config {
+    Config::standard()
+        .with_min_trace_length(8)
+        .with_batch_size(1024)
+        .with_multi_scale_factor(64)
+}
+
+fn workload() -> (NoisyLoop, AppParams) {
+    (
+        NoisyLoop::default(),
+        AppParams { nodes: 1, gpus_per_node: 4, size: ProblemSize::Small, iters: 150 },
+    )
+}
+
+fn report_quality(label: &str, config: &Config) {
+    let (w, p) = workload();
+    let out = run_workload(&w, &p, &Mode::Auto(config.clone())).expect("run");
+    eprintln!(
+        "[ablation quality] {label}: replayed fraction {:.3}, traces recorded {}",
+        out.stats.replayed_fraction(),
+        out.stats.traces_recorded
+    );
+}
+
+fn bench_variant(c: &mut Criterion, name: &str, config: Config) {
+    report_quality(name, &config);
+    let (w, p) = workload();
+    c.bench_function(name, |b| {
+        b.iter(|| run_workload(&w, &p, &Mode::Auto(config.clone())).expect("run").stats)
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // Mining algorithm.
+    bench_variant(c, "miner_quick_matching", base_config());
+    let mut tandem = base_config();
+    tandem.repeats = RepeatsAlgorithm::TandemRepeats;
+    bench_variant(c, "miner_tandem", tandem);
+    let mut lzw = base_config();
+    lzw.repeats = RepeatsAlgorithm::Lzw;
+    bench_variant(c, "miner_lzw", lzw);
+
+    // Buffer sampling strategy.
+    let mut fixed = base_config();
+    fixed.identifier = IdentifierAlgorithm::FixedBatch;
+    bench_variant(c, "sampling_fixed_batch", fixed);
+
+    // Scoring: disable staleness decay and the replay bonus.
+    let mut flat = base_config();
+    flat.scoring = ScoringConfig {
+        count_cap: u32::MAX,
+        staleness_half_life: f64::INFINITY,
+        replay_bonus: 0.0,
+    };
+    bench_variant(c, "scoring_length_only", flat);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion-timed figure pipelines, scaled down so `cargo bench`
+//! completes quickly.
+//!
+//! Each benchmark runs one figure's full pipeline (workload stream →
+//! Apophenia → runtime → machine simulation) at a single representative
+//! configuration. The timing here is the *cost of the reproduction
+//! machinery itself*; the figure data comes from the `fig*` binaries
+//! (`cargo run --release -p bench --bin reproduce`).
+
+use apophenia::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::driver::{run_workload, AppParams, Mode, ProblemSize, Workload};
+
+fn run(w: &dyn Workload, p: &AppParams, mode: &Mode) -> f64 {
+    let out = run_workload(w, p, mode).expect("run");
+    tasksim::exec::simulate(&out.log).steady_throughput(p.iters / 2)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_pipelines");
+    g.sample_size(10);
+
+    g.bench_function("fig6a_s3d_cell", |b| {
+        let p = AppParams::perlmutter(16, ProblemSize::Small, 60);
+        b.iter(|| run(&workloads::S3d, &p, &Mode::Auto(Config::standard())))
+    });
+    g.bench_function("fig6b_htr_cell", |b| {
+        let p = AppParams::perlmutter(16, ProblemSize::Small, 100);
+        b.iter(|| run(&workloads::Htr, &p, &Mode::Auto(Config::standard())))
+    });
+    g.bench_function("fig7a_cfd_cell", |b| {
+        let p = AppParams::eos(16, ProblemSize::Small, 100);
+        b.iter(|| run(&workloads::Cfd, &p, &Mode::Auto(Config::standard())))
+    });
+    g.bench_function("fig7b_torchswe_cell", |b| {
+        let p = AppParams::eos(16, ProblemSize::Small, 60);
+        b.iter(|| run(&workloads::TorchSwe, &p, &Mode::Auto(Config::standard())))
+    });
+    g.bench_function("fig8_flexflow_cell", |b| {
+        let p = AppParams::eos(32, ProblemSize::Small, 80);
+        b.iter(|| {
+            run(
+                &workloads::FlexFlow,
+                &p,
+                &Mode::Auto(Config::standard().with_max_trace_length(200)),
+            )
+        })
+    });
+    g.bench_function("fig10_traced_window", |b| {
+        let p = AppParams::perlmutter(4, ProblemSize::Small, 60);
+        b.iter(|| {
+            let out =
+                run_workload(&workloads::S3d, &p, &Mode::Auto(Config::standard())).unwrap();
+            out.traced_samples.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

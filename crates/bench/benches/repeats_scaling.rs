@@ -1,0 +1,71 @@
+//! Scaling of the repeat-mining algorithms (§4.2's complexity claims).
+//!
+//! Algorithm 2 must be sub-quadratic — `O(n log n)` — to handle real
+//! buffers ("traces that contain more than 2000 tasks, requiring token
+//! buffers of at least twice that size"). This bench measures wall time of
+//! `find_repeats` across buffer sizes on both periodic (worst-case
+//! repeat-dense) and random streams, plus the baselines for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use substrings::lzw::lzw_parse;
+use substrings::repeats::find_repeats_min_len;
+use substrings::tandem::select_tandem_repeats;
+
+fn periodic_stream(n: usize, period: usize) -> Vec<u64> {
+    (0..n).map(|i| (i % period) as u64).collect()
+}
+
+fn noisy_stream(n: usize, period: usize, noise_every: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while out.len() < n {
+        out.push((i % period) as u64);
+        if i % (period * noise_every) == period * noise_every - 1 {
+            out.push(1_000_000 + i as u64); // unique token
+        }
+        i += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+fn random_stream(n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect()
+}
+
+fn bench_alg2_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alg2_scaling");
+    for &n in &[1000usize, 4000, 16000, 64000] {
+        let periodic = periodic_stream(n, 120);
+        let random = random_stream(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("periodic", n), &periodic, |b, s| {
+            b.iter(|| find_repeats_min_len(s, 25))
+        });
+        g.bench_with_input(BenchmarkId::new("random", n), &random, |b, s| {
+            b.iter(|| find_repeats_min_len(s, 25))
+        });
+    }
+    g.finish();
+}
+
+fn bench_miners_compared(c: &mut Criterion) {
+    let mut g = c.benchmark_group("miners_on_noisy_loop");
+    let n = 8000;
+    let s = noisy_stream(n, 64, 5);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("quick_matching", |b| b.iter(|| find_repeats_min_len(&s, 25)));
+    g.bench_function("tandem_repeats", |b| b.iter(|| select_tandem_repeats(&s, 25)));
+    g.bench_function("lzw", |b| b.iter(|| lzw_parse(&s)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_alg2_scaling, bench_miners_compared
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Reproduces Figure 10 (S3D traced-fraction timeline).
+fn main() {
+    let samples = bench::fig10();
+    print!("{}", bench::render_fig10(&samples));
+}

@@ -1,0 +1,5 @@
+//! Reproduces Figure 6a. Run with `cargo run --release -p bench --bin fig6a`.
+fn main() {
+    let fig = bench::fig6a();
+    print!("{}", bench::render_scaling(&fig));
+}

@@ -1,0 +1,5 @@
+//! Reproduces Figure 6b. Run with `cargo run --release -p bench --bin fig6b`.
+fn main() {
+    let fig = bench::fig6b();
+    print!("{}", bench::render_scaling(&fig));
+}

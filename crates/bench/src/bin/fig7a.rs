@@ -1,0 +1,5 @@
+//! Reproduces Figure 7a. Run with `cargo run --release -p bench --bin fig7a`.
+fn main() {
+    let fig = bench::fig7a();
+    print!("{}", bench::render_scaling(&fig));
+}

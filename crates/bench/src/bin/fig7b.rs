@@ -1,0 +1,5 @@
+//! Reproduces Figure 7b. Run with `cargo run --release -p bench --bin fig7b`.
+fn main() {
+    let fig = bench::fig7b();
+    print!("{}", bench::render_scaling(&fig));
+}

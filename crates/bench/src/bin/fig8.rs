@@ -1,0 +1,5 @@
+//! Reproduces Figure 8 (FlexFlow strong scaling).
+fn main() {
+    let fig = bench::fig8();
+    print!("{}", bench::render_scaling(&fig));
+}

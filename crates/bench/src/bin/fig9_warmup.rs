@@ -1,0 +1,5 @@
+//! Reproduces Figure 9 (warmup iterations table).
+fn main() {
+    let rows = bench::fig9_warmup();
+    print!("{}", bench::render_warmup(&rows));
+}

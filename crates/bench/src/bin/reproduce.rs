@@ -1,0 +1,11 @@
+//! Runs the entire evaluation: every figure and table, in order.
+//! `cargo run --release -p bench --bin reproduce`
+fn main() {
+    println!("=== Apophenia reproduction: full evaluation ===\n");
+    for fig in [bench::fig6a(), bench::fig6b(), bench::fig7a(), bench::fig7b(), bench::fig8()] {
+        println!("{}", bench::render_scaling(&fig));
+    }
+    println!("{}", bench::render_warmup(&bench::fig9_warmup()));
+    println!("{}", bench::render_fig10(&bench::fig10()));
+    println!("{}", bench::render_overhead(&bench::tab_overhead()));
+}

@@ -1,0 +1,5 @@
+//! Reproduces the §6.3 overhead measurements.
+fn main() {
+    let r = bench::tab_overhead();
+    print!("{}", bench::render_overhead(&r));
+}

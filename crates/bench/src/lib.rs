@@ -1,0 +1,18 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§6).
+//!
+//! Each `fig*`/`tab*` function runs the full stack — workload stream →
+//! Apophenia → runtime → discrete-event machine simulation — and returns
+//! the same rows/series the paper plots. The `src/bin/` binaries print
+//! them; `EXPERIMENTS.md` records paper-vs-measured for each.
+//!
+//! Simulated throughput is reported in iterations/second, as in the paper.
+//! Absolute values are not expected to match the authors' testbed (our
+//! substrate is a simulator); the *shapes* — who wins, by what rough
+//! factor, where crossovers fall — are the reproduction target.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::*;

@@ -1,0 +1,105 @@
+//! Plain-text rendering of experiment results.
+
+use crate::experiments::{OverheadReport, ScalingFigure, WarmupRow};
+use std::fmt::Write as _;
+
+/// Renders a scaling figure as an aligned table: one row per GPU count,
+/// one column per series.
+pub fn render_scaling(fig: &ScalingFigure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure {}: {} — {}", fig.id, fig.title, fig.ylabel);
+    let gpus: Vec<u32> = fig.series.first().map_or(Vec::new(), |s| {
+        s.points.iter().map(|&(g, _)| g).collect()
+    });
+    let _ = write!(out, "{:>8}", "GPUs");
+    for s in &fig.series {
+        let _ = write!(out, "{:>14}", s.label);
+    }
+    let _ = writeln!(out);
+    for (row, &g) in gpus.iter().enumerate() {
+        let _ = write!(out, "{g:>8}");
+        for s in &fig.series {
+            let _ = write!(out, "{:>14.3}", s.points[row].1);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the Figure 9 warmup table.
+pub fn render_warmup(rows: &[WarmupRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9: iterations until replaying steady state");
+    let _ = writeln!(out, "{:>12} {:>10} {:>12}", "Application", "measured", "paper");
+    for r in rows {
+        let measured =
+            r.warmup_iterations.map_or("not reached".to_string(), |w| w.to_string());
+        let _ = writeln!(out, "{:>12} {:>10} {:>12}", r.app, measured, r.paper);
+    }
+    out
+}
+
+/// Renders the Figure 10 series (task index vs percent traced).
+pub fn render_fig10(samples: &[(u64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 10: percent of last 5000 tasks traced (S3D)");
+    let _ = writeln!(out, "{:>12} {:>10} bar", "task index", "% traced");
+    // Thin the series for readability.
+    let step = (samples.len() / 40).max(1);
+    for (idx, pct) in samples.iter().step_by(step) {
+        let bar = "#".repeat((pct / 2.5) as usize);
+        let _ = writeln!(out, "{idx:>12} {pct:>10.1} {bar}");
+    }
+    out
+}
+
+/// Renders the §6.3 overhead table.
+pub fn render_overhead(r: &OverheadReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Section 6.3: Apophenia overheads");
+    let _ = writeln!(out, "  simulated task launch, plain:     {:>8.1} µs (paper: 7 µs)", r.launch_plain_us);
+    let _ = writeln!(out, "  simulated task launch, Apophenia: {:>8.1} µs (paper: 12 µs)", r.launch_auto_us);
+    let _ = writeln!(out, "  simulated replay per task:        {:>8.1} µs (paper: 100 µs)", r.replay_us);
+    let _ = writeln!(out, "  measured layer cost, plain:       {:>8.2} µs/task (this implementation, wall clock)", r.measured_plain_us);
+    let _ = writeln!(out, "  measured layer cost, Apophenia:   {:>8.2} µs/task (this implementation, wall clock)", r.measured_auto_us);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Series;
+
+    #[test]
+    fn scaling_render_contains_all_labels() {
+        let fig = ScalingFigure {
+            id: "6a",
+            title: "demo".into(),
+            ylabel: "throughput",
+            series: vec![
+                Series { label: "auto-s".into(), points: vec![(4, 1.5), (8, 1.4)] },
+                Series { label: "untraced-s".into(), points: vec![(4, 1.0), (8, 0.7)] },
+            ],
+        };
+        let s = render_scaling(&fig);
+        assert!(s.contains("auto-s") && s.contains("untraced-s"));
+        assert!(s.contains("1.500") && s.contains("0.700"));
+    }
+
+    #[test]
+    fn warmup_render() {
+        let rows = vec![
+            WarmupRow { app: "S3D", warmup_iterations: Some(42), paper: 50 },
+            WarmupRow { app: "CFD", warmup_iterations: None, paper: 300 },
+        ];
+        let s = render_warmup(&rows);
+        assert!(s.contains("42") && s.contains("not reached"));
+    }
+
+    #[test]
+    fn fig10_render() {
+        let samples: Vec<(u64, f64)> = (0..100).map(|i| (i * 100, i as f64)).collect();
+        let s = render_fig10(&samples);
+        assert!(s.contains("% traced"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Apophenia configuration.
+//!
+//! Mirrors the runtime flags the paper's artifact exposes (Appendix A.7):
+//!
+//! | Flag | Field |
+//! |------|-------|
+//! | `-lg:enable_automatic_tracing`            | constructing an engine at all |
+//! | `-lg:auto_trace:min_trace_length <N>`     | [`Config::min_trace_length`] |
+//! | `-lg:auto_trace:max_trace_length <N>`     | [`Config::max_trace_length`] |
+//! | `-lg:auto_trace:batchsize <N>`            | [`Config::batch_size`] |
+//! | `-lg:auto_trace:multi_scale_factor <N>`   | [`Config::multi_scale_factor`] |
+//! | `-lg:auto_trace:identifier_algorithm`     | [`Config::identifier`] |
+//! | `-lg:auto_trace:repeats_algorithm`        | [`Config::repeats`] |
+//!
+//! Defaults follow the artifact's FlexFlow command line (batch 5000,
+//! min 25, multi-scale 500) with no maximum trace length unless a
+//! configuration asks for one (Figure 8's "auto-200").
+
+/// Which buffer-sampling strategy the trace finder uses (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdentifierAlgorithm {
+    /// Ruler-function multi-scale sampling of the rolling buffer — the
+    /// paper's strategy (`multi-scale`).
+    #[default]
+    MultiScale,
+    /// Analyze the whole buffer each time it fills, then clear it — the
+    /// naive strategy the paper improves on (ablation baseline).
+    FixedBatch,
+}
+
+/// Which repeat-mining algorithm the trace finder runs (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepeatsAlgorithm {
+    /// Algorithm 2: suffix-array non-overlapping repeats
+    /// (`quick_matching_of_substrings`).
+    #[default]
+    QuickMatching,
+    /// Tandem-repeat mining (Sisco et al. baseline; ablation).
+    TandemRepeats,
+    /// LZW incremental dictionary (Lempel–Ziv baseline; ablation).
+    Lzw,
+}
+
+/// Whether buffer mining runs on a worker thread or inline.
+///
+/// Results are ingested at deterministic stream positions either way (the
+/// §5.1 requirement); `Sync` simply guarantees the result is ready at the
+/// first opportunity, which tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MiningMode {
+    /// Mine inline at submission (deterministic, used by tests/benches).
+    #[default]
+    Sync,
+    /// Mine on a background worker thread (the production configuration;
+    /// §4.3's "asynchronous analysis of task histories").
+    Async,
+}
+
+/// Trace-scoring constants (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoringConfig {
+    /// Maximum occurrence count credited to a trace ("we impose a maximum
+    /// value of the count").
+    pub count_cap: u32,
+    /// Half-life, in observed tasks, of the occurrence count's exponential
+    /// decay ("decay the value of the count by how many tasks have been
+    /// encountered since the trace last appeared").
+    pub staleness_half_life: f64,
+    /// Multiplicative bonus for traces that have already been replayed
+    /// ("increase the score slightly if a trace has already been
+    /// replayed").
+    pub replay_bonus: f64,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        Self { count_cap: 16, staleness_half_life: 4096.0, replay_bonus: 0.25 }
+    }
+}
+
+/// Full Apophenia configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Shortest candidate trace worth memoizing (amortizes the per-replay
+    /// constant `c`).
+    pub min_trace_length: usize,
+    /// Longest trace replayed as a unit; longer mined candidates are split
+    /// into pieces of at most this length (Figure 8's `auto-200` vs
+    /// `auto-5000`). `None` = unlimited.
+    pub max_trace_length: Option<usize>,
+    /// Size of the rolling token-history buffer.
+    pub batch_size: usize,
+    /// Multi-scale sampling granularity: an analysis is triggered every
+    /// this many tokens.
+    pub multi_scale_factor: usize,
+    /// Buffer sampling strategy.
+    pub identifier: IdentifierAlgorithm,
+    /// Repeat mining algorithm.
+    pub repeats: RepeatsAlgorithm,
+    /// Inline or background mining.
+    pub mining: MiningMode,
+    /// Scoring constants.
+    pub scoring: ScoringConfig,
+    /// Consult winnowing fingerprints before each mining job and skip the
+    /// job when the slice provably contains no repeat of at least the
+    /// minimum trace length (an optimization beyond the paper, off by
+    /// default; see `substrings::winnow`).
+    pub winnow_prefilter: bool,
+}
+
+impl Config {
+    /// The artifact's standard configuration (used by every experiment but
+    /// Figure 8's `auto-200`).
+    pub fn standard() -> Self {
+        Self {
+            min_trace_length: 25,
+            max_trace_length: None,
+            batch_size: 5000,
+            multi_scale_factor: 500,
+            identifier: IdentifierAlgorithm::MultiScale,
+            repeats: RepeatsAlgorithm::QuickMatching,
+            mining: MiningMode::Sync,
+            scoring: ScoringConfig::default(),
+            winnow_prefilter: false,
+        }
+    }
+
+    /// Caps replayed trace length (Figure 8's `auto-200` is
+    /// `standard().with_max_trace_length(200)`).
+    pub fn with_max_trace_length(mut self, max: usize) -> Self {
+        self.max_trace_length = Some(max);
+        self
+    }
+
+    /// Adjusts the minimum trace length.
+    pub fn with_min_trace_length(mut self, min: usize) -> Self {
+        self.min_trace_length = min;
+        self
+    }
+
+    /// Adjusts the history-buffer size.
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n;
+        self
+    }
+
+    /// Adjusts the multi-scale granularity.
+    pub fn with_multi_scale_factor(mut self, n: usize) -> Self {
+        self.multi_scale_factor = n;
+        self
+    }
+
+    /// Selects background mining.
+    pub fn with_async_mining(mut self) -> Self {
+        self.mining = MiningMode::Async;
+        self
+    }
+
+    /// Enables the winnowing pre-filter.
+    pub fn with_winnow_prefilter(mut self) -> Self {
+        self.winnow_prefilter = true;
+        self
+    }
+
+    /// Effective maximum piece length (batch size bounds every candidate).
+    pub fn effective_max_len(&self) -> usize {
+        self.max_trace_length.unwrap_or(usize::MAX).min(self.batch_size)
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_matches_artifact_flags() {
+        let c = Config::standard();
+        assert_eq!(c.min_trace_length, 25);
+        assert_eq!(c.batch_size, 5000);
+        assert_eq!(c.multi_scale_factor, 500);
+        assert_eq!(c.identifier, IdentifierAlgorithm::MultiScale);
+        assert_eq!(c.repeats, RepeatsAlgorithm::QuickMatching);
+        assert_eq!(c.max_trace_length, None);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::standard()
+            .with_max_trace_length(200)
+            .with_min_trace_length(10)
+            .with_batch_size(1000)
+            .with_multi_scale_factor(100);
+        assert_eq!(c.max_trace_length, Some(200));
+        assert_eq!(c.min_trace_length, 10);
+        assert_eq!(c.effective_max_len(), 200);
+    }
+
+    #[test]
+    fn effective_max_bounded_by_batch() {
+        let c = Config::standard().with_batch_size(100);
+        assert_eq!(c.effective_max_len(), 100);
+        let c = c.with_max_trace_length(5000);
+        assert_eq!(c.effective_max_len(), 100);
+    }
+}

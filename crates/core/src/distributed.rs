@@ -1,0 +1,380 @@
+//! Distributed Apophenia under control replication (§5.1).
+//!
+//! With dynamic control replication the application runs on every node and
+//! each node hosts its own Apophenia instance. Every component of the
+//! analysis is deterministic except one: *when* an asynchronous buffer-
+//! mining job completes relative to the task stream. If node A ingests a
+//! mining result two tasks earlier than node B, A may begin replaying a
+//! trace B has not yet adopted — divergent `begin_trace` streams, a
+//! control-replication violation.
+//!
+//! The paper's resolution, implemented here: nodes agree, per mining job,
+//! on a count of operations after which the job's results are ingested.
+//! At that point a node whose job has not finished must *wait* (stall the
+//! application); whenever any node had to wait, every node increases the
+//! agreed count for subsequent jobs — reaching a steady state in which
+//! results are ingested deterministically without stalling.
+//!
+//! Mining itself is deterministic (same buffer → same candidates), so this
+//! simulation runs the miners synchronously and models per-node completion
+//! *latency* (in units of issued operations) with a seeded [`DelayModel`];
+//! the protocol sees exactly the nondeterminism a real deployment would.
+
+use crate::config::Config;
+use crate::finder::{MinedBatch, TraceFinder};
+use crate::replayer::TraceReplayer;
+use std::collections::VecDeque;
+use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use tasksim::task::TaskDesc;
+
+/// Simulated per-node asynchronous-mining latency, in operations.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayModel {
+    seed: u64,
+    /// Maximum latency the model produces.
+    pub max_delay: u64,
+}
+
+impl DelayModel {
+    /// A deterministic model seeded with `seed`, producing latencies in
+    /// `[0, max_delay]`.
+    pub fn new(seed: u64, max_delay: u64) -> Self {
+        Self { seed, max_delay }
+    }
+
+    /// The latency node `node` experiences for mining job `job`.
+    pub fn delay(&self, node: u32, job: u64) -> u64 {
+        if self.max_delay == 0 {
+            return 0;
+        }
+        // SplitMix64 over (seed, node, job).
+        let mut x = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(node) + 1))
+            .wrapping_add(job.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x % (self.max_delay + 1)
+    }
+}
+
+/// One node's Apophenia instance.
+#[derive(Debug)]
+struct NodeState {
+    finder: TraceFinder,
+    replayer: TraceReplayer,
+    rt: Runtime,
+    /// Mined batches waiting for their agreed ingestion point:
+    /// `(ingest_at_op, ready_at_op, batch)`.
+    queue: VecDeque<(u64, u64, MinedBatch)>,
+}
+
+/// Aggregate protocol statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgreementStats {
+    /// Jobs whose results were ingested.
+    pub ingests: u64,
+    /// Times any node had to stall waiting for its own mining job.
+    pub waits: u64,
+    /// Total simulated stall, in operations-worth of waiting.
+    pub stall_ops: u64,
+    /// The current agreed ingestion interval.
+    pub interval: u64,
+}
+
+/// A control-replicated Apophenia deployment: one engine per node, kept in
+/// lock-step by the ingestion-agreement protocol.
+#[derive(Debug)]
+pub struct DistributedAutoTracer {
+    nodes: Vec<NodeState>,
+    delay: DelayModel,
+    /// Agreed operation-count between job submission and ingestion.
+    interval: u64,
+    op_count: u64,
+    stats: AgreementStats,
+    /// Jobs seen so far (to detect new submissions).
+    jobs_seen: u64,
+}
+
+impl DistributedAutoTracer {
+    /// Builds a deployment of `rt_config.nodes` nodes. `initial_interval`
+    /// is the starting ingestion-agreement count.
+    pub fn new(
+        rt_config: RuntimeConfig,
+        config: Config,
+        delay: DelayModel,
+        initial_interval: u64,
+    ) -> Self {
+        let n = rt_config.nodes.max(1);
+        let nodes = (0..n)
+            .map(|_| NodeState {
+                finder: TraceFinder::new(&config),
+                replayer: TraceReplayer::new(&config),
+                rt: Runtime::new(rt_config.with_auto_layer()),
+                queue: VecDeque::new(),
+            })
+            .collect();
+        Self {
+            nodes,
+            delay,
+            interval: initial_interval.max(1),
+            op_count: 0,
+            stats: AgreementStats { interval: initial_interval.max(1), ..Default::default() },
+            jobs_seen: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Issues one task on every node (control replication: the application
+    /// runs everywhere).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node's runtime error.
+    pub fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
+        self.op_count += 1;
+        let hash = task.semantic_hash();
+        // Phase 1: every node records the token and captures new mining
+        // results, stamping them with simulated readiness and the agreed
+        // ingestion point.
+        let mut max_job = self.jobs_seen;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.finder.record(hash);
+            for batch in node.finder.poll_completed() {
+                let ready_at = self.op_count + self.delay.delay(i as u32, batch.job);
+                let ingest_at = self.op_count + self.interval;
+                max_job = max_job.max(batch.job + 1);
+                node.queue.push_back((ingest_at, ready_at, batch));
+            }
+        }
+        self.jobs_seen = max_job;
+
+        // Phase 2: ingest every batch whose agreed point has arrived — on
+        // ALL nodes at the SAME operation, stalling nodes whose results
+        // are late.
+        let mut anyone_waited = false;
+        for node in &mut self.nodes {
+            while node.queue.front().is_some_and(|(at, _, _)| *at <= self.op_count) {
+                let (_, ready_at, batch) = node.queue.pop_front().expect("front exists");
+                if ready_at > self.op_count {
+                    anyone_waited = true;
+                    self.stats.waits += 1;
+                    self.stats.stall_ops += ready_at - self.op_count;
+                }
+                node.replayer.ingest(&batch);
+                self.stats.ingests += 1;
+            }
+        }
+        if anyone_waited {
+            // All nodes raise the agreed count for subsequent analyses.
+            self.interval = (self.interval * 2).min(1 << 20);
+            self.stats.interval = self.interval;
+        }
+
+        // Phase 3: every node advances its replayer identically.
+        for node in &mut self.nodes {
+            node.replayer.on_task(task.clone(), hash, &mut node.rt)?;
+        }
+        Ok(())
+    }
+
+    /// Creates a region on every node, returning the (identical) id.
+    pub fn create_region(&mut self, fields: u32) -> tasksim::ids::RegionId {
+        let ids: Vec<_> = self.nodes.iter_mut().map(|n| n.rt.create_region(fields)).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        ids[0]
+    }
+
+    /// Marks an iteration on every node.
+    pub fn mark_iteration(&mut self) {
+        for node in &mut self.nodes {
+            node.rt.mark_iteration();
+        }
+    }
+
+    /// Flushes every node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node's runtime error.
+    pub fn flush(&mut self) -> Result<(), RuntimeError> {
+        for node in &mut self.nodes {
+            // Remaining queued batches ingest at flush (end of program).
+            while let Some((_, _, batch)) = node.queue.pop_front() {
+                node.replayer.ingest(&batch);
+            }
+            // Discard unfinished mining; then drain the replayer.
+            let _ = node.finder.drain_blocking();
+            node.replayer.flush(&mut node.rt)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies all nodes forwarded identical operation streams; returns
+    /// the first divergence as an error string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first diverging operation.
+    pub fn check_lockstep(&self) -> Result<(), String> {
+        let a = self.nodes[0].rt.log();
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            let b = node.rt.log();
+            if a.ops().len() != b.ops().len() {
+                return Err(format!(
+                    "node {i} issued {} ops, node 0 issued {}",
+                    b.ops().len(),
+                    a.ops().len()
+                ));
+            }
+            for (k, (x, y)) in a.ops().iter().zip(b.ops().iter()).enumerate() {
+                if x != y {
+                    return Err(format!("node {i} diverged from node 0 at op {k}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A node's runtime (for inspecting stats/logs).
+    pub fn node_runtime(&self, node: usize) -> &Runtime {
+        &self.nodes[node].rt
+    }
+
+    /// Protocol statistics.
+    pub fn agreement_stats(&self) -> AgreementStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasksim::cost::Micros;
+    use tasksim::ids::TaskKindId;
+
+    fn cfg() -> Config {
+        Config::standard()
+            .with_min_trace_length(2)
+            .with_batch_size(256)
+            .with_multi_scale_factor(16)
+    }
+
+    fn drive(d: &mut DistributedAutoTracer, iters: usize) {
+        let a = d.create_region(1);
+        let b = d.create_region(1);
+        for _ in 0..iters {
+            d.execute_task(
+                TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(20.0)),
+            )
+            .unwrap();
+            d.execute_task(
+                TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(20.0)),
+            )
+            .unwrap();
+            d.mark_iteration();
+        }
+        d.flush().unwrap();
+    }
+
+    #[test]
+    fn nodes_never_diverge_despite_skewed_delays() {
+        let mut d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(4, 2),
+            cfg(),
+            DelayModel::new(42, 40),
+            8,
+        );
+        drive(&mut d, 250);
+        d.check_lockstep().expect("nodes in lock-step");
+        // And tracing still works.
+        assert!(d.node_runtime(0).stats().trace_replays > 0);
+        assert_eq!(
+            d.node_runtime(0).stats().trace_replays,
+            d.node_runtime(3).stats().trace_replays
+        );
+    }
+
+    #[test]
+    fn interval_grows_under_slow_mining() {
+        let mut d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(2, 2),
+            cfg(),
+            DelayModel::new(7, 200),
+            2, // deliberately too small
+        );
+        drive(&mut d, 200);
+        let s = d.agreement_stats();
+        assert!(s.waits > 0, "small interval forces waits: {s:?}");
+        assert!(s.interval > 2, "interval adapted upward: {s:?}");
+        d.check_lockstep().expect("still in lock-step");
+    }
+
+    #[test]
+    fn no_waits_when_mining_fast() {
+        let mut d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(2, 2),
+            cfg(),
+            DelayModel::new(3, 0),
+            16,
+        );
+        drive(&mut d, 150);
+        assert_eq!(d.agreement_stats().waits, 0);
+        d.check_lockstep().expect("lock-step");
+    }
+
+    #[test]
+    fn steady_state_stops_waiting() {
+        // After adaptation, late-program jobs should not wait any more.
+        let mut d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(2, 2),
+            cfg(),
+            DelayModel::new(11, 60),
+            4,
+        );
+        drive(&mut d, 150);
+        let waits_early = d.agreement_stats().waits;
+        drive_more(&mut d, 150);
+        let waits_late = d.agreement_stats().waits;
+        assert_eq!(
+            waits_early, waits_late,
+            "no additional waits once the interval adapted"
+        );
+        d.check_lockstep().expect("lock-step");
+    }
+
+    fn drive_more(d: &mut DistributedAutoTracer, iters: usize) {
+        // Reuse regions 0/1 created by the first drive() call.
+        let a = tasksim::ids::RegionId(0);
+        let b = tasksim::ids::RegionId(1);
+        for _ in 0..iters {
+            d.execute_task(
+                TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(20.0)),
+            )
+            .unwrap();
+            d.execute_task(
+                TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(20.0)),
+            )
+            .unwrap();
+            d.mark_iteration();
+        }
+        d.flush().unwrap();
+    }
+
+    #[test]
+    fn delay_model_is_deterministic() {
+        let m = DelayModel::new(5, 100);
+        assert_eq!(m.delay(0, 7), m.delay(0, 7));
+        assert!(m.delay(0, 7) <= 100);
+        // Different nodes generally see different delays.
+        let distinct = (0..16).map(|n| m.delay(n, 3)).collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 4, "delays vary across nodes");
+    }
+}

@@ -1,0 +1,388 @@
+//! The Apophenia engine: Algorithm 1 wired end to end.
+//!
+//! [`AutoTracer`] is the front-end component the paper describes: it sits
+//! between the application and the runtime, intercepting every
+//! `execute_task` call. Each task is hashed (§4.1) and fed to the trace
+//! finder (history buffer + asynchronous mining, §4.2) and the trace
+//! replayer (trie matching + scored replay, §4.3); the replayer forwards a
+//! possibly re-bracketed stream of tasks and `begin_trace`/`end_trace`
+//! calls to the underlying [`Runtime`]. Applications using [`AutoTracer`]
+//! need no tracing annotations at all.
+
+use crate::config::Config;
+use crate::finder::TraceFinder;
+use crate::metrics::{TracedWindow, WarmupDetector};
+use crate::replayer::{ReplayerStats, TraceReplayer};
+use tasksim::exec::OpLog;
+use tasksim::ids::RegionId;
+use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use tasksim::stats::RuntimeStats;
+use tasksim::task::TaskDesc;
+
+/// Automatic tracing layered over a [`Runtime`].
+///
+/// # Example
+///
+/// ```
+/// use apophenia::{AutoTracer, Config};
+/// use tasksim::runtime::RuntimeConfig;
+/// use tasksim::task::TaskDesc;
+/// use tasksim::ids::TaskKindId;
+///
+/// # fn main() -> Result<(), tasksim::runtime::RuntimeError> {
+/// let mut auto = AutoTracer::new(
+///     RuntimeConfig::single_node(1),
+///     Config::standard().with_min_trace_length(2).with_multi_scale_factor(8),
+/// );
+/// let a = auto.create_region(1);
+/// let b = auto.create_region(1);
+/// for _ in 0..200 {
+///     auto.execute_task(TaskDesc::new(TaskKindId(0)).reads(a).writes(b))?;
+///     auto.execute_task(TaskDesc::new(TaskKindId(1)).reads(b).writes(a))?;
+///     auto.mark_iteration();
+/// }
+/// auto.flush()?;
+/// assert!(auto.runtime().stats().tasks_replayed > 0, "traces were found and replayed");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AutoTracer {
+    rt: Runtime,
+    finder: TraceFinder,
+    replayer: TraceReplayer,
+    window: TracedWindow,
+    warmup: WarmupDetector,
+    prev: RuntimeStats,
+    iter_traced: u64,
+    iter_total: u64,
+    /// Tasks the application has issued so far (including buffered ones).
+    issued: u64,
+}
+
+impl AutoTracer {
+    /// Creates an engine over a fresh runtime. The runtime is forced into
+    /// `auto_layer` cost accounting (12 µs launches, §5.2 replay gating).
+    pub fn new(rt_config: RuntimeConfig, config: Config) -> Self {
+        Self::over(Runtime::new(rt_config.with_auto_layer()), config)
+    }
+
+    /// Layers the engine over an existing runtime (which should have been
+    /// built with [`RuntimeConfig::with_auto_layer`] for faithful cost
+    /// accounting).
+    pub fn over(rt: Runtime, config: Config) -> Self {
+        Self {
+            rt,
+            finder: TraceFinder::new(&config),
+            replayer: TraceReplayer::new(&config),
+            window: TracedWindow::figure10(),
+            warmup: WarmupDetector::default(),
+            prev: RuntimeStats::default(),
+            iter_traced: 0,
+            iter_total: 0,
+            issued: 0,
+        }
+    }
+
+    /// Creates a region (pass-through; regions are not operations).
+    pub fn create_region(&mut self, fields: u32) -> RegionId {
+        self.rt.create_region(fields)
+    }
+
+    /// Partitions a region (pass-through).
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::partition`].
+    pub fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
+        self.rt.partition(region, parts)
+    }
+
+    /// Destroys a region (pass-through).
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::destroy_region`].
+    pub fn destroy_region(&mut self, region: RegionId) -> Result<(), RuntimeError> {
+        self.rt.destroy_region(region)
+    }
+
+    /// Algorithm 1's `ExecuteTask`: hash, feed the finder, ingest any
+    /// completed analyses, and let the replayer forward what it can.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (which, by construction, automatic
+    /// tracing never triggers for trace validity).
+    pub fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
+        let hash = task.semantic_hash();
+        self.issued += 1;
+        self.finder.record(hash);
+        for batch in self.finder.poll_completed() {
+            self.replayer.ingest(&batch);
+        }
+        self.replayer.on_task(task, hash, &mut self.rt)?;
+        self.absorb_stats();
+        Ok(())
+    }
+
+    /// Marks an application iteration boundary. The mark binds to the
+    /// tasks issued so far in *application* order — some may still sit in
+    /// the replayer's pending buffer, but the simulator resolves marks by
+    /// task count, so iteration timings stay attached to their tasks.
+    pub fn mark_iteration(&mut self) {
+        self.rt.mark_iteration_after(self.issued);
+        self.warmup.record_iteration(self.iter_traced, self.iter_total);
+        self.iter_traced = 0;
+        self.iter_total = 0;
+    }
+
+    /// Drains buffered state: blocks on outstanding analyses, replays any
+    /// eligible matches, and forwards everything else untraced. Call at
+    /// program end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn flush(&mut self) -> Result<(), RuntimeError> {
+        for batch in self.finder.drain_blocking() {
+            self.replayer.ingest(&batch);
+        }
+        self.replayer.flush(&mut self.rt)?;
+        self.absorb_stats();
+        Ok(())
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Replayer counters.
+    pub fn replayer_stats(&self) -> ReplayerStats {
+        self.replayer.stats()
+    }
+
+    /// The Figure 10 traced-fraction window.
+    pub fn traced_window(&self) -> &TracedWindow {
+        &self.window
+    }
+
+    /// The Figure 9 warmup detector.
+    pub fn warmup(&self) -> &WarmupDetector {
+        &self.warmup
+    }
+
+    /// Analyses submitted by the finder so far.
+    pub fn analyses_submitted(&self) -> u64 {
+        self.finder.jobs_submitted
+    }
+
+    /// Flushes and consumes the engine, returning the runtime's operation
+    /// log for simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the final flush.
+    pub fn finish(mut self) -> Result<OpLog, RuntimeError> {
+        self.flush()?;
+        Ok(self.rt.into_log())
+    }
+
+    /// Folds newly forwarded tasks into the metrics.
+    fn absorb_stats(&mut self) {
+        let s = *self.rt.stats();
+        let fresh = s.tasks_fresh - self.prev.tasks_fresh;
+        let traced =
+            (s.tasks_recorded + s.tasks_replayed) - (self.prev.tasks_recorded + self.prev.tasks_replayed);
+        for _ in 0..fresh {
+            self.window.push(false);
+        }
+        for _ in 0..traced {
+            self.window.push(true);
+        }
+        self.iter_traced += traced;
+        self.iter_total += traced + fresh;
+        self.prev = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasksim::cost::Micros;
+    use tasksim::ids::TaskKindId;
+
+    fn small_config() -> Config {
+        Config::standard()
+            .with_min_trace_length(2)
+            .with_batch_size(256)
+            .with_multi_scale_factor(16)
+    }
+
+    fn engine() -> AutoTracer {
+        AutoTracer::new(RuntimeConfig::single_node(1), small_config())
+    }
+
+    /// A two-task loop body on a pair of regions.
+    fn run_loop(auto: &mut AutoTracer, iters: usize) {
+        let a = auto.create_region(1);
+        let b = auto.create_region(1);
+        for _ in 0..iters {
+            auto.execute_task(
+                TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(50.0)),
+            )
+            .unwrap();
+            auto.execute_task(
+                TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(50.0)),
+            )
+            .unwrap();
+            auto.mark_iteration();
+        }
+        auto.flush().unwrap();
+    }
+
+    #[test]
+    fn loop_gets_traced_automatically() {
+        let mut auto = engine();
+        run_loop(&mut auto, 300);
+        let s = auto.runtime().stats();
+        assert!(s.trace_replays > 0, "replays: {s}");
+        assert!(
+            s.replayed_fraction() > 0.5,
+            "most tasks replayed in steady state: {s}"
+        );
+        assert_eq!(s.mismatches, 0, "automatic traces never mismatch");
+    }
+
+    #[test]
+    fn warmup_reached_on_iterative_program() {
+        let mut auto = engine();
+        run_loop(&mut auto, 300);
+        let w = auto.warmup().warmup_iterations();
+        assert!(w.is_some(), "steady state reached");
+        assert!(w.unwrap() < 200, "warmup {w:?} too long");
+    }
+
+    #[test]
+    fn traced_window_ramps_up() {
+        let mut auto = engine();
+        run_loop(&mut auto, 400);
+        let samples = auto.traced_window().samples();
+        assert!(!samples.is_empty());
+        let early = samples.first().unwrap().1;
+        let late = samples.last().unwrap().1;
+        assert!(late > early, "traced fraction ramps: {early} → {late}");
+        assert!(late > 60.0, "steady state mostly traced: {late}");
+    }
+
+    #[test]
+    fn random_stream_never_traces() {
+        let mut auto = engine();
+        let a = auto.create_region(1);
+        let b = auto.create_region(1);
+        for i in 0..500u32 {
+            // Every task kind distinct: no repeats exist.
+            auto.execute_task(TaskDesc::new(TaskKindId(i)).reads(a).writes(b)).unwrap();
+        }
+        auto.flush().unwrap();
+        let s = auto.runtime().stats();
+        assert_eq!(s.tasks_replayed, 0);
+        assert_eq!(s.tasks_recorded, 0);
+        assert_eq!(s.tasks_total, 500, "all tasks still executed");
+    }
+
+    #[test]
+    fn order_preserved_through_engine() {
+        let mut auto = engine();
+        let a = auto.create_region(1);
+        let b = auto.create_region(1);
+        let mut expected = Vec::new();
+        for i in 0..120u32 {
+            let kind = TaskKindId(i % 3);
+            let t = TaskDesc::new(kind).reads(a).writes(b);
+            expected.push(t.semantic_hash());
+            auto.execute_task(t).unwrap();
+        }
+        auto.flush().unwrap();
+        let got: Vec<_> = auto.runtime().log().task_records().map(|r| r.hash).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn finish_yields_simulatable_log() {
+        let mut auto = engine();
+        run_loop(&mut auto, 100);
+        let log = auto.finish().unwrap();
+        let report = tasksim::exec::simulate(&log);
+        assert!(report.total > Micros::ZERO);
+        assert_eq!(log.iteration_count(), 100);
+    }
+
+    #[test]
+    fn engine_beats_untraced_on_small_tasks() {
+        // The headline claim, end to end: an iterative program with small
+        // tasks runs faster (in simulated time) with Apophenia than
+        // without tracing.
+        let body = |rt_cfg: RuntimeConfig| -> OpLog {
+            let mut auto = AutoTracer::new(rt_cfg, small_config());
+            run_loop(&mut auto, 400);
+            auto.finish().unwrap()
+        };
+        let auto_log = body(RuntimeConfig::single_node(1));
+
+        // Untraced baseline.
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1));
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        for _ in 0..400 {
+            rt.execute_task(
+                TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(50.0)),
+            )
+            .unwrap();
+            rt.execute_task(
+                TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(50.0)),
+            )
+            .unwrap();
+            rt.mark_iteration();
+        }
+        let untraced_log = rt.into_log();
+
+        let auto_tp = tasksim::exec::simulate(&auto_log).steady_throughput(100);
+        let untraced_tp = tasksim::exec::simulate(&untraced_log).steady_throughput(100);
+        assert!(
+            auto_tp > untraced_tp * 2.0,
+            "auto {auto_tp} iters/s vs untraced {untraced_tp}"
+        );
+    }
+
+    #[test]
+    fn async_mining_mode_also_converges() {
+        let mut auto = AutoTracer::new(
+            RuntimeConfig::single_node(1),
+            small_config().with_async_mining(),
+        );
+        // Async results land whenever the worker thread gets scheduled, so
+        // run long enough (with occasional yields) for ingestion to happen
+        // mid-stream rather than only at the final flush.
+        let a = auto.create_region(1);
+        let b = auto.create_region(1);
+        for i in 0..3000 {
+            auto.execute_task(
+                TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(50.0)),
+            )
+            .unwrap();
+            auto.execute_task(
+                TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(50.0)),
+            )
+            .unwrap();
+            auto.mark_iteration();
+            if i % 16 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        auto.flush().unwrap();
+        let s = auto.runtime().stats();
+        assert!(s.trace_replays > 0, "async mode replays too: {s}");
+    }
+}

@@ -1,0 +1,460 @@
+//! The trace finder (§4.2): history buffer + repeat mining.
+//!
+//! Tasks stream in as hashes; the finder keeps a rolling buffer of the
+//! last `batch_size` tokens and, on the schedule given by the multi-scale
+//! sampler (or whenever the buffer fills, in `FixedBatch` mode), mines a
+//! slice of it for repeated substrings — Algorithm 2 by default, or one of
+//! the baseline miners for ablations. Mining runs inline or on a worker
+//! thread; either way results come back as [`MinedBatch`]es in submission
+//! order, and the caller decides *when* to ingest them (the §5.1
+//! distributed-agreement hook).
+
+use crate::config::{Config, IdentifierAlgorithm, MiningMode, RepeatsAlgorithm};
+use crate::sampler::MultiScaleSampler;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::thread::JoinHandle;
+use substrings::lzw::lzw_parse;
+use substrings::repeats::find_repeats_min_len;
+use substrings::tandem::select_tandem_repeats;
+use substrings::winnow::{has_repetition_evidence, WinnowConfig};
+use tasksim::task::TaskHash;
+
+/// A repeated substring mined from the history buffer, with the *global*
+/// stream positions of its selected occurrences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedCandidate {
+    /// The repeated token sequence.
+    pub content: Vec<TaskHash>,
+    /// Global stream positions (of the first token) of each selected
+    /// occurrence.
+    pub occurrences: Vec<u64>,
+}
+
+/// The result of one asynchronous mining job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedBatch {
+    /// Monotonic job id (submission order).
+    pub job: u64,
+    /// Candidates found, longest first.
+    pub candidates: Vec<MinedCandidate>,
+    /// Global position one past the end of the mined slice.
+    pub slice_end: u64,
+}
+
+/// A mining request.
+struct Job {
+    id: u64,
+    tokens: Vec<TaskHash>,
+    global_start: u64,
+    min_len: usize,
+    algo: RepeatsAlgorithm,
+}
+
+fn run_job(job: Job) -> MinedBatch {
+    let slice_end = job.global_start + job.tokens.len() as u64;
+    let candidates = match job.algo {
+        RepeatsAlgorithm::QuickMatching => find_repeats_min_len(&job.tokens, job.min_len)
+            .into_iter()
+            .map(|r| MinedCandidate {
+                content: r.content,
+                occurrences: r.occurrences.iter().map(|&p| job.global_start + p as u64).collect(),
+            })
+            .collect(),
+        RepeatsAlgorithm::TandemRepeats => select_tandem_repeats(&job.tokens, job.min_len)
+            .into_iter()
+            .map(|r| MinedCandidate {
+                content: r.content,
+                occurrences: r.occurrences.iter().map(|&p| job.global_start + p as u64).collect(),
+            })
+            .collect(),
+        RepeatsAlgorithm::Lzw => {
+            // Collect re-used phrases of sufficient length, grouped by
+            // content.
+            let parse = lzw_parse(&job.tokens);
+            let mut grouped: Vec<MinedCandidate> = Vec::new();
+            for m in parse.matches.iter().filter(|m| m.len() >= job.min_len) {
+                let content = job.tokens[m.start..m.end].to_vec();
+                let pos = job.global_start + m.start as u64;
+                match grouped.iter_mut().find(|c| c.content == content) {
+                    Some(c) => c.occurrences.push(pos),
+                    None => grouped
+                        .push(MinedCandidate { content, occurrences: vec![pos] }),
+                }
+            }
+            grouped
+        }
+    };
+    MinedBatch { job: job.id, candidates, slice_end }
+}
+
+enum Miner {
+    Sync { done: VecDeque<MinedBatch> },
+    Async {
+        tx: Option<Sender<Job>>,
+        rx: Receiver<MinedBatch>,
+        worker: Option<JoinHandle<()>>,
+        in_flight: usize,
+        /// Completed batches not yet polled.
+        ready: VecDeque<MinedBatch>,
+    },
+}
+
+/// The trace finder: rolling history buffer plus mining pipeline.
+pub struct TraceFinder {
+    buffer: VecDeque<TaskHash>,
+    /// Global index of `buffer[0]`.
+    buffer_start: u64,
+    sampler: MultiScaleSampler,
+    miner: Miner,
+    next_job: u64,
+    min_len: usize,
+    batch_size: usize,
+    identifier: IdentifierAlgorithm,
+    algo: RepeatsAlgorithm,
+    /// Winnowing pre-filter parameters, when enabled.
+    prefilter: Option<WinnowConfig>,
+    /// Total analyses submitted (exposed for overhead accounting).
+    pub jobs_submitted: u64,
+    /// Analyses skipped by the winnowing pre-filter.
+    pub jobs_prefiltered: u64,
+}
+
+impl std::fmt::Debug for TraceFinder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceFinder")
+            .field("buffer_len", &self.buffer.len())
+            .field("buffer_start", &self.buffer_start)
+            .field("next_job", &self.next_job)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceFinder {
+    /// Creates a finder from a configuration.
+    pub fn new(config: &Config) -> Self {
+        let miner = match config.mining {
+            MiningMode::Sync => Miner::Sync { done: VecDeque::new() },
+            MiningMode::Async => {
+                let (tx, job_rx) = unbounded::<Job>();
+                let (res_tx, rx) = unbounded::<MinedBatch>();
+                let worker = std::thread::spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        if res_tx.send(run_job(job)).is_err() {
+                            break;
+                        }
+                    }
+                });
+                Miner::Async {
+                    tx: Some(tx),
+                    rx,
+                    worker: Some(worker),
+                    in_flight: 0,
+                    ready: VecDeque::new(),
+                }
+            }
+        };
+        Self {
+            buffer: VecDeque::with_capacity(config.batch_size),
+            buffer_start: 0,
+            sampler: MultiScaleSampler::new(
+                config.multi_scale_factor.min(config.batch_size).max(1),
+                config.batch_size,
+            ),
+            miner,
+            next_job: 0,
+            min_len: config.min_trace_length,
+            batch_size: config.batch_size,
+            identifier: config.identifier,
+            algo: config.repeats,
+            prefilter: config.winnow_prefilter.then(|| {
+                // Tune the winnowing guarantee to the minimum trace length:
+                // a slice with no duplicate fingerprints provably has no
+                // repeat ≥ min_trace_length, so mining it is pointless.
+                let k = 8.min(config.min_trace_length.max(2));
+                let w = (config.min_trace_length + 1).saturating_sub(k).max(1);
+                WinnowConfig { k, w }
+            }),
+            jobs_submitted: 0,
+            jobs_prefiltered: 0,
+        }
+    }
+
+    /// Records one arriving token; may submit a mining job.
+    pub fn record(&mut self, h: TaskHash) {
+        self.buffer.push_back(h);
+        if self.buffer.len() > self.batch_size {
+            self.buffer.pop_front();
+            self.buffer_start += 1;
+        }
+        match self.identifier {
+            IdentifierAlgorithm::MultiScale => {
+                if let Some(suffix_len) = self.sampler.on_arrival() {
+                    let len = suffix_len.min(self.buffer.len());
+                    self.submit(self.buffer.len() - len);
+                }
+            }
+            IdentifierAlgorithm::FixedBatch => {
+                // The sampler still counts arrivals for parity of state.
+                let _ = self.sampler.on_arrival();
+                if self.buffer.len() == self.batch_size {
+                    self.submit(0);
+                    self.buffer_start += self.buffer.len() as u64;
+                    self.buffer.clear();
+                }
+            }
+        }
+    }
+
+    /// Submits the buffer suffix starting at `from` (buffer-relative).
+    fn submit(&mut self, from: usize) {
+        let tokens: Vec<TaskHash> = self.buffer.iter().skip(from).copied().collect();
+        if tokens.len() < 2 * self.min_len.max(1) {
+            return; // Can't contain a repeat worth memoizing.
+        }
+        if let Some(cfg) = self.prefilter {
+            if !has_repetition_evidence(&tokens, cfg) {
+                self.jobs_prefiltered += 1;
+                return; // Provably nothing long enough to trace.
+            }
+        }
+        let job = Job {
+            id: self.next_job,
+            tokens,
+            global_start: self.buffer_start + from as u64,
+            min_len: self.min_len,
+            algo: self.algo,
+        };
+        self.next_job += 1;
+        self.jobs_submitted += 1;
+        match &mut self.miner {
+            Miner::Sync { done } => done.push_back(run_job(job)),
+            Miner::Async { tx, in_flight, .. } => {
+                tx.as_ref().expect("worker alive").send(job).expect("worker alive");
+                *in_flight += 1;
+            }
+        }
+    }
+
+    /// Returns all completed batches, in submission order.
+    pub fn poll_completed(&mut self) -> Vec<MinedBatch> {
+        match &mut self.miner {
+            Miner::Sync { done } => done.drain(..).collect(),
+            Miner::Async { rx, in_flight, ready, .. } => {
+                while let Ok(b) = rx.try_recv() {
+                    *in_flight -= 1;
+                    ready.push_back(b);
+                }
+                ready.drain(..).collect()
+            }
+        }
+    }
+
+    /// Blocks until every submitted job has completed, then returns them
+    /// all (used at shutdown and by tests).
+    pub fn drain_blocking(&mut self) -> Vec<MinedBatch> {
+        match &mut self.miner {
+            Miner::Sync { done } => done.drain(..).collect(),
+            Miner::Async { rx, in_flight, ready, .. } => {
+                while *in_flight > 0 {
+                    let b = rx.recv().expect("worker alive");
+                    *in_flight -= 1;
+                    ready.push_back(b);
+                }
+                ready.drain(..).collect()
+            }
+        }
+    }
+
+    /// Number of jobs submitted but not yet polled.
+    pub fn in_flight(&self) -> usize {
+        match &self.miner {
+            Miner::Sync { done } => done.len(),
+            Miner::Async { in_flight, ready, .. } => *in_flight + ready.len(),
+        }
+    }
+
+    /// Global index of the next token to arrive.
+    pub fn stream_position(&self) -> u64 {
+        self.buffer_start + self.buffer.len() as u64
+    }
+}
+
+impl Drop for TraceFinder {
+    fn drop(&mut self) {
+        if let Miner::Async { tx, worker, .. } = &mut self.miner {
+            drop(tx.take());
+            if let Some(w) = worker.take() {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::standard()
+            .with_batch_size(64)
+            .with_multi_scale_factor(8)
+            .with_min_trace_length(3)
+    }
+
+    fn feed_pattern(f: &mut TraceFinder, period: &[u64], reps: usize) {
+        for _ in 0..reps {
+            for &t in period {
+                f.record(TaskHash(t));
+            }
+        }
+    }
+
+    #[test]
+    fn finds_loop_in_stream() {
+        let mut f = TraceFinder::new(&cfg());
+        feed_pattern(&mut f, &[1, 2, 3, 4], 8);
+        let batches = f.poll_completed();
+        assert!(!batches.is_empty(), "analyses fired");
+        let found = batches
+            .iter()
+            .flat_map(|b| &b.candidates)
+            .any(|c| c.content.len() % 4 == 0 && c.content.len() >= 4);
+        assert!(found, "a multiple of the period was mined: {batches:?}");
+    }
+
+    #[test]
+    fn occurrences_are_global_positions() {
+        let mut f = TraceFinder::new(&cfg());
+        feed_pattern(&mut f, &[7, 8, 9], 12);
+        let batches = f.poll_completed();
+        for b in &batches {
+            for c in &b.candidates {
+                for &occ in &c.occurrences {
+                    assert!(occ + (c.content.len() as u64) <= b.slice_end);
+                    // The occurrence must reproduce the stream content:
+                    // position p holds hash of the (p mod 3)'th element.
+                    for (k, h) in c.content.iter().enumerate() {
+                        let expect = 7 + ((occ + k as u64) % 3);
+                        assert_eq!(h.0, expect, "occ {occ} + {k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_jobs_below_min_size() {
+        let mut f = TraceFinder::new(&cfg());
+        for t in 0..4u64 {
+            f.record(TaskHash(t));
+        }
+        // Sampler fires at 8-token boundaries; nothing yet.
+        assert_eq!(f.in_flight(), 0);
+    }
+
+    #[test]
+    fn fixed_batch_mode_clears_buffer() {
+        let mut c = cfg();
+        c.identifier = IdentifierAlgorithm::FixedBatch;
+        let mut f = TraceFinder::new(&c);
+        feed_pattern(&mut f, &[1, 2, 3, 4], 16); // exactly one batch of 64
+        let batches = f.poll_completed();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(f.stream_position(), 64);
+        assert!(!batches[0].candidates.is_empty());
+    }
+
+    #[test]
+    fn async_mode_eventually_delivers() {
+        let mut c = cfg().with_async_mining();
+        c.multi_scale_factor = 8;
+        let mut f = TraceFinder::new(&c);
+        feed_pattern(&mut f, &[1, 2, 3, 4], 8);
+        let batches = f.drain_blocking();
+        assert!(!batches.is_empty());
+        // Batches arrive in submission order.
+        for w in batches.windows(2) {
+            assert!(w[0].job < w[1].job);
+        }
+    }
+
+    #[test]
+    fn sync_and_async_mine_identically() {
+        let sync_cfg = cfg();
+        let async_cfg = cfg().with_async_mining();
+        let mut fs = TraceFinder::new(&sync_cfg);
+        let mut fa = TraceFinder::new(&async_cfg);
+        feed_pattern(&mut fs, &[1, 2, 3, 4, 5], 10);
+        feed_pattern(&mut fa, &[1, 2, 3, 4, 5], 10);
+        let bs = fs.drain_blocking();
+        let ba = fa.drain_blocking();
+        assert_eq!(bs, ba, "mining results are mode-independent");
+    }
+
+    #[test]
+    fn lzw_algorithm_produces_candidates() {
+        let mut c = cfg();
+        c.repeats = RepeatsAlgorithm::Lzw;
+        c.min_trace_length = 2;
+        let mut f = TraceFinder::new(&c);
+        feed_pattern(&mut f, &[1, 2], 32);
+        let batches = f.drain_blocking();
+        let any = batches.iter().any(|b| !b.candidates.is_empty());
+        assert!(any, "LZW found re-used phrases");
+    }
+
+    #[test]
+    fn tandem_algorithm_produces_candidates() {
+        let mut c = cfg();
+        c.repeats = RepeatsAlgorithm::TandemRepeats;
+        let mut f = TraceFinder::new(&c);
+        feed_pattern(&mut f, &[1, 2, 3], 20);
+        let batches = f.drain_blocking();
+        let any = batches.iter().any(|b| !b.candidates.is_empty());
+        assert!(any, "tandem miner found the contiguous loop");
+    }
+
+    #[test]
+    fn winnow_prefilter_skips_repeat_free_slices() {
+        let mut c = cfg().with_winnow_prefilter();
+        c.min_trace_length = 6;
+        let mut f = TraceFinder::new(&c);
+        // All-distinct tokens: every mining job is provably pointless.
+        for t in 0..512u64 {
+            f.record(TaskHash(1_000_000 + t));
+        }
+        assert!(f.jobs_prefiltered > 0, "prefilter engaged");
+        assert_eq!(f.jobs_submitted, 0, "no futile jobs submitted");
+        assert!(f.poll_completed().is_empty());
+    }
+
+    #[test]
+    fn winnow_prefilter_preserves_findings_on_periodic_streams() {
+        let mut with = TraceFinder::new(&cfg().with_winnow_prefilter());
+        let mut without = TraceFinder::new(&cfg());
+        feed_pattern(&mut with, &[1, 2, 3, 4, 5, 6], 24);
+        feed_pattern(&mut without, &[1, 2, 3, 4, 5, 6], 24);
+        let a = with.drain_blocking();
+        let b = without.drain_blocking();
+        // The prefilter may renumber jobs but must find the same candidates.
+        let ca: Vec<_> = a.iter().flat_map(|x| x.candidates.clone()).collect();
+        let cb: Vec<_> = b.iter().flat_map(|x| x.candidates.clone()).collect();
+        assert_eq!(ca, cb, "prefilter never changes mining results");
+        // Short suffix slices may legitimately be filtered (an 8-token
+        // slice of a 6-period stream holds no in-slice repeat), but the
+        // larger slices must pass and produce the same candidates.
+        assert!(with.jobs_submitted > 0, "long slices pass the filter");
+    }
+
+    #[test]
+    fn rolling_buffer_advances_start() {
+        let mut f = TraceFinder::new(&cfg()); // batch 64
+        feed_pattern(&mut f, &[1, 2, 3, 4], 32); // 128 tokens
+        assert_eq!(f.stream_position(), 128);
+        let batches = f.poll_completed();
+        // Late batches must reference late global positions.
+        let last = batches.last().unwrap();
+        assert!(last.slice_end > 64);
+    }
+}

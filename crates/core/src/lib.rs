@@ -1,0 +1,65 @@
+//! # Apophenia: automatic tracing for task-based runtime systems
+//!
+//! A Rust reproduction of *"Automatic Tracing in Task-Based Runtime
+//! Systems"* (ASPLOS '25). Implicitly parallel runtimes like Legion spend
+//! ~1 ms of dynamic dependence analysis per task; *tracing* memoizes that
+//! analysis for repeated program fragments, but traditionally requires
+//! manual `begin_trace`/`end_trace` annotations that break under program
+//! composition (the paper's Figure 1). Apophenia removes the annotations:
+//! it watches the stream of issued tasks, finds repeated fragments with
+//! online string analyses, and drives the runtime's tracing engine
+//! automatically — a JIT compiler for dependence analysis.
+//!
+//! ## Crate map
+//!
+//! * [`config`] — the `-lg:auto_trace:*` knobs from the paper's artifact.
+//! * [`sampler`] — ruler-function multi-scale buffer sampling (§4.4).
+//! * [`finder`] — history buffer + (a)synchronous repeat mining (§4.2),
+//!   over the [`substrings`] crate's Algorithm 2.
+//! * [`replayer`] — trie-based online candidate matching, scoring, and
+//!   replay issuance (§4.3).
+//! * [`engine`] — [`AutoTracer`]: Algorithm 1 assembled, sitting between
+//!   the application and a [`tasksim`] runtime.
+//! * [`distributed`] — the §5.1 control-replication agreement protocol.
+//! * [`metrics`] — Figure 9 / Figure 10 instrumentation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use apophenia::{AutoTracer, Config};
+//! use tasksim::runtime::RuntimeConfig;
+//! use tasksim::task::TaskDesc;
+//! use tasksim::ids::TaskKindId;
+//!
+//! # fn main() -> Result<(), tasksim::runtime::RuntimeError> {
+//! let mut auto = AutoTracer::new(
+//!     RuntimeConfig::single_node(4),
+//!     Config::standard().with_min_trace_length(2).with_multi_scale_factor(16),
+//! );
+//! let x = auto.create_region(1);
+//! let y = auto.create_region(1);
+//! for _ in 0..100 {
+//!     auto.execute_task(TaskDesc::new(TaskKindId(0)).reads(x).writes(y))?;
+//!     auto.execute_task(TaskDesc::new(TaskKindId(1)).reads(y).writes(x))?;
+//!     auto.mark_iteration();
+//! }
+//! auto.flush()?;
+//! println!("{}", auto.runtime().stats()); // most tasks replayed, no annotations
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod distributed;
+pub mod engine;
+pub mod finder;
+pub mod metrics;
+pub mod replayer;
+pub mod sampler;
+
+pub use config::{Config, IdentifierAlgorithm, MiningMode, RepeatsAlgorithm, ScoringConfig};
+pub use distributed::{DelayModel, DistributedAutoTracer};
+pub use engine::AutoTracer;
+pub use finder::{MinedBatch, MinedCandidate, TraceFinder};
+pub use metrics::{TracedWindow, WarmupDetector};
+pub use replayer::{TraceReplayer, TraceSink};

@@ -1,0 +1,171 @@
+//! Ruler-function multi-scale buffer sampling (§4.4).
+//!
+//! The buffer size trades responsiveness (small buffers find short traces
+//! fast) against quality (large buffers can hold long traces). Apophenia
+//! keeps one large buffer and *samples* suffixes of it at sizes given by
+//! the exponentiated ruler function: the k-th analysis looks at the last
+//! `2^ruler(k)` tokens (times a scale constant), where `ruler(k)` is the
+//! 2-adic valuation of `k`. Short suffixes are analyzed constantly; the
+//! whole buffer only every `buffer/scale` analyses — adding just a log
+//! factor to total mining cost (`O(n log² n)` overall).
+
+/// The ruler function: the exponent of 2 in `k` (`k ≥ 1`).
+///
+/// `1, 2, 3, 4, 5, 6, 7, 8 → 0, 1, 0, 2, 0, 1, 0, 3`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (the ruler function is undefined at 0).
+pub fn ruler(k: u64) -> u32 {
+    assert!(k > 0, "ruler function undefined at 0");
+    k.trailing_zeros()
+}
+
+/// Emits, for each arriving token, the suffix length of the history buffer
+/// to analyze (if this arrival triggers an analysis at all).
+///
+/// With `scale = s`, an analysis fires every `s` tokens; the k-th firing
+/// analyzes the last `s · 2^ruler(k)` tokens (clamped to the buffer).
+///
+/// # Example
+///
+/// Figure 5's schedule (buffer of 8, scale 1):
+///
+/// ```
+/// use apophenia::sampler::MultiScaleSampler;
+///
+/// let mut s = MultiScaleSampler::new(1, 8);
+/// let lens: Vec<Option<usize>> = (0..8).map(|_| s.on_arrival()).collect();
+/// assert_eq!(lens, vec![
+///     Some(1), Some(2), Some(1), Some(4),
+///     Some(1), Some(2), Some(1), Some(8),
+/// ]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiScaleSampler {
+    scale: usize,
+    buffer_cap: usize,
+    arrivals: u64,
+    firings: u64,
+}
+
+impl MultiScaleSampler {
+    /// A sampler firing every `scale` tokens over a buffer capped at
+    /// `buffer_cap` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0` or `buffer_cap == 0`.
+    pub fn new(scale: usize, buffer_cap: usize) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        assert!(buffer_cap > 0, "buffer capacity must be positive");
+        Self { scale, buffer_cap, arrivals: 0, firings: 0 }
+    }
+
+    /// Registers one arriving token; returns the suffix length to analyze
+    /// if an analysis fires now.
+    pub fn on_arrival(&mut self) -> Option<usize> {
+        self.arrivals += 1;
+        if self.arrivals % self.scale as u64 != 0 {
+            return None;
+        }
+        self.firings += 1;
+        let len = self.scale.saturating_mul(1usize << ruler(self.firings).min(40));
+        Some(len.min(self.buffer_cap).min(self.arrivals as usize))
+    }
+
+    /// Tokens seen so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Analyses triggered so far.
+    pub fn firings(&self) -> u64 {
+        self.firings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ruler_sequence() {
+        let seq: Vec<u32> = (1..=16).map(ruler).collect();
+        assert_eq!(seq, vec![0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined at 0")]
+    fn ruler_zero_panics() {
+        ruler(0);
+    }
+
+    #[test]
+    fn figure5_schedule() {
+        // Figure 5: after the i'th task, mine the labeled slice — sizes
+        // 1, 2, 1, 4, 1, 2, 1, 8 for a buffer of 8.
+        let mut s = MultiScaleSampler::new(1, 8);
+        let lens: Vec<usize> = (0..8).map(|_| s.on_arrival().unwrap()).collect();
+        assert_eq!(lens, vec![1, 2, 1, 4, 1, 2, 1, 8]);
+        assert_eq!(s.firings(), 8);
+    }
+
+    #[test]
+    fn scaled_schedule_fires_sparsely() {
+        let mut s = MultiScaleSampler::new(250, 4000);
+        let mut fired = Vec::new();
+        for i in 1..=1000u64 {
+            if let Some(len) = s.on_arrival() {
+                fired.push((i, len));
+            }
+        }
+        assert_eq!(fired, vec![(250, 250), (500, 500), (750, 250), (1000, 1000)]);
+    }
+
+    #[test]
+    fn suffix_never_exceeds_available_tokens() {
+        let mut s = MultiScaleSampler::new(2, 64);
+        for i in 1..=500u64 {
+            if let Some(len) = s.on_arrival() {
+                assert!(len as u64 <= i, "len {len} at arrival {i}");
+                assert!(len <= 64, "len {len} over buffer cap");
+            }
+        }
+    }
+
+    #[test]
+    fn full_buffer_analyzed_periodically() {
+        // With scale s and buffer B, the full buffer is mined every
+        // s·2^ceil(log2(B/s)) arrivals.
+        let mut s = MultiScaleSampler::new(250, 4000);
+        let mut full_hits = 0;
+        for _ in 0..32_000 {
+            if s.on_arrival() == Some(4000) {
+                full_hits += 1;
+            }
+        }
+        assert!(full_hits >= 2, "full-buffer analyses: {full_hits}");
+    }
+
+    #[test]
+    fn total_work_is_quasilinear() {
+        // Σ analyzed lengths over n arrivals is O(n log n): each scale
+        // level contributes ≤ n total.
+        let scale = 16;
+        let cap = 1 << 14;
+        let mut s = MultiScaleSampler::new(scale, cap);
+        let n: u64 = 1 << 16;
+        let mut total: u64 = 0;
+        for _ in 0..n {
+            if let Some(len) = s.on_arrival() {
+                total += len as u64;
+            }
+        }
+        let levels = (cap as f64 / scale as f64).log2().ceil() + 1.0;
+        assert!(
+            (total as f64) <= levels * n as f64,
+            "total {total} exceeds {levels} levels × {n}"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! LZW-style incremental dictionary baseline.
+//!
+//! The paper (§4.2) discusses the Lempel–Ziv family as prior art for
+//! repeat detection and rejects it for trace identification: an LZW-style
+//! scheme grows any candidate repeat by one token per encounter, so
+//! recognizing a trace of length `n` requires seeing it `n − 1` times —
+//! hopeless for real traces containing thousands of tasks. This module
+//! implements that scheme so the ablation benches can quantify the ramp-up
+//! gap against Algorithm 2.
+
+use crate::{Interval, Token};
+use std::collections::HashMap;
+
+/// Result of an LZW parse of a token sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LzwParse {
+    /// Intervals of re-used dictionary phrases (each was previously
+    /// inserted into the dictionary, i.e. seen before), in stream order.
+    pub matches: Vec<Interval>,
+    /// Final dictionary size (number of multi-token phrases learned).
+    pub phrases: usize,
+}
+
+impl LzwParse {
+    /// Total positions covered by re-used phrases of length ≥ `min_len`.
+    pub fn coverage(&self, min_len: usize) -> usize {
+        self.matches.iter().map(Interval::len).filter(|&l| l >= min_len).sum()
+    }
+
+    /// Length of the longest phrase ever re-used.
+    pub fn longest_match(&self) -> usize {
+        self.matches.iter().map(Interval::len).max().unwrap_or(0)
+    }
+}
+
+/// Parses `s` with LZW: at each position, the longest known phrase is
+/// consumed and extended by one token into a new dictionary entry.
+///
+/// Single tokens are implicitly "known" (the base alphabet), so every
+/// reported match interval has length ≥ 1; only multi-token matches
+/// indicate learned repetition.
+pub fn lzw_parse<T: Token>(s: &[T]) -> LzwParse {
+    // Dictionary maps phrase → id; phrases are represented by (id of
+    // prefix, token) pairs to avoid storing full strings (classic LZW
+    // trick). Base alphabet entries are created lazily.
+    let mut dict: HashMap<(Option<u32>, T), u32> = HashMap::new();
+    let mut next_id = 0u32;
+    let mut matches = Vec::new();
+    let mut learned = 0usize;
+
+    let mut pos = 0usize;
+    while pos < s.len() {
+        // Find the longest known phrase starting at pos.
+        let mut cur: Option<u32> = None;
+        let mut len = 0usize;
+        while pos + len < s.len() {
+            match dict.get(&(cur, s[pos + len])) {
+                Some(&id) => {
+                    cur = Some(id);
+                    len += 1;
+                }
+                None => break,
+            }
+        }
+        if len == 0 {
+            // New base-alphabet token: learn it, emit a length-1 match.
+            dict.insert((None, s[pos]), next_id);
+            next_id += 1;
+            matches.push(Interval::new(pos, pos + 1));
+            pos += 1;
+            continue;
+        }
+        matches.push(Interval::new(pos, pos + len));
+        // Extend the matched phrase by the next token (if any).
+        if pos + len < s.len() {
+            dict.insert((cur, s[pos + len]), next_id);
+            next_id += 1;
+            learned += 1;
+        }
+        pos += len;
+    }
+    LzwParse { matches, phrases: learned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let p = lzw_parse::<u8>(&[]);
+        assert!(p.matches.is_empty());
+        assert_eq!(p.coverage(1), 0);
+    }
+
+    #[test]
+    fn matches_tile_the_input() {
+        let s = b"abababababab";
+        let p = lzw_parse(s);
+        // The matches partition the input exactly.
+        let total: usize = p.matches.iter().map(Interval::len).sum();
+        assert_eq!(total, s.len());
+        let mut end = 0;
+        for m in &p.matches {
+            assert_eq!(m.start, end);
+            end = m.end;
+        }
+    }
+
+    #[test]
+    fn phrase_length_grows_one_token_per_repetition() {
+        // The paper's critique: on a pure repetition of a block, the
+        // longest learned match grows by ~1 token per block encounter, so
+        // after k repetitions of an L-token block the longest match is
+        // roughly k, not L (for k << L).
+        let block: Vec<u16> = (0..100).collect();
+        let mut s = Vec::new();
+        for _ in 0..5 {
+            s.extend_from_slice(&block);
+        }
+        let p = lzw_parse(&s);
+        assert!(
+            p.longest_match() <= 16,
+            "LZW learned a {}-token phrase after only 5 reps of a 100-token block",
+            p.longest_match()
+        );
+        // Whereas Algorithm 2 finds (a multiple of) the whole block at once.
+        let reps = crate::repeats::find_repeats(&s);
+        assert!(reps[0].len() >= 100, "alg2 longest {}", reps[0].len());
+    }
+
+    #[test]
+    fn coverage_min_len_filter() {
+        let p = lzw_parse(b"aaaaaaaa");
+        assert!(p.coverage(2) < 8, "length-1 matches must be excluded");
+        assert!(p.coverage(1) == 8);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// LZW matches always partition the input contiguously.
+            #[test]
+            fn partition_property(s in proptest::collection::vec(0u8..5, 0..300)) {
+                let p = lzw_parse(&s);
+                let mut end = 0;
+                for m in &p.matches {
+                    prop_assert_eq!(m.start, end);
+                    prop_assert!(m.len() >= 1);
+                    end = m.end;
+                }
+                prop_assert_eq!(end, s.len());
+            }
+
+            /// Every multi-token match equals some earlier substring of the
+            /// stream (it was learned from a previous occurrence).
+            #[test]
+            fn matches_repeat_earlier_content(s in proptest::collection::vec(0u8..3, 0..200)) {
+                let p = lzw_parse(&s);
+                for m in p.matches.iter().filter(|m| m.len() >= 2) {
+                    let needle = &s[m.start..m.end];
+                    let found = (0..m.start)
+                        .any(|i| i + needle.len() <= s.len() && &s[i..i + needle.len()] == needle);
+                    prop_assert!(found, "match {needle:?} at {m:?} never appeared before");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Non-overlapping repeated substring mining — Algorithm 2 of the paper.
+//!
+//! This is the trace finder's core analysis (spelled
+//! `quick_matching_of_substrings` in the artifact's command-line flags): a
+//! single pass over the suffix array + LCP array of the history buffer
+//! collects candidate repeats, then a greedy longest-first sweep selects as
+//! many non-overlapping occurrences as possible. Total cost is
+//! `O(n log n)`; the greedy sweep's interval-intersection test is `O(1)`
+//! amortized via a coverage-mark array, exactly as §4.2 describes.
+//!
+//! The algorithm trades optimality of the §3 objective for speed in two
+//! places (both called out in the paper): only maximal repetitions of each
+//! adjacent suffix pair are considered, and selection is greedy
+//! longest-first rather than a bin-packing computation. The longest
+//! non-overlapping repeat is found up to a factor ≤ 2 lost on highly
+//! periodic inputs (the overlap branch rounds chunk lengths down to a
+//! multiple of the period); on aperiodic repeats it is found exactly.
+//! [`crate::coverage::max_coverage_upper_bound`] provides a reference bound
+//! for small inputs to measure the coverage gap.
+
+use crate::suffix_array::SuffixArray;
+use crate::{Interval, Token};
+use std::cmp::Reverse;
+
+/// A repeated substring selected by [`find_repeats`], together with the
+/// non-overlapping start positions chosen for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repeat<T> {
+    /// The repeated token sequence.
+    pub content: Vec<T>,
+    /// Selected (mutually non-overlapping) occurrence start positions, in
+    /// increasing order.
+    pub occurrences: Vec<usize>,
+}
+
+impl<T> Repeat<T> {
+    /// Length of the repeated substring.
+    pub fn len(&self) -> usize {
+        self.content.len()
+    }
+
+    /// Whether the repeat is the empty string (never produced by mining).
+    pub fn is_empty(&self) -> bool {
+        self.content.is_empty()
+    }
+
+    /// The selected occurrences as intervals of the mined sequence.
+    pub fn intervals(&self) -> impl Iterator<Item = Interval> + '_ {
+        let len = self.content.len();
+        self.occurrences.iter().map(move |&s| Interval::new(s, s + len))
+    }
+
+    /// Total number of positions covered by the selected occurrences.
+    pub fn coverage(&self) -> usize {
+        self.content.len() * self.occurrences.len()
+    }
+}
+
+/// A candidate occurrence: `(len, group, start)` where `group` identifies
+/// the substring content (equal content ⇔ equal group within a length).
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    len: usize,
+    start: usize,
+    group: u32,
+}
+
+/// Mines `s` for non-overlapping repeated substrings of length ≥ 2.
+///
+/// Equivalent to [`find_repeats_min_len`]`(s, 2)`; length-1 repeats are
+/// never useful as traces (the paper's minimum-length constraint exists
+/// precisely to amortize the constant replay cost).
+///
+/// # Example
+///
+/// The paper's Figure 4 input:
+///
+/// ```
+/// use substrings::repeats::find_repeats;
+/// let reps = find_repeats(b"aabcbcbaa");
+/// let contents: Vec<&[u8]> = reps.iter().map(|r| r.content.as_slice()).collect();
+/// assert_eq!(contents, vec![b"aa".as_slice(), b"bc".as_slice()]);
+/// ```
+pub fn find_repeats<T: Token>(s: &[T]) -> Vec<Repeat<T>> {
+    find_repeats_min_len(s, 2)
+}
+
+/// Mines `s` for non-overlapping repeated substrings of length ≥ `min_len`.
+///
+/// Returns repeats ordered by decreasing length (ties broken by content
+/// group discovery order); each repeat lists at least one occurrence, and
+/// all selected occurrences across all repeats are mutually disjoint.
+///
+/// `min_len` maps to the runtime flag `-lg:auto_trace:min_trace_length`.
+pub fn find_repeats_min_len<T: Token>(s: &[T], min_len: usize) -> Vec<Repeat<T>> {
+    let min_len = min_len.max(1);
+    let n = s.len();
+    if n < 2 * min_len {
+        return Vec::new();
+    }
+    let sa = SuffixArray::build(s);
+    let mut cands = collect_candidates(&sa, min_len);
+    assign_groups(&sa, &mut cands);
+
+    // Greedy longest-first selection with O(1) amortized intersection
+    // checks: every previously selected interval is at least as long as the
+    // current candidate, so intersection implies one of the candidate's
+    // endpoints is already covered.
+    cands.sort_unstable_by_key(|c| (Reverse(c.len), c.group, c.start));
+    let mut covered = vec![false; n];
+    let mut out: Vec<Repeat<T>> = Vec::new();
+    let mut group_slot: Vec<Option<usize>> = Vec::new();
+    for c in &cands {
+        if covered[c.start] || covered[c.start + c.len - 1] {
+            continue;
+        }
+        covered[c.start..c.start + c.len].iter_mut().for_each(|b| *b = true);
+        let gi = c.group as usize;
+        if group_slot.len() <= gi {
+            group_slot.resize(gi + 1, None);
+        }
+        match group_slot[gi] {
+            Some(slot) => out[slot].occurrences.push(c.start),
+            None => {
+                group_slot[gi] = Some(out.len());
+                out.push(Repeat {
+                    content: s[c.start..c.start + c.len].to_vec(),
+                    occurrences: vec![c.start],
+                });
+            }
+        }
+    }
+    // Keep only substrings that actually repeat (≥ 2 selected occurrences
+    // would be ideal, but a candidate by construction repeats somewhere in
+    // `s`; occurrences may have been stolen by longer repeats. A trace with
+    // a single surviving occurrence still repeats in the stream, so we keep
+    // it — the replayer's scoring decides its fate.)
+    for r in &mut out {
+        r.occurrences.sort_unstable();
+    }
+    out
+}
+
+/// Pass 1 of Algorithm 2: walk adjacent suffix-array entries and emit
+/// candidate occurrences.
+fn collect_candidates(sa: &SuffixArray, min_len: usize) -> Vec<Candidate> {
+    let mut cands = Vec::with_capacity(2 * sa.len());
+    for i in 0..sa.len().saturating_sub(1) {
+        let (s1, s2, p) = (sa.sa()[i], sa.sa()[i + 1], sa.lcp()[i]);
+        if p < min_len {
+            continue;
+        }
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        if lo + p <= hi {
+            // The two occurrences do not overlap in the string.
+            cands.push(Candidate { len: p, start: s1, group: 0 });
+            cands.push(Candidate { len: p, start: s2, group: 0 });
+        } else {
+            // Overlapping occurrences: by the structure of the suffix
+            // array the overlap is a run of repeats of period d = hi - lo.
+            // Split the run into two adjacent non-overlapping chunks.
+            let d = hi - lo;
+            let mut l = (p + d) / 2;
+            l -= l % d;
+            if l >= min_len {
+                cands.push(Candidate { len: l, start: lo, group: 0 });
+                cands.push(Candidate { len: l, start: lo + l, group: 0 });
+            }
+        }
+    }
+    cands
+}
+
+/// Pass 2: assign a group id to every candidate such that two candidates
+/// share a group iff they have equal length and equal content.
+///
+/// Candidates of equal length whose suffixes share a prefix of that length
+/// form contiguous runs in suffix-array rank order, so sorting by
+/// `(len desc, rank(start))` and comparing adjacent entries with a range-
+/// minimum query over the LCP array suffices.
+fn assign_groups(sa: &SuffixArray, cands: &mut [Candidate]) {
+    let rmq = LcpRmq::new(sa.lcp());
+    cands.sort_unstable_by_key(|c| (Reverse(c.len), sa.rank()[c.start]));
+    let mut next_group = 0u32;
+    for i in 0..cands.len() {
+        if i > 0 {
+            let (prev, cur) = (cands[i - 1], cands[i]);
+            // Duplicate occurrences (same start) are trivially the same
+            // group; the RMQ requires distinct ranks.
+            let same = prev.len == cur.len
+                && (prev.start == cur.start
+                    || rmq.range_min(sa.rank()[prev.start], sa.rank()[cur.start]) >= cur.len);
+            if !same {
+                next_group += 1;
+            }
+        }
+        cands[i].group = next_group;
+    }
+}
+
+/// Sparse-table range-minimum structure over the LCP array.
+///
+/// `range_min(i, j)` for ranks `i < j` returns the length of the longest
+/// common prefix of the suffixes ranked `i` and `j` — the classic
+/// suffix-array LCP range reduction.
+struct LcpRmq {
+    // table[k][i] = min of lcp[i .. i + 2^k]
+    table: Vec<Vec<usize>>,
+}
+
+impl LcpRmq {
+    fn new(lcp: &[usize]) -> Self {
+        let n = lcp.len();
+        let mut table = vec![lcp.to_vec()];
+        let mut k = 1;
+        while (1 << k) <= n {
+            let prev = &table[k - 1];
+            let half = 1 << (k - 1);
+            let row: Vec<usize> =
+                (0..=n - (1 << k)).map(|i| prev[i].min(prev[i + half])).collect();
+            table.push(row);
+            k += 1;
+        }
+        Self { table }
+    }
+
+    /// Minimum of `lcp[lo..hi]` where `lo < hi` are suffix ranks
+    /// (i.e. the LCP of suffixes ranked `lo` and `hi`).
+    fn range_min(&self, a: usize, b: usize) -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        debug_assert!(lo < hi, "range_min needs distinct ranks");
+        let len = hi - lo;
+        let k = usize::BITS as usize - 1 - len.leading_zeros() as usize;
+        self.table[k][lo].min(self.table[k][hi - (1 << k)])
+    }
+}
+
+/// Total coverage (§3 objective value) of a mined repeat set.
+pub fn total_coverage<T>(repeats: &[Repeat<T>]) -> usize {
+    repeats.iter().map(Repeat::coverage).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contents<T: Token>(reps: &[Repeat<T>]) -> Vec<Vec<T>> {
+        reps.iter().map(|r| r.content.clone()).collect()
+    }
+
+    /// All selected intervals across all repeats must be pairwise disjoint
+    /// and must actually match their repeat's content.
+    fn check_well_formed<T: Token>(s: &[T], reps: &[Repeat<T>], min_len: usize) {
+        let mut all: Vec<Interval> = Vec::new();
+        for r in reps {
+            assert!(r.len() >= min_len, "repeat shorter than min_len: {r:?}");
+            for iv in r.intervals() {
+                assert_eq!(&s[iv.start..iv.end], r.content.as_slice(), "occurrence mismatch");
+                all.push(iv);
+            }
+        }
+        all.sort();
+        for w in all.windows(2) {
+            assert!(!w[0].overlaps(&w[1]), "overlapping selections {w:?}");
+        }
+    }
+
+    #[test]
+    fn figure4_output() {
+        // Figure 4: FindRepeats("aabcbcbaa") = { aa, bc }.
+        let reps = find_repeats(b"aabcbcbaa");
+        assert_eq!(contents(&reps), vec![b"aa".to_vec(), b"bc".to_vec()]);
+        // aa selected at 0 and 7; bc at 2 and 4.
+        assert_eq!(reps[0].occurrences, vec![0, 7]);
+        assert_eq!(reps[1].occurrences, vec![2, 4]);
+        check_well_formed(b"aabcbcbaa", &reps, 2);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(find_repeats::<u8>(&[]).is_empty());
+        assert!(find_repeats(b"a").is_empty());
+        assert!(find_repeats(b"ab").is_empty());
+        assert!(find_repeats(b"abc").is_empty());
+        // Shortest input with a length-2 repeat.
+        let reps = find_repeats(b"abab");
+        assert_eq!(contents(&reps), vec![b"ab".to_vec()]);
+        assert_eq!(reps[0].occurrences, vec![0, 2]);
+    }
+
+    #[test]
+    fn pure_tandem_run() {
+        // "abababab" → period ab; greedy should tile it completely.
+        let s = b"abababab";
+        let reps = find_repeats(s);
+        check_well_formed(s, &reps, 2);
+        assert_eq!(total_coverage(&reps), 8);
+    }
+
+    #[test]
+    fn all_same_token() {
+        let s = vec![9u8; 17];
+        let reps = find_repeats(&s);
+        check_well_formed(&s, &reps, 2);
+        // Nearly everything should be covered (at most min_len-1 + remainder
+        // positions uncovered).
+        assert!(total_coverage(&reps) >= 14, "coverage {}", total_coverage(&reps));
+    }
+
+    #[test]
+    fn repeats_separated_by_noise() {
+        // The motivating case for relaxing tandem repeats: a loop body
+        // interrupted by irregular convergence checks.
+        // body = "wxyz", noise tokens q, r, s interleave.
+        let s = b"wxyzqwxyzrwxyzswxyz";
+        let reps = find_repeats(s);
+        check_well_formed(s, &reps, 2);
+        let body = reps.iter().find(|r| r.content == b"wxyz".to_vec());
+        let body = body.expect("loop body found despite noise");
+        assert!(body.occurrences.len() >= 4, "found {:?}", body.occurrences);
+    }
+
+    #[test]
+    fn longest_repeat_always_found() {
+        // The paper guarantees the longest repeated substring is selected.
+        let s = b"qqabcdefabcdefqq";
+        let reps = find_repeats(s);
+        assert_eq!(reps[0].content, b"abcdef".to_vec());
+        assert_eq!(reps[0].occurrences, vec![2, 8]);
+    }
+
+    #[test]
+    fn min_len_filters_short_repeats() {
+        let s = b"aabcbcbaa";
+        let reps = find_repeats_min_len(s, 3);
+        // No repeated substring of length >= 3 exists.
+        assert!(reps.is_empty(), "{reps:?}");
+        // min_len = 1 admits single-token repeats.
+        let reps1 = find_repeats_min_len(s, 1);
+        check_well_formed(s, &reps1, 1);
+        assert!(total_coverage(&reps1) >= total_coverage(&find_repeats(s)));
+    }
+
+    #[test]
+    fn jacobi_period_two_stream() {
+        // Figure 1's steady state: the region allocator alternates x1/x2,
+        // so the repeating unit spans TWO source-level iterations:
+        //   DOT(R,x1,t1) SUB(b,t1,t2) DIV(t2,d,x2) DOT(R,x2,t1) ...
+        // Encode each distinct (task, args) as a token; the stream is a
+        // 6-token period repeated.
+        let period: Vec<u16> = vec![1, 2, 3, 4, 5, 6];
+        let mut s = Vec::new();
+        for _ in 0..8 {
+            s.extend_from_slice(&period);
+        }
+        let reps = find_repeats(&s);
+        check_well_formed(&s, &reps, 2);
+        assert_eq!(total_coverage(&reps), s.len());
+        // The dominant repeat must be a multiple of the 6-token period.
+        assert_eq!(reps[0].len() % 6, 0, "dominant repeat {:?}", reps[0].len());
+    }
+
+    #[test]
+    fn no_repeats_in_all_distinct() {
+        let s: Vec<u32> = (0..500).collect();
+        assert!(find_repeats(&s).is_empty());
+    }
+
+    #[test]
+    fn coverage_of_long_period_with_prefix() {
+        // A long unique startup phase followed by a repetitive main loop.
+        let mut s: Vec<u32> = (1000..1100).collect(); // unique prefix
+        let period: Vec<u32> = (0..50).collect();
+        for _ in 0..10 {
+            s.extend_from_slice(&period);
+        }
+        let reps = find_repeats(&s);
+        check_well_formed(&s, &reps, 2);
+        // All 500 loop positions should be covered.
+        assert!(total_coverage(&reps) >= 500, "coverage {}", total_coverage(&reps));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Selected occurrences are disjoint, match their content, and
+            /// respect the minimum length, for arbitrary small-alphabet
+            /// strings (small alphabets maximize repeat density).
+            #[test]
+            fn well_formed(
+                s in proptest::collection::vec(0u8..4, 0..400),
+                min_len in 1usize..6,
+            ) {
+                let reps = find_repeats_min_len(&s, min_len);
+                let mut all: Vec<Interval> = Vec::new();
+                for r in &reps {
+                    prop_assert!(r.len() >= min_len);
+                    for iv in r.intervals() {
+                        prop_assert_eq!(&s[iv.start..iv.end], r.content.as_slice());
+                        all.push(iv);
+                    }
+                }
+                all.sort();
+                for w in all.windows(2) {
+                    prop_assert!(!w[0].overlaps(&w[1]));
+                }
+            }
+
+            /// Every substring the miner reports really does occur at least
+            /// twice in the input (possibly overlapping).
+            #[test]
+            fn reported_content_repeats(s in proptest::collection::vec(0u8..3, 4..300)) {
+                let reps = find_repeats(&s);
+                for r in &reps {
+                    let occ = s
+                        .windows(r.content.len())
+                        .filter(|w| *w == r.content.as_slice())
+                        .count();
+                    prop_assert!(occ >= 2, "substring {:?} occurs {} time(s)", r.content, occ);
+                }
+            }
+
+            /// The miner's longest find is sandwiched against the true
+            /// longest non-overlapping repeat (by brute force): never
+            /// longer, and at least half as long. Exact equality does NOT
+            /// hold on periodic inputs — e.g. "0101010", whose longest
+            /// non-overlapping repeat "010" (at 0 and 4) is invisible to
+            /// Algorithm 2 because both adjacent suffix pairs take the
+            /// overlap branch and round the chunk length down to a multiple
+            /// of the period d = 2. This is inherent to the paper's
+            /// pseudocode, which trades optimality for O(n log n).
+            #[test]
+            fn finds_longest_repeat(s in proptest::collection::vec(0u8..3, 4..120)) {
+                let n = s.len();
+                let mut longest = 0usize;
+                for len in (2..=n / 2).rev() {
+                    let mut found = false;
+                    'outer: for i in 0..=n - len {
+                        for j in i + len..=n - len {
+                            if s[i..i + len] == s[j..j + len] {
+                                found = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    if found {
+                        longest = len;
+                        break;
+                    }
+                }
+                let reps = find_repeats(&s);
+                let got = reps.iter().map(|r| r.len()).max().unwrap_or(0);
+                prop_assert!(got <= longest, "selected {got} > brute-force longest {longest}");
+                prop_assert!(got >= longest.div_ceil(2), "selected {got} < half of {longest}");
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! SA-IS: linear-time suffix array construction.
+//!
+//! The paper's complexity budget (§4.2) cites linear-time suffix array
+//! construction (Kasai et al. for LCP; SA-IS / DC3 for the array itself).
+//! [`crate::suffix_array::SuffixArray::build`] uses prefix doubling
+//! (`O(n log n)`), which is already within the overall budget; this module
+//! provides the asymptotically optimal induced-sorting construction as an
+//! alternative backend, cross-checked against the doubling implementation
+//! by property tests and raced in the benches.
+//!
+//! The algorithm classifies suffixes as S-type (smaller than their right
+//! neighbor) or L-type, locates the leftmost-S (LMS) positions, induce-
+//! sorts from an approximate LMS order, names the LMS substrings, recurses
+//! if names collide, and induce-sorts once more from the exact order.
+
+use crate::Token;
+
+/// Builds the suffix array of `s` in `O(n)` time (plus the initial
+/// alphabet compaction, `O(n log n)` for arbitrary tokens).
+///
+/// Returns the same permutation as
+/// [`crate::suffix_array::SuffixArray::build`].
+pub fn suffix_array_sais<T: Token>(s: &[T]) -> Vec<usize> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    // Compact the alphabet to dense ranks.
+    let mut sorted: Vec<T> = s.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let text: Vec<usize> = s
+        .iter()
+        .map(|t| sorted.binary_search(t).expect("token in own alphabet") + 1)
+        .collect();
+    let alphabet = sorted.len() + 1;
+    sais(&text, alphabet)
+}
+
+/// Core SA-IS over a dense alphabet `1..alphabet` (0 is reserved for the
+/// virtual sentinel, which is handled implicitly).
+fn sais(text: &[usize], alphabet: usize) -> Vec<usize> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+
+    // Suffix types: true = S-type (suffix < next suffix), false = L-type.
+    // The virtual sentinel is S-type and smaller than everything.
+    let mut is_s = vec![false; n];
+    // The last real suffix is L-type w.r.t. the sentinel... by convention
+    // the sentinel is the smallest, so suffix n-1 (single char > sentinel)
+    // is L-type.
+    for i in (0..n - 1).rev() {
+        is_s[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && is_s[i + 1]);
+    }
+
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let lms_positions: Vec<usize> = (1..n).filter(|&i| is_lms(i)).collect();
+
+    // Bucket boundaries per symbol.
+    let mut bucket_sizes = vec![0usize; alphabet];
+    for &c in text {
+        bucket_sizes[c] += 1;
+    }
+    let bucket_heads = |sizes: &[usize]| {
+        let mut heads = vec![0usize; alphabet];
+        let mut sum = 0;
+        for (c, &sz) in sizes.iter().enumerate() {
+            heads[c] = sum;
+            sum += sz;
+        }
+        heads
+    };
+    let bucket_tails = |sizes: &[usize]| {
+        let mut tails = vec![0usize; alphabet];
+        let mut sum = 0;
+        for (c, &sz) in sizes.iter().enumerate() {
+            sum += sz;
+            tails[c] = sum;
+        }
+        tails
+    };
+
+    const EMPTY: usize = usize::MAX;
+
+    // Induced sort given LMS positions in some order: place LMS suffixes
+    // at bucket tails, induce L from heads, induce S from tails.
+    let induce = |lms_order: &[usize]| -> Vec<usize> {
+        let mut sa = vec![EMPTY; n];
+        let mut tails = bucket_tails(&bucket_sizes);
+        for &p in lms_order.iter().rev() {
+            let c = text[p];
+            tails[c] -= 1;
+            sa[tails[c]] = p;
+        }
+        // Induce L-type from left to right.
+        let mut heads = bucket_heads(&bucket_sizes);
+        // Virtual sentinel's predecessor: suffix n-1 if L-type.
+        if !is_s[n - 1] {
+            let c = text[n - 1];
+            sa[heads[c]] = n - 1;
+            heads[c] += 1;
+        }
+        for i in 0..n {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && !is_s[p - 1] {
+                let c = text[p - 1];
+                sa[heads[c]] = p - 1;
+                heads[c] += 1;
+            }
+        }
+        // Induce S-type from right to left (overwrites the LMS seeds).
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (0..n).rev() {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && is_s[p - 1] {
+                let c = text[p - 1];
+                tails[c] -= 1;
+                sa[tails[c]] = p - 1;
+            }
+        }
+        sa
+    };
+
+    // First pass: LMS positions in text order (approximate).
+    let sa1 = induce(&lms_positions);
+
+    // Extract LMS suffixes in their induced order and name the LMS
+    // substrings.
+    let lms_sorted: Vec<usize> = sa1.iter().copied().filter(|&p| p != EMPTY && is_lms(p)).collect();
+    let lms_count = lms_positions.len();
+    debug_assert_eq!(lms_sorted.len(), lms_count);
+
+    // lms_eq: whether two LMS substrings are equal (compare up to and
+    // including the next LMS position).
+    let lms_end = |p: usize| {
+        // End of the LMS substring starting at p: the next LMS position,
+        // or n (exclusive sentinel) for the last one.
+        lms_positions.binary_search(&p).map_or(n, |idx| {
+            lms_positions.get(idx + 1).copied().unwrap_or(n - 1) + 1
+        })
+    };
+    let lms_equal = |a: usize, b: usize| {
+        let (ea, eb) = (lms_end(a), lms_end(b));
+        if ea - a != eb - b {
+            return false;
+        }
+        text[a..ea] == text[b..eb]
+    };
+
+    // Assign names in induced order.
+    let mut name_of = vec![0usize; n];
+    let mut names = 0usize;
+    let mut prev: Option<usize> = None;
+    for &p in &lms_sorted {
+        if let Some(q) = prev {
+            if !lms_equal(q, p) {
+                names += 1;
+            }
+        }
+        name_of[p] = names;
+        prev = Some(p);
+    }
+
+    // Order LMS suffixes exactly.
+    let lms_exact: Vec<usize> = if names + 1 == lms_count {
+        // All names distinct: the induced order is exact.
+        lms_sorted
+    } else {
+        // Recurse on the reduced string of LMS names (in text order).
+        let reduced: Vec<usize> = lms_positions.iter().map(|&p| name_of[p] + 1).collect();
+        let rec = sais(&reduced, names + 2);
+        rec.iter().map(|&i| lms_positions[i]).collect()
+    };
+
+    induce(&lms_exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suffix_array::SuffixArray;
+
+    fn check<T: Token>(s: &[T]) {
+        let sais = suffix_array_sais(s);
+        let doubling = SuffixArray::build(s);
+        assert_eq!(sais, doubling.sa(), "SA-IS vs doubling on {s:?}");
+    }
+
+    #[test]
+    fn classic_strings() {
+        check(b"banana".as_slice());
+        check(b"mississippi".as_slice());
+        check(b"aabcbcbaa".as_slice());
+        check(b"abracadabra".as_slice());
+        check(b"yabbadabbado".as_slice());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        check::<u8>(&[]);
+        check(b"a".as_slice());
+        check(b"aa".as_slice());
+        check(b"ab".as_slice());
+        check(b"ba".as_slice());
+        check(&[5u8; 100]);
+    }
+
+    #[test]
+    fn periodic_and_fibonacci() {
+        let periodic: Vec<u32> = (0..300).map(|i| i % 7).collect();
+        check(&periodic);
+        // Fibonacci word: a classic SA stress input.
+        let mut fib = vec![0u8];
+        let mut prev = vec![1u8];
+        for _ in 0..12 {
+            let next = [fib.clone(), prev.clone()].concat();
+            prev = fib;
+            fib = next;
+        }
+        check(&fib);
+    }
+
+    #[test]
+    fn large_alphabet() {
+        let s: Vec<u64> = vec![u64::MAX, 0, 1 << 40, u64::MAX, 0, 1 << 40, 7];
+        check(&s);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// SA-IS and prefix doubling agree on arbitrary inputs.
+            #[test]
+            fn agrees_with_doubling_small_alphabet(
+                s in proptest::collection::vec(0u8..4, 0..300)
+            ) {
+                check(&s);
+            }
+
+            #[test]
+            fn agrees_with_doubling_large_alphabet(
+                s in proptest::collection::vec(any::<u16>(), 0..200)
+            ) {
+                check(&s);
+            }
+        }
+    }
+}

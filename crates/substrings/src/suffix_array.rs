@@ -1,0 +1,287 @@
+//! Suffix array and LCP array construction.
+//!
+//! The trace finder (Algorithm 2 of the paper) needs, for an arbitrary
+//! token alphabet, the suffix array of the history buffer plus the LCP
+//! (longest common prefix) array between adjacent suffixes. We build the
+//! suffix array by prefix doubling with counting-sort passes — `O(n log n)`
+//! total — and the LCP array with Kasai's linear-time algorithm, matching
+//! the complexity budget claimed in §4.2 of the paper.
+
+use crate::Token;
+
+/// Suffix array of a token sequence together with its LCP array.
+///
+/// For a sequence `S` of length `n`:
+///
+/// * `sa[i]` is the start position of the `i`-th smallest suffix;
+/// * `rank[p]` is the index in `sa` of the suffix starting at `p`
+///   (the inverse permutation of `sa`);
+/// * `lcp[i]` is the length of the longest common prefix of the suffixes
+///   `S[sa[i]..]` and `S[sa[i+1]..]`; `lcp` has length `n - 1` (or 0 for
+///   `n <= 1`).
+///
+/// # Example
+///
+/// ```
+/// use substrings::suffix_array::SuffixArray;
+///
+/// let sa = SuffixArray::build(b"banana");
+/// assert_eq!(sa.sa(), &[5, 3, 1, 0, 4, 2]); // a, ana, anana, banana, na, nana
+/// assert_eq!(sa.lcp(), &[1, 3, 0, 0, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuffixArray {
+    sa: Vec<usize>,
+    rank: Vec<usize>,
+    lcp: Vec<usize>,
+}
+
+impl SuffixArray {
+    /// Builds the suffix array and LCP array of `s`.
+    ///
+    /// Runs in `O(n log n)` time and `O(n)` auxiliary space (beyond the
+    /// output arrays). Accepts any token type; the alphabet is first
+    /// compacted to dense ranks.
+    pub fn build<T: Token>(s: &[T]) -> Self {
+        let n = s.len();
+        if n == 0 {
+            return Self { sa: Vec::new(), rank: Vec::new(), lcp: Vec::new() };
+        }
+        let mut rank = initial_ranks(s);
+        let mut sa: Vec<usize> = (0..n).collect();
+        // Sort by initial rank using counting sort.
+        sa = counting_sort_by_key(&sa, n, |&p| rank[p]);
+
+        let mut tmp_rank = vec![0usize; n];
+        let mut k = 1usize;
+        while k < n {
+            // Sort by (rank[p], rank[p + k]) via two stable counting-sort
+            // passes: first the secondary key, then the primary key.
+            let secondary_key = |p: usize| if p + k < n { rank[p + k] + 1 } else { 0 };
+            sa = counting_sort_by_key(&sa, n + 1, |&p| secondary_key(p));
+            sa = counting_sort_by_key(&sa, n, |&p| rank[p]);
+
+            // Re-rank: adjacent entries with equal key pairs share a rank.
+            tmp_rank[sa[0]] = 0;
+            for i in 1..n {
+                let (prev, cur) = (sa[i - 1], sa[i]);
+                let same = rank[prev] == rank[cur] && secondary_key(prev) == secondary_key(cur);
+                tmp_rank[cur] = tmp_rank[prev] + usize::from(!same);
+            }
+            std::mem::swap(&mut rank, &mut tmp_rank);
+            if rank[sa[n - 1]] == n - 1 {
+                break; // All suffixes distinguished.
+            }
+            k *= 2;
+        }
+        let lcp = kasai(s, &sa, &rank);
+        Self { sa, rank, lcp }
+    }
+
+    /// The suffix array: positions of suffixes in lexicographic order.
+    pub fn sa(&self) -> &[usize] {
+        &self.sa
+    }
+
+    /// The inverse permutation of [`Self::sa`].
+    pub fn rank(&self) -> &[usize] {
+        &self.rank
+    }
+
+    /// LCP lengths between lexicographically adjacent suffixes
+    /// (`lcp()[i]` pairs `sa()[i]` with `sa()[i + 1]`).
+    pub fn lcp(&self) -> &[usize] {
+        &self.lcp
+    }
+
+    /// Number of suffixes (the length of the underlying sequence).
+    pub fn len(&self) -> usize {
+        self.sa.len()
+    }
+
+    /// Whether the underlying sequence was empty.
+    pub fn is_empty(&self) -> bool {
+        self.sa.is_empty()
+    }
+}
+
+/// Maps arbitrary tokens to dense initial ranks in `0..distinct`.
+fn initial_ranks<T: Token>(s: &[T]) -> Vec<usize> {
+    let mut sorted: Vec<T> = s.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    s.iter()
+        .map(|t| sorted.binary_search(t).expect("token present in its own alphabet"))
+        .collect()
+}
+
+/// Stable counting sort of `items` by `key`, where keys lie in `0..buckets`.
+fn counting_sort_by_key<F>(items: &[usize], buckets: usize, key: F) -> Vec<usize>
+where
+    F: Fn(&usize) -> usize,
+{
+    let mut counts = vec![0usize; buckets + 1];
+    for it in items {
+        counts[key(it) + 1] += 1;
+    }
+    for b in 1..counts.len() {
+        counts[b] += counts[b - 1];
+    }
+    let mut out = vec![0usize; items.len()];
+    for it in items {
+        let k = key(it);
+        out[counts[k]] = *it;
+        counts[k] += 1;
+    }
+    out
+}
+
+/// Kasai's linear-time LCP construction.
+fn kasai<T: Token>(s: &[T], sa: &[usize], rank: &[usize]) -> Vec<usize> {
+    let n = s.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut lcp = vec![0usize; n - 1];
+    let mut h = 0usize;
+    for p in 0..n {
+        if rank[p] + 1 == n {
+            h = 0;
+            continue;
+        }
+        let q = sa[rank[p] + 1];
+        while p + h < n && q + h < n && s[p + h] == s[q + h] {
+            h += 1;
+        }
+        lcp[rank[p]] = h;
+        h = h.saturating_sub(1);
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference construction by sorting all suffixes (O(n² log n)).
+    fn naive_sa<T: Token>(s: &[T]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..s.len()).collect();
+        idx.sort_by(|&a, &b| s[a..].cmp(&s[b..]));
+        idx
+    }
+
+    fn naive_lcp<T: Token>(s: &[T], sa: &[usize]) -> Vec<usize> {
+        sa.windows(2)
+            .map(|w| {
+                let (a, b) = (&s[w[0]..], &s[w[1]..]);
+                a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let sa = SuffixArray::build::<u8>(&[]);
+        assert!(sa.is_empty());
+        assert_eq!(sa.lcp(), &[] as &[usize]);
+
+        let sa = SuffixArray::build(b"x");
+        assert_eq!(sa.sa(), &[0]);
+        assert_eq!(sa.len(), 1);
+        assert_eq!(sa.lcp(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn banana() {
+        let sa = SuffixArray::build(b"banana");
+        assert_eq!(sa.sa(), &[5, 3, 1, 0, 4, 2]);
+        assert_eq!(sa.lcp(), &[1, 3, 0, 0, 2]);
+        // rank is the inverse permutation.
+        for (i, &p) in sa.sa().iter().enumerate() {
+            assert_eq!(sa.rank()[p], i);
+        }
+    }
+
+    #[test]
+    fn figure4_string() {
+        // The paper's Figure 4 walks Algorithm 2 over "aabcbcbaa"; its
+        // suffix array column (start indices) is 8,7,0,1,6,4,2,5,3.
+        let sa = SuffixArray::build(b"aabcbcbaa");
+        assert_eq!(sa.sa(), &[8, 7, 0, 1, 6, 4, 2, 5, 3]);
+    }
+
+    #[test]
+    fn all_equal_tokens() {
+        let s = vec![7u64; 64];
+        let sa = SuffixArray::build(&s);
+        // Suffixes sort by decreasing start (shortest first).
+        let expect: Vec<usize> = (0..64).rev().collect();
+        assert_eq!(sa.sa(), expect.as_slice());
+        // LCP between adjacent = length of the shorter suffix.
+        for (i, &l) in sa.lcp().iter().enumerate() {
+            assert_eq!(l, i + 1);
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_corpus() {
+        let corpus: &[&[u8]] = &[
+            b"abracadabra",
+            b"mississippi",
+            b"aaaabaaaab",
+            b"abcabcabcabc",
+            b"zyxwvu",
+            b"aabcbcbaa",
+            b"abababab",
+        ];
+        for s in corpus {
+            let sa = SuffixArray::build(s);
+            assert_eq!(sa.sa(), naive_sa(s).as_slice(), "sa mismatch on {s:?}");
+            assert_eq!(sa.lcp(), naive_lcp(s, sa.sa()).as_slice(), "lcp mismatch on {s:?}");
+        }
+    }
+
+    #[test]
+    fn large_alphabet_u64() {
+        // Tokens far apart in value must still compact correctly.
+        let s: Vec<u64> = vec![u64::MAX, 0, 1 << 40, u64::MAX, 0, 1 << 40, u64::MAX];
+        let sa = SuffixArray::build(&s);
+        assert_eq!(sa.sa(), naive_sa(&s).as_slice());
+        assert_eq!(sa.lcp(), naive_lcp(&s, sa.sa()).as_slice());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn agrees_with_naive(s in proptest::collection::vec(0u8..6, 0..200)) {
+                let sa = SuffixArray::build(&s);
+                let expect_sa = naive_sa(&s);
+                let expect_lcp = naive_lcp(&s, sa.sa());
+                prop_assert_eq!(sa.sa(), expect_sa.as_slice());
+                prop_assert_eq!(sa.lcp(), expect_lcp.as_slice());
+            }
+
+            #[test]
+            fn rank_is_inverse(s in proptest::collection::vec(0u16..40, 0..300)) {
+                let sa = SuffixArray::build(&s);
+                for (i, &p) in sa.sa().iter().enumerate() {
+                    prop_assert_eq!(sa.rank()[p], i);
+                }
+            }
+
+            #[test]
+            fn sa_is_permutation(s in proptest::collection::vec(any::<u8>(), 0..250)) {
+                let sa = SuffixArray::build(&s);
+                let mut seen = vec![false; s.len()];
+                for &p in sa.sa() {
+                    prop_assert!(!seen[p]);
+                    seen[p] = true;
+                }
+                prop_assert!(seen.iter().all(|&b| b));
+            }
+        }
+    }
+}

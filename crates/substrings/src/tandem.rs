@@ -1,0 +1,215 @@
+//! Tandem-repeat mining — the Sisco et al. baseline.
+//!
+//! A *tandem repeat* is a substring `α` repeated contiguously: `α^k` (k ≥ 2)
+//! occurs in `S`. Prior work (loop rerolling for hardware decompilation)
+//! used tandem repeats to find loops; the paper reports that real
+//! cuPyNumeric programs interleave irregular operations (convergence
+//! checks, statistics) between loop iterations, so their streams contain
+//! few tandem repeats and the analysis misses most of the coverage that
+//! Algorithm 2 finds. This module exists to reproduce that comparison
+//! (ablation benches), not for production use: the implementation is a
+//! straightforward `O(n·p_max)` scan, quadratic in the worst case.
+
+use crate::repeats::Repeat;
+use crate::Token;
+
+/// A maximal tandem run: `period`-long block repeated `count` times
+/// starting at `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TandemRun {
+    /// Start position of the run.
+    pub start: usize,
+    /// Block length.
+    pub period: usize,
+    /// Number of contiguous block repetitions (≥ 2).
+    pub count: usize,
+}
+
+impl TandemRun {
+    /// Total length covered by the run.
+    pub fn len(&self) -> usize {
+        self.period * self.count
+    }
+
+    /// Runs are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Finds all maximal tandem runs with block length in `[min_period, max_period]`.
+///
+/// A run is *maximal* if it cannot be extended left or right by a full or
+/// partial period. Runs of different periods may overlap; the same
+/// repetitive region reappears once per dividing period, so callers
+/// typically post-process with [`select_tandem_repeats`].
+pub fn tandem_runs<T: Token>(s: &[T], min_period: usize, max_period: usize) -> Vec<TandemRun> {
+    let n = s.len();
+    let mut runs = Vec::new();
+    let max_p = max_period.min(n / 2);
+    for p in min_period.max(1)..=max_p {
+        let mut i = 0;
+        while i + p < n {
+            if s[i] == s[i + p] {
+                // Extend the agreement region [i, j) with s[x] == s[x+p].
+                let mut j = i;
+                while j + p < n && s[j] == s[j + p] {
+                    j += 1;
+                }
+                // Agreement of length (j - i) gives (j - i) / p extra
+                // periods beyond the first.
+                let count = (j - i) / p + 1;
+                if count >= 2 {
+                    // Only report runs aligned at the leftmost start; the
+                    // run occupies [i, i + count * p).
+                    runs.push(TandemRun { start: i, period: p, count });
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    runs
+}
+
+/// Baseline trace selection from tandem runs: greedily keeps the longest
+/// non-overlapping runs (block length ≥ `min_len`) and reports each as a
+/// repeat of its block.
+///
+/// Mirrors the output shape of [`crate::repeats::find_repeats_min_len`] so
+/// coverage can be compared apples-to-apples.
+pub fn select_tandem_repeats<T: Token>(s: &[T], min_len: usize) -> Vec<Repeat<T>> {
+    let mut runs = tandem_runs(s, min_len.max(1), s.len() / 2);
+    // Longest-covered-region first.
+    runs.sort_by_key(|r| std::cmp::Reverse((r.len(), std::cmp::Reverse(r.start))));
+    let mut covered = vec![false; s.len()];
+    let mut out: Vec<Repeat<T>> = Vec::new();
+    for run in runs {
+        let (lo, hi) = (run.start, run.start + run.len());
+        if covered[lo..hi].iter().any(|&b| b) {
+            continue;
+        }
+        covered[lo..hi].iter_mut().for_each(|b| *b = true);
+        let block = s[lo..lo + run.period].to_vec();
+        let occurrences = (0..run.count).map(|k| lo + k * run.period).collect();
+        out.push(Repeat { content: block, occurrences });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repeats::total_coverage;
+
+    #[test]
+    fn pure_tandem_found() {
+        let runs = tandem_runs(b"abababab", 1, 4);
+        let best = runs.iter().max_by_key(|r| r.len()).expect("found a run");
+        assert_eq!((best.start, best.period * best.count), (0, 8));
+    }
+
+    #[test]
+    fn no_tandem_in_distinct() {
+        let s: Vec<u32> = (0..100).collect();
+        assert!(tandem_runs(&s, 1, 50).is_empty());
+    }
+
+    #[test]
+    fn selection_covers_tiling() {
+        let reps = select_tandem_repeats(b"xyxyxyxy", 2);
+        assert_eq!(total_coverage(&reps), 8);
+        assert_eq!(reps[0].content, b"xy".to_vec());
+        assert_eq!(reps[0].occurrences, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn noise_between_iterations_defeats_tandems() {
+        // The paper's motivation for relaxing tandem repeats: insert one
+        // irregular token between loop iterations and tandem coverage
+        // collapses while Algorithm 2 still finds the body.
+        let mut s: Vec<u16> = Vec::new();
+        for i in 0..6u16 {
+            s.extend_from_slice(&[1, 2, 3, 4]);
+            s.push(1000 + i); // unique noise (convergence check)
+        }
+        let tandem = select_tandem_repeats(&s, 2);
+        let alg2 = crate::repeats::find_repeats(&s);
+        assert!(
+            total_coverage(&tandem) < total_coverage(&alg2),
+            "tandem {} vs alg2 {}",
+            total_coverage(&tandem),
+            total_coverage(&alg2)
+        );
+        assert_eq!(total_coverage(&tandem), 0, "no contiguous repeats exist");
+    }
+
+    #[test]
+    fn partial_trailing_period_not_counted() {
+        // "ababa": period 2 run has count 2 (the trailing "a" is partial).
+        let runs = tandem_runs(b"ababa", 2, 2);
+        let r = runs.iter().find(|r| r.period == 2).expect("period-2 run");
+        assert_eq!(r.count, 2);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every reported run truly is a tandem repetition.
+            #[test]
+            fn runs_are_genuine(s in proptest::collection::vec(0u8..3, 0..200)) {
+                for run in tandem_runs(&s, 1, s.len() / 2) {
+                    prop_assert!(run.count >= 2);
+                    let block = &s[run.start..run.start + run.period];
+                    for k in 1..run.count {
+                        let at = run.start + k * run.period;
+                        prop_assert_eq!(&s[at..at + run.period], block);
+                    }
+                }
+            }
+
+            /// Selected repeats are disjoint and match their content.
+            #[test]
+            fn selection_well_formed(
+                s in proptest::collection::vec(0u8..4, 0..200),
+                min_len in 1usize..4,
+            ) {
+                let reps = select_tandem_repeats(&s, min_len);
+                let mut ivs: Vec<crate::Interval> = Vec::new();
+                for r in &reps {
+                    prop_assert!(r.len() >= min_len);
+                    for iv in r.intervals() {
+                        prop_assert_eq!(&s[iv.start..iv.end], r.content.as_slice());
+                        ivs.push(iv);
+                    }
+                }
+                ivs.sort();
+                for w in ivs.windows(2) {
+                    prop_assert!(!w[0].overlaps(&w[1]));
+                }
+            }
+
+            /// Tandem coverage never beats Algorithm 2 by more than the
+            /// min-length slack (both are valid solutions of §3, Algorithm 2
+            /// is strictly more general): here we just require Algorithm 2
+            /// to win or tie on at least half the mass.
+            #[test]
+            fn alg2_dominates_on_noisy_loops(
+                body in proptest::collection::vec(0u8..4, 2..6),
+                iters in 3usize..8,
+            ) {
+                let mut s: Vec<u16> = Vec::new();
+                for i in 0..iters {
+                    s.extend(body.iter().map(|&b| u16::from(b)));
+                    s.push(500 + i as u16); // unique separator
+                }
+                let t = total_coverage(&select_tandem_repeats(&s, 2));
+                let a = total_coverage(&crate::repeats::find_repeats(&s));
+                prop_assert!(a >= t, "alg2 {a} < tandem {t}");
+            }
+        }
+    }
+}

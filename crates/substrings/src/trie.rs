@@ -1,0 +1,297 @@
+//! Token trie for online candidate-trace recognition.
+//!
+//! The trace replayer (§4.3) ingests mined candidate traces into a trie
+//! and, as each task hash arrives, advances a set of cursors ("pointers
+//! into the trie that represent potential matches"). A cursor that reaches
+//! a terminal node has recognized a full candidate occurrence.
+//!
+//! The trie is append-only: candidates are only ever added (the replayer
+//! retires candidates by scoring, not deletion), so node indices are
+//! stable and cursors can be stored compactly as `(node, start)` pairs.
+
+use crate::Token;
+use std::collections::HashMap;
+
+/// Identifies a candidate sequence stored in a [`Trie`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CandidateId(pub u32);
+
+/// Identifies a trie node. The root is [`Trie::ROOT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    children: HashMap<T, NodeId>,
+    /// Set when a candidate ends at this node.
+    terminal: Option<CandidateId>,
+    /// Depth = number of tokens from the root.
+    depth: u32,
+    /// Length of the longest candidate ending in this node's subtree
+    /// (including this node). Lets cursor-based matchers estimate how much
+    /// a partial match could still grow.
+    subtree_max: u32,
+}
+
+/// A prefix tree over token sequences with cursor-based traversal.
+///
+/// # Example
+///
+/// ```
+/// use substrings::trie::Trie;
+///
+/// let mut trie = Trie::new();
+/// let ab = trie.insert(&[b'a', b'b']).unwrap();
+/// let mut cur = Trie::<u8>::ROOT;
+/// cur = trie.step(cur, b'a').unwrap();
+/// assert!(trie.terminal(cur).is_none());
+/// cur = trie.step(cur, b'b').unwrap();
+/// assert_eq!(trie.terminal(cur), Some(ab));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trie<T> {
+    nodes: Vec<Node<T>>,
+    /// Length of each candidate, indexed by `CandidateId`.
+    lengths: Vec<u32>,
+    /// Content of each candidate (kept for re-validation and replay
+    /// bookkeeping by the runtime layer).
+    contents: Vec<Vec<T>>,
+}
+
+impl<T: Token> Trie<T> {
+    /// The root node: the empty prefix.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node {
+                children: HashMap::new(),
+                terminal: None,
+                depth: 0,
+                subtree_max: 0,
+            }],
+            lengths: Vec::new(),
+            contents: Vec::new(),
+        }
+    }
+
+    /// Inserts `seq` as a candidate, returning its id.
+    ///
+    /// Returns the existing id (without duplicating) if `seq` was already
+    /// present, and `None` if `seq` is empty (empty candidates are
+    /// meaningless and rejected).
+    pub fn insert(&mut self, seq: &[T]) -> Option<CandidateId> {
+        if seq.is_empty() {
+            return None;
+        }
+        let mut cur = Self::ROOT;
+        let len = seq.len() as u32;
+        for (i, &tok) in seq.iter().enumerate() {
+            let node = &mut self.nodes[cur.0 as usize];
+            node.subtree_max = node.subtree_max.max(len);
+            let next_free = NodeId(self.nodes.len() as u32);
+            let depth = i as u32 + 1;
+            let entry = self.nodes[cur.0 as usize].children.entry(tok).or_insert(next_free);
+            let nxt = *entry;
+            if nxt == next_free {
+                self.nodes.push(Node {
+                    children: HashMap::new(),
+                    terminal: None,
+                    depth,
+                    subtree_max: 0,
+                });
+            }
+            cur = nxt;
+        }
+        let node = &mut self.nodes[cur.0 as usize];
+        node.subtree_max = node.subtree_max.max(len);
+        if let Some(existing) = node.terminal {
+            return Some(existing);
+        }
+        let id = CandidateId(self.lengths.len() as u32);
+        node.terminal = Some(id);
+        self.lengths.push(seq.len() as u32);
+        self.contents.push(seq.to_vec());
+        Some(id)
+    }
+
+    /// Advances a cursor by one token; `None` if no such transition exists.
+    pub fn step(&self, node: NodeId, token: T) -> Option<NodeId> {
+        self.nodes[node.0 as usize].children.get(&token).copied()
+    }
+
+    /// The candidate ending exactly at `node`, if any.
+    pub fn terminal(&self, node: NodeId) -> Option<CandidateId> {
+        self.nodes[node.0 as usize].terminal
+    }
+
+    /// Whether `node` has no outgoing transitions (cursors at a leaf cannot
+    /// advance further).
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].children.is_empty()
+    }
+
+    /// Number of tokens from the root to `node`.
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.nodes[node.0 as usize].depth as usize
+    }
+
+    /// Length of the longest candidate ending at or below `node` — an
+    /// upper bound on how long a match through `node` can become.
+    pub fn potential_len(&self, node: NodeId) -> usize {
+        self.nodes[node.0 as usize].subtree_max as usize
+    }
+
+    /// Length of the longest candidate in the whole trie.
+    pub fn max_candidate_len(&self) -> usize {
+        self.lengths.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Length of candidate `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Self::insert`] on this trie.
+    pub fn candidate_len(&self, id: CandidateId) -> usize {
+        self.lengths[id.0 as usize] as usize
+    }
+
+    /// Content of candidate `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Self::insert`] on this trie.
+    pub fn candidate(&self, id: CandidateId) -> &[T] {
+        &self.contents[id.0 as usize]
+    }
+
+    /// Number of stored candidates.
+    pub fn candidate_count(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Number of trie nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the trie holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Whether any candidate starts with `token` (i.e. a fresh cursor could
+    /// make progress).
+    pub fn can_start_with(&self, token: T) -> bool {
+        self.nodes[0].children.contains_key(&token)
+    }
+}
+
+impl<T: Token> Default for Trie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_walk() {
+        let mut t = Trie::new();
+        let abc = t.insert(b"abc").unwrap();
+        let ab = t.insert(b"ab").unwrap();
+        assert_ne!(abc, ab);
+        assert_eq!(t.candidate_count(), 2);
+        assert_eq!(t.candidate_len(abc), 3);
+        assert_eq!(t.candidate(ab), b"ab");
+
+        let mut cur = Trie::<u8>::ROOT;
+        cur = t.step(cur, b'a').unwrap();
+        assert_eq!(t.terminal(cur), None);
+        cur = t.step(cur, b'b').unwrap();
+        assert_eq!(t.terminal(cur), Some(ab));
+        assert!(!t.is_leaf(cur), "ab has child c");
+        cur = t.step(cur, b'c').unwrap();
+        assert_eq!(t.terminal(cur), Some(abc));
+        assert!(t.is_leaf(cur));
+        assert_eq!(t.depth(cur), 3);
+    }
+
+    #[test]
+    fn duplicate_insert_returns_same_id() {
+        let mut t = Trie::new();
+        let a = t.insert(b"xyz").unwrap();
+        let b = t.insert(b"xyz").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(t.candidate_count(), 1);
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        let mut t = Trie::<u8>::new();
+        assert_eq!(t.insert(&[]), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn missing_transition() {
+        let mut t = Trie::new();
+        t.insert(b"ab");
+        assert!(t.step(Trie::<u8>::ROOT, b'z').is_none());
+        assert!(t.can_start_with(b'a'));
+        assert!(!t.can_start_with(b'z'));
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut t = Trie::new();
+        t.insert(b"abcd");
+        let before = t.node_count();
+        t.insert(b"abce");
+        // Only one new node for the final divergent token.
+        assert_eq!(t.node_count(), before + 1);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Walking any inserted sequence from the root terminates at a
+            /// node whose terminal is that sequence's id.
+            #[test]
+            fn inserted_sequences_recognized(
+                seqs in proptest::collection::vec(
+                    proptest::collection::vec(0u8..4, 1..10), 1..20)
+            ) {
+                let mut t = Trie::new();
+                let ids: Vec<_> = seqs.iter().map(|s| t.insert(s).unwrap()).collect();
+                for (seq, id) in seqs.iter().zip(&ids) {
+                    let mut cur = Trie::<u8>::ROOT;
+                    for &tok in seq {
+                        cur = t.step(cur, tok).expect("transition exists");
+                    }
+                    prop_assert_eq!(t.terminal(cur), Some(*id));
+                    prop_assert_eq!(t.candidate(*id), seq.as_slice());
+                }
+            }
+
+            /// Node count is bounded by total inserted tokens + 1.
+            #[test]
+            fn node_count_bounded(
+                seqs in proptest::collection::vec(
+                    proptest::collection::vec(0u8..3, 1..12), 0..15)
+            ) {
+                let mut t = Trie::new();
+                for s in &seqs {
+                    t.insert(s);
+                }
+                let total: usize = seqs.iter().map(Vec::len).sum();
+                prop_assert!(t.node_count() <= total + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The calibrated cost model.
+//!
+//! All quantities the discrete-event simulator charges for are collected
+//! here, calibrated from the measurements the paper reports (§1, §3, §6.3)
+//! rather than from any particular machine:
+//!
+//! * dynamic dependence analysis ≈ **1 ms/task** ("~1ms" per task, §1);
+//! * trace replay ≈ **100 µs/task** (§1, §6.3);
+//! * memoization slightly more expensive than analysis (§3's `α_m > α`);
+//! * a constant per-replay overhead `c` (§3), visible at strong scale
+//!   (§6.2's motivation for `max_trace_length`);
+//! * task launch (application phase) **7 µs** without Apophenia and
+//!   **12 µs** with it (§6.3);
+//! * analysis cost grows mildly with node count — the distributed event
+//!   fan-in that makes untraced runs fall off at scale (substitution
+//!   documented in DESIGN.md §6).
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration in microseconds of simulated time.
+///
+/// A thin `f64` wrapper: simulated time needs fractional microseconds
+/// (launch overheads are single-digit µs while iterations are seconds) and
+/// saturating behaviour is unnecessary.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Micros(pub f64);
+
+impl Micros {
+    /// Zero duration.
+    pub const ZERO: Micros = Micros(0.0);
+
+    /// Builds from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Micros(ms * 1e3)
+    }
+
+    /// Builds from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        Micros(s * 1e6)
+    }
+
+    /// Value in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: Micros) -> Micros {
+        Micros(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: Micros) -> Micros {
+        Micros(self.0.min(other.0))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Micros {
+    type Output = Micros;
+    fn mul(self, rhs: f64) -> Micros {
+        Micros(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Micros {
+    type Output = Micros;
+    fn div(self, rhs: f64) -> Micros {
+        Micros(self.0 / rhs)
+    }
+}
+
+impl Sum for Micros {
+    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
+        Micros(iter.map(|m| m.0).sum())
+    }
+}
+
+impl std::fmt::Display for Micros {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3}ms", self.as_millis())
+        } else {
+            write!(f, "{:.1}µs", self.0)
+        }
+    }
+}
+
+/// How an operation's dependence analysis was performed, which determines
+/// its analysis-stage cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisKind {
+    /// Full dynamic dependence analysis (cost `α`).
+    Fresh,
+    /// Analysis plus memoization while recording a trace (cost `α_m`).
+    Recording,
+    /// Replayed from a memoized trace (cost `α_r`).
+    Replayed,
+}
+
+/// The runtime cost model. See the module docs for provenance of each
+/// default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// `α`: dependence analysis per task.
+    pub alpha_analysis: Micros,
+    /// `α_m`: analysis + memoization per task while recording.
+    pub alpha_memo: Micros,
+    /// `α_r`: replay per task.
+    pub alpha_replay: Micros,
+    /// `c`: constant overhead per trace replay.
+    pub replay_const: Micros,
+    /// Application-phase launch cost per task (no Apophenia).
+    pub launch: Micros,
+    /// Application-phase launch cost per task with the Apophenia layer.
+    pub launch_auto: Micros,
+    /// κ: analysis-phase costs scale by `1 + κ·log2(nodes)`.
+    pub analysis_scale_kappa: f64,
+    /// Replay cost grows with template length: per-task replay cost is
+    /// `α_r · (1 + len/replay_len_knee)`. Legion's trace templates become
+    /// more expensive to instantiate as they grow (the paper's footnote 5:
+    /// "the cost of Legion issuing the trace replay starts to become
+    /// exposed", motivating `max_trace_length`; "the Legion team ... plans
+    /// to address this").
+    pub replay_len_knee: f64,
+    /// Base network latency charged once per communication phase.
+    pub comm_base: Micros,
+    /// Additional network latency per doubling of the GPU count.
+    pub comm_per_doubling: Micros,
+}
+
+impl CostModel {
+    /// The paper-calibrated defaults.
+    pub fn paper_calibrated() -> Self {
+        Self {
+            alpha_analysis: Micros::from_millis(1.0),
+            alpha_memo: Micros::from_millis(1.25),
+            alpha_replay: Micros(100.0),
+            replay_const: Micros::from_millis(1.0),
+            launch: Micros(7.0),
+            launch_auto: Micros(12.0),
+            analysis_scale_kappa: 0.3,
+            replay_len_knee: 2000.0,
+            comm_base: Micros(30.0),
+            comm_per_doubling: Micros(20.0),
+        }
+    }
+
+    /// The per-task analysis-stage cost for `kind` on a machine with
+    /// `nodes` nodes. For replayed tasks, `trace_len` is the template
+    /// length (longer templates are costlier per task — see
+    /// [`CostModel::replay_len_knee`]).
+    pub fn analysis_cost(&self, kind: AnalysisKind, nodes: u32, trace_len: u32) -> Micros {
+        let base = match kind {
+            AnalysisKind::Fresh => self.alpha_analysis,
+            AnalysisKind::Recording => self.alpha_memo,
+            AnalysisKind::Replayed => {
+                self.alpha_replay * (1.0 + f64::from(trace_len) / self.replay_len_knee)
+            }
+        };
+        base * self.node_scale(nodes)
+    }
+
+    /// The multiplicative analysis-cost scale at `nodes` nodes.
+    pub fn node_scale(&self, nodes: u32) -> f64 {
+        1.0 + self.analysis_scale_kappa * f64::from(nodes.max(1)).log2()
+    }
+
+    /// Communication latency for one exchange phase across `gpus` GPUs.
+    pub fn comm_latency(&self, gpus: u32) -> Micros {
+        self.comm_base + self.comm_per_doubling * f64::from(gpus.max(1)).log2()
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_arithmetic() {
+        let a = Micros::from_millis(1.0);
+        let b = Micros(500.0);
+        assert_eq!((a + b).0, 1500.0);
+        assert_eq!((a - b).0, 500.0);
+        assert_eq!((a * 2.0).0, 2000.0);
+        assert_eq!((a / 2.0).0, 500.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let total: Micros = [a, b, b].into_iter().sum();
+        assert_eq!(total.0, 2000.0);
+    }
+
+    #[test]
+    fn micros_display_units() {
+        assert_eq!(format!("{}", Micros(7.0)), "7.0µs");
+        assert_eq!(format!("{}", Micros::from_millis(1.25)), "1.250ms");
+        assert_eq!(format!("{}", Micros::from_secs(2.0)), "2.000s");
+    }
+
+    #[test]
+    fn paper_ordering_of_costs() {
+        // The model's defining inequality: α_r ≪ α < α_m.
+        let m = CostModel::paper_calibrated();
+        assert!(m.alpha_replay.0 * 5.0 < m.alpha_analysis.0);
+        assert!(m.alpha_analysis < m.alpha_memo);
+        assert!(m.launch < m.launch_auto);
+        // §6.3: replay (100µs) still dwarfs even the auto launch cost.
+        assert!(m.launch_auto.0 * 5.0 < m.alpha_replay.0);
+    }
+
+    #[test]
+    fn analysis_scales_with_nodes() {
+        let m = CostModel::paper_calibrated();
+        let one = m.analysis_cost(AnalysisKind::Fresh, 1, 0);
+        let sixteen = m.analysis_cost(AnalysisKind::Fresh, 16, 0);
+        assert_eq!(one, m.alpha_analysis, "single node pays base cost");
+        assert!(sixteen.0 > one.0 * 2.0, "16 nodes more than doubles analysis");
+        // Replay keeps its relative advantage at scale.
+        let r16 = m.analysis_cost(AnalysisKind::Replayed, 16, 200);
+        assert!(r16.0 * 5.0 < sixteen.0);
+    }
+
+    #[test]
+    fn long_templates_replay_slower_per_task() {
+        let m = CostModel::paper_calibrated();
+        let short = m.analysis_cost(AnalysisKind::Replayed, 1, 200);
+        let long = m.analysis_cost(AnalysisKind::Replayed, 1, 5000);
+        assert!(long.0 > short.0 * 2.0, "long {long} vs short {short}");
+        // But replaying a long template still beats fresh analysis.
+        assert!(long < m.analysis_cost(AnalysisKind::Fresh, 1, 0));
+    }
+
+    #[test]
+    fn comm_grows_with_gpus() {
+        let m = CostModel::paper_calibrated();
+        assert!(m.comm_latency(64) > m.comm_latency(4));
+        assert_eq!(m.comm_latency(1), m.comm_base);
+    }
+}

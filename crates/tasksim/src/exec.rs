@@ -1,0 +1,514 @@
+//! Discrete-event simulation of Legion's pipelined execution.
+//!
+//! Legion processes each task through three stages (§5.2): the
+//! *application* phase (the program launches the task — 7 µs, or 12 µs
+//! through Apophenia), the *analysis* phase (dependence analysis, trace
+//! recording, or trace replay — a serial per-node thread), and the
+//! *execution* phase (the task's kernel runs on the GPUs). The stages
+//! pipeline: analysis runs ahead of execution, and the application runs
+//! ahead of analysis. Runtime overhead is *exposed* — and throughput drops
+//! — exactly when the serial analysis stage cannot keep the GPUs fed,
+//! which is the phenomenon tracing exists to fix.
+//!
+//! The simulation consumes an [`OpLog`] (produced by
+//! [`crate::runtime::Runtime`]) and advances three clocks:
+//!
+//! ```text
+//! app[i]      = app[i-1] + launch_cost
+//! analysis[i] = max(analysis[i-1], app[gate(i)]) + analysis_cost(i) (+ c at replay heads)
+//! exec[i]     = max(exec[i-1], analysis[i]) + gpu_time(i)
+//! ```
+//!
+//! Every workload task in this reproduction is an index launch spanning
+//! all GPUs (the paper's applications are all data-parallel), so the
+//! execution phase is a single serial resource whose `gpu_time` already
+//! reflects the per-GPU share of work; dependence edges therefore do not
+//! further constrain the schedule (`exec` is monotonic), but they are kept
+//! in the log because trace templates memoize them and tests validate
+//! them. `gate(i)` is normally `i` (a task cannot be analyzed before it is
+//! launched); for an automatically replayed trace, the head task's gate is
+//! the *last* task of the trace — Apophenia does not speculate (§5.2), so
+//! the whole trace must arrive from the application before the replay is
+//! issued. That gate is what makes very long traces hurt under strong
+//! scaling (Figure 8) and motivates `max_trace_length`.
+
+use crate::cost::{AnalysisKind, Micros};
+use crate::ids::OpId;
+use crate::runtime::RuntimeConfig;
+use crate::task::TaskHash;
+
+/// One task in the operation log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// Semantic hash (the §4.1 token).
+    pub hash: TaskHash,
+    /// Which analysis path the task took.
+    pub analysis: AnalysisKind,
+    /// Execution-phase duration.
+    pub gpu_time: Micros,
+    /// Dependence edges (memoized or fresh).
+    pub preds: Vec<OpId>,
+    /// Whether this task is the first of a trace replay (charges the
+    /// per-replay constant `c`).
+    pub replay_head: bool,
+    /// If set, analysis may not start before the application has launched
+    /// the given number of tasks (§5.2 no-speculation gate; 1-based task
+    /// count in application order).
+    pub forward_gate: Option<u64>,
+    /// Template length when this task is part of a trace replay (0
+    /// otherwise); longer templates replay slower per task.
+    pub trace_len: u32,
+    /// If set, execution may not start before the analysis stage has
+    /// finished the given task (1-based task count). The runtime sets this
+    /// to the last task of a replayed trace: Legion instantiates the whole
+    /// template before the trace's tasks run, which is what exposes very
+    /// long traces under strong scaling (Figure 8, footnote 5).
+    pub exec_gate: Option<u64>,
+}
+
+/// One entry of the operation log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogOp {
+    /// A task execution.
+    Task(TaskRecord),
+    /// An application-level iteration boundary (costless marker). Carries
+    /// the number of tasks issued before it in *application order*: the
+    /// simulator reports the iteration as finished when that many tasks
+    /// have executed, so marks stay meaningful even when a tracing layer
+    /// buffered tasks past their marks.
+    IterationMark(u64),
+}
+
+/// The complete record of a program run, ready for simulation.
+#[derive(Debug, Clone)]
+pub struct OpLog {
+    ops: Vec<LogOp>,
+    config: RuntimeConfig,
+}
+
+impl OpLog {
+    /// An empty log for a machine described by `config`.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self { ops: Vec::new(), config }
+    }
+
+    /// The id the next pushed operation will receive.
+    pub fn next_op(&self) -> OpId {
+        OpId(self.ops.len() as u64)
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: LogOp) {
+        self.ops.push(op);
+    }
+
+    /// All operations in program order.
+    pub fn ops(&self) -> &[LogOp] {
+        &self.ops
+    }
+
+    /// The machine/cost configuration the log was produced under.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Iterates over task records only.
+    pub fn task_records(&self) -> impl Iterator<Item = &TaskRecord> {
+        self.ops.iter().filter_map(|op| match op {
+            LogOp::Task(t) => Some(t),
+            LogOp::IterationMark(_) => None,
+        })
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.task_records().count()
+    }
+
+    /// Number of iteration marks.
+    pub fn iteration_count(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, LogOp::IterationMark(_))).count()
+    }
+}
+
+/// Simulation output: when each iteration finished, plus stage totals.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Simulated completion time of each iteration mark.
+    pub iteration_finish: Vec<Micros>,
+    /// Completion time of the whole log.
+    pub total: Micros,
+    /// Total busy time of the analysis stage.
+    pub analysis_busy: Micros,
+    /// Total busy time of the execution stage.
+    pub exec_busy: Micros,
+    /// Time the execution stage spent stalled waiting on analysis — the
+    /// "exposed runtime overhead" the paper talks about.
+    pub exec_stall: Micros,
+}
+
+impl SimReport {
+    /// Per-iteration durations (differences of iteration finish times).
+    pub fn iteration_times(&self) -> Vec<Micros> {
+        let mut out = Vec::with_capacity(self.iteration_finish.len());
+        let mut prev = Micros::ZERO;
+        for &t in &self.iteration_finish {
+            out.push(t - prev);
+            prev = t;
+        }
+        out
+    }
+
+    /// Steady-state throughput in iterations per second, ignoring the
+    /// first `warmup` iterations.
+    ///
+    /// Returns 0.0 if fewer than `warmup + 1` iterations exist.
+    pub fn steady_throughput(&self, warmup: usize) -> f64 {
+        let times = self.iteration_times();
+        if times.len() <= warmup {
+            return 0.0;
+        }
+        let steady = &times[warmup..];
+        let avg_us: f64 = steady.iter().map(|t| t.0).sum::<f64>() / steady.len() as f64;
+        if avg_us <= 0.0 {
+            0.0
+        } else {
+            1e6 / avg_us
+        }
+    }
+
+    /// Fraction of execution-stage wall time spent stalled on analysis.
+    pub fn stall_fraction(&self) -> f64 {
+        let denom = self.exec_busy.0 + self.exec_stall.0;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.exec_stall.0 / denom
+        }
+    }
+}
+
+/// Runs the three-stage pipeline simulation over a log.
+pub fn simulate(log: &OpLog) -> SimReport {
+    let cfg = log.config();
+    let launch = if cfg.auto_layer { cfg.cost.launch_auto } else { cfg.cost.launch };
+    let nodes = cfg.nodes;
+
+    let n = log.ops().len();
+    let task_count = log.task_count();
+    let window = cfg.window.max(1) as usize;
+
+    // Passes 1+2, interleaved: the application timeline and the analysis
+    // stage. They couple in both directions — a task cannot be analyzed
+    // before it is launched (and an auto-replayed trace head waits for its
+    // whole trace to be launched, the §5.2 gate), while the application
+    // may not run more than `window` operations ahead of the analysis
+    // (`-lg:window`). The app timeline is extended lazily just far enough
+    // to satisfy each gate; the window bound then only references analysis
+    // results that are already known, provided traces are shorter than the
+    // window (true for every configuration in the evaluation; if violated
+    // the bound conservatively uses the latest known analysis time).
+    let mut app = vec![Micros::ZERO; n];
+    // app_task_done[k] = app time after launching the (k+1)-th task.
+    let mut app_task_done: Vec<Micros> = Vec::with_capacity(task_count);
+    let mut analysis_done = vec![Micros::ZERO; n];
+    let mut task_analysis_done: Vec<Micros> = Vec::with_capacity(task_count);
+    let mut analysis_t = Micros::ZERO;
+    let mut analysis_busy = Micros::ZERO;
+    let mut app_t = Micros::ZERO;
+    let mut app_next = 0usize; // next op without an app time
+
+    for (i, op) in log.ops().iter().enumerate() {
+        // Extend the app timeline through this op's analysis gate (a
+        // 1-based task count).
+        let need_tasks = match op {
+            LogOp::Task(rec) => rec.forward_gate.unwrap_or(0),
+            LogOp::IterationMark(_) => 0,
+        } as usize;
+        while app_next <= i || (app_task_done.len() < need_tasks && app_next < n) {
+            if matches!(log.ops()[app_next], LogOp::Task(_)) {
+                let k = app_task_done.len();
+                let floor = if k >= window {
+                    task_analysis_done.get(k - window).copied().unwrap_or(analysis_t)
+                } else {
+                    Micros::ZERO
+                };
+                app_t = (app_t + launch).max(floor);
+                app_task_done.push(app_t);
+            }
+            app[app_next] = app_t;
+            app_next += 1;
+        }
+        // Analyze this op.
+        if let LogOp::Task(rec) = op {
+            let ready = match rec.forward_gate {
+                Some(gate) => {
+                    let idx = (gate as usize).min(app_task_done.len()).saturating_sub(1);
+                    app_task_done.get(idx).copied().unwrap_or(Micros::ZERO)
+                }
+                None => app[i],
+            };
+            let mut cost = cfg.cost.analysis_cost(rec.analysis, nodes, rec.trace_len);
+            if rec.replay_head {
+                cost += cfg.cost.replay_const;
+            }
+            analysis_t = analysis_t.max(ready) + cost;
+            analysis_busy += cost;
+            task_analysis_done.push(analysis_t);
+        }
+        analysis_done[i] = analysis_t;
+    }
+
+    // Pass 3: execution stage. Record each task's completion so iteration
+    // marks can be resolved by task count (application order) rather than
+    // by log position.
+    let mut exec_t = Micros::ZERO;
+    let mut exec_busy = Micros::ZERO;
+    let mut exec_stall = Micros::ZERO;
+    let mut task_done = Vec::with_capacity(task_count);
+    for (i, op) in log.ops().iter().enumerate() {
+        if let LogOp::Task(rec) = op {
+            let analyzed = match rec.exec_gate {
+                Some(gate) => {
+                    let idx = (gate as usize).min(task_analysis_done.len()).saturating_sub(1);
+                    task_analysis_done.get(idx).copied().unwrap_or(analysis_done[i])
+                }
+                None => analysis_done[i],
+            };
+            let start = exec_t.max(analyzed);
+            exec_stall += start - exec_t;
+            exec_t = start + rec.gpu_time;
+            exec_busy += rec.gpu_time;
+            task_done.push(exec_t);
+        }
+    }
+    // Resolve iteration marks: a mark after the k-th issued task finishes
+    // when that task's execution completes.
+    let mut iteration_finish = Vec::new();
+    for op in log.ops() {
+        if let LogOp::IterationMark(after_tasks) = op {
+            let finish = match *after_tasks {
+                0 => Micros::ZERO,
+                k => task_done[(k as usize - 1).min(task_done.len().saturating_sub(1))],
+            };
+            iteration_finish.push(finish);
+        }
+    }
+
+    SimReport {
+        iteration_finish,
+        total: exec_t.max(analysis_t),
+        analysis_busy,
+        exec_busy,
+        exec_stall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn task(analysis: AnalysisKind, gpu_us: f64) -> LogOp {
+        LogOp::Task(TaskRecord {
+            hash: TaskHash(0),
+            analysis,
+            gpu_time: Micros(gpu_us),
+            preds: vec![],
+            replay_head: false,
+            forward_gate: None,
+            exec_gate: None,
+            trace_len: 0,
+        })
+    }
+
+    fn log_with(ops: Vec<LogOp>, auto: bool) -> OpLog {
+        let mut cfg = RuntimeConfig::single_node(1);
+        cfg.auto_layer = auto;
+        let mut log = OpLog::new(cfg);
+        for op in ops {
+            log.push(op);
+        }
+        log
+    }
+
+    #[test]
+    fn empty_log() {
+        let r = simulate(&log_with(vec![], false));
+        assert_eq!(r.total, Micros::ZERO);
+        assert!(r.iteration_finish.is_empty());
+        assert_eq!(r.steady_throughput(0), 0.0);
+    }
+
+    #[test]
+    fn analysis_bound_when_tasks_tiny() {
+        // 100 tasks of 10µs GPU time, analysis 1ms each → analysis-bound.
+        let ops: Vec<LogOp> = (0..100).map(|_| task(AnalysisKind::Fresh, 10.0)).collect();
+        let r = simulate(&log_with(ops, false));
+        let alpha = CostModel::paper_calibrated().alpha_analysis;
+        assert!(r.total.0 >= 100.0 * alpha.0, "total {} under analysis floor", r.total);
+        assert!(r.stall_fraction() > 0.9, "stall {}", r.stall_fraction());
+    }
+
+    #[test]
+    fn execution_bound_when_tasks_large() {
+        // 100 tasks of 10ms GPU time → execution-bound; analysis hides.
+        let ops: Vec<LogOp> = (0..100).map(|_| task(AnalysisKind::Fresh, 10_000.0)).collect();
+        let r = simulate(&log_with(ops, false));
+        assert!(r.stall_fraction() < 0.02, "stall {}", r.stall_fraction());
+        // Total ≈ exec_busy + one analysis pipeline fill.
+        assert!(r.total.0 < r.exec_busy.0 * 1.01 + 2000.0);
+    }
+
+    #[test]
+    fn replay_cheaper_than_fresh() {
+        let fresh: Vec<LogOp> = (0..200).map(|_| task(AnalysisKind::Fresh, 50.0)).collect();
+        let replayed: Vec<LogOp> = (0..200).map(|_| task(AnalysisKind::Replayed, 50.0)).collect();
+        let tf = simulate(&log_with(fresh, false)).total;
+        let tr = simulate(&log_with(replayed, false)).total;
+        assert!(
+            tr.0 * 3.0 < tf.0,
+            "replay {tr} not much faster than fresh {tf}"
+        );
+    }
+
+    #[test]
+    fn replay_head_charges_constant() {
+        let mut head = TaskRecord {
+            hash: TaskHash(0),
+            analysis: AnalysisKind::Replayed,
+            gpu_time: Micros::ZERO,
+            preds: vec![],
+            replay_head: true,
+            forward_gate: None,
+            exec_gate: None,
+            trace_len: 0,
+        };
+        let with_head = log_with(vec![LogOp::Task(head.clone())], false);
+        head.replay_head = false;
+        let without = log_with(vec![LogOp::Task(head)], false);
+        let c = CostModel::paper_calibrated().replay_const;
+        let delta = simulate(&with_head).total - simulate(&without).total;
+        assert!((delta.0 - c.0).abs() < 1e-9, "delta {delta} vs c {c}");
+    }
+
+    #[test]
+    fn forward_gate_delays_analysis() {
+        // Two tasks; the first is gated on the second's launch.
+        let gated = LogOp::Task(TaskRecord {
+            hash: TaskHash(0),
+            analysis: AnalysisKind::Replayed,
+            gpu_time: Micros(1.0),
+            preds: vec![],
+            replay_head: true,
+            forward_gate: Some(2),
+            exec_gate: None,
+            trace_len: 0,
+        });
+        let tail = task(AnalysisKind::Replayed, 1.0);
+        let auto_launch = CostModel::paper_calibrated().launch_auto;
+        let log = log_with(vec![gated, tail], true);
+        let r = simulate(&log);
+        // Analysis of op 0 could not start before 2 launches completed.
+        let floor = auto_launch * 2.0;
+        assert!(r.total.0 > floor.0, "total {} vs floor {}", r.total, floor);
+    }
+
+    #[test]
+    fn iteration_throughput_steady_state() {
+        // 10 iterations of 10 tasks at 1ms GPU-time each, execution-bound:
+        // ~100 iterations/sec.
+        let mut ops = Vec::new();
+        for i in 0..10u64 {
+            for _ in 0..10 {
+                ops.push(task(AnalysisKind::Replayed, 1000.0));
+            }
+            ops.push(LogOp::IterationMark((i + 1) * 10));
+        }
+        let r = simulate(&log_with(ops, false));
+        let tp = r.steady_throughput(2);
+        assert!((tp - 100.0).abs() / 100.0 < 0.15, "throughput {tp}");
+        assert_eq!(r.iteration_finish.len(), 10);
+        assert_eq!(r.iteration_times().len(), 10);
+    }
+
+    #[test]
+    fn analysis_scales_with_node_count() {
+        let mk = |nodes: u32| {
+            let mut cfg = RuntimeConfig::multi_node(nodes, 4);
+            cfg.auto_layer = false;
+            let mut log = OpLog::new(cfg);
+            for _ in 0..100 {
+                log.push(task(AnalysisKind::Fresh, 10.0));
+            }
+            log.push(LogOp::IterationMark(100));
+            log
+        };
+        let t1 = simulate(&mk(1)).total;
+        let t16 = simulate(&mk(16)).total;
+        assert!(t16.0 > t1.0 * 2.0, "16-node analysis {t16} vs 1-node {t1}");
+    }
+
+    #[test]
+    fn small_window_throttles_application_runahead() {
+        // With a tiny -lg:window, the app timeline is pinned near the
+        // analysis timeline; a §5.2 trace gate (wait for the whole trace
+        // to launch) then adds real stalls that a large window hides.
+        let trace_len = 64u32;
+        let build = |window: u32| {
+            let mut cfg = RuntimeConfig::single_node(1);
+            cfg.auto_layer = true;
+            cfg.window = window;
+            let mut log = OpLog::new(cfg);
+            for rep in 0..50u64 {
+                for k in 0..u64::from(trace_len) {
+                    let head = k == 0;
+                    let base = rep * u64::from(trace_len);
+                    log.push(LogOp::Task(TaskRecord {
+                        hash: TaskHash(k),
+                        analysis: AnalysisKind::Replayed,
+                        gpu_time: Micros(20.0),
+                        preds: vec![],
+                        replay_head: head,
+                        forward_gate: head.then(|| base + u64::from(trace_len)),
+                        exec_gate: Some(base + u64::from(trace_len)),
+                        trace_len,
+                    }));
+                }
+                log.push(LogOp::IterationMark((rep + 1) * u64::from(trace_len)));
+            }
+            log
+        };
+        let big = simulate(&build(30_000)).total;
+        let tiny = simulate(&build(8)).total;
+        assert!(
+            tiny.0 > big.0 * 1.02,
+            "window 8 exposes the no-speculation gate: tiny {tiny} vs big {big}"
+        );
+        assert!(tiny.0 < big.0 * 2.0, "throttling is bounded");
+    }
+
+    #[test]
+    fn default_window_is_transparent() {
+        // The artifact's window (30000) must not change steady-state
+        // timings relative to an effectively unbounded window.
+        let mk = |window: u32| {
+            let mut cfg = RuntimeConfig::single_node(1);
+            cfg.window = window;
+            let mut log = OpLog::new(cfg);
+            for _ in 0..500 {
+                log.push(task(AnalysisKind::Fresh, 200.0));
+            }
+            log
+        };
+        let a = simulate(&mk(30_000)).total;
+        let b = simulate(&mk(u32::MAX)).total;
+        assert!((a.0 - b.0).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn throughput_requires_enough_iterations() {
+        let r = simulate(&log_with(vec![LogOp::IterationMark(0)], false));
+        assert_eq!(r.steady_throughput(1), 0.0, "warmup exceeds data");
+    }
+}

@@ -1,0 +1,275 @@
+//! Task graphs: the output of the dependence analysis.
+//!
+//! A [`TaskGraph`] accumulates per-operation predecessor lists in program
+//! order (so every edge points backwards). It supports the two graph
+//! computations the reproduction needs:
+//!
+//! * **transitive reduction** (Legion's `-lg:inline_transitive_reduction`
+//!   flag from the artifact appendix) — dropping edges implied by longer
+//!   paths, which is what the tracing engine stores in templates;
+//! * **critical path length** under per-op durations — used by tests to
+//!   check that replayed templates preserve the schedule the fresh
+//!   analysis would have produced.
+
+use crate::cost::Micros;
+use crate::ids::OpId;
+
+/// A DAG over operations `0..n` in program order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskGraph {
+    /// preds[i] = sorted predecessor indices of op i.
+    preds: Vec<Vec<OpId>>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the next operation with the given predecessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any predecessor is not an earlier operation.
+    pub fn push(&mut self, preds: Vec<OpId>) -> OpId {
+        let id = OpId(self.preds.len() as u64);
+        assert!(
+            preds.iter().all(|p| *p < id),
+            "predecessors must precede the new op"
+        );
+        let mut preds = preds;
+        preds.sort_unstable();
+        preds.dedup();
+        self.preds.push(preds);
+        id
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the graph has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Predecessors of `op`.
+    pub fn preds(&self, op: OpId) -> &[OpId] {
+        &self.preds[op.index()]
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// Whether `a` can reach `b` through edges (i.e. `b` transitively
+    /// depends on `a`). `O(V + E)` backwards search.
+    pub fn reaches(&self, a: OpId, b: OpId) -> bool {
+        if a >= b {
+            return a == b;
+        }
+        let mut seen = vec![false; b.index() + 1];
+        let mut stack = vec![b];
+        while let Some(x) = stack.pop() {
+            if x == a {
+                return true;
+            }
+            for &p in self.preds(x) {
+                if p >= a && !seen[p.index()] {
+                    seen[p.index()] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns the transitive reduction: the minimal edge set with the
+    /// same reachability. `O(V·(V+E)/64)` via bitset reachability — meant
+    /// for traces and tests, not full program logs.
+    pub fn transitive_reduction(&self) -> TaskGraph {
+        let n = self.preds.len();
+        let words = n.div_ceil(64);
+        // reach[i] = bitset of ops that can reach i (ancestors of i).
+        let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        let mut reduced = Vec::with_capacity(n);
+        for i in 0..n {
+            // An edge p→i is redundant iff p is an ancestor of another
+            // predecessor q of i.
+            let mut kept: Vec<OpId> = Vec::new();
+            for &p in &self.preds[i] {
+                let redundant = self.preds[i].iter().any(|&q| {
+                    q != p && reach[q.index()][p.index() / 64] >> (p.index() % 64) & 1 == 1
+                });
+                if !redundant {
+                    kept.push(p);
+                }
+            }
+            // Build i's ancestor set from ALL original predecessors (same
+            // reachability either way).
+            let (before, _) = reach.split_at_mut(i);
+            let mut mine = vec![0u64; words];
+            for &p in &self.preds[i] {
+                mine[p.index() / 64] |= 1 << (p.index() % 64);
+                for w in 0..words {
+                    mine[w] |= before[p.index()][w];
+                }
+            }
+            reach[i] = mine;
+            reduced.push(kept);
+        }
+        let mut g = TaskGraph::new();
+        for preds in reduced {
+            g.push(preds);
+        }
+        g
+    }
+
+    /// Critical path length: the longest chain of `duration`s through the
+    /// dependence edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations.len() != self.len()`.
+    pub fn critical_path(&self, durations: &[Micros]) -> Micros {
+        assert_eq!(durations.len(), self.len(), "one duration per op");
+        let mut finish = vec![Micros::ZERO; self.len()];
+        let mut longest = Micros::ZERO;
+        for i in 0..self.len() {
+            let start = self.preds[i]
+                .iter()
+                .map(|p| finish[p.index()])
+                .fold(Micros::ZERO, Micros::max);
+            finish[i] = start + durations[i];
+            longest = longest.max(finish[i]);
+        }
+        longest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3, plus redundant 0 → 3.
+        let mut g = TaskGraph::new();
+        g.push(vec![]);
+        g.push(vec![OpId(0)]);
+        g.push(vec![OpId(0)]);
+        g.push(vec![OpId(0), OpId(1), OpId(2)]);
+        g
+    }
+
+    #[test]
+    fn push_and_query() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.preds(OpId(3)), &[OpId(0), OpId(1), OpId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "precede")]
+    fn forward_edge_rejected() {
+        let mut g = TaskGraph::new();
+        g.push(vec![OpId(5)]);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert!(g.reaches(OpId(0), OpId(3)));
+        assert!(g.reaches(OpId(1), OpId(3)));
+        assert!(!g.reaches(OpId(1), OpId(2)));
+        assert!(g.reaches(OpId(2), OpId(2)), "reflexive");
+    }
+
+    #[test]
+    fn reduction_removes_redundant_edge() {
+        let r = diamond().transitive_reduction();
+        assert_eq!(r.preds(OpId(3)), &[OpId(1), OpId(2)], "0→3 is implied");
+        assert_eq!(r.edge_count(), 4);
+        // Reachability preserved.
+        assert!(r.reaches(OpId(0), OpId(3)));
+    }
+
+    #[test]
+    fn reduction_of_chain_is_identity() {
+        let mut g = TaskGraph::new();
+        g.push(vec![]);
+        for i in 1..10u64 {
+            g.push(vec![OpId(i - 1)]);
+        }
+        assert_eq!(g.transitive_reduction(), g);
+    }
+
+    #[test]
+    fn critical_path_diamond() {
+        let g = diamond();
+        let d = [1.0, 5.0, 2.0, 1.0].map(Micros);
+        assert_eq!(g.critical_path(&d), Micros(7.0), "0→1→3 path");
+    }
+
+    #[test]
+    fn critical_path_empty_and_parallel() {
+        assert_eq!(TaskGraph::new().critical_path(&[]), Micros::ZERO);
+        let mut g = TaskGraph::new();
+        g.push(vec![]);
+        g.push(vec![]);
+        assert_eq!(g.critical_path(&[Micros(3.0), Micros(4.0)]), Micros(4.0));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..5), 0..30)
+                .prop_map(|spec| {
+                    let mut g = TaskGraph::new();
+                    for (i, preds) in spec.iter().enumerate() {
+                        let ps: Vec<OpId> = preds
+                            .iter()
+                            .filter(|_| i > 0)
+                            .map(|&p| OpId(u64::from(p) % i as u64))
+                            .collect();
+                        g.push(ps);
+                    }
+                    g
+                })
+        }
+
+        proptest! {
+            /// Transitive reduction preserves reachability exactly and
+            /// never adds edges.
+            #[test]
+            fn reduction_preserves_reachability(g in arb_graph()) {
+                let r = g.transitive_reduction();
+                prop_assert!(r.edge_count() <= g.edge_count());
+                for a in 0..g.len() {
+                    for b in a..g.len() {
+                        prop_assert_eq!(
+                            g.reaches(OpId(a as u64), OpId(b as u64)),
+                            r.reaches(OpId(a as u64), OpId(b as u64)),
+                            "reachability {}→{} changed", a, b
+                        );
+                    }
+                }
+            }
+
+            /// Critical path is invariant under transitive reduction.
+            #[test]
+            fn critical_path_invariant_under_reduction(g in arb_graph()) {
+                let durations: Vec<Micros> =
+                    (0..g.len()).map(|i| Micros((i % 7) as f64 + 1.0)).collect();
+                let r = g.transitive_reduction();
+                let (a, b) = (g.critical_path(&durations), r.critical_path(&durations));
+                prop_assert!((a.0 - b.0).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+}

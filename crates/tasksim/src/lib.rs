@@ -1,0 +1,56 @@
+//! A Legion-like task-based runtime substrate.
+//!
+//! The Apophenia paper targets the Legion runtime system; this crate is the
+//! stand-in substrate for this reproduction. It implements the pieces of an
+//! implicitly parallel task-based runtime that automatic tracing interacts
+//! with:
+//!
+//! * [`region`] — logical regions, fields, and disjoint partitions, the
+//!   data model whose usage drives the dependence analysis;
+//! * [`privilege`] — access privileges (read, read-write, write-discard,
+//!   reductions) and the conflict relation between them;
+//! * [`task`] — task descriptors with region requirements and the 64-bit
+//!   semantic hash that turns a task stream into a token stream (§4.1);
+//! * [`deps`] — the dynamic dependence analysis: a serial pass that
+//!   computes, for each issued task, its dependence edges on prior tasks;
+//! * [`graph`] — the resulting task graph, with optional transitive
+//!   reduction (Legion's `-lg:inline_transitive_reduction`);
+//! * [`trace`] — the tracing engine: `begin_trace(id)` / `end_trace(id)`
+//!   memoization of analysis results, sequence validation, and replay
+//!   (the substrate of Lee et al.'s dynamic tracing that Apophenia drives);
+//! * [`runtime`] — the façade tying the above together and producing an
+//!   [`exec::OpLog`] of everything that happened;
+//! * [`cost`] — the calibrated cost model (α, α_m, α_r, c, launch
+//!   overheads) from the paper's reported measurements;
+//! * [`exec`] — a discrete-event simulation of Legion's three-stage
+//!   pipeline (application → analysis → execution) over a machine model,
+//!   yielding steady-state iteration throughput;
+//! * [`replication`] — dynamic control replication: one runtime shard per
+//!   node, with the determinism checks Apophenia must preserve (§5.1);
+//! * [`stats`] — counters shared by the above.
+//!
+//! The crate deliberately knows nothing about Apophenia: the `apophenia`
+//! crate layers on top through the same public API an application uses,
+//! exactly as the paper's implementation sits between the application and
+//! Legion.
+
+pub mod cost;
+pub mod deps;
+pub mod exec;
+pub mod graph;
+pub mod ids;
+pub mod index;
+pub mod privilege;
+pub mod region;
+pub mod replication;
+pub mod runtime;
+pub mod stats;
+pub mod task;
+pub mod trace;
+
+pub use cost::{CostModel, Micros};
+pub use ids::{FieldId, NodeId, OpId, RegionId, TaskKindId, TraceId};
+pub use privilege::Privilege;
+pub use region::RegionForest;
+pub use runtime::{Runtime, RuntimeConfig, RuntimeError};
+pub use task::{RegionRequirement, TaskDesc, TaskHash};

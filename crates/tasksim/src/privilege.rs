@@ -1,0 +1,137 @@
+//! Access privileges and the dependence relation between them.
+//!
+//! Legion tasks declare how they use each region argument; the dependence
+//! analysis orders two tasks iff they use overlapping data with conflicting
+//! privileges. We model the four privilege classes relevant to tracing:
+//! reads, read-writes, discarding writes, and named reductions (which
+//! commute with each other when they apply the same operator).
+
+/// A reduction operator identifier (e.g. sum, max). Reductions with the
+/// same operator commute and need no mutual ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReductionOp(pub u16);
+
+/// How a task accesses a region argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Privilege {
+    /// Read-only access.
+    ReadOnly,
+    /// Read-write access.
+    ReadWrite,
+    /// Write access that discards prior contents (no read dependence on
+    /// prior writers, but still ordered as a writer).
+    WriteDiscard,
+    /// Reduction with the given operator; commutes with identical
+    /// reductions.
+    Reduce(ReductionOp),
+}
+
+impl Privilege {
+    /// Whether this privilege may observe prior data.
+    pub fn reads(self) -> bool {
+        matches!(self, Privilege::ReadOnly | Privilege::ReadWrite)
+    }
+
+    /// Whether this privilege mutates data (any write or reduction).
+    pub fn writes(self) -> bool {
+        !matches!(self, Privilege::ReadOnly)
+    }
+
+    /// Whether two accesses to the *same* data require ordering.
+    ///
+    /// * read / read — no conflict;
+    /// * reduce(op) / reduce(op) — no conflict (commutative);
+    /// * anything else involving a writer — conflict.
+    pub fn conflicts_with(self, other: Privilege) -> bool {
+        use Privilege::*;
+        match (self, other) {
+            (ReadOnly, ReadOnly) => false,
+            (Reduce(a), Reduce(b)) => a != b,
+            _ => self.writes() || other.writes(),
+        }
+    }
+
+    /// Stable discriminant folded into task hashes; distinguishes every
+    /// privilege (including distinct reduction operators).
+    pub fn hash_token(self) -> u64 {
+        match self {
+            Privilege::ReadOnly => 0,
+            Privilege::ReadWrite => 1,
+            Privilege::WriteDiscard => 2,
+            Privilege::Reduce(op) => 0x100 + u64::from(op.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Privilege {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Privilege::ReadOnly => write!(f, "RO"),
+            Privilege::ReadWrite => write!(f, "RW"),
+            Privilege::WriteDiscard => write!(f, "WD"),
+            Privilege::Reduce(op) => write!(f, "RD({})", op.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Privilege::*;
+
+    const SUM: ReductionOp = ReductionOp(0);
+    const MAX: ReductionOp = ReductionOp(1);
+
+    #[test]
+    fn read_read_no_conflict() {
+        assert!(!ReadOnly.conflicts_with(ReadOnly));
+    }
+
+    #[test]
+    fn writers_conflict_with_everything() {
+        for p in [ReadOnly, ReadWrite, WriteDiscard, Reduce(SUM)] {
+            assert!(ReadWrite.conflicts_with(p), "RW vs {p}");
+            assert!(p.conflicts_with(ReadWrite), "{p} vs RW");
+            assert!(WriteDiscard.conflicts_with(p), "WD vs {p}");
+        }
+    }
+
+    #[test]
+    fn same_reduction_commutes() {
+        assert!(!Reduce(SUM).conflicts_with(Reduce(SUM)));
+        assert!(Reduce(SUM).conflicts_with(Reduce(MAX)));
+        assert!(Reduce(SUM).conflicts_with(ReadOnly));
+        assert!(ReadOnly.conflicts_with(Reduce(SUM)));
+    }
+
+    #[test]
+    fn conflict_is_symmetric() {
+        let all = [ReadOnly, ReadWrite, WriteDiscard, Reduce(SUM), Reduce(MAX)];
+        for a in all {
+            for b in all {
+                assert_eq!(a.conflicts_with(b), b.conflicts_with(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reads_writes_classification() {
+        assert!(ReadOnly.reads() && !ReadOnly.writes());
+        assert!(ReadWrite.reads() && ReadWrite.writes());
+        assert!(!WriteDiscard.reads() && WriteDiscard.writes());
+        assert!(!Reduce(SUM).reads() && Reduce(SUM).writes());
+    }
+
+    #[test]
+    fn hash_tokens_distinct() {
+        let toks: Vec<u64> =
+            [ReadOnly, ReadWrite, WriteDiscard, Reduce(SUM), Reduce(MAX)]
+                .iter()
+                .map(|p| p.hash_token())
+                .collect();
+        let mut dedup = toks.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), toks.len());
+    }
+}

@@ -1,0 +1,193 @@
+//! Dynamic control replication.
+//!
+//! Legion scales its analysis by *control replication* (Bauer et al.,
+//! PPoPP'21): the application runs on every node, each node's runtime
+//! shard analyzes the same logical stream, and the shards must behave
+//! identically — "the application must issue the same sequence of tasks on
+//! every node" (§5.1). Apophenia inherits this obligation: every node must
+//! make identical record/replay decisions at identical stream positions.
+//!
+//! [`ReplicatedRuntime`] runs one [`Runtime`] shard per node, broadcasts
+//! every call to all shards, and verifies the shards never diverge. The
+//! Apophenia layer's distributed agreement protocol (ingest analysis
+//! results only at agreed operation counts) is exercised against this in
+//! the `apophenia` crate.
+
+use crate::ids::{OpId, RegionId, TraceId};
+use crate::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use crate::task::TaskDesc;
+
+/// A control-replicated runtime: `nodes` shards that must stay in
+/// lock-step.
+#[derive(Debug)]
+pub struct ReplicatedRuntime {
+    shards: Vec<Runtime>,
+}
+
+/// Divergence between shards — a control-replication violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceError {
+    /// The shard that disagreed with shard 0.
+    pub shard: usize,
+    /// Human-readable description of the disagreement.
+    pub what: String,
+}
+
+impl std::fmt::Display for DivergenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} diverged from shard 0: {}", self.shard, self.what)
+    }
+}
+
+impl std::error::Error for DivergenceError {}
+
+impl ReplicatedRuntime {
+    /// Creates `config.nodes` shards.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let shards = (0..config.nodes.max(1)).map(|_| Runtime::new(config)).collect();
+        Self { shards }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Access to an individual shard (tests inspect per-shard state).
+    pub fn shard(&self, i: usize) -> &Runtime {
+        &self.shards[i]
+    }
+
+    /// Creates a region on every shard; all shards must return the same id.
+    pub fn create_region(&mut self, fields: u32) -> RegionId {
+        let ids: Vec<RegionId> = self.shards.iter_mut().map(|s| s.create_region(fields)).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "region ids diverged");
+        ids[0]
+    }
+
+    /// Partitions a region on every shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error.
+    pub fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
+        let mut out = None;
+        for s in &mut self.shards {
+            out = Some(s.partition(region, parts)?);
+        }
+        Ok(out.expect("at least one shard"))
+    }
+
+    /// Issues a task on every shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error (all shards see the same stream,
+    /// so they fail identically or not at all).
+    pub fn execute_task(&mut self, task: TaskDesc) -> Result<OpId, RuntimeError> {
+        let mut op = None;
+        for s in &mut self.shards {
+            op = Some(s.execute_task(task.clone())?);
+        }
+        Ok(op.expect("at least one shard"))
+    }
+
+    /// Begins a trace on every shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error.
+    pub fn begin_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        for s in &mut self.shards {
+            s.begin_trace(id)?;
+        }
+        Ok(())
+    }
+
+    /// Ends a trace on every shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error.
+    pub fn end_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        for s in &mut self.shards {
+            s.end_trace(id)?;
+        }
+        Ok(())
+    }
+
+    /// Marks an iteration on every shard.
+    pub fn mark_iteration(&mut self) {
+        for s in &mut self.shards {
+            s.mark_iteration();
+        }
+    }
+
+    /// Verifies all shards hold identical logs and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first divergence found.
+    pub fn check_divergence(&self) -> Result<(), DivergenceError> {
+        let reference = &self.shards[0];
+        for (i, s) in self.shards.iter().enumerate().skip(1) {
+            if s.stats() != reference.stats() {
+                return Err(DivergenceError {
+                    shard: i,
+                    what: format!("stats {} vs {}", s.stats(), reference.stats()),
+                });
+            }
+            let (a, b) = (reference.log(), s.log());
+            if a.ops().len() != b.ops().len() {
+                return Err(DivergenceError {
+                    shard: i,
+                    what: format!("log length {} vs {}", b.ops().len(), a.ops().len()),
+                });
+            }
+            for (k, (x, y)) in a.ops().iter().zip(b.ops().iter()).enumerate() {
+                if x != y {
+                    return Err(DivergenceError {
+                        shard: i,
+                        what: format!("op {k} differs"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Micros;
+    use crate::ids::TaskKindId;
+
+    #[test]
+    fn shards_stay_in_lockstep() {
+        let mut rep = ReplicatedRuntime::new(RuntimeConfig::multi_node(4, 2));
+        assert_eq!(rep.shard_count(), 4);
+        let a = rep.create_region(1);
+        let b = rep.create_region(1);
+        let t = TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(10.0));
+        let id = TraceId(0);
+        for _ in 0..3 {
+            rep.begin_trace(id).unwrap();
+            rep.execute_task(t.clone()).unwrap();
+            rep.end_trace(id).unwrap();
+            rep.mark_iteration();
+        }
+        rep.check_divergence().expect("identical streams stay identical");
+        assert_eq!(rep.shard(0).stats().trace_replays, 2);
+        assert_eq!(rep.shard(3).stats().trace_replays, 2);
+    }
+
+    #[test]
+    fn single_node_still_works() {
+        let mut rep = ReplicatedRuntime::new(RuntimeConfig::single_node(1));
+        assert_eq!(rep.shard_count(), 1);
+        let a = rep.create_region(1);
+        rep.execute_task(TaskDesc::new(TaskKindId(0)).writes(a)).unwrap();
+        rep.check_divergence().unwrap();
+    }
+}

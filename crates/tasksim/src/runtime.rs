@@ -1,0 +1,725 @@
+//! The runtime façade: region management, task execution, tracing.
+//!
+//! [`Runtime`] plays the role of Legion in this reproduction. Applications
+//! (or the Apophenia layer acting on their behalf) call
+//! [`Runtime::execute_task`] in program order, optionally bracketing
+//! fragments with [`Runtime::begin_trace`] / [`Runtime::end_trace`]. The
+//! runtime performs (or replays) the dependence analysis, validates trace
+//! usage exactly as Legion does — same task sequence per trace id, or a
+//! [`TraceError::SequenceMismatch`] — and appends every operation to an
+//! [`crate::exec::OpLog`] that the discrete-event machine simulation
+//! consumes.
+//!
+//! One deliberate deviation from a real memoizing runtime: during replay
+//! we still *run* the dependence analyzer (while charging only the replay
+//! cost `α_r`) so that the region-state frontier stays exact for the
+//! untraced tasks that follow, and we `debug_assert` that the freshly
+//! computed intra-trace edges equal the memoized ones — turning Legion's
+//! trace-validity argument into a checked invariant of every test run.
+
+use crate::cost::{AnalysisKind, CostModel, Micros};
+use crate::deps::DependenceAnalyzer;
+use crate::exec::{LogOp, OpLog, TaskRecord};
+use crate::ids::{OpId, RegionId, TraceId};
+use crate::region::{RegionError, RegionForest};
+use crate::stats::RuntimeStats;
+use crate::task::{TaskDesc, TaskHash};
+use crate::trace::{MismatchPolicy, TemplatePreds, TraceError, TraceTemplate};
+use std::collections::HashMap;
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// The cost model used to charge operations.
+    pub cost: CostModel,
+    /// Number of nodes (shards) of the simulated machine.
+    pub nodes: u32,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+    /// Whether the Apophenia layer sits in front: charges the higher
+    /// per-task launch overhead (12 µs vs 7 µs, §6.3) and gates replayed
+    /// traces on the application having issued the full trace (§5.2, no
+    /// speculation).
+    pub auto_layer: bool,
+    /// Replay validation failure policy.
+    pub mismatch_policy: MismatchPolicy,
+    /// Apply transitive reduction to recorded templates
+    /// (`-lg:inline_transitive_reduction`).
+    pub transitive_reduction: bool,
+    /// Maximum operations the application may run ahead of the analysis
+    /// stage (`-lg:window`). The artifact uses 30000. Must exceed the
+    /// longest trace for the §5.2 no-speculation gate to stay harmless.
+    pub window: u32,
+}
+
+impl RuntimeConfig {
+    /// A single-node machine with `gpus` GPUs and paper-calibrated costs.
+    pub fn single_node(gpus: u32) -> Self {
+        Self {
+            cost: CostModel::paper_calibrated(),
+            nodes: 1,
+            gpus_per_node: gpus,
+            auto_layer: false,
+            mismatch_policy: MismatchPolicy::Strict,
+            transitive_reduction: true,
+            window: 30_000,
+        }
+    }
+
+    /// A multi-node machine.
+    pub fn multi_node(nodes: u32, gpus_per_node: u32) -> Self {
+        Self { nodes, gpus_per_node, ..Self::single_node(gpus_per_node) }
+    }
+
+    /// Enables the Apophenia-layer cost accounting.
+    pub fn with_auto_layer(mut self) -> Self {
+        self.auto_layer = true;
+        self
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::single_node(1)
+    }
+}
+
+/// Errors surfaced by [`Runtime`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A region operation failed.
+    Region(RegionError),
+    /// A tracing operation failed.
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Region(e) => write!(f, "region error: {e}"),
+            Self::Trace(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Region(e) => Some(e),
+            Self::Trace(e) => Some(e),
+        }
+    }
+}
+
+impl From<RegionError> for RuntimeError {
+    fn from(e: RegionError) -> Self {
+        Self::Region(e)
+    }
+}
+
+impl From<TraceError> for RuntimeError {
+    fn from(e: TraceError) -> Self {
+        Self::Trace(e)
+    }
+}
+
+/// Tracing state machine.
+#[derive(Debug)]
+enum TraceState {
+    /// No active trace.
+    Idle,
+    /// Recording a new template for `id`. `ops` holds the op id of every
+    /// task recorded so far: relative indices are positions in this list,
+    /// not op-id arithmetic, so iteration marks interleaved inside the
+    /// trace cannot skew them.
+    Recording {
+        id: TraceId,
+        ops: Vec<OpId>,
+        hashes: Vec<TaskHash>,
+        preds: Vec<TemplatePreds>,
+        gpu_times: Vec<Micros>,
+    },
+    /// Replaying the template for `id`; `ops` holds the op ids of the
+    /// tasks replayed so far (memoized internal edges index into it), and
+    /// `head_task` the 1-based global task number of the first replayed
+    /// task.
+    Replaying { id: TraceId, pos: usize, ops: Vec<OpId>, head_task: u64 },
+    /// A replay failed under [`MismatchPolicy::Fallback`]; remaining tasks
+    /// run fresh until `end_trace(id)`.
+    Poisoned { id: TraceId },
+}
+
+/// The Legion stand-in. See the module docs.
+#[derive(Debug)]
+pub struct Runtime {
+    config: RuntimeConfig,
+    forest: RegionForest,
+    analyzer: DependenceAnalyzer,
+    templates: HashMap<TraceId, TraceTemplate>,
+    state: TraceState,
+    log: OpLog,
+    stats: RuntimeStats,
+}
+
+impl Runtime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self {
+            config,
+            forest: RegionForest::new(),
+            analyzer: DependenceAnalyzer::new(),
+            templates: HashMap::new(),
+            state: TraceState::Idle,
+            log: OpLog::new(config),
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Creates a new top-level region with `fields` fields.
+    pub fn create_region(&mut self, fields: u32) -> RegionId {
+        self.forest.create_region(fields)
+    }
+
+    /// Partitions a region into disjoint subregions.
+    ///
+    /// # Errors
+    ///
+    /// See [`RegionForest::partition`].
+    pub fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
+        Ok(self.forest.partition(region, parts)?)
+    }
+
+    /// Destroys a region subtree.
+    ///
+    /// # Errors
+    ///
+    /// See [`RegionForest::destroy_region`].
+    pub fn destroy_region(&mut self, region: RegionId) -> Result<(), RuntimeError> {
+        Ok(self.forest.destroy_region(region)?)
+    }
+
+    /// Read access to the region forest.
+    pub fn forest(&self) -> &RegionForest {
+        &self.forest
+    }
+
+    /// Issues a task. Returns the operation id it was assigned.
+    ///
+    /// # Errors
+    ///
+    /// Under [`MismatchPolicy::Strict`], replaying a trace with a
+    /// different task sequence returns
+    /// [`TraceError::SequenceMismatch`] / [`TraceError::ReplayOverrun`].
+    pub fn execute_task(&mut self, task: TaskDesc) -> Result<OpId, RuntimeError> {
+        let hash = task.semantic_hash();
+        let op = self.log.next_op();
+        self.stats.tasks_total += 1;
+
+        // Always run the analyzer (see module docs): keeps frontier state
+        // exact across traced and untraced stretches.
+        let fresh_preds = self.analyzer.analyze(op, &task, &self.forest);
+
+        match std::mem::replace(&mut self.state, TraceState::Idle) {
+            TraceState::Idle => {
+                self.state = TraceState::Idle;
+                self.stats.tasks_fresh += 1;
+                self.push_task(hash, AnalysisKind::Fresh, &task, fresh_preds, false, None, None, 0);
+            }
+            TraceState::Recording { id, mut ops, mut hashes, mut preds, mut gpu_times } => {
+                let mut internal = Vec::new();
+                let mut external = false;
+                for p in &fresh_preds {
+                    match ops.binary_search(p) {
+                        Ok(idx) => internal.push(idx),
+                        Err(_) => external = true,
+                    }
+                }
+                hashes.push(hash);
+                preds.push(TemplatePreds { internal, external });
+                gpu_times.push(task.gpu_time);
+                ops.push(op);
+                self.state = TraceState::Recording { id, ops, hashes, preds, gpu_times };
+                self.stats.tasks_recorded += 1;
+                self.push_task(hash, AnalysisKind::Recording, &task, fresh_preds, false, None, None, 0);
+            }
+            TraceState::Replaying { id, pos, mut ops, head_task } => {
+                let template = &self.templates[&id];
+                if pos >= template.len() {
+                    return self.replay_violation(
+                        TraceError::ReplayOverrun { id, len: template.len() },
+                        id,
+                        hash,
+                        &task,
+                        fresh_preds,
+                    );
+                }
+                if template.hashes[pos] != hash {
+                    let err = TraceError::SequenceMismatch {
+                        id,
+                        pos,
+                        expected: template.hashes[pos],
+                        got: hash,
+                    };
+                    return self.replay_violation(err, id, hash, &task, fresh_preds);
+                }
+                let head_task = if pos == 0 { self.stats.tasks_total } else { head_task };
+                // Reconstruct memoized edges: internal relative edges index
+                // the op ids of the tasks replayed so far, plus the trace
+                // fence for external dependences.
+                let tpl = &template.preds[pos];
+                let mut preds: Vec<OpId> = tpl.internal.iter().map(|&i| ops[i]).collect();
+                // The whole replay sits behind a trace fence (Legion's
+                // begin-fence): the head op always depends on the previous
+                // op — recording-time boundary conditions say nothing about
+                // the boundary at replay time — and any task with recorded
+                // external deps re-attaches to the fence as well.
+                let fence = ops.first().map_or(op, |h| *h);
+                if (pos == 0 || tpl.external) && fence.0 > 0 {
+                    preds.push(OpId(fence.0 - 1));
+                }
+                preds.sort_unstable();
+                preds.dedup();
+                // Trace-validity invariant: every memoized internal edge is
+                // an edge fresh analysis computes (§2's validity condition,
+                // checked). Templates may store FEWER edges when transitive
+                // reduction is enabled; they must never store edges the
+                // fresh analysis would not produce. External edges may
+                // differ — that is the point of the fence.
+                debug_assert!(
+                    {
+                        let internal_fresh: Vec<usize> = fresh_preds
+                            .iter()
+                            .filter_map(|p| ops.binary_search(p).ok())
+                            .collect();
+                        tpl.internal.iter().all(|e| internal_fresh.contains(e))
+                            && (self.config.transitive_reduction
+                                || internal_fresh.iter().all(|e| tpl.internal.contains(e)))
+                    },
+                    "memoized intra-trace edges diverge from fresh analysis at pos {pos}"
+                );
+                let replay_head = pos == 0;
+                // The global task number of the trace's last task. Gates are
+                // expressed in task numbers, which iteration marks cannot
+                // skew.
+                let tail_task = head_task + (template.len() - 1) as u64;
+                // §5.2: Apophenia does not speculate — the whole trace must
+                // arrive from the application before the replay is issued.
+                let gate = (self.config.auto_layer && replay_head).then_some(tail_task);
+                ops.push(op);
+                self.state = TraceState::Replaying { id, pos: pos + 1, ops, head_task };
+                self.stats.tasks_replayed += 1;
+                let tlen = template.len() as u32;
+                self.push_task(
+                    hash,
+                    AnalysisKind::Replayed,
+                    &task,
+                    preds,
+                    replay_head,
+                    gate,
+                    // Legion instantiates the whole template before the
+                    // trace's tasks execute (Figure 8, footnote 5).
+                    Some(tail_task),
+                    tlen,
+                );
+            }
+            TraceState::Poisoned { id } => {
+                self.state = TraceState::Poisoned { id };
+                self.stats.tasks_fresh += 1;
+                self.push_task(hash, AnalysisKind::Fresh, &task, fresh_preds, false, None, None, 0);
+            }
+        }
+        Ok(op)
+    }
+
+    /// Starts a trace: records a template on first use of `id`, replays it
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::NestedTrace`] if a trace is already active.
+    pub fn begin_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        match &self.state {
+            TraceState::Idle => {}
+            TraceState::Recording { id: active, .. }
+            | TraceState::Replaying { id: active, .. }
+            | TraceState::Poisoned { id: active } => {
+                return Err(TraceError::NestedTrace { active: *active, attempted: id }.into());
+            }
+        }
+        self.state = if self.templates.contains_key(&id) {
+            TraceState::Replaying { id, pos: 0, ops: Vec::new(), head_task: 0 }
+        } else {
+            TraceState::Recording {
+                id,
+                ops: Vec::new(),
+                hashes: Vec::new(),
+                preds: Vec::new(),
+                gpu_times: Vec::new(),
+            }
+        };
+        Ok(())
+    }
+
+    /// Ends the active trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EndWithoutBegin`] /
+    /// [`TraceError::WrongTraceId`] for bracketing mistakes, and
+    /// [`TraceError::ReplayUnderrun`] if the replayed fragment was shorter
+    /// than the template (under [`MismatchPolicy::Strict`]).
+    pub fn end_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        match std::mem::replace(&mut self.state, TraceState::Idle) {
+            TraceState::Idle => Err(TraceError::EndWithoutBegin(id).into()),
+            TraceState::Recording { id: active, hashes, preds, gpu_times, .. } => {
+                if active != id {
+                    return Err(TraceError::WrongTraceId { active, got: id }.into());
+                }
+                if !hashes.is_empty() {
+                    let mut t = TraceTemplate { hashes, preds, gpu_times, replays: 0 };
+                    if self.config.transitive_reduction {
+                        t.reduce_edges();
+                    }
+                    self.templates.insert(id, t);
+                    self.stats.traces_recorded += 1;
+                }
+                Ok(())
+            }
+            TraceState::Replaying { id: active, pos, .. } => {
+                if active != id {
+                    return Err(TraceError::WrongTraceId { active, got: id }.into());
+                }
+                let len = self.templates[&id].len();
+                if pos != len {
+                    self.stats.mismatches += 1;
+                    match self.config.mismatch_policy {
+                        MismatchPolicy::Strict => {
+                            Err(TraceError::ReplayUnderrun { id, pos, len }.into())
+                        }
+                        MismatchPolicy::Fallback => {
+                            self.templates.remove(&id);
+                            Ok(())
+                        }
+                    }
+                } else {
+                    self.templates.get_mut(&id).expect("active template").replays += 1;
+                    self.stats.trace_replays += 1;
+                    Ok(())
+                }
+            }
+            TraceState::Poisoned { id: active } => {
+                if active != id {
+                    return Err(TraceError::WrongTraceId { active, got: id }.into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Marks an application-level iteration boundary (used for throughput
+    /// reporting; has no cost). The mark binds to the tasks issued so far.
+    pub fn mark_iteration(&mut self) {
+        let after = self.stats.tasks_total;
+        self.mark_iteration_after(after);
+    }
+
+    /// Marks an iteration boundary that belongs after the `after_tasks`-th
+    /// task in *application* order. Layers that buffer tasks (Apophenia's
+    /// pending queue) use this so the mark stays attached to its iteration
+    /// even when logged later.
+    pub fn mark_iteration_after(&mut self, after_tasks: u64) {
+        self.stats.iterations += 1;
+        self.log.push(LogOp::IterationMark(after_tasks));
+    }
+
+    /// Whether a template exists for `id`.
+    pub fn has_template(&self, id: TraceId) -> bool {
+        self.templates.contains_key(&id)
+    }
+
+    /// The template recorded for `id`, if any.
+    pub fn template(&self, id: TraceId) -> Option<&TraceTemplate> {
+        self.templates.get(&id)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// The operation log so far.
+    pub fn log(&self) -> &OpLog {
+        &self.log
+    }
+
+    /// Consumes the runtime, returning the final operation log.
+    pub fn into_log(self) -> OpLog {
+        self.log
+    }
+
+    /// Handles a replay validation failure per the configured policy.
+    fn replay_violation(
+        &mut self,
+        err: TraceError,
+        id: TraceId,
+        hash: TaskHash,
+        task: &TaskDesc,
+        fresh_preds: Vec<OpId>,
+    ) -> Result<OpId, RuntimeError> {
+        self.stats.mismatches += 1;
+        match self.config.mismatch_policy {
+            MismatchPolicy::Strict => Err(err.into()),
+            MismatchPolicy::Fallback => {
+                // Discard the template; run the rest of the fragment fresh.
+                self.templates.remove(&id);
+                self.state = TraceState::Poisoned { id };
+                let op = self.log.next_op();
+                self.stats.tasks_fresh += 1;
+                self.push_task(hash, AnalysisKind::Fresh, task, fresh_preds, false, None, None, 0);
+                // The op id was consumed before the violation; re-issue.
+                Ok(OpId(op.0))
+            }
+        }
+    }
+
+    fn push_task(
+        &mut self,
+        hash: TaskHash,
+        analysis: AnalysisKind,
+        task: &TaskDesc,
+        preds: Vec<OpId>,
+        replay_head: bool,
+        forward_gate: Option<u64>,
+        exec_gate: Option<u64>,
+        trace_len: u32,
+    ) {
+        self.log.push(LogOp::Task(TaskRecord {
+            hash,
+            analysis,
+            gpu_time: task.gpu_time,
+            preds,
+            replay_head,
+            forward_gate,
+            exec_gate,
+            trace_len,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskKindId;
+
+    fn rt() -> Runtime {
+        Runtime::new(RuntimeConfig::single_node(1))
+    }
+
+    fn step_task(r: RegionId, w: RegionId) -> TaskDesc {
+        TaskDesc::new(TaskKindId(0)).reads(r).writes(w).gpu_time(Micros(100.0))
+    }
+
+    #[test]
+    fn record_then_replay() {
+        let mut rt = rt();
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        let id = TraceId(1);
+
+        // Recording pass.
+        rt.begin_trace(id).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.execute_task(step_task(b, a)).unwrap();
+        rt.end_trace(id).unwrap();
+        assert!(rt.has_template(id));
+        assert_eq!(rt.stats().traces_recorded, 1);
+        assert_eq!(rt.stats().tasks_recorded, 2);
+
+        // Replay pass (twice).
+        for _ in 0..2 {
+            rt.begin_trace(id).unwrap();
+            rt.execute_task(step_task(a, b)).unwrap();
+            rt.execute_task(step_task(b, a)).unwrap();
+            rt.end_trace(id).unwrap();
+        }
+        assert_eq!(rt.stats().tasks_replayed, 4);
+        assert_eq!(rt.stats().trace_replays, 2);
+        assert_eq!(rt.template(id).unwrap().replays, 2);
+    }
+
+    #[test]
+    fn sequence_mismatch_is_an_error() {
+        let mut rt = rt();
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        let c = rt.create_region(1);
+        let id = TraceId(7);
+
+        rt.begin_trace(id).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(id).unwrap();
+
+        rt.begin_trace(id).unwrap();
+        let err = rt.execute_task(step_task(a, c)).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Trace(TraceError::SequenceMismatch { pos: 0, .. })),
+            "{err}"
+        );
+        assert_eq!(rt.stats().mismatches, 1);
+    }
+
+    #[test]
+    fn fallback_policy_discards_template() {
+        let mut cfg = RuntimeConfig::single_node(1);
+        cfg.mismatch_policy = MismatchPolicy::Fallback;
+        let mut rt = Runtime::new(cfg);
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        let c = rt.create_region(1);
+        let id = TraceId(7);
+
+        rt.begin_trace(id).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(id).unwrap();
+
+        rt.begin_trace(id).unwrap();
+        rt.execute_task(step_task(a, c)).expect("fallback tolerates mismatch");
+        rt.execute_task(step_task(c, a)).expect("rest of fragment runs fresh");
+        rt.end_trace(id).unwrap();
+        assert!(!rt.has_template(id), "template discarded");
+        assert_eq!(rt.stats().mismatches, 1);
+        // Re-recording works afterwards.
+        rt.begin_trace(id).unwrap();
+        rt.execute_task(step_task(a, c)).unwrap();
+        rt.end_trace(id).unwrap();
+        assert!(rt.has_template(id));
+    }
+
+    #[test]
+    fn replay_overrun_and_underrun() {
+        let mut rt = rt();
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        let id = TraceId(2);
+
+        rt.begin_trace(id).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(id).unwrap();
+
+        // Underrun: end immediately.
+        rt.begin_trace(id).unwrap();
+        let err = rt.end_trace(id).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Trace(TraceError::ReplayUnderrun { pos: 0, len: 1, .. })
+        ));
+
+        // Overrun: too many tasks.
+        rt.begin_trace(id).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        let err = rt.execute_task(step_task(a, b)).unwrap_err();
+        assert!(matches!(err, RuntimeError::Trace(TraceError::ReplayOverrun { len: 1, .. })));
+    }
+
+    #[test]
+    fn bracketing_errors() {
+        let mut rt = rt();
+        assert!(matches!(
+            rt.end_trace(TraceId(0)).unwrap_err(),
+            RuntimeError::Trace(TraceError::EndWithoutBegin(_))
+        ));
+        rt.begin_trace(TraceId(0)).unwrap();
+        assert!(matches!(
+            rt.begin_trace(TraceId(1)).unwrap_err(),
+            RuntimeError::Trace(TraceError::NestedTrace { .. })
+        ));
+        assert!(matches!(
+            rt.end_trace(TraceId(1)).unwrap_err(),
+            RuntimeError::Trace(TraceError::WrongTraceId { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_records_nothing() {
+        let mut rt = rt();
+        rt.begin_trace(TraceId(5)).unwrap();
+        rt.end_trace(TraceId(5)).unwrap();
+        assert!(!rt.has_template(TraceId(5)));
+        // The id records normally later.
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        rt.begin_trace(TraceId(5)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(5)).unwrap();
+        assert!(rt.has_template(TraceId(5)));
+    }
+
+    #[test]
+    fn replay_reconstructs_internal_edges() {
+        let mut rt = rt();
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        let id = TraceId(3);
+        // Trace: t0 writes b (reads a), t1 reads b writes a → edge t0→t1.
+        for _ in 0..3 {
+            rt.begin_trace(id).unwrap();
+            rt.execute_task(step_task(a, b)).unwrap();
+            rt.execute_task(step_task(b, a)).unwrap();
+            rt.end_trace(id).unwrap();
+        }
+        let log = rt.log();
+        // Ops 0..2 recorded, 2..4 and 4..6 replayed.
+        let replayed = log.task_records().collect::<Vec<_>>();
+        assert_eq!(replayed.len(), 6);
+        assert_eq!(replayed[3].preds, vec![OpId(2)], "internal edge reconstructed");
+        assert!(replayed[2].replay_head);
+        assert!(!replayed[3].replay_head);
+        // First replayed op carries a fence on the previous op (external
+        // dep: t0 reads `a`, last written before the trace).
+        assert!(replayed[2].preds.contains(&OpId(1)));
+    }
+
+    #[test]
+    fn auto_layer_sets_forward_gate() {
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1).with_auto_layer());
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        let id = TraceId(4);
+        rt.begin_trace(id).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.execute_task(step_task(b, a)).unwrap();
+        rt.end_trace(id).unwrap();
+
+        rt.begin_trace(id).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.execute_task(step_task(b, a)).unwrap();
+        rt.end_trace(id).unwrap();
+
+        let recs: Vec<_> = rt.log().task_records().collect();
+        assert_eq!(recs[2].forward_gate, Some(4), "head gated on the trace-tail task number");
+        assert_eq!(recs[3].forward_gate, None);
+    }
+
+    #[test]
+    fn iteration_marks_logged() {
+        let mut rt = rt();
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.mark_iteration();
+        rt.execute_task(step_task(b, a)).unwrap();
+        rt.mark_iteration();
+        assert_eq!(rt.stats().iterations, 2);
+        assert_eq!(rt.log().iteration_count(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Runtime counters.
+//!
+//! Aggregate statistics the evaluation reads out: how many tasks took the
+//! fresh / recording / replayed analysis paths, how many traces exist, and
+//! how often replays were attempted. These are the quantities behind
+//! Figure 10 (fraction of recent tasks traced) and the §6.3 overhead
+//! discussion.
+
+/// Counters accumulated by a [`crate::runtime::Runtime`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Total tasks issued.
+    pub tasks_total: u64,
+    /// Tasks that took the full dynamic dependence analysis.
+    pub tasks_fresh: u64,
+    /// Tasks analyzed while recording a trace.
+    pub tasks_recorded: u64,
+    /// Tasks replayed from a template.
+    pub tasks_replayed: u64,
+    /// Templates recorded.
+    pub traces_recorded: u64,
+    /// Successful trace replays (complete begin→end).
+    pub trace_replays: u64,
+    /// Replay validation failures.
+    pub mismatches: u64,
+    /// Iteration marks observed.
+    pub iterations: u64,
+}
+
+impl RuntimeStats {
+    /// Fraction of all tasks that were replayed, in `[0, 1]`.
+    pub fn replayed_fraction(&self) -> f64 {
+        if self.tasks_total == 0 {
+            0.0
+        } else {
+            self.tasks_replayed as f64 / self.tasks_total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tasks={} (fresh={}, recorded={}, replayed={}) traces={} replays={} mismatches={}",
+            self.tasks_total,
+            self.tasks_fresh,
+            self.tasks_recorded,
+            self.tasks_replayed,
+            self.traces_recorded,
+            self.trace_replays,
+            self.mismatches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replayed_fraction_bounds() {
+        let mut s = RuntimeStats::default();
+        assert_eq!(s.replayed_fraction(), 0.0);
+        s.tasks_total = 10;
+        s.tasks_replayed = 4;
+        assert!((s.replayed_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let s = RuntimeStats { tasks_total: 5, tasks_replayed: 2, ..Default::default() };
+        let out = s.to_string();
+        assert!(out.contains("tasks=5") && out.contains("replayed=2"), "{out}");
+    }
+}

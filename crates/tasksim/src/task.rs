@@ -1,0 +1,267 @@
+//! Task descriptors and semantic hashing.
+//!
+//! A task is a registered function (a [`TaskKindId`]) applied to a list of
+//! region requirements. Everything that can affect the dependence analysis
+//! — the task kind, the region arguments, their fields, and their
+//! privileges — is folded into a 64-bit [`TaskHash`] (§4.1): Apophenia's
+//! insight is that a stream of such hashes is a string, so trace
+//! identification becomes a string problem.
+
+use crate::cost::Micros;
+use crate::ids::{FieldId, RegionId, TaskKindId};
+use crate::privilege::{Privilege, ReductionOp};
+
+/// One region argument of a task: which region, which fields, and with
+/// what privilege.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RegionRequirement {
+    /// The region argument.
+    pub region: RegionId,
+    /// Fields accessed (empty means "all fields").
+    pub fields: Vec<FieldId>,
+    /// Access privilege.
+    pub privilege: Privilege,
+}
+
+impl RegionRequirement {
+    /// A requirement on all fields of `region`.
+    pub fn new(region: RegionId, privilege: Privilege) -> Self {
+        Self { region, fields: Vec::new(), privilege }
+    }
+
+    /// Restricts the requirement to specific fields.
+    pub fn with_fields(mut self, fields: impl IntoIterator<Item = FieldId>) -> Self {
+        self.fields = fields.into_iter().collect();
+        self
+    }
+
+    /// Whether two requirements touch overlapping field sets (empty = all).
+    pub fn fields_overlap(&self, other: &RegionRequirement) -> bool {
+        if self.fields.is_empty() || other.fields.is_empty() {
+            return true;
+        }
+        self.fields.iter().any(|f| other.fields.contains(f))
+    }
+}
+
+/// The 64-bit semantic hash of a task — the "token" of the paper's string
+/// analyses.
+///
+/// Two tasks receive equal hashes iff every analysis-relevant property is
+/// equal. Hash collisions between distinct tasks are possible in principle
+/// (64-bit) and ignored, as in the paper's implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskHash(pub u64);
+
+impl std::fmt::Display for TaskHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "H{:016x}", self.0)
+    }
+}
+
+/// A task launch: the unit of work issued to the runtime.
+///
+/// Construct with [`TaskDesc::new`] and chain requirement builders:
+///
+/// ```
+/// use tasksim::task::TaskDesc;
+/// use tasksim::ids::{RegionId, TaskKindId};
+/// use tasksim::cost::Micros;
+///
+/// let dot = TaskDesc::new(TaskKindId(1))
+///     .reads(RegionId(0))
+///     .reads(RegionId(1))
+///     .writes(RegionId(2))
+///     .gpu_time(Micros(350.0));
+/// assert_eq!(dot.requirements.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskDesc {
+    /// The registered task variant.
+    pub kind: TaskKindId,
+    /// Region arguments in declaration order.
+    pub requirements: Vec<RegionRequirement>,
+    /// Execution-phase cost on its assigned GPU(s). Not part of the hash:
+    /// execution time does not affect the dependence analysis.
+    pub gpu_time: Micros,
+}
+
+impl TaskDesc {
+    /// A task of `kind` with no arguments and zero execution cost.
+    pub fn new(kind: TaskKindId) -> Self {
+        Self { kind, requirements: Vec::new(), gpu_time: Micros::ZERO }
+    }
+
+    /// Adds a read-only requirement on `region`.
+    pub fn reads(mut self, region: RegionId) -> Self {
+        self.requirements.push(RegionRequirement::new(region, Privilege::ReadOnly));
+        self
+    }
+
+    /// Adds a read-write requirement on `region`.
+    pub fn read_writes(mut self, region: RegionId) -> Self {
+        self.requirements.push(RegionRequirement::new(region, Privilege::ReadWrite));
+        self
+    }
+
+    /// Adds a discarding-write requirement on `region`.
+    pub fn writes(mut self, region: RegionId) -> Self {
+        self.requirements.push(RegionRequirement::new(region, Privilege::WriteDiscard));
+        self
+    }
+
+    /// Adds a reduction requirement on `region`.
+    pub fn reduces(mut self, region: RegionId, op: ReductionOp) -> Self {
+        self.requirements.push(RegionRequirement::new(region, Privilege::Reduce(op)));
+        self
+    }
+
+    /// Adds an arbitrary requirement.
+    pub fn with_requirement(mut self, req: RegionRequirement) -> Self {
+        self.requirements.push(req);
+        self
+    }
+
+    /// Sets the execution-phase cost.
+    pub fn gpu_time(mut self, t: Micros) -> Self {
+        self.gpu_time = t;
+        self
+    }
+
+    /// Computes the semantic hash (FNV-1a over all analysis-relevant
+    /// state).
+    pub fn semantic_hash(&self) -> TaskHash {
+        let mut h = Fnv1a::new();
+        h.write(u64::from(self.kind.0));
+        h.write(self.requirements.len() as u64);
+        for req in &self.requirements {
+            h.write(u64::from(req.region.0));
+            h.write(req.privilege.hash_token());
+            h.write(req.fields.len() as u64);
+            for f in &req.fields {
+                h.write(u64::from(f.0));
+            }
+        }
+        TaskHash(h.finish())
+    }
+}
+
+/// Minimal FNV-1a over u64 words. Deterministic across platforms and runs
+/// (unlike `DefaultHasher`), which control replication requires: every
+/// shard must compute identical token streams.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> TaskDesc {
+        TaskDesc::new(TaskKindId(1)).reads(RegionId(0)).writes(RegionId(1))
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(base().semantic_hash(), base().semantic_hash());
+    }
+
+    #[test]
+    fn hash_sensitive_to_kind() {
+        let other = TaskDesc::new(TaskKindId(2)).reads(RegionId(0)).writes(RegionId(1));
+        assert_ne!(base().semantic_hash(), other.semantic_hash());
+    }
+
+    #[test]
+    fn hash_sensitive_to_regions() {
+        let other = TaskDesc::new(TaskKindId(1)).reads(RegionId(9)).writes(RegionId(1));
+        assert_ne!(base().semantic_hash(), other.semantic_hash());
+    }
+
+    #[test]
+    fn hash_sensitive_to_privilege() {
+        let other = TaskDesc::new(TaskKindId(1)).reads(RegionId(0)).read_writes(RegionId(1));
+        assert_ne!(base().semantic_hash(), other.semantic_hash());
+    }
+
+    #[test]
+    fn hash_sensitive_to_argument_order() {
+        let a = TaskDesc::new(TaskKindId(1)).reads(RegionId(0)).reads(RegionId(1));
+        let b = TaskDesc::new(TaskKindId(1)).reads(RegionId(1)).reads(RegionId(0));
+        assert_ne!(a.semantic_hash(), b.semantic_hash());
+    }
+
+    #[test]
+    fn hash_sensitive_to_fields() {
+        let a = TaskDesc::new(TaskKindId(1)).with_requirement(
+            RegionRequirement::new(RegionId(0), Privilege::ReadOnly).with_fields([FieldId(0)]),
+        );
+        let b = TaskDesc::new(TaskKindId(1)).with_requirement(
+            RegionRequirement::new(RegionId(0), Privilege::ReadOnly).with_fields([FieldId(1)]),
+        );
+        assert_ne!(a.semantic_hash(), b.semantic_hash());
+    }
+
+    #[test]
+    fn hash_insensitive_to_gpu_time() {
+        let a = base().gpu_time(Micros(10.0));
+        let b = base().gpu_time(Micros(99.0));
+        assert_eq!(a.semantic_hash(), b.semantic_hash());
+    }
+
+    #[test]
+    fn field_overlap_semantics() {
+        let all = RegionRequirement::new(RegionId(0), Privilege::ReadOnly);
+        let f0 = RegionRequirement::new(RegionId(0), Privilege::ReadOnly)
+            .with_fields([FieldId(0)]);
+        let f1 = RegionRequirement::new(RegionId(0), Privilege::ReadOnly)
+            .with_fields([FieldId(1)]);
+        assert!(all.fields_overlap(&f0), "empty field set means all fields");
+        assert!(f0.fields_overlap(&all));
+        assert!(!f0.fields_overlap(&f1));
+        assert!(f0.fields_overlap(&f0));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Distinct small descriptors rarely collide; identical ones
+            /// always agree. (We test determinism + sensitivity, not
+            /// absence of collisions.)
+            #[test]
+            fn hash_function_properties(
+                kind in 0u32..8,
+                regions in proptest::collection::vec(0u32..8, 0..4),
+            ) {
+                let mut t = TaskDesc::new(TaskKindId(kind));
+                for r in &regions {
+                    t = t.reads(RegionId(*r));
+                }
+                prop_assert_eq!(t.semantic_hash(), t.clone().semantic_hash());
+                // Appending one more requirement must change the hash.
+                let ext = t.clone().reads(RegionId(100));
+                prop_assert_ne!(t.semantic_hash(), ext.semantic_hash());
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Trace templates: memoized dependence analysis.
+//!
+//! Legion's dynamic tracing (Lee et al., SC'18) records, for a program
+//! fragment bracketed by `begin_trace(id)`/`end_trace(id)`, the results of
+//! the dependence analysis — and replays them on subsequent executions of
+//! the same fragment, at a tenth of the cost. A trace is *valid* only if
+//! every execution of the id issues exactly the same task sequence (same
+//! kinds, same region arguments, same privileges): the [`TraceTemplate`]
+//! stores the hash sequence for validation and the intra-trace dependence
+//! edges for replay.
+//!
+//! Edges crossing the trace boundary are not memoized; they collapse to a
+//! *trace fence* — a conservative dependence on the operation immediately
+//! preceding the replay — matching Legion's replay fences.
+
+use crate::cost::Micros;
+use crate::graph::TaskGraph;
+use crate::ids::{OpId, TraceId};
+use crate::task::TaskHash;
+
+/// Predecessors of one task inside a template, relative to the trace
+/// start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplatePreds {
+    /// Indices (0-based from trace start) of intra-trace predecessors.
+    pub internal: Vec<usize>,
+    /// Whether the task had any predecessor outside the trace; replayed as
+    /// a dependence on the trace fence.
+    pub external: bool,
+}
+
+/// A recorded trace: the memoized analysis for one `TraceId`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceTemplate {
+    /// The exact token sequence this trace is valid for.
+    pub hashes: Vec<TaskHash>,
+    /// Memoized dependence edges, one entry per task.
+    pub preds: Vec<TemplatePreds>,
+    /// Execution-phase durations captured at recording (replay re-uses the
+    /// recorded mapping decisions, including where tasks run).
+    pub gpu_times: Vec<Micros>,
+    /// How many times this template has been replayed.
+    pub replays: u64,
+}
+
+impl TraceTemplate {
+    /// Number of tasks in the trace.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Whether the template contains no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Applies transitive reduction to the internal edges (what Legion's
+    /// `-lg:inline_transitive_reduction` does to recorded templates).
+    ///
+    /// External (fence) flags are preserved untouched: the fence is a
+    /// single op, so it can never be made redundant by internal structure
+    /// alone without whole-program knowledge.
+    pub fn reduce_edges(&mut self) {
+        let mut g = TaskGraph::new();
+        for p in &self.preds {
+            g.push(p.internal.iter().map(|&i| OpId(i as u64)).collect());
+        }
+        let r = g.transitive_reduction();
+        for (i, p) in self.preds.iter_mut().enumerate() {
+            p.internal = r.preds(OpId(i as u64)).iter().map(|o| o.index()).collect();
+        }
+    }
+}
+
+/// Why a trace operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// `begin_trace` while a trace is already active (nesting is not
+    /// supported, as in Legion).
+    NestedTrace {
+        /// The already-active trace.
+        active: TraceId,
+        /// The trace that was attempted.
+        attempted: TraceId,
+    },
+    /// `end_trace` without an active trace.
+    EndWithoutBegin(TraceId),
+    /// `end_trace(id)` while a different trace is active.
+    WrongTraceId {
+        /// The active trace.
+        active: TraceId,
+        /// The id passed to `end_trace`.
+        got: TraceId,
+    },
+    /// A replayed task's hash differs from the recorded sequence — the
+    /// Figure 1 failure mode of manual annotations.
+    SequenceMismatch {
+        /// The violated trace.
+        id: TraceId,
+        /// Position within the trace.
+        pos: usize,
+        /// The recorded hash.
+        expected: TaskHash,
+        /// The issued hash.
+        got: TaskHash,
+    },
+    /// More tasks issued during replay than the template contains.
+    ReplayOverrun {
+        /// The violated trace.
+        id: TraceId,
+        /// Template length.
+        len: usize,
+    },
+    /// `end_trace` arrived before the full template was replayed.
+    ReplayUnderrun {
+        /// The violated trace.
+        id: TraceId,
+        /// Tasks replayed so far.
+        pos: usize,
+        /// Template length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NestedTrace { active, attempted } => {
+                write!(f, "begin_trace({attempted}) while {active} is active")
+            }
+            Self::EndWithoutBegin(id) => write!(f, "end_trace({id}) without begin_trace"),
+            Self::WrongTraceId { active, got } => {
+                write!(f, "end_trace({got}) while {active} is active")
+            }
+            Self::SequenceMismatch { id, pos, expected, got } => write!(
+                f,
+                "trace {id} invalid at task {pos}: recorded {expected}, issued {got}"
+            ),
+            Self::ReplayOverrun { id, len } => {
+                write!(f, "trace {id} overrun: more than {len} tasks issued")
+            }
+            Self::ReplayUnderrun { id, pos, len } => {
+                write!(f, "trace {id} underrun: ended after {pos} of {len} tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// What the runtime does when a replay validation fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MismatchPolicy {
+    /// Raise a [`TraceError`] (Legion's default; what the Figure 1 example
+    /// hits with naive manual annotations).
+    #[default]
+    Strict,
+    /// Discard the template and fall back to fresh dependence analysis for
+    /// the remainder of the fragment ("fall back to the expensive
+    /// dependence analysis", §2).
+    Fallback,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> TraceTemplate {
+        TraceTemplate {
+            hashes: vec![TaskHash(1), TaskHash(2), TaskHash(3), TaskHash(4)],
+            preds: vec![
+                TemplatePreds { internal: vec![], external: true },
+                TemplatePreds { internal: vec![0], external: false },
+                TemplatePreds { internal: vec![0, 1], external: false },
+                TemplatePreds { internal: vec![2], external: false },
+            ],
+            gpu_times: vec![Micros(1.0); 4],
+            replays: 0,
+        }
+    }
+
+    #[test]
+    fn reduce_edges_drops_implied() {
+        let mut t = template();
+        t.reduce_edges();
+        // 0→2 is implied by 0→1→2.
+        assert_eq!(t.preds[2], TemplatePreds { internal: vec![1], external: false });
+        // External flags untouched.
+        assert!(t.preds[0].external);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TraceError::SequenceMismatch {
+            id: TraceId(3),
+            pos: 7,
+            expected: TaskHash(0xa),
+            got: TaskHash(0xb),
+        };
+        let s = e.to_string();
+        assert!(s.contains("TraceId(3)") && s.contains("task 7"), "{s}");
+    }
+
+    #[test]
+    fn empty_template() {
+        let t = TraceTemplate {
+            hashes: vec![],
+            preds: vec![],
+            gpu_times: vec![],
+            replays: 0,
+        };
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! CFD: cuPyNumeric Navier-Stokes channel flow (§6.1, Figure 7a).
+//!
+//! "CFD Python: the 12 steps to Navier-Stokes" ported to cuPyNumeric.
+//! There is **no manually traced version**: temporaries cycle through the
+//! recycling allocator (as in Figure 1), so the repeating unit of the
+//! task stream does not correspond to a source-level iteration, and a
+//! convergence check fires every few iterations, perturbing the stream
+//! further. Manually tracing this program would require "manual
+//! examination of allocator logs" (§6.1). Apophenia finds the true
+//! periods automatically.
+//!
+//! Per iteration: velocity tentative-step array ops (with recycled
+//! temporaries), a fixed-depth pressure-Poisson loop, boundary updates,
+//! and a halo exchange per Poisson sweep; a residual-norm check every 10
+//! iterations.
+
+use crate::comm;
+use crate::driver::{AppParams, Driver, Workload};
+use crate::recycle::Recycler;
+use tasksim::cost::Micros;
+use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::runtime::RuntimeError;
+use tasksim::task::TaskDesc;
+
+const POISSON_SWEEPS: usize = 8;
+const BASE_GPU_US: f64 = 750.0;
+
+const OP_BASE: u32 = 700;
+const HALO: TaskKindId = TaskKindId(699);
+
+/// The CFD workload (cuPyNumeric; auto/untraced only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cfd;
+
+struct CfdState {
+    u: RegionId,
+    v: RegionId,
+    p: RegionId,
+    rec: Recycler,
+    gpu_time: Micros,
+    gpus: u32,
+}
+
+impl CfdState {
+    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Self {
+        Self {
+            u: driver.create_region(1),
+            v: driver.create_region(1),
+            p: driver.create_region(1),
+            rec: Recycler::new(1),
+            gpu_time: Micros(BASE_GPU_US * params.size.granularity_factor()),
+            gpus: params.total_gpus(),
+        }
+    }
+
+    /// `out = op(a, b)` through a fresh temporary from the recycler.
+    fn binop(
+        &mut self,
+        driver: &mut dyn Driver,
+        kind: u32,
+        a: RegionId,
+        b: RegionId,
+    ) -> Result<RegionId, RuntimeError> {
+        let out = self.rec.alloc(driver);
+        driver.execute_task(
+            TaskDesc::new(TaskKindId(OP_BASE + kind))
+                .reads(a)
+                .reads(b)
+                .writes(out)
+                .gpu_time(self.gpu_time),
+        )?;
+        Ok(out)
+    }
+
+    /// Releases `r` back to the allocator unless it is one of the named
+    /// persistent bindings (u, v, p) — the moment a Python temporary's
+    /// refcount drops, cuPyNumeric recycles its region.
+    fn drop_temp(&mut self, r: RegionId) {
+        if r != self.u && r != self.v && r != self.p {
+            self.rec.release(r);
+        }
+    }
+
+    fn iteration(&mut self, driver: &mut dyn Driver, check: bool) -> Result<(), RuntimeError> {
+        // Tentative velocity: a chain of array ops; each superseded
+        // temporary is recycled *eagerly* (as its Python binding drops),
+        // which is what keeps cuPyNumeric's steady-state region set small.
+        let mut cur_u = self.u;
+        let mut cur_v = self.v;
+        for k in 0..6 {
+            let tu = self.binop(driver, k, cur_u, cur_v)?;
+            let tv = self.binop(driver, 10 + k, cur_v, cur_u)?;
+            self.drop_temp(cur_u);
+            self.drop_temp(cur_v);
+            cur_u = tu;
+            cur_v = tv;
+        }
+        // Pressure Poisson: fixed sweeps, halo exchange each.
+        let mut cur_p = self.p;
+        for _ in 0..POISSON_SWEEPS {
+            driver.execute_task(comm::halo_exchange(HALO, cur_p, self.gpus))?;
+            let b = self.binop(driver, 20, cur_u, cur_v)?;
+            let p_new = self.binop(driver, 21, cur_p, b)?;
+            self.rec.release(b);
+            self.drop_temp(cur_p);
+            cur_p = p_new;
+        }
+        // Velocity correction + boundary conditions.
+        let u_new = self.binop(driver, 30, cur_u, cur_p)?;
+        let v_new = self.binop(driver, 31, cur_v, cur_p)?;
+        driver.execute_task(
+            TaskDesc::new(TaskKindId(OP_BASE + 32)).read_writes(u_new).gpu_time(self.gpu_time),
+        )?;
+        driver.execute_task(
+            TaskDesc::new(TaskKindId(OP_BASE + 33)).read_writes(v_new).gpu_time(self.gpu_time),
+        )?;
+        self.drop_temp(cur_u);
+        self.drop_temp(cur_v);
+
+        // The irregular part: residual norm every few iterations.
+        if check {
+            let r = self.binop(driver, 40, u_new, v_new)?;
+            driver.execute_task(
+                TaskDesc::new(TaskKindId(OP_BASE + 41)).reads(r).gpu_time(self.gpu_time),
+            )?;
+            self.rec.release(r);
+        }
+
+        // Rebind the persistent arrays (the Figure 1 rotation: the old
+        // regions recycle and the new ones become u/v/p).
+        let (old_u, old_v, old_p) = (self.u, self.v, self.p);
+        self.u = u_new;
+        self.v = v_new;
+        self.p = cur_p;
+        self.rec.release(old_u);
+        self.rec.release(old_v);
+        self.rec.release(old_p);
+        Ok(())
+    }
+}
+
+impl Workload for Cfd {
+    fn name(&self) -> &'static str {
+        "cfd"
+    }
+
+    fn has_manual(&self) -> bool {
+        false
+    }
+
+    fn run(
+        &self,
+        driver: &mut dyn Driver,
+        params: &AppParams,
+        manual: bool,
+    ) -> Result<(), RuntimeError> {
+        assert!(!manual, "cfd has no manual variant (§6.1)");
+        let mut st = CfdState::setup(driver, params);
+        for i in 0..params.iters {
+            st.iteration(driver, i % 10 == 9)?;
+            driver.mark_iteration();
+        }
+        Ok(())
+    }
+}
+
+/// Attempting the "natural" manual annotation (trace per iteration) on
+/// this allocator-recycled stream — demonstrably invalid, like Figure 1.
+///
+/// # Errors
+///
+/// Returns the trace validation error the runtime raises.
+pub fn run_naive_manual(
+    rt: &mut tasksim::runtime::Runtime,
+    params: &AppParams,
+) -> Result<(), RuntimeError> {
+    let mut st = CfdState::setup(rt, params);
+    for i in 0..params.iters {
+        Driver::begin_trace(rt, TraceId(700))?;
+        st.iteration(rt, i % 10 == 9)?;
+        Driver::end_trace(rt, TraceId(700))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{measure_throughput, run_workload, Mode, ProblemSize};
+    use apophenia::Config;
+    use tasksim::runtime::{Runtime, RuntimeConfig};
+
+    fn auto_cfg() -> Config {
+        Config::standard().with_batch_size(2000).with_multi_scale_factor(200)
+    }
+
+    #[test]
+    fn stream_is_not_manually_traceable() {
+        let mut rt = Runtime::new(RuntimeConfig::single_node(8));
+        let p = AppParams::eos(8, ProblemSize::Small, 10);
+        let err = run_naive_manual(&mut rt, &p).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Trace(_)),
+            "per-iteration annotation invalid: {err}"
+        );
+    }
+
+    #[test]
+    fn apophenia_traces_cfd() {
+        let p = AppParams::eos(8, ProblemSize::Small, 200);
+        let out = run_workload(&Cfd, &p, &Mode::Auto(auto_cfg())).unwrap();
+        assert_eq!(out.stats.mismatches, 0);
+        assert!(out.stats.replayed_fraction() > 0.3, "{}", out.stats);
+    }
+
+    #[test]
+    fn figure7a_auto_beats_untraced_at_scale() {
+        let p = AppParams::eos(64, ProblemSize::Small, 400);
+        let auto = measure_throughput(&Cfd, &p, &Mode::Auto(auto_cfg()), 320).unwrap();
+        let untraced = measure_throughput(&Cfd, &p, &Mode::Untraced, 320).unwrap();
+        assert!(auto > untraced * 1.3, "auto {auto} vs untraced {untraced}");
+    }
+
+    #[test]
+    fn large_problem_less_sensitive() {
+        let p = AppParams::eos(8, ProblemSize::Large, 400);
+        let auto = measure_throughput(&Cfd, &p, &Mode::Auto(auto_cfg()), 320).unwrap();
+        let untraced = measure_throughput(&Cfd, &p, &Mode::Untraced, 320).unwrap();
+        let speedup = auto / untraced;
+        assert!(
+            speedup < 1.5,
+            "large problems hide more overhead: {speedup}"
+        );
+    }
+
+    #[test]
+    fn convergence_checks_present_but_rare() {
+        let p = AppParams::eos(8, ProblemSize::Small, 21);
+        let out = run_workload(&Cfd, &p, &Mode::Untraced).unwrap();
+        // Checks add tasks relative to a run one check shorter.
+        let base = run_workload(
+            &Cfd,
+            &AppParams::eos(8, ProblemSize::Small, 14),
+            &Mode::Untraced,
+        )
+        .unwrap();
+        assert!(out.stats.tasks_total > base.stats.tasks_total);
+    }
+}

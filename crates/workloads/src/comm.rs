@@ -1,0 +1,49 @@
+//! Communication tasks.
+//!
+//! Halo exchanges and allreduces are issued as explicit copy tasks: they
+//! flow through the dependence analysis (and through Apophenia's token
+//! stream — "traceable operations that are not tasks", §4.1) like any
+//! other operation, and their execution time models the network.
+
+use tasksim::cost::Micros;
+use tasksim::ids::{RegionId, TaskKindId};
+use tasksim::task::TaskDesc;
+
+/// Latency of one exchange phase across `gpus` GPUs (base + log-scaling,
+/// Slingshot/InfiniBand-like).
+pub fn latency(gpus: u32) -> Micros {
+    Micros(30.0) + Micros(20.0) * f64::from(gpus.max(1)).log2()
+}
+
+/// A halo-exchange task on `region` across `gpus` GPUs.
+pub fn halo_exchange(kind: TaskKindId, region: RegionId, gpus: u32) -> TaskDesc {
+    TaskDesc::new(kind).read_writes(region).gpu_time(latency(gpus))
+}
+
+/// An allreduce-style task combining `region` across `gpus` GPUs, with an
+/// extra bandwidth term for payloads of `payload_factor` (1.0 = latency
+/// only).
+pub fn allreduce(kind: TaskKindId, region: RegionId, gpus: u32, payload_factor: f64) -> TaskDesc {
+    TaskDesc::new(kind)
+        .read_writes(region)
+        .gpu_time(latency(gpus) * payload_factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_scale() {
+        assert!(latency(64) > latency(4));
+        assert_eq!(latency(1), Micros(30.0));
+    }
+
+    #[test]
+    fn tasks_carry_comm_cost() {
+        let t = halo_exchange(TaskKindId(1), RegionId(0), 16);
+        assert_eq!(t.gpu_time, latency(16));
+        let a = allreduce(TaskKindId(2), RegionId(0), 16, 3.0);
+        assert_eq!(a.gpu_time, latency(16) * 3.0);
+    }
+}

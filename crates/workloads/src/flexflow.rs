@@ -1,0 +1,204 @@
+//! FlexFlow: distributed DNN training, strong-scaled (§6.2, Figure 8).
+//!
+//! Trains a CANDLE `pilot1`-like MLP with data parallelism (the paper's
+//! footnote 4: only data parallelism was used). Strong scaling fixes the
+//! global batch, so per-GPU work shrinks as GPUs are added and runtime
+//! overhead is progressively exposed:
+//!
+//! * **untraced** stops scaling once per-iteration analysis (~120 ms)
+//!   exceeds shrinking execution;
+//! * **manual** traces each training iteration (~120 tasks);
+//! * **auto-5000** (standard Apophenia) mines multi-iteration candidates
+//!   thousands of tasks long, whose templates replay *slower per task*
+//!   (the [`tasksim::cost::CostModel::replay_len_knee`] effect — Legion's
+//!   footnote-5 shortcoming), visibly losing to shorter traces at scale;
+//! * **auto-200** caps replayed traces at 200 tasks — about the manual
+//!   trace length — and recovers manual-level performance (0.97x in the
+//!   paper).
+
+use crate::comm;
+use crate::driver::{AppParams, Driver, Workload};
+use tasksim::cost::Micros;
+use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::runtime::RuntimeError;
+use tasksim::task::TaskDesc;
+
+/// Network depth (dense layers).
+const LAYERS: usize = 30;
+/// Per-op GPU microseconds at 1 GPU (strong-scaled: divided by GPU count).
+const BASE_GPU_US: f64 = 3000.0;
+/// Allreduce payload factor (gradient exchange is bandwidth-heavy).
+const ALLREDUCE_PAYLOAD: f64 = 6.0;
+
+const KIND_BASE: u32 = 1100;
+const ALLREDUCE: TaskKindId = TaskKindId(1099);
+
+/// The FlexFlow workload. `size` is ignored (strong scaling fixes the
+/// problem); GPU count comes from the machine parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlexFlow;
+
+struct FfState {
+    activations: Vec<RegionId>,
+    weights: Vec<RegionId>,
+    gradients: Vec<RegionId>,
+    gpu_time: Micros,
+    gpus: u32,
+}
+
+impl FfState {
+    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Self {
+        let gpus = params.total_gpus();
+        Self {
+            activations: (0..=LAYERS).map(|_| driver.create_region(1)).collect(),
+            weights: (0..LAYERS).map(|_| driver.create_region(1)).collect(),
+            gradients: (0..LAYERS).map(|_| driver.create_region(1)).collect(),
+            gpu_time: Micros(BASE_GPU_US / f64::from(gpus)),
+            gpus,
+        }
+    }
+
+    fn training_iteration(&self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+        // Forward pass.
+        for l in 0..LAYERS {
+            driver.execute_task(
+                TaskDesc::new(TaskKindId(KIND_BASE + l as u32))
+                    .reads(self.activations[l])
+                    .reads(self.weights[l])
+                    .writes(self.activations[l + 1])
+                    .gpu_time(self.gpu_time),
+            )?;
+        }
+        // Backward pass with gradient allreduce per layer.
+        for l in (0..LAYERS).rev() {
+            driver.execute_task(
+                TaskDesc::new(TaskKindId(KIND_BASE + 100 + l as u32))
+                    .reads(self.activations[l])
+                    .reads(self.weights[l])
+                    .writes(self.gradients[l])
+                    .gpu_time(self.gpu_time),
+            )?;
+            driver.execute_task(comm::allreduce(
+                ALLREDUCE,
+                self.gradients[l],
+                self.gpus,
+                ALLREDUCE_PAYLOAD,
+            ))?;
+        }
+        // Optimizer update.
+        for l in 0..LAYERS {
+            driver.execute_task(
+                TaskDesc::new(TaskKindId(KIND_BASE + 200 + l as u32))
+                    .reads(self.gradients[l])
+                    .read_writes(self.weights[l])
+                    .gpu_time(self.gpu_time),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Workload for FlexFlow {
+    fn name(&self) -> &'static str {
+        "flexflow"
+    }
+
+    fn has_manual(&self) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        driver: &mut dyn Driver,
+        params: &AppParams,
+        manual: bool,
+    ) -> Result<(), RuntimeError> {
+        let st = FfState::setup(driver, params);
+        for _ in 0..params.iters {
+            if manual {
+                driver.begin_trace(TraceId(1100))?;
+            }
+            st.training_iteration(driver)?;
+            if manual {
+                driver.end_trace(TraceId(1100))?;
+            }
+            driver.mark_iteration();
+        }
+        Ok(())
+    }
+}
+
+/// Tasks per training iteration (exposed for benches): forward + backward
+/// (with allreduce) + update.
+pub const fn tasks_per_iteration() -> usize {
+    LAYERS * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{measure_throughput, run_workload, Mode, ProblemSize};
+    use apophenia::Config;
+
+    fn p(gpus: u32, iters: usize) -> AppParams {
+        AppParams::eos(gpus, ProblemSize::Small, iters)
+    }
+
+    fn auto_5000() -> Config {
+        Config::standard().with_multi_scale_factor(500)
+    }
+
+    fn auto_200() -> Config {
+        auto_5000().with_max_trace_length(200)
+    }
+
+    #[test]
+    fn iteration_task_count() {
+        assert_eq!(tasks_per_iteration(), 120);
+        let out = run_workload(&FlexFlow, &p(1, 4), &Mode::Untraced).unwrap();
+        assert_eq!(out.stats.tasks_total as usize, 4 * tasks_per_iteration());
+    }
+
+    #[test]
+    fn untraced_stops_scaling() {
+        // Figure 8: untraced throughput stops improving past a few GPUs.
+        let t8 = measure_throughput(&FlexFlow, &p(8, 40), &Mode::Untraced, 20).unwrap();
+        let t32 = measure_throughput(&FlexFlow, &p(32, 40), &Mode::Untraced, 20).unwrap();
+        assert!(t32 < t8 * 1.3, "untraced gains little from 8→32 GPUs: {t8} → {t32}");
+    }
+
+    #[test]
+    fn manual_keeps_scaling() {
+        let t8 = measure_throughput(&FlexFlow, &p(8, 40), &Mode::Manual, 20).unwrap();
+        let t32 = measure_throughput(&FlexFlow, &p(32, 40), &Mode::Manual, 20).unwrap();
+        assert!(t32 > t8 * 1.5, "manual scales 8→32 GPUs: {t8} → {t32}");
+    }
+
+    #[test]
+    fn figure8_auto200_matches_manual_and_beats_auto5000() {
+        let iters = 400;
+        let manual = measure_throughput(&FlexFlow, &p(32, iters), &Mode::Manual, 320).unwrap();
+        let a200 =
+            measure_throughput(&FlexFlow, &p(32, iters), &Mode::Auto(auto_200()), 320).unwrap();
+        let a5000 =
+            measure_throughput(&FlexFlow, &p(32, iters), &Mode::Auto(auto_5000()), 320).unwrap();
+        let ratio = a200 / manual;
+        assert!((0.85..=1.1).contains(&ratio), "auto-200/manual {ratio}");
+        assert!(
+            a200 > a5000 * 1.1,
+            "short traces win at strong scale: a200 {a200} vs a5000 {a5000}"
+        );
+    }
+
+    #[test]
+    fn trace_length_effect_absent_at_small_scale() {
+        // At 1 GPU execution dominates; both configurations tie.
+        let iters = 400;
+        let a200 =
+            measure_throughput(&FlexFlow, &p(1, iters), &Mode::Auto(auto_200()), 320).unwrap();
+        let a5000 =
+            measure_throughput(&FlexFlow, &p(1, iters), &Mode::Auto(auto_5000()), 320).unwrap();
+        let ratio = a200 / a5000;
+        assert!((0.9..=1.1).contains(&ratio), "configs tie at 1 GPU: {ratio}");
+    }
+}

@@ -1,0 +1,168 @@
+//! HTR: hypersonic aerothermodynamics solver (§6.1, Figure 6b).
+//!
+//! HTR performs multi-physics simulations of hypersonic flows (spacecraft
+//! reentry). Compared to S3D its iterations are shorter (fewer, larger
+//! tasks), which is why the untraced version "performs competitively to
+//! the traced version at small GPU counts" while "tracing is necessary for
+//! performance at scale" — the Figure 6b shape.
+//!
+//! Calibration: 20 compute tasks + 4 exchanges per iteration at 2 ms base
+//! granularity: one-node untraced analysis (~24 ms) hides under execution
+//! (~40 ms), but the node-count scaling of analysis exposes it by 64 GPUs.
+
+use crate::comm;
+use crate::driver::{AppParams, Driver, Workload};
+use tasksim::cost::Micros;
+use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::runtime::RuntimeError;
+use tasksim::task::TaskDesc;
+
+const TASKS_PER_ITER: usize = 20;
+const EXCHANGES_PER_ITER: usize = 4;
+const BASE_GPU_US: f64 = 2000.0;
+
+const SETUP_BASE: u32 = 400;
+const STEP_BASE: u32 = 420;
+const HALO: TaskKindId = TaskKindId(419);
+
+/// The HTR workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Htr;
+
+struct HtrState {
+    flow: RegionId,
+    fluxes: RegionId,
+    gpu_time: Micros,
+    gpus: u32,
+}
+
+impl HtrState {
+    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Result<Self, RuntimeError> {
+        let flow = driver.create_region(8);
+        let fluxes = driver.create_region(8);
+        for k in 0..12 {
+            driver.execute_task(
+                TaskDesc::new(TaskKindId(SETUP_BASE + k))
+                    .read_writes(flow)
+                    .gpu_time(Micros(800.0)),
+            )?;
+        }
+        Ok(Self {
+            flow,
+            fluxes,
+            gpu_time: Micros(BASE_GPU_US * params.size.granularity_factor()),
+            gpus: params.total_gpus(),
+        })
+    }
+
+    fn step(&self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+        for phase in 0..EXCHANGES_PER_ITER {
+            driver.execute_task(comm::halo_exchange(HALO, self.flow, self.gpus))?;
+            for t in 0..TASKS_PER_ITER / EXCHANGES_PER_ITER {
+                let kind = TaskKindId(STEP_BASE + (phase * 5 + t) as u32);
+                driver.execute_task(
+                    TaskDesc::new(kind)
+                        .reads(self.flow)
+                        .read_writes(self.fluxes)
+                        .gpu_time(self.gpu_time),
+                )?;
+            }
+        }
+        driver.execute_task(
+            TaskDesc::new(TaskKindId(STEP_BASE + 9000))
+                .reads(self.fluxes)
+                .read_writes(self.flow)
+                .gpu_time(self.gpu_time),
+        )?;
+        Ok(())
+    }
+}
+
+impl Workload for Htr {
+    fn name(&self) -> &'static str {
+        "htr"
+    }
+
+    fn has_manual(&self) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        driver: &mut dyn Driver,
+        params: &AppParams,
+        manual: bool,
+    ) -> Result<(), RuntimeError> {
+        let st = HtrState::setup(driver, params)?;
+        for _ in 0..params.iters {
+            if manual {
+                driver.begin_trace(TraceId(600))?;
+            }
+            st.step(driver)?;
+            if manual {
+                driver.end_trace(TraceId(600))?;
+            }
+            driver.mark_iteration();
+        }
+        Ok(())
+    }
+}
+
+/// Tasks per iteration (exposed for benches).
+pub const fn tasks_per_iteration() -> usize {
+    TASKS_PER_ITER + EXCHANGES_PER_ITER + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{measure_throughput, run_workload, Mode, ProblemSize};
+    use apophenia::Config;
+
+    fn auto_cfg() -> Config {
+        Config::standard().with_batch_size(1000).with_multi_scale_factor(100)
+    }
+
+    #[test]
+    fn untraced_competitive_at_small_scale() {
+        // Figure 6b: at 4 GPUs untraced is within ~15% of manual.
+        let p = AppParams::perlmutter(4, ProblemSize::Small, 50);
+        let manual = measure_throughput(&Htr, &p, &Mode::Manual, 25).unwrap();
+        let untraced = measure_throughput(&Htr, &p, &Mode::Untraced, 25).unwrap();
+        let speedup = manual / untraced;
+        assert!(speedup < 1.2, "untraced competitive at 4 GPUs: {speedup}");
+    }
+
+    #[test]
+    fn tracing_necessary_at_scale() {
+        // Figure 6b: at 64 GPUs tracing wins on the small size.
+        let p = AppParams::perlmutter(64, ProblemSize::Small, 50);
+        let manual = measure_throughput(&Htr, &p, &Mode::Manual, 25).unwrap();
+        let untraced = measure_throughput(&Htr, &p, &Mode::Untraced, 25).unwrap();
+        assert!(manual > untraced * 1.05, "manual {manual} vs untraced {untraced}");
+    }
+
+    #[test]
+    fn auto_matches_manual() {
+        // The paper: 0.99x–1.01x of manual for HTR.
+        let p = AppParams::perlmutter(16, ProblemSize::Small, 400);
+        let auto = measure_throughput(&Htr, &p, &Mode::Auto(auto_cfg()), 300).unwrap();
+        let manual = measure_throughput(&Htr, &p, &Mode::Manual, 300).unwrap();
+        let ratio = auto / manual;
+        assert!((0.9..=1.05).contains(&ratio), "auto/manual {ratio}");
+    }
+
+    #[test]
+    fn min_trace_length_spans_iterations() {
+        // With the standard min length of 25 and 25 tasks per iteration,
+        // candidates must span at least one full iteration.
+        let out = run_workload(
+            &Htr,
+            &AppParams::perlmutter(4, ProblemSize::Small, 120),
+            &Mode::Auto(auto_cfg()),
+        )
+        .unwrap();
+        assert!(out.stats.replayed_fraction() > 0.4, "{}", out.stats);
+        assert_eq!(out.stats.mismatches, 0);
+    }
+}

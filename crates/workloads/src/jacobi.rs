@@ -1,0 +1,250 @@
+//! The paper's motivating example (Figure 1): Jacobi iteration in
+//! cuPyNumeric.
+//!
+//! ```python
+//! for i in range(iters):
+//!     x = (b - np.dot(R, x)) / d
+//! ```
+//!
+//! Each iteration issues `DOT(R, x, t1); SUB(b, t1, t2); DIV(t2, d, x')`
+//! where `x'` is a *freshly allocated* region and the old `x` is released
+//! to the recycler. In steady state `x` alternates between two region
+//! names, so the repeating unit of the task stream is **two** source-level
+//! iterations — which is exactly why wrapping one loop body in
+//! `begin_trace(id)`/`end_trace(id)` is an invalid trace
+//! ([`run_naive_manual`] reproduces the failure), while Apophenia finds
+//! the period-2 trace automatically.
+
+use crate::driver::{AppParams, Driver, Workload};
+use crate::recycle::Recycler;
+use tasksim::cost::Micros;
+use tasksim::ids::{RegionId, TraceId};
+use tasksim::runtime::{Runtime, RuntimeError};
+use tasksim::task::TaskDesc;
+
+/// Task kinds issued by the Jacobi solver.
+pub mod kinds {
+    use tasksim::ids::TaskKindId;
+
+    /// `t1 = R · x`
+    pub const DOT: TaskKindId = TaskKindId(100);
+    /// `t2 = b - t1`
+    pub const SUB: TaskKindId = TaskKindId(101);
+    /// `x' = t2 / d`
+    pub const DIV: TaskKindId = TaskKindId(102);
+}
+
+/// Per-task GPU time for the Jacobi kernels (weak-scaled: constant per
+/// GPU).
+const GPU_TIME: Micros = Micros(400.0);
+
+/// State of one Jacobi solver instance.
+struct JacobiState {
+    r_matrix: RegionId,
+    b: RegionId,
+    d: RegionId,
+    x: RegionId,
+    rec: Recycler,
+}
+
+impl JacobiState {
+    fn setup(driver: &mut dyn Driver) -> Self {
+        let mut rec = Recycler::new(1);
+        let r_matrix = driver.create_region(1);
+        let b = driver.create_region(1);
+        let d = driver.create_region(1);
+        let x = rec.alloc(driver);
+        Self { r_matrix, b, d, x, rec }
+    }
+
+    /// Issues one source-level iteration; returns the three tasks' stream.
+    ///
+    /// Temporaries are collected *eagerly*, the moment their last use
+    /// completes ("the region it refers to can be collected and
+    /// immediately reused by cuPyNumeric", §2) — this is what produces the
+    /// steady state of exactly two alternating region names for `x`.
+    fn iteration(&mut self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+        let t1 = self.rec.alloc(driver);
+        driver.execute_task(
+            TaskDesc::new(kinds::DOT)
+                .reads(self.r_matrix)
+                .reads(self.x)
+                .writes(t1)
+                .gpu_time(GPU_TIME),
+        )?;
+        let t2 = self.rec.alloc(driver);
+        driver.execute_task(
+            TaskDesc::new(kinds::SUB).reads(self.b).reads(t1).writes(t2).gpu_time(GPU_TIME),
+        )?;
+        self.rec.release(t1); // t1 dead after SUB
+        let x_new = self.rec.alloc(driver);
+        driver.execute_task(
+            TaskDesc::new(kinds::DIV).reads(t2).reads(self.d).writes(x_new).gpu_time(GPU_TIME),
+        )?;
+        self.rec.release(t2); // t2 dead after DIV
+        self.rec.release(self.x); // old x collected at rebinding
+        self.x = x_new;
+        Ok(())
+    }
+}
+
+/// The Jacobi workload (no manual variant — that is the point).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jacobi;
+
+impl Workload for Jacobi {
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+
+    fn has_manual(&self) -> bool {
+        false
+    }
+
+    fn run(
+        &self,
+        driver: &mut dyn Driver,
+        params: &AppParams,
+        manual: bool,
+    ) -> Result<(), RuntimeError> {
+        assert!(!manual, "jacobi has no manual tracing variant");
+        let mut st = JacobiState::setup(driver);
+        for _ in 0..params.iters {
+            st.iteration(driver)?;
+            driver.mark_iteration();
+        }
+        Ok(())
+    }
+}
+
+/// The naive manual annotation from §2: wrap *each* loop iteration in the
+/// same trace id. Returns the error Legion raises — a sequence mismatch
+/// caused by the region renaming.
+///
+/// # Errors
+///
+/// Always returns [`RuntimeError::Trace`] with a `SequenceMismatch` (that
+/// is what this function demonstrates); propagates other runtime errors
+/// if the setup itself fails.
+pub fn run_naive_manual(rt: &mut Runtime, iters: usize) -> Result<(), RuntimeError> {
+    let mut st = JacobiState::setup(rt);
+    for _ in 0..iters {
+        Driver::begin_trace(rt, TraceId(77))?;
+        let res = st.iteration(rt);
+        match res {
+            Ok(()) => Driver::end_trace(rt, TraceId(77))?,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// The correct-but-brittle manual annotation from §2: trace *pairs* of
+/// iterations, matching the allocator's period-2 steady state. Skips the
+/// first iteration (before the steady state is established).
+///
+/// # Errors
+///
+/// Propagates runtime errors (none are expected while the allocator's
+/// steady state holds).
+pub fn run_period2_manual(rt: &mut Runtime, iters: usize) -> Result<(), RuntimeError> {
+    let mut st = JacobiState::setup(rt);
+    // Warm the allocator into its steady state.
+    st.iteration(rt)?;
+    rt.mark_iteration();
+    let mut remaining = iters.saturating_sub(1);
+    while remaining >= 2 {
+        Driver::begin_trace(rt, TraceId(78))?;
+        st.iteration(rt)?;
+        st.iteration(rt)?;
+        Driver::end_trace(rt, TraceId(78))?;
+        rt.mark_iteration();
+        rt.mark_iteration();
+        remaining -= 2;
+    }
+    if remaining == 1 {
+        st.iteration(rt)?;
+        rt.mark_iteration();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Mode, ProblemSize};
+    use apophenia::Config;
+    use tasksim::runtime::RuntimeConfig;
+    use tasksim::trace::TraceError;
+
+    fn params(iters: usize) -> AppParams {
+        AppParams { nodes: 1, gpus_per_node: 1, size: ProblemSize::Small, iters }
+    }
+
+    /// Collect the hash stream of an untraced run.
+    fn hash_stream(iters: usize) -> Vec<u64> {
+        let out = run_workload(&Jacobi, &params(iters), &Mode::Untraced).unwrap();
+        out.log.task_records().map(|r| r.hash.0).collect()
+    }
+
+    #[test]
+    fn stream_has_period_two_not_one() {
+        // Figure 1b: the steady-state stream repeats every 6 tasks (two
+        // iterations), not every 3.
+        let h = hash_stream(12);
+        assert_eq!(h.len(), 36);
+        let steady = &h[12..30];
+        for (i, _) in steady.iter().enumerate().take(steady.len() - 6) {
+            assert_eq!(steady[i], steady[i + 6], "period 6 at {i}");
+        }
+        // And the DOT task differs between consecutive iterations.
+        assert_ne!(h[12], h[15], "consecutive iterations differ (x1 vs x2)");
+    }
+
+    #[test]
+    fn naive_manual_annotation_fails_with_mismatch() {
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1));
+        let err = run_naive_manual(&mut rt, 5).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Trace(TraceError::SequenceMismatch { .. })),
+            "the §2 failure mode: {err}"
+        );
+    }
+
+    #[test]
+    fn period2_manual_annotation_succeeds() {
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1));
+        run_period2_manual(&mut rt, 21).expect("period-2 traces are valid");
+        assert!(rt.stats().trace_replays >= 8, "{}", rt.stats());
+        assert_eq!(rt.stats().mismatches, 0);
+    }
+
+    #[test]
+    fn apophenia_traces_jacobi_automatically() {
+        let cfg = Config::standard()
+            .with_min_trace_length(4)
+            .with_batch_size(512)
+            .with_multi_scale_factor(32);
+        let out = run_workload(&Jacobi, &params(600), &Mode::Auto(cfg)).unwrap();
+        assert!(
+            out.stats.replayed_fraction() > 0.5,
+            "Apophenia handles the region renaming: {}",
+            out.stats
+        );
+        assert_eq!(out.stats.mismatches, 0);
+        assert!(out.warmup_iterations.is_some(), "steady state reached");
+    }
+
+    #[test]
+    fn auto_beats_untraced_on_jacobi() {
+        let cfg = Config::standard()
+            .with_min_trace_length(4)
+            .with_batch_size(512)
+            .with_multi_scale_factor(32);
+        let p = params(600);
+        let auto = crate::driver::measure_throughput(&Jacobi, &p, &Mode::Auto(cfg), 300).unwrap();
+        let untraced =
+            crate::driver::measure_throughput(&Jacobi, &p, &Mode::Untraced, 300).unwrap();
+        assert!(auto > untraced * 1.5, "auto {auto} vs untraced {untraced}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Task-stream models of the paper's evaluation applications.
+//!
+//! The evaluation of Apophenia (§6) runs five applications on Perlmutter
+//! and Eos. This crate reproduces each application's *task-stream
+//! structure* — iteration shapes, region usage, allocator behaviour,
+//! irregularities — so the full Apophenia stack (hashing, mining,
+//! matching, replay, cost simulation) runs for real against streams with
+//! the same properties the paper describes:
+//!
+//! * [`jacobi`] — the Figure 1 motivating example (cuPyNumeric region
+//!   renaming; naive manual tracing provably fails);
+//! * [`s3d`] — combustion chemistry with Fortran+MPI hand-offs
+//!   (Figure 6a);
+//! * [`htr`] — hypersonic aerothermodynamics (Figure 6b);
+//! * [`cfd`] — cuPyNumeric Navier-Stokes, no manual variant possible
+//!   (Figure 7a);
+//! * [`torchswe`] — cuPyNumeric shallow-water equations, many fields,
+//!   overhead-bound at every problem size (Figure 7b);
+//! * [`flexflow`] — DNN training, strong-scaled, where maximum trace
+//!   length matters (Figure 8);
+//! * [`synthetic`] — shape-isolated generators for ablations;
+//! * [`recycle`] — the cuPyNumeric recycling allocator;
+//! * [`driver`] — the untraced / manual / auto run harness;
+//! * [`comm`] — communication tasks.
+
+pub mod cfd;
+pub mod comm;
+pub mod driver;
+pub mod flexflow;
+pub mod htr;
+pub mod jacobi;
+pub mod recycle;
+pub mod s3d;
+pub mod synthetic;
+pub mod torchswe;
+
+pub use cfd::Cfd;
+pub use driver::{
+    measure_throughput, run_workload, AppParams, Driver, Mode, ProblemSize, RunOutcome, Workload,
+};
+pub use flexflow::FlexFlow;
+pub use htr::Htr;
+pub use jacobi::Jacobi;
+pub use s3d::S3d;
+pub use torchswe::TorchSwe;

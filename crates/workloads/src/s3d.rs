@@ -1,0 +1,233 @@
+//! S3D: production combustion chemistry (§6.1, Figure 6a).
+//!
+//! The Legion port of S3D implements the right-hand-side function of a
+//! Runge-Kutta scheme and interoperates with a legacy Fortran+MPI driver.
+//! The stream structure we reproduce:
+//!
+//! * a unique setup phase (chemistry table initialization);
+//! * per iteration, `STAGES` Runge-Kutta stages, each issuing a fixed
+//!   sequence of chemistry/diffusion/advection index launches plus a halo
+//!   exchange;
+//! * a Fortran+MPI hand-off **every iteration for the first 10
+//!   iterations, then every 10 iterations** — the irregularity that makes
+//!   S3D's manual tracing "relatively complicated logic" (§6.1) and that
+//!   tandem-repeat mining cannot absorb;
+//! * the manual variant brackets each iteration's RHS work in a trace and
+//!   keeps hand-offs outside, mirroring the production annotations.
+//!
+//! Calibration (see DESIGN.md §6): 200 RHS tasks/iteration; small-size
+//! task granularity 1 ms, doubling per size class. On one Perlmutter node
+//! untraced analysis (~200 ms/iter) roughly matches small-size execution,
+//! so overhead is already visible at 4 GPUs and grows with node count —
+//! the Figure 6a shape.
+
+use crate::comm;
+use crate::driver::{AppParams, Driver, Workload};
+use tasksim::cost::Micros;
+use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::runtime::RuntimeError;
+use tasksim::task::TaskDesc;
+
+/// Runge-Kutta stages per iteration.
+const STAGES: usize = 4;
+/// Compute tasks per stage (chemistry, diffusion, advection, ...).
+const TASKS_PER_STAGE: usize = 48;
+/// Base GPU time per task at the small problem size.
+const BASE_GPU_US: f64 = 1000.0;
+
+/// Kind bases (disjoint from other apps).
+const SETUP_BASE: u32 = 200;
+const RHS_BASE: u32 = 300;
+const HALO: TaskKindId = TaskKindId(298);
+const TO_FORTRAN: TaskKindId = TaskKindId(296);
+const FROM_FORTRAN: TaskKindId = TaskKindId(297);
+
+/// The S3D workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct S3d;
+
+struct S3dState {
+    field: RegionId,
+    rhs: RegionId,
+    chem: RegionId,
+    gpu_time: Micros,
+    gpus: u32,
+}
+
+impl S3dState {
+    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Result<Self, RuntimeError> {
+        let field = driver.create_region(4);
+        let rhs = driver.create_region(4);
+        let chem = driver.create_region(1);
+        // Unique setup tasks: chemistry table builds etc.
+        for k in 0..24 {
+            driver.execute_task(
+                TaskDesc::new(TaskKindId(SETUP_BASE + k))
+                    .read_writes(chem)
+                    .gpu_time(Micros(500.0)),
+            )?;
+        }
+        Ok(Self {
+            field,
+            rhs,
+            chem,
+            gpu_time: Micros(BASE_GPU_US * params.size.granularity_factor()),
+            gpus: params.total_gpus(),
+        })
+    }
+
+    /// One RHS evaluation: the traceable body.
+    fn rhs_body(&self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+        for stage in 0..STAGES {
+            driver.execute_task(comm::halo_exchange(HALO, self.field, self.gpus))?;
+            for t in 0..TASKS_PER_STAGE {
+                let kind = TaskKindId(RHS_BASE + (stage * TASKS_PER_STAGE + t) as u32);
+                driver.execute_task(
+                    TaskDesc::new(kind)
+                        .reads(self.field)
+                        .reads(self.chem)
+                        .read_writes(self.rhs)
+                        .gpu_time(self.gpu_time),
+                )?;
+            }
+        }
+        // Integrate the stage results back into the field.
+        driver.execute_task(
+            TaskDesc::new(TaskKindId(RHS_BASE + 9000))
+                .reads(self.rhs)
+                .read_writes(self.field)
+                .gpu_time(self.gpu_time),
+        )?;
+        Ok(())
+    }
+
+    /// The Fortran+MPI hand-off.
+    fn handoff(&self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+        driver.execute_task(
+            TaskDesc::new(TO_FORTRAN).reads(self.field).gpu_time(comm::latency(self.gpus) * 4.0),
+        )?;
+        driver.execute_task(
+            TaskDesc::new(FROM_FORTRAN)
+                .read_writes(self.field)
+                .gpu_time(comm::latency(self.gpus) * 4.0),
+        )?;
+        Ok(())
+    }
+
+    /// Whether iteration `i` performs a hand-off (every iteration for the
+    /// first 10, every 10th after).
+    fn handoff_at(i: usize) -> bool {
+        i < 10 || i % 10 == 0
+    }
+}
+
+impl Workload for S3d {
+    fn name(&self) -> &'static str {
+        "s3d"
+    }
+
+    fn has_manual(&self) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        driver: &mut dyn Driver,
+        params: &AppParams,
+        manual: bool,
+    ) -> Result<(), RuntimeError> {
+        let st = S3dState::setup(driver, params)?;
+        for i in 0..params.iters {
+            if manual {
+                // Production-style annotation: RHS in a trace, hand-offs
+                // outside.
+                driver.begin_trace(TraceId(500))?;
+                st.rhs_body(driver)?;
+                driver.end_trace(TraceId(500))?;
+            } else {
+                st.rhs_body(driver)?;
+            }
+            if S3dState::handoff_at(i) {
+                st.handoff(driver)?;
+            }
+            driver.mark_iteration();
+        }
+        Ok(())
+    }
+}
+
+/// Tasks issued per iteration by the RHS body (used by benches to reason
+/// about expected trace lengths).
+pub const fn rhs_tasks_per_iteration() -> usize {
+    STAGES * (TASKS_PER_STAGE + 1) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{measure_throughput, run_workload, Mode, ProblemSize};
+    use apophenia::Config;
+
+    fn params(gpus: u32, size: ProblemSize, iters: usize) -> AppParams {
+        AppParams::perlmutter(gpus, size, iters)
+    }
+
+    fn auto_cfg() -> Config {
+        // Standard flags, smaller buffer for test speed (the iteration is
+        // ~200 tasks; 2000 tokens hold many periods).
+        Config::standard().with_batch_size(2000).with_multi_scale_factor(200)
+    }
+
+    #[test]
+    fn stream_shape() {
+        let out = run_workload(&S3d, &params(4, ProblemSize::Small, 12), &Mode::Untraced)
+            .unwrap();
+        // 24 setup + 12 × (197 rhs) + handoffs (iters 0..10 and 10) ×2.
+        let handoffs = (0..12).filter(|&i| S3dState::handoff_at(i)).count();
+        let expect = 24 + 12 * rhs_tasks_per_iteration() + handoffs * 2;
+        assert_eq!(out.stats.tasks_total as usize, expect);
+    }
+
+    #[test]
+    fn manual_traces_replay_despite_handoffs() {
+        let out = run_workload(&S3d, &params(4, ProblemSize::Small, 30), &Mode::Manual)
+            .unwrap();
+        assert_eq!(out.stats.mismatches, 0);
+        assert_eq!(out.stats.trace_replays, 29, "{}", out.stats);
+    }
+
+    #[test]
+    fn auto_reaches_steady_state() {
+        let out =
+            run_workload(&S3d, &params(4, ProblemSize::Small, 80), &Mode::Auto(auto_cfg()))
+                .unwrap();
+        assert_eq!(out.stats.mismatches, 0);
+        assert!(out.stats.replayed_fraction() > 0.4, "{}", out.stats);
+        let w = out.warmup_iterations.expect("steady state reached");
+        assert!(w <= 60, "warmup {w}");
+    }
+
+    #[test]
+    fn figure6a_ordering_small_size_at_scale() {
+        // At 64 GPUs, small problem size: auto ≈ manual > untraced.
+        let p = params(64, ProblemSize::Small, 250);
+        let auto = measure_throughput(&S3d, &p, &Mode::Auto(auto_cfg()), 200).unwrap();
+        let manual = measure_throughput(&S3d, &p, &Mode::Manual, 200).unwrap();
+        let untraced = measure_throughput(&S3d, &p, &Mode::Untraced, 200).unwrap();
+        assert!(manual > untraced * 1.3, "manual {manual} vs untraced {untraced}");
+        let ratio = auto / manual;
+        assert!((0.85..=1.1).contains(&ratio), "auto/manual {ratio}");
+    }
+
+    #[test]
+    fn large_size_hides_overhead_at_small_scale() {
+        // At 4 GPUs, large problem size, untraced is competitive (within
+        // ~10%) — the paper's low-end 0.98x.
+        let p = params(4, ProblemSize::Large, 40);
+        let manual = measure_throughput(&S3d, &p, &Mode::Manual, 20).unwrap();
+        let untraced = measure_throughput(&S3d, &p, &Mode::Untraced, 20).unwrap();
+        let speedup = manual / untraced;
+        assert!(speedup < 1.15, "tracing gains little here: {speedup}");
+        assert!(speedup > 0.95, "tracing must not hurt: {speedup}");
+    }
+}

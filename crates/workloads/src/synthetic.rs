@@ -1,0 +1,240 @@
+//! Synthetic task-stream generators for ablations and stress tests.
+//!
+//! These isolate stream *shapes* — pure loops, noisy loops, nested loops,
+//! phase changes, random streams — so the ablation benches can compare
+//! mining algorithms and scoring variants without application noise.
+
+use crate::driver::{AppParams, Driver, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tasksim::cost::Micros;
+use tasksim::ids::{RegionId, TaskKindId};
+use tasksim::runtime::RuntimeError;
+use tasksim::task::TaskDesc;
+
+const KIND_BASE: u32 = 2000;
+
+/// A stream that repeats a `period`-task loop body, optionally inserting a
+/// unique "convergence check" task every `noise_every` iterations
+/// (0 = never) — the §4.2 motivation for relaxing tandem repeats.
+#[derive(Debug, Clone, Copy)]
+pub struct NoisyLoop {
+    /// Loop-body length in tasks.
+    pub period: usize,
+    /// Insert a unique task every this many iterations (0 = never).
+    pub noise_every: usize,
+    /// GPU time per task.
+    pub gpu_us: f64,
+}
+
+impl Default for NoisyLoop {
+    fn default() -> Self {
+        Self { period: 32, noise_every: 5, gpu_us: 200.0 }
+    }
+}
+
+impl NoisyLoop {
+    fn body(
+        &self,
+        driver: &mut dyn Driver,
+        a: RegionId,
+        b: RegionId,
+    ) -> Result<(), RuntimeError> {
+        for k in 0..self.period {
+            let (src, dst) = if k % 2 == 0 { (a, b) } else { (b, a) };
+            driver.execute_task(
+                TaskDesc::new(TaskKindId(KIND_BASE + k as u32))
+                    .reads(src)
+                    .read_writes(dst)
+                    .gpu_time(Micros(self.gpu_us)),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Workload for NoisyLoop {
+    fn name(&self) -> &'static str {
+        "noisy-loop"
+    }
+
+    fn has_manual(&self) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        driver: &mut dyn Driver,
+        params: &AppParams,
+        manual: bool,
+    ) -> Result<(), RuntimeError> {
+        let a = driver.create_region(1);
+        let b = driver.create_region(1);
+        for i in 0..params.iters {
+            if manual {
+                driver.begin_trace(tasksim::ids::TraceId(2000))?;
+            }
+            self.body(driver, a, b)?;
+            if manual {
+                driver.end_trace(tasksim::ids::TraceId(2000))?;
+            }
+            if self.noise_every > 0 && i % self.noise_every == self.noise_every - 1 {
+                // Unique task: a fresh kind every time.
+                driver.execute_task(
+                    TaskDesc::new(TaskKindId(KIND_BASE + 5000 + i as u32))
+                        .reads(a)
+                        .gpu_time(Micros(self.gpu_us)),
+                )?;
+            }
+            driver.mark_iteration();
+        }
+        Ok(())
+    }
+}
+
+/// A fully random stream: no repeats for the miner to find.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomStream {
+    /// RNG seed.
+    pub seed: u64,
+    /// Distinct task kinds to draw from (large → few accidental repeats).
+    pub kinds: u32,
+}
+
+impl Default for RandomStream {
+    fn default() -> Self {
+        Self { seed: 7, kinds: 10_000 }
+    }
+}
+
+impl Workload for RandomStream {
+    fn name(&self) -> &'static str {
+        "random-stream"
+    }
+
+    fn has_manual(&self) -> bool {
+        false
+    }
+
+    fn run(
+        &self,
+        driver: &mut dyn Driver,
+        params: &AppParams,
+        manual: bool,
+    ) -> Result<(), RuntimeError> {
+        assert!(!manual);
+        let a = driver.create_region(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..params.iters {
+            for _ in 0..16 {
+                let kind = TaskKindId(KIND_BASE + 10_000 + rng.gen_range(0..self.kinds));
+                driver
+                    .execute_task(TaskDesc::new(kind).read_writes(a).gpu_time(Micros(100.0)))?;
+            }
+            driver.mark_iteration();
+        }
+        Ok(())
+    }
+}
+
+/// A program with two phases: loop A for the first half, then loop B —
+/// exercises the scoring function's exploration/exploitation switch
+/// (count capping lets Apophenia abandon A's traces for B's).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseChange {
+    /// Tasks per loop body.
+    pub period: usize,
+    /// GPU time per task.
+    pub gpu_us: f64,
+}
+
+impl Default for PhaseChange {
+    fn default() -> Self {
+        Self { period: 24, gpu_us: 200.0 }
+    }
+}
+
+impl Workload for PhaseChange {
+    fn name(&self) -> &'static str {
+        "phase-change"
+    }
+
+    fn has_manual(&self) -> bool {
+        false
+    }
+
+    fn run(
+        &self,
+        driver: &mut dyn Driver,
+        params: &AppParams,
+        manual: bool,
+    ) -> Result<(), RuntimeError> {
+        assert!(!manual);
+        let a = driver.create_region(1);
+        let b = driver.create_region(1);
+        for i in 0..params.iters {
+            let base = if i < params.iters / 2 { KIND_BASE + 20_000 } else { KIND_BASE + 30_000 };
+            for k in 0..self.period {
+                let (src, dst) = if k % 2 == 0 { (a, b) } else { (b, a) };
+                driver.execute_task(
+                    TaskDesc::new(TaskKindId(base + k as u32))
+                        .reads(src)
+                        .read_writes(dst)
+                        .gpu_time(Micros(self.gpu_us)),
+                )?;
+            }
+            driver.mark_iteration();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, Mode, ProblemSize};
+    use apophenia::Config;
+
+    fn p(iters: usize) -> AppParams {
+        AppParams { nodes: 1, gpus_per_node: 1, size: ProblemSize::Small, iters }
+    }
+
+    fn cfg() -> Config {
+        Config::standard()
+            .with_min_trace_length(8)
+            .with_batch_size(1024)
+            .with_multi_scale_factor(64)
+    }
+
+    #[test]
+    fn noisy_loop_traced_despite_noise() {
+        let w = NoisyLoop::default();
+        let out = run_workload(&w, &p(200), &Mode::Auto(cfg())).unwrap();
+        assert!(out.stats.replayed_fraction() > 0.5, "{}", out.stats);
+        assert_eq!(out.stats.mismatches, 0);
+    }
+
+    #[test]
+    fn random_stream_stays_untraced() {
+        let w = RandomStream::default();
+        let out = run_workload(&w, &p(100), &Mode::Auto(cfg())).unwrap();
+        assert_eq!(out.stats.tasks_replayed, 0, "{}", out.stats);
+    }
+
+    #[test]
+    fn phase_change_adapts() {
+        let w = PhaseChange::default();
+        let out = run_workload(&w, &p(400), &Mode::Auto(cfg())).unwrap();
+        // Both phases must end up traced: more than half of ALL tasks
+        // replayed implies the second phase was adopted too.
+        assert!(out.stats.replayed_fraction() > 0.5, "{}", out.stats);
+    }
+
+    #[test]
+    fn manual_matches_noisy_loop_structure() {
+        let w = NoisyLoop::default();
+        let out = run_workload(&w, &p(100), &Mode::Manual).unwrap();
+        assert_eq!(out.stats.mismatches, 0);
+        assert_eq!(out.stats.trace_replays, 99);
+    }
+}

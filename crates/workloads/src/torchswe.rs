@@ -1,0 +1,211 @@
+//! TorchSWE: cuPyNumeric shallow-water equation solver (§6.1, Figure 7b).
+//!
+//! The largest cuPyNumeric application: it "maintains a large number of
+//! fields for each simulated point, and issues different array operations
+//! on each field". Two consequences the reproduction preserves:
+//!
+//! * iterations contain *many* small tasks (one sweep per field per
+//!   stage), so **no problem size hides Legion's untraced overhead** —
+//!   adding resolution grows memory faster than task granularity, which
+//!   is why the per-size granularity factors below are compressed
+//!   relative to the other apps;
+//! * there is no manually traced version (an order of magnitude more code
+//!   than CFD, plus the same allocator recycling).
+
+use crate::comm;
+use crate::driver::{AppParams, Driver, ProblemSize, Workload};
+use crate::recycle::Recycler;
+use tasksim::cost::Micros;
+use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::runtime::RuntimeError;
+use tasksim::task::TaskDesc;
+
+/// Conserved + auxiliary fields per point (h, hu, hv, slopes, fluxes...).
+const FIELDS: usize = 12;
+/// Array operations per field per iteration.
+const OPS_PER_FIELD: usize = 13;
+const BASE_GPU_US: f64 = 550.0;
+
+const OP_BASE: u32 = 900;
+const HALO: TaskKindId = TaskKindId(899);
+
+/// Memory-bound granularity: sizes barely increase per-task time (§6.1).
+fn granularity(size: ProblemSize) -> f64 {
+    match size {
+        ProblemSize::Small => 1.0,
+        ProblemSize::Medium => 1.15,
+        ProblemSize::Large => 1.3,
+    }
+}
+
+/// The TorchSWE workload (auto/untraced only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TorchSwe;
+
+struct SweState {
+    fields: Vec<RegionId>,
+    rec: Recycler,
+    gpu_time: Micros,
+    gpus: u32,
+}
+
+impl SweState {
+    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Self {
+        Self {
+            fields: (0..FIELDS).map(|_| driver.create_region(1)).collect(),
+            rec: Recycler::new(1),
+            gpu_time: Micros(BASE_GPU_US * granularity(params.size)),
+            gpus: params.total_gpus(),
+        }
+    }
+
+    fn iteration(&mut self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+        // Halo exchange on the conserved fields.
+        for f in 0..3 {
+            driver.execute_task(comm::halo_exchange(HALO, self.fields[f], self.gpus))?;
+        }
+        // Per-field update chains through recycled temporaries.
+        for (fi, &field) in self.fields.clone().iter().enumerate() {
+            let mut cur = field;
+            let mut temps = Vec::new();
+            for op in 0..OPS_PER_FIELD - 1 {
+                let out = self.rec.alloc(driver);
+                let kind = TaskKindId(OP_BASE + (fi * OPS_PER_FIELD + op) as u32);
+                let neighbor = self.fields[(fi + 1) % FIELDS];
+                driver.execute_task(
+                    TaskDesc::new(kind)
+                        .reads(cur)
+                        .reads(neighbor)
+                        .writes(out)
+                        .gpu_time(self.gpu_time),
+                )?;
+                temps.push(cur);
+                cur = out;
+            }
+            // The new field value is a fresh array; the Python attribute
+            // rebinds and the old region recycles (the Figure 1 rotation —
+            // this is why no per-iteration manual trace is valid).
+            let new_field = self.rec.alloc(driver);
+            driver.execute_task(
+                TaskDesc::new(TaskKindId(OP_BASE + 8000 + fi as u32))
+                    .reads(cur)
+                    .writes(new_field)
+                    .gpu_time(self.gpu_time),
+            )?;
+            temps.push(cur);
+            self.fields[fi] = new_field;
+            for t in temps {
+                if t != new_field {
+                    self.rec.release(t);
+                }
+            }
+            self.rec.release(field);
+        }
+        Ok(())
+    }
+}
+
+impl Workload for TorchSwe {
+    fn name(&self) -> &'static str {
+        "torchswe"
+    }
+
+    fn has_manual(&self) -> bool {
+        false
+    }
+
+    fn run(
+        &self,
+        driver: &mut dyn Driver,
+        params: &AppParams,
+        manual: bool,
+    ) -> Result<(), RuntimeError> {
+        assert!(!manual, "torchswe has no manual variant (§6.1)");
+        let mut st = SweState::setup(driver, params);
+        for _ in 0..params.iters {
+            st.iteration(driver)?;
+            driver.mark_iteration();
+        }
+        Ok(())
+    }
+}
+
+/// Demonstrates that the rewrite-for-manual-tracing route is infeasible:
+/// the per-iteration annotation is invalid here too.
+///
+/// # Errors
+///
+/// Returns the trace validation error the runtime raises.
+pub fn run_naive_manual(
+    rt: &mut tasksim::runtime::Runtime,
+    params: &AppParams,
+) -> Result<(), RuntimeError> {
+    let mut st = SweState::setup(rt, params);
+    for _ in 0..params.iters {
+        Driver::begin_trace(rt, TraceId(900))?;
+        st.iteration(rt)?;
+        Driver::end_trace(rt, TraceId(900))?;
+    }
+    Ok(())
+}
+
+/// Tasks per iteration (exposed for benches).
+pub const fn tasks_per_iteration() -> usize {
+    3 + FIELDS * OPS_PER_FIELD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{measure_throughput, run_workload, Mode};
+    use apophenia::Config;
+    use tasksim::runtime::{Runtime, RuntimeConfig};
+
+    fn auto_cfg() -> Config {
+        Config::standard().with_batch_size(2500).with_multi_scale_factor(250)
+    }
+
+    #[test]
+    fn many_small_tasks_per_iteration() {
+        assert_eq!(tasks_per_iteration(), 159);
+        let p = AppParams::eos(8, ProblemSize::Small, 5);
+        let out = run_workload(&TorchSwe, &p, &Mode::Untraced).unwrap();
+        assert_eq!(out.stats.tasks_total as usize, 5 * tasks_per_iteration());
+    }
+
+    #[test]
+    fn no_size_hides_overhead_untraced() {
+        // §6.1: "there does not exist a problem size for TorchSWE that can
+        // hide Legion's runtime overhead without tracing" — even Large is
+        // analysis-bound at 8 GPUs.
+        let p = AppParams::eos(8, ProblemSize::Large, 60);
+        let out = run_workload(&TorchSwe, &p, &Mode::Untraced).unwrap();
+        let report = tasksim::exec::simulate(&out.log);
+        assert!(report.stall_fraction() > 0.2, "stalls: {}", report.stall_fraction());
+    }
+
+    #[test]
+    fn naive_manual_fails() {
+        let mut rt = Runtime::new(RuntimeConfig::single_node(8));
+        let p = AppParams::eos(8, ProblemSize::Small, 6);
+        assert!(run_naive_manual(&mut rt, &p).is_err());
+    }
+
+    #[test]
+    fn figure7b_auto_speedup_at_scale() {
+        let p = AppParams::eos(64, ProblemSize::Small, 300);
+        let auto = measure_throughput(&TorchSwe, &p, &Mode::Auto(auto_cfg()), 240).unwrap();
+        let untraced = measure_throughput(&TorchSwe, &p, &Mode::Untraced, 240).unwrap();
+        let speedup = auto / untraced;
+        assert!(speedup > 1.5, "auto speedup at 64 GPUs: {speedup}");
+    }
+
+    #[test]
+    fn auto_gains_even_at_one_gpu() {
+        // Figure 7b: untraced is behind from the start.
+        let p = AppParams::eos(1, ProblemSize::Small, 300);
+        let auto = measure_throughput(&TorchSwe, &p, &Mode::Auto(auto_cfg()), 240).unwrap();
+        let untraced = measure_throughput(&TorchSwe, &p, &Mode::Untraced, 240).unwrap();
+        assert!(auto > untraced, "auto {auto} vs untraced {untraced}");
+    }
+}

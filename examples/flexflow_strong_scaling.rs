@@ -1,0 +1,44 @@
+//! FlexFlow strong scaling with trace-length control (Figure 8 scenario).
+//!
+//! Run with `cargo run --release -p bench --example flexflow_strong_scaling`.
+//!
+//! Strong-scaling DNN training shrinks per-GPU work until runtime overhead
+//! dominates. This example compares four configurations at increasing GPU
+//! counts: untraced, manual per-iteration traces, standard Apophenia
+//! (`auto-5000`), and Apophenia with `-lg:auto_trace:max_trace_length 200`
+//! (`auto-200`). At high GPU counts the very long traces Apophenia mines
+//! by default replay slower per task, and capping the trace length
+//! recovers manual-level performance — the paper's headline Figure 8
+//! observation.
+
+use apophenia::Config;
+use workloads::driver::{measure_throughput, AppParams, Mode, ProblemSize};
+use workloads::FlexFlow;
+
+fn main() {
+    let iters = 400;
+    let warmup = 300;
+    let configs: Vec<(&str, Mode)> = vec![
+        ("untraced", Mode::Untraced),
+        ("manual", Mode::Manual),
+        ("auto-5000", Mode::Auto(Config::standard())),
+        ("auto-200", Mode::Auto(Config::standard().with_max_trace_length(200))),
+    ];
+    println!("FlexFlow strong scaling (iterations/second):");
+    print!("{:>6}", "GPUs");
+    for (label, _) in &configs {
+        print!("{label:>12}");
+    }
+    println!();
+    for gpus in [1u32, 2, 4, 8, 16, 32] {
+        let p = AppParams::eos(gpus, ProblemSize::Small, iters);
+        print!("{gpus:>6}");
+        for (_, mode) in &configs {
+            let tput = measure_throughput(&FlexFlow, &p, mode, warmup).expect("run");
+            print!("{tput:>12.2}");
+        }
+        println!();
+    }
+    println!("\nExpected shape: untraced plateaus then declines; auto-200 tracks");
+    println!("manual; auto-5000 falls behind at 32 GPUs (long-template replay cost).");
+}

@@ -1,0 +1,59 @@
+//! The paper's Figure 1 walkthrough: why manual tracing breaks under
+//! composition, and how Apophenia handles it.
+//!
+//! Run with `cargo run --release -p bench --example jacobi_cupynumeric`.
+//!
+//! 1. Shows the Jacobi task stream's period-2 structure caused by the
+//!    cuPyNumeric region allocator.
+//! 2. Attempts the "natural" manual annotation — and reports the exact
+//!    trace-validity error Legion would raise.
+//! 3. Runs the brittle-but-correct period-2 manual annotation.
+//! 4. Runs Apophenia, which needs no annotations at all.
+
+use apophenia::Config;
+use tasksim::runtime::{Runtime, RuntimeConfig};
+use workloads::driver::{run_workload, AppParams, Mode, ProblemSize};
+use workloads::jacobi::{run_naive_manual, run_period2_manual};
+use workloads::Jacobi;
+
+fn main() {
+    let params =
+        AppParams { nodes: 1, gpus_per_node: 1, size: ProblemSize::Small, iters: 400 };
+
+    // 1. Inspect the stream: hashes of two consecutive iterations differ,
+    // hashes two iterations apart agree.
+    let out = run_workload(&Jacobi, &params, &Mode::Untraced).expect("untraced run");
+    let hashes: Vec<u64> = out.log.task_records().map(|r| r.hash.0).collect();
+    println!("Figure 1b, observed: steady-state stream (task hashes, 4 iterations):");
+    for it in 4..8 {
+        let h = &hashes[it * 3..it * 3 + 3];
+        println!("  iter {it}: DOT={:016x} SUB={:016x} DIV={:016x}", h[0], h[1], h[2]);
+    }
+    println!(
+        "  period-1 repeat? {}   period-2 repeat? {}",
+        hashes[12..15] == hashes[15..18],
+        hashes[12..15] == hashes[18..21],
+    );
+
+    // 2. The natural manual annotation fails.
+    let mut rt = Runtime::new(RuntimeConfig::single_node(1));
+    let err = run_naive_manual(&mut rt, 5).expect_err("naive annotation is invalid");
+    println!("\nNaive per-iteration annotation: {err}");
+
+    // 3. The brittle period-2 annotation works.
+    let mut rt = Runtime::new(RuntimeConfig::single_node(1));
+    run_period2_manual(&mut rt, 400).expect("period-2 annotation is valid");
+    println!("\nPeriod-2 manual annotation: {}", rt.stats());
+
+    // 4. Apophenia: no annotations, same result.
+    let config = Config::standard()
+        .with_min_trace_length(4)
+        .with_batch_size(512)
+        .with_multi_scale_factor(32);
+    let out = run_workload(&Jacobi, &params, &Mode::Auto(config)).expect("auto run");
+    println!("\nApophenia (no annotations):     {}", out.stats);
+    println!(
+        "warmup iterations: {:?} (cuPyNumeric apps warm up slower — Figure 9)",
+        out.warmup_iterations
+    );
+}

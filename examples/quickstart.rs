@@ -1,0 +1,71 @@
+//! Quickstart: automatic tracing of a simple iterative program.
+//!
+//! Run with `cargo run --release -p bench --example quickstart`.
+//!
+//! Builds a two-task stencil loop, runs it three ways — untraced, manually
+//! traced, and through Apophenia — and compares simulated throughput and
+//! runtime statistics. No annotations are needed for the Apophenia run:
+//! the repeated fragment is discovered from the task stream.
+
+use apophenia::{AutoTracer, Config};
+use tasksim::cost::Micros;
+use tasksim::exec::simulate;
+use tasksim::ids::{TaskKindId, TraceId};
+use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use tasksim::task::TaskDesc;
+
+const ITERS: usize = 500;
+const WARMUP: usize = 300;
+
+fn main() -> Result<(), RuntimeError> {
+    // 1. Untraced: every task pays the full ~1 ms dependence analysis.
+    let mut rt = Runtime::new(RuntimeConfig::single_node(4));
+    let (a, b) = (rt.create_region(1), rt.create_region(1));
+    for _ in 0..ITERS {
+        rt.execute_task(step(0, a, b))?;
+        rt.execute_task(step(1, b, a))?;
+        rt.mark_iteration();
+    }
+    let untraced = simulate(rt.log()).steady_throughput(WARMUP);
+
+    // 2. Manually traced: the programmer brackets the loop body.
+    let mut rt = Runtime::new(RuntimeConfig::single_node(4));
+    let (a, b) = (rt.create_region(1), rt.create_region(1));
+    for _ in 0..ITERS {
+        rt.begin_trace(TraceId(0))?;
+        rt.execute_task(step(0, a, b))?;
+        rt.execute_task(step(1, b, a))?;
+        rt.end_trace(TraceId(0))?;
+        rt.mark_iteration();
+    }
+    let manual = simulate(rt.log()).steady_throughput(WARMUP);
+
+    // 3. Apophenia: same program, zero annotations.
+    let config = Config::standard().with_min_trace_length(2).with_multi_scale_factor(32);
+    let mut auto = AutoTracer::new(RuntimeConfig::single_node(4), config);
+    let (a, b) = (auto.create_region(1), auto.create_region(1));
+    for _ in 0..ITERS {
+        auto.execute_task(step(0, a, b))?;
+        auto.execute_task(step(1, b, a))?;
+        auto.mark_iteration();
+    }
+    auto.flush()?;
+    println!("Apophenia runtime stats: {}", auto.runtime().stats());
+    println!(
+        "warmup iterations until steady replay: {:?}",
+        auto.warmup().warmup_iterations()
+    );
+    let auto_tput = simulate(auto.runtime().log()).steady_throughput(WARMUP);
+
+    println!();
+    println!("steady-state throughput (simulated iterations/second):");
+    println!("  untraced:  {untraced:8.1}");
+    println!("  manual:    {manual:8.1}");
+    println!("  apophenia: {auto_tput:8.1}  ({:.2}x of manual)", auto_tput / manual);
+    Ok(())
+}
+
+/// One stencil step reading `src` and writing `dst`.
+fn step(kind: u32, src: tasksim::ids::RegionId, dst: tasksim::ids::RegionId) -> TaskDesc {
+    TaskDesc::new(TaskKindId(kind)).reads(src).writes(dst).gpu_time(Micros(120.0))
+}

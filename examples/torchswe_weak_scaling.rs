@@ -1,0 +1,34 @@
+//! TorchSWE weak scaling (the paper's Figure 7b scenario).
+//!
+//! Run with `cargo run --release -p bench --example torchswe_weak_scaling`.
+//!
+//! TorchSWE is the paper's poster child for *mandatory* tracing: its many
+//! per-field array operations keep task granularity low at every problem
+//! size, so the untraced runtime is overhead-bound from one GPU up — and
+//! its allocator-recycled stream has no manually traceable iteration.
+//! This example sweeps GPU counts and prints auto-vs-untraced throughput
+//! and the achieved speedup.
+
+use apophenia::Config;
+use workloads::driver::{measure_throughput, AppParams, Mode, ProblemSize};
+use workloads::TorchSwe;
+
+fn main() {
+    let iters = 400;
+    let warmup = 300;
+    println!("TorchSWE weak scaling, small problem size (iterations/second):");
+    println!("{:>6} {:>12} {:>12} {:>10}", "GPUs", "auto", "untraced", "speedup");
+    for gpus in [1u32, 2, 4, 8, 16, 32, 64] {
+        let p = AppParams::eos(gpus, ProblemSize::Small, iters);
+        let auto =
+            measure_throughput(&TorchSwe, &p, &Mode::Auto(Config::standard()), warmup)
+                .expect("auto run");
+        let untraced =
+            measure_throughput(&TorchSwe, &p, &Mode::Untraced, warmup).expect("untraced run");
+        println!(
+            "{gpus:>6} {auto:>12.2} {untraced:>12.2} {:>9.2}x",
+            auto / untraced
+        );
+    }
+    println!("\nPaper reports 0.91x–2.82x end-to-end speedups, growing with scale.");
+}

@@ -1,0 +1,95 @@
+//! End-to-end integration: every workload through the full stack
+//! (stream → Apophenia → runtime → machine simulation).
+
+use apophenia::Config;
+use tasksim::exec::simulate;
+use workloads::driver::{run_workload, AppParams, Mode, ProblemSize, Workload};
+
+fn all_workloads() -> Vec<(&'static dyn Workload, AppParams)> {
+    vec![
+        (&workloads::Jacobi, AppParams { nodes: 1, gpus_per_node: 1, size: ProblemSize::Small, iters: 1500 }),
+        (&workloads::S3d, AppParams::perlmutter(8, ProblemSize::Small, 120)),
+        (&workloads::Htr, AppParams::perlmutter(8, ProblemSize::Small, 200)),
+        (&workloads::Cfd, AppParams::eos(8, ProblemSize::Small, 200)),
+        (&workloads::TorchSwe, AppParams::eos(8, ProblemSize::Small, 100)),
+        (&workloads::FlexFlow, AppParams::eos(8, ProblemSize::Small, 150)),
+    ]
+}
+
+#[test]
+fn every_workload_traces_cleanly_under_apophenia() {
+    for (w, p) in all_workloads() {
+        let out = run_workload(w, &p, &Mode::Auto(Config::standard())).unwrap();
+        assert_eq!(out.stats.mismatches, 0, "{}: {}", w.name(), out.stats);
+        assert!(
+            out.stats.tasks_replayed > 0,
+            "{} found no traces: {}",
+            w.name(),
+            out.stats
+        );
+        // The log is simulatable and iterations are all accounted for.
+        let report = simulate(&out.log);
+        assert_eq!(out.log.iteration_count(), p.iters, "{}", w.name());
+        assert!(report.total > tasksim::cost::Micros::ZERO);
+    }
+}
+
+#[test]
+fn order_preserved_for_every_workload() {
+    for (w, p) in all_workloads() {
+        let untraced = run_workload(w, &p, &Mode::Untraced).unwrap();
+        let auto = run_workload(w, &p, &Mode::Auto(Config::standard())).unwrap();
+        let a: Vec<_> = untraced.log.task_records().map(|r| r.hash).collect();
+        let b: Vec<_> = auto.log.task_records().map(|r| r.hash).collect();
+        assert_eq!(a, b, "{}: Apophenia must not reorder the stream", w.name());
+    }
+}
+
+#[test]
+fn auto_never_slower_than_untraced_by_much() {
+    // The paper's floor: 0.91x in the worst configuration. Allow 0.85 for
+    // simulation noise on short runs.
+    for (w, p) in all_workloads() {
+        let auto = run_workload(w, &p, &Mode::Auto(Config::standard())).unwrap();
+        let untraced = run_workload(w, &p, &Mode::Untraced).unwrap();
+        let warmup = p.iters * 3 / 4;
+        let ta = simulate(&auto.log).steady_throughput(warmup);
+        let tu = simulate(&untraced.log).steady_throughput(warmup);
+        assert!(
+            ta > tu * 0.85,
+            "{}: auto {ta} vs untraced {tu}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn manual_workloads_validate_their_annotations() {
+    let runs: Vec<(&dyn Workload, AppParams)> = vec![
+        (&workloads::S3d, AppParams::perlmutter(8, ProblemSize::Small, 60)),
+        (&workloads::Htr, AppParams::perlmutter(8, ProblemSize::Small, 60)),
+        (&workloads::FlexFlow, AppParams::eos(8, ProblemSize::Small, 60)),
+    ];
+    for (w, p) in runs {
+        let out = run_workload(w, &p, &Mode::Manual).unwrap();
+        assert_eq!(out.stats.mismatches, 0, "{}", w.name());
+        assert_eq!(out.stats.trace_replays, (p.iters - 1) as u64, "{}", w.name());
+    }
+}
+
+#[test]
+fn replay_fraction_grows_over_run() {
+    let p = AppParams::perlmutter(4, ProblemSize::Small, 150);
+    let out = run_workload(&workloads::S3d, &p, &Mode::Auto(Config::standard())).unwrap();
+    let samples = &out.traced_samples;
+    assert!(!samples.is_empty());
+    let first_quarter: f64 = samples[..samples.len() / 4].iter().map(|s| s.1).sum::<f64>()
+        / (samples.len() / 4) as f64;
+    let last_quarter: f64 = samples[samples.len() * 3 / 4..].iter().map(|s| s.1).sum::<f64>()
+        / (samples.len() - samples.len() * 3 / 4) as f64;
+    assert!(
+        last_quarter > first_quarter,
+        "traced fraction ramps: {first_quarter} → {last_quarter}"
+    );
+    assert!(last_quarter > 80.0, "steady state: {last_quarter}%");
+}

@@ -1,0 +1,151 @@
+//! Randomized invariant tests ("fuzzing" with proptest): arbitrary
+//! programs must never break the runtime's or Apophenia's invariants.
+
+use apophenia::{AutoTracer, Config};
+use proptest::prelude::*;
+use tasksim::cost::Micros;
+use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::runtime::{Runtime, RuntimeConfig};
+use tasksim::task::TaskDesc;
+use tasksim::trace::MismatchPolicy;
+
+/// One step of a random program.
+#[derive(Debug, Clone)]
+enum Step {
+    Task { kind: u8, reads: u8, writes: u8 },
+    Begin(u8),
+    End(u8),
+    Mark,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(kind, reads, writes)| Step::Task { kind: kind % 12, reads, writes }),
+        1 => (0u8..4).prop_map(Step::Begin),
+        1 => (0u8..4).prop_map(Step::End),
+        1 => Just(Step::Mark),
+    ]
+}
+
+fn build_task(regions: &[RegionId], kind: u8, reads: u8, writes: u8) -> TaskDesc {
+    let r = regions[reads as usize % regions.len()];
+    let w = regions[writes as usize % regions.len()];
+    TaskDesc::new(TaskKindId(u32::from(kind))).reads(r).writes(w).gpu_time(Micros(50.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under the Fallback mismatch policy, NO random program (including
+    /// ill-formed manual annotations) can panic the runtime or corrupt
+    /// its statistics; Strict-policy errors are surfaced as Results.
+    #[test]
+    fn random_programs_never_panic_runtime(steps in proptest::collection::vec(step_strategy(), 0..300)) {
+        let mut cfg = RuntimeConfig::single_node(2);
+        cfg.mismatch_policy = MismatchPolicy::Fallback;
+        let mut rt = Runtime::new(cfg);
+        let regions: Vec<RegionId> = (0..4).map(|_| rt.create_region(1)).collect();
+        for step in &steps {
+            // Bracketing errors are legal outcomes; panics are not.
+            match step {
+                Step::Task { kind, reads, writes } => {
+                    let _ = rt.execute_task(build_task(&regions, *kind, *reads, *writes));
+                }
+                Step::Begin(id) => {
+                    let _ = rt.begin_trace(TraceId(u32::from(*id)));
+                }
+                Step::End(id) => {
+                    let _ = rt.end_trace(TraceId(u32::from(*id)));
+                }
+                Step::Mark => rt.mark_iteration(),
+            }
+        }
+        let s = rt.stats();
+        prop_assert_eq!(s.tasks_total, s.tasks_fresh + s.tasks_recorded + s.tasks_replayed);
+        // The log is always simulatable.
+        let report = tasksim::exec::simulate(rt.log());
+        prop_assert!(report.total.0 >= 0.0);
+        prop_assert!(report.iteration_finish.len() == rt.log().iteration_count());
+    }
+
+    /// THE invariant of automatic tracing: no task stream — random,
+    /// adversarial, or degenerate — can make Apophenia issue an invalid
+    /// trace. Mismatches must be zero under the Strict policy (a mismatch
+    /// would be an error return, and an error would fail this test).
+    #[test]
+    fn apophenia_never_mismatches(
+        kinds in proptest::collection::vec(0u8..6, 0..600),
+        min_len in 2usize..6,
+    ) {
+        let config = Config::standard()
+            .with_min_trace_length(min_len)
+            .with_batch_size(256)
+            .with_multi_scale_factor(16);
+        let mut auto = AutoTracer::new(RuntimeConfig::single_node(2), config);
+        let regions: Vec<RegionId> = (0..3).map(|_| auto.create_region(1)).collect();
+        for (i, &k) in kinds.iter().enumerate() {
+            auto.execute_task(build_task(&regions, k, k, k.wrapping_add(1)))
+                .expect("auto tracing never errors");
+            if i % 7 == 6 {
+                auto.mark_iteration();
+            }
+        }
+        auto.flush().expect("flush never errors");
+        let s = auto.runtime().stats();
+        prop_assert_eq!(s.mismatches, 0);
+        prop_assert_eq!(s.tasks_total, kinds.len() as u64, "no task lost or duplicated");
+    }
+
+    /// The engine preserves stream order for arbitrary inputs.
+    #[test]
+    fn apophenia_preserves_order(kinds in proptest::collection::vec(0u8..5, 0..400)) {
+        let config = Config::standard()
+            .with_min_trace_length(3)
+            .with_batch_size(128)
+            .with_multi_scale_factor(16);
+        let mut auto = AutoTracer::new(RuntimeConfig::single_node(1), config);
+        let regions: Vec<RegionId> = (0..3).map(|_| auto.create_region(1)).collect();
+        let mut expected = Vec::new();
+        for &k in &kinds {
+            let t = build_task(&regions, k, k, k.wrapping_add(1));
+            expected.push(t.semantic_hash());
+            auto.execute_task(t).unwrap();
+        }
+        auto.flush().unwrap();
+        let got: Vec<_> = auto.runtime().log().task_records().map(|r| r.hash).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Region lifecycle fuzz: create/partition/destroy interleavings never
+    /// break the forest's alias relation.
+    #[test]
+    fn region_lifecycle_fuzz(ops in proptest::collection::vec((0u8..3, any::<u8>()), 1..60)) {
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1));
+        let mut live: Vec<RegionId> = vec![rt.create_region(1)];
+        for (op, arg) in ops {
+            match op {
+                0 => live.push(rt.create_region(1 + u32::from(arg % 4))),
+                1 => {
+                    let r = live[arg as usize % live.len()];
+                    if let Ok(parts) = rt.partition(r, 2 + u32::from(arg % 3)) {
+                        live.extend(parts);
+                    }
+                }
+                _ => {
+                    if live.len() > 1 {
+                        let r = live.remove(arg as usize % live.len());
+                        let _ = rt.destroy_region(r);
+                    }
+                }
+            }
+        }
+        // Aliasing stays symmetric over whatever survived.
+        let forest = rt.forest();
+        for &a in &live {
+            for &b in &live {
+                prop_assert_eq!(forest.may_alias(a, b), forest.may_alias(b, a));
+            }
+        }
+    }
+}

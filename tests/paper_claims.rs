@@ -1,0 +1,109 @@
+//! The paper's headline quantitative claims, as integration tests.
+//!
+//! §6's two headline ranges:
+//! * previously traced programs: Apophenia reaches 0.92x–1.03x of manual;
+//! * previously untraced programs: 0.91x–2.82x end-to-end speedups.
+//!
+//! Absolute throughput depends on the simulator calibration; the claims
+//! tested here are the *relative* ones the paper leads with.
+
+use apophenia::Config;
+use workloads::driver::{measure_throughput, AppParams, Mode, ProblemSize, Workload};
+
+const ITERS: usize = 400;
+const WARMUP: usize = 300;
+
+fn auto() -> Mode {
+    Mode::Auto(Config::standard())
+}
+
+/// Apophenia within 0.92x–1.03x of manual tracing (allowing a small
+/// simulation margin on both sides).
+#[test]
+fn auto_matches_manual_on_traced_apps() {
+    let runs: Vec<(&dyn Workload, AppParams)> = vec![
+        (&workloads::S3d, AppParams::perlmutter(16, ProblemSize::Small, ITERS)),
+        (&workloads::Htr, AppParams::perlmutter(16, ProblemSize::Small, ITERS)),
+    ];
+    for (w, p) in runs {
+        let a = measure_throughput(w, &p, &auto(), WARMUP).unwrap();
+        let m = measure_throughput(w, &p, &Mode::Manual, WARMUP).unwrap();
+        let ratio = a / m;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "{}: auto/manual = {ratio:.3} (paper: 0.92–1.03)",
+            w.name()
+        );
+    }
+}
+
+/// FlexFlow at strong scale with max_trace_length 200 reaches ~0.97x of
+/// manual (paper §6.2).
+#[test]
+fn flexflow_auto200_matches_manual() {
+    let p = AppParams::eos(32, ProblemSize::Small, ITERS);
+    let a200 = measure_throughput(
+        &workloads::FlexFlow,
+        &p,
+        &Mode::Auto(Config::standard().with_max_trace_length(200)),
+        WARMUP,
+    )
+    .unwrap();
+    let m = measure_throughput(&workloads::FlexFlow, &p, &Mode::Manual, WARMUP).unwrap();
+    let ratio = a200 / m;
+    assert!((0.9..=1.05).contains(&ratio), "auto-200/manual = {ratio:.3}");
+}
+
+/// Untraced programs speed up by up to ~2.8x at scale (TorchSWE's 2.82x
+/// is the paper's maximum).
+#[test]
+fn untraced_apps_speed_up_at_scale() {
+    let cases: Vec<(&dyn Workload, AppParams, f64, f64)> = vec![
+        // (workload, params, min expected speedup, max plausible)
+        (&workloads::Cfd, AppParams::eos(64, ProblemSize::Small, ITERS), 1.2, 3.5),
+        (&workloads::TorchSwe, AppParams::eos(64, ProblemSize::Small, ITERS), 2.0, 4.5),
+    ];
+    for (w, p, lo, hi) in cases {
+        let a = measure_throughput(w, &p, &auto(), WARMUP).unwrap();
+        let u = measure_throughput(w, &p, &Mode::Untraced, WARMUP).unwrap();
+        let speedup = a / u;
+        assert!(
+            (lo..=hi).contains(&speedup),
+            "{}: speedup {speedup:.2} outside [{lo}, {hi}]",
+            w.name()
+        );
+    }
+}
+
+/// Tracing must never hurt large problem sizes at small scale by more
+/// than the paper's observed floor (0.91x).
+#[test]
+fn tracing_floor_respected() {
+    let cases: Vec<(&dyn Workload, AppParams)> = vec![
+        (&workloads::S3d, AppParams::perlmutter(4, ProblemSize::Large, ITERS)),
+        (&workloads::Cfd, AppParams::eos(8, ProblemSize::Large, ITERS)),
+    ];
+    for (w, p) in cases {
+        let a = measure_throughput(w, &p, &auto(), WARMUP).unwrap();
+        let u = measure_throughput(w, &p, &Mode::Untraced, WARMUP).unwrap();
+        assert!(a / u > 0.9, "{}: auto/untraced = {:.3}", w.name(), a / u);
+    }
+}
+
+/// Figure 8's crossover: the maximum-trace-length cap only matters at
+/// strong scale.
+#[test]
+fn max_trace_length_crossover() {
+    let a5000 = Mode::Auto(Config::standard());
+    let a200 = Mode::Auto(Config::standard().with_max_trace_length(200));
+    // 1 GPU: tie.
+    let p1 = AppParams::eos(1, ProblemSize::Small, ITERS);
+    let t5000 = measure_throughput(&workloads::FlexFlow, &p1, &a5000, WARMUP).unwrap();
+    let t200 = measure_throughput(&workloads::FlexFlow, &p1, &a200, WARMUP).unwrap();
+    assert!((t200 / t5000 - 1.0).abs() < 0.1, "tie at 1 GPU: {}", t200 / t5000);
+    // 32 GPUs: the cap wins.
+    let p32 = AppParams::eos(32, ProblemSize::Small, ITERS);
+    let t5000 = measure_throughput(&workloads::FlexFlow, &p32, &a5000, WARMUP).unwrap();
+    let t200 = measure_throughput(&workloads::FlexFlow, &p32, &a200, WARMUP).unwrap();
+    assert!(t200 > t5000 * 1.1, "cap wins at 32 GPUs: {} vs {}", t200, t5000);
+}
