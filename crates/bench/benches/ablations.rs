@@ -14,10 +14,7 @@ use workloads::driver::{run_workload, AppParams, Mode, ProblemSize};
 use workloads::synthetic::NoisyLoop;
 
 fn base_config() -> Config {
-    Config::standard()
-        .with_min_trace_length(8)
-        .with_batch_size(1024)
-        .with_multi_scale_factor(64)
+    Config::standard().with_min_trace_length(8).with_batch_size(1024).with_multi_scale_factor(64)
 }
 
 fn workload() -> (NoisyLoop, AppParams) {

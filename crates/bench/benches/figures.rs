@@ -49,8 +49,7 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig10_traced_window", |b| {
         let p = AppParams::perlmutter(4, ProblemSize::Small, 60);
         b.iter(|| {
-            let out =
-                run_workload(&workloads::S3d, &p, &Mode::Auto(Config::standard())).unwrap();
+            let out = run_workload(&workloads::S3d, &p, &Mode::Auto(Config::standard())).unwrap();
             out.traced_samples.len()
         })
     });

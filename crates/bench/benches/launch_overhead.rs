@@ -7,62 +7,86 @@
 //! comparison on our substrate. The claim to preserve: the layer's
 //! overhead stays far below the 100 µs replay cost, so it hides behind
 //! the pipelined runtime.
+//!
+//! Each configuration is measured twice: task-at-a-time `execute_task`
+//! and the batched `issue_batch` hot path. The two produce bit-identical
+//! operation logs (see `tests/issuer_parity.rs`); the batched variants
+//! quantify how much per-task bookkeeping (runtime-stats deltas and
+//! traced-window metric updates) the batch path actually amortizes, so
+//! the batching win is measured rather than asserted.
 
 use apophenia::{AutoTracer, Config};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tasksim::cost::Micros;
 use tasksim::ids::TaskKindId;
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::{Runtime, RuntimeConfig};
 use tasksim::task::TaskDesc;
 
 const TASKS_PER_ITER: u64 = 64;
+
+fn task(kind: u32) -> TaskDesc {
+    TaskDesc::new(TaskKindId(kind)).gpu_time(Micros(100.0))
+}
+
+/// The per-sample task batch: `TASKS_PER_ITER` tasks over two regions.
+fn batch(a: tasksim::ids::RegionId, b: tasksim::ids::RegionId, kinds: u32) -> Vec<TaskDesc> {
+    (0..TASKS_PER_ITER)
+        .map(|k| task((k % u64::from(kinds)) as u32).reads(a).read_writes(b))
+        .collect()
+}
+
+fn plain_runtime() -> (Runtime, tasksim::ids::RegionId, tasksim::ids::RegionId) {
+    let mut rt = Runtime::new(RuntimeConfig::multi_node(2, 4));
+    let a = rt.create_region(1);
+    let b = rt.create_region(1);
+    (rt, a, b)
+}
+
+fn apophenia(config: Config) -> (AutoTracer, tasksim::ids::RegionId, tasksim::ids::RegionId) {
+    let mut auto = AutoTracer::new(RuntimeConfig::multi_node(2, 4), config);
+    let a = auto.create_region(1);
+    let b = auto.create_region(1);
+    (auto, a, b)
+}
 
 fn bench_launch(c: &mut Criterion) {
     let mut g = c.benchmark_group("task_launch");
     g.throughput(Throughput::Elements(TASKS_PER_ITER));
 
     g.bench_function("plain_runtime", |b| {
-        b.iter_with_setup(
-            || {
-                let mut rt = Runtime::new(RuntimeConfig::multi_node(2, 4));
-                let a = rt.create_region(1);
-                let bb = rt.create_region(1);
-                (rt, a, bb)
-            },
-            |(mut rt, a, bb)| {
-                for k in 0..TASKS_PER_ITER {
-                    rt.execute_task(
-                        TaskDesc::new(TaskKindId((k % 16) as u32))
-                            .reads(a)
-                            .read_writes(bb)
-                            .gpu_time(Micros(100.0)),
-                    )
-                    .unwrap();
-                }
-                rt
-            },
-        )
+        b.iter_with_setup(plain_runtime, |(mut rt, a, bb)| {
+            for t in batch(a, bb, 16) {
+                rt.execute_task(t).unwrap();
+            }
+            rt
+        })
+    });
+
+    g.bench_function("plain_runtime_batched", |b| {
+        b.iter_with_setup(plain_runtime, |(mut rt, a, bb)| {
+            TaskIssuer::issue_batch(&mut rt, batch(a, bb, 16)).unwrap();
+            rt
+        })
     });
 
     g.bench_function("through_apophenia", |b| {
         b.iter_with_setup(
-            || {
-                let mut auto =
-                    AutoTracer::new(RuntimeConfig::multi_node(2, 4), Config::standard());
-                let a = auto.create_region(1);
-                let bb = auto.create_region(1);
-                (auto, a, bb)
-            },
+            || apophenia(Config::standard()),
             |(mut auto, a, bb)| {
-                for k in 0..TASKS_PER_ITER {
-                    auto.execute_task(
-                        TaskDesc::new(TaskKindId((k % 16) as u32))
-                            .reads(a)
-                            .read_writes(bb)
-                            .gpu_time(Micros(100.0)),
-                    )
-                    .unwrap();
+                for t in batch(a, bb, 16) {
+                    auto.execute_task(t).unwrap();
                 }
+                auto
+            },
+        )
+    });
+
+    g.bench_function("through_apophenia_batched", |b| {
+        b.iter_with_setup(
+            || apophenia(Config::standard()),
+            |(mut auto, a, bb)| {
+                TaskIssuer::issue_batch(&mut auto, batch(a, bb, 16)).unwrap();
                 auto
             },
         )
@@ -70,37 +94,35 @@ fn bench_launch(c: &mut Criterion) {
 
     // Steady-state issue cost while actively replaying traces (cursor
     // traversal + pending-queue management on every task).
+    let steady = || {
+        let cfg = Config::standard()
+            .with_min_trace_length(4)
+            .with_batch_size(512)
+            .with_multi_scale_factor(32);
+        let (mut auto, a, bb) = apophenia(cfg);
+        // Warm into replay steady state.
+        for _ in 0..200 {
+            for k in 0..8u32 {
+                auto.execute_task(task(k).reads(a).read_writes(bb)).unwrap();
+            }
+        }
+        (auto, a, bb)
+    };
+
     g.bench_function("through_apophenia_steady_replay", |b| {
-        b.iter_with_setup(
-            || {
-                let cfg = Config::standard()
-                    .with_min_trace_length(4)
-                    .with_batch_size(512)
-                    .with_multi_scale_factor(32);
-                let mut auto = AutoTracer::new(RuntimeConfig::multi_node(2, 4), cfg);
-                let a = auto.create_region(1);
-                let bb = auto.create_region(1);
-                // Warm into replay steady state.
-                for _ in 0..200 {
-                    for k in 0..8u32 {
-                        auto.execute_task(
-                            TaskDesc::new(TaskKindId(k)).reads(a).read_writes(bb),
-                        )
-                        .unwrap();
-                    }
-                }
-                (auto, a, bb)
-            },
-            |(mut auto, a, bb)| {
-                for k in 0..TASKS_PER_ITER {
-                    auto.execute_task(
-                        TaskDesc::new(TaskKindId((k % 8) as u32)).reads(a).read_writes(bb),
-                    )
-                    .unwrap();
-                }
-                auto
-            },
-        )
+        b.iter_with_setup(steady, |(mut auto, a, bb)| {
+            for t in batch(a, bb, 8) {
+                auto.execute_task(t).unwrap();
+            }
+            auto
+        })
+    });
+
+    g.bench_function("through_apophenia_steady_replay_batched", |b| {
+        b.iter_with_setup(steady, |(mut auto, a, bb)| {
+            TaskIssuer::issue_batch(&mut auto, batch(a, bb, 8)).unwrap();
+            auto
+        })
     });
 
     g.finish();

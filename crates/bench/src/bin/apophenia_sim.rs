@@ -34,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: apophenia_sim --app <jacobi|s3d|htr|cfd|torchswe|flexflow|noisy-loop>\n\
          \x20                [--gpus N] [--iters N] [--size s|m|l]\n\
-         \x20                [--mode untraced|manual|auto] [--warmup N]\n\
+         \x20                [--mode untraced|manual|auto|distributed] [--warmup N]\n\
          \x20                [-lg:auto_trace:min_trace_length N]\n\
          \x20                [-lg:auto_trace:max_trace_length N]\n\
          \x20                [-lg:auto_trace:batchsize N]\n\
@@ -59,7 +59,7 @@ fn parse_args() -> Args {
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let mut next = |i: &mut usize| -> String {
+    let next = |i: &mut usize| -> String {
         *i += 1;
         argv.get(*i).cloned().unwrap_or_else(|| usage())
     };
@@ -89,8 +89,7 @@ fn parse_args() -> Args {
                 args.config.batch_size = next(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "-lg:auto_trace:multi_scale_factor" => {
-                args.config.multi_scale_factor =
-                    next(&mut i).parse().unwrap_or_else(|_| usage())
+                args.config.multi_scale_factor = next(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "-lg:auto_trace:identifier_algorithm" => {
                 args.config.identifier = match next(&mut i).as_str() {
@@ -147,6 +146,14 @@ fn main() {
         "untraced" => Mode::Untraced,
         "manual" => Mode::Manual,
         "auto" => Mode::Auto(args.config.clone()),
+        // Control-replicated deployment (§5.1): one engine per node, a
+        // skewed mining-latency model, and the agreement protocol keeping
+        // nodes in lock-step.
+        "distributed" => Mode::Distributed {
+            config: args.config.clone(),
+            delay: apophenia::DelayModel::new(2024, 50),
+            initial_interval: 16,
+        },
         _ => usage(),
     };
 

@@ -63,10 +63,7 @@ fn weak_scaling(
                     .expect("experiment run succeeds");
                 points.push((gpus, tput));
             }
-            series.push(Series {
-                label: format!("{}-{}", mode_label, size.suffix()),
-                points,
-            });
+            series.push(Series { label: format!("{}-{}", mode_label, size.suffix()), points });
         }
     }
     ScalingFigure { id, title: title.to_string(), ylabel: "throughput (iterations/s)", series }
@@ -121,8 +118,7 @@ pub fn fig8() -> ScalingFigure {
         let mut points = Vec::new();
         for &gpus in &gpu_counts {
             let p = AppParams::eos(gpus, ProblemSize::Small, ITERS);
-            let tput =
-                measure_throughput(&workloads::FlexFlow, &p, &mode, WARMUP).expect("run");
+            let tput = measure_throughput(&workloads::FlexFlow, &p, &mode, WARMUP).expect("run");
             points.push((gpus, tput / base));
         }
         series.push(Series { label, points });
@@ -193,32 +189,30 @@ pub struct OverheadReport {
 
 /// Produces the §6.3 overhead table.
 pub fn tab_overhead() -> OverheadReport {
+    use apophenia::{Session, Tracing};
     use std::time::Instant;
     use tasksim::cost::CostModel;
-    use tasksim::runtime::{Runtime, RuntimeConfig};
 
     let cost = CostModel::paper_calibrated();
 
-    // Measure wall-clock per-task issue cost over the NoisyLoop stream.
+    // Measure wall-clock per-task issue cost over the NoisyLoop stream,
+    // through the same Session-built front-ends applications use.
     let n_tasks = 40_000usize;
     let w = workloads::synthetic::NoisyLoop::default();
-    let p = AppParams {
-        nodes: 2,
-        gpus_per_node: 4,
-        size: ProblemSize::Small,
-        iters: n_tasks / 33,
+    let p = AppParams { nodes: 2, gpus_per_node: 4, size: ProblemSize::Small, iters: n_tasks / 33 };
+    let measure = |tracing: Tracing| {
+        let mut issuer = Session::builder()
+            .nodes(p.nodes)
+            .gpus_per_node(p.gpus_per_node)
+            .tracing(tracing)
+            .build();
+        let t0 = Instant::now();
+        w.run(issuer.as_mut(), &p, false).expect("run");
+        issuer.flush().expect("flush");
+        t0.elapsed().as_secs_f64() * 1e6 / issuer.stats().tasks_total as f64
     };
-
-    let t0 = Instant::now();
-    let mut rt = Runtime::new(RuntimeConfig::multi_node(2, 4));
-    w.run(&mut rt, &p, false).expect("plain run");
-    let plain = t0.elapsed().as_secs_f64() * 1e6 / rt.stats().tasks_total as f64;
-
-    let t1 = Instant::now();
-    let mut auto = apophenia::AutoTracer::new(RuntimeConfig::multi_node(2, 4), auto_config());
-    w.run(&mut auto, &p, false).expect("auto run");
-    auto.flush().expect("flush");
-    let auto_us = t1.elapsed().as_secs_f64() * 1e6 / auto.runtime().stats().tasks_total as f64;
+    let plain = measure(Tracing::Untraced);
+    let auto_us = measure(Tracing::Auto(auto_config()));
 
     OverheadReport {
         launch_plain_us: cost.launch.0,

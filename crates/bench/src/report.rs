@@ -8,9 +8,8 @@ use std::fmt::Write as _;
 pub fn render_scaling(fig: &ScalingFigure) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure {}: {} — {}", fig.id, fig.title, fig.ylabel);
-    let gpus: Vec<u32> = fig.series.first().map_or(Vec::new(), |s| {
-        s.points.iter().map(|&(g, _)| g).collect()
-    });
+    let gpus: Vec<u32> =
+        fig.series.first().map_or(Vec::new(), |s| s.points.iter().map(|&(g, _)| g).collect());
     let _ = write!(out, "{:>8}", "GPUs");
     for s in &fig.series {
         let _ = write!(out, "{:>14}", s.label);
@@ -32,8 +31,7 @@ pub fn render_warmup(rows: &[WarmupRow]) -> String {
     let _ = writeln!(out, "Figure 9: iterations until replaying steady state");
     let _ = writeln!(out, "{:>12} {:>10} {:>12}", "Application", "measured", "paper");
     for r in rows {
-        let measured =
-            r.warmup_iterations.map_or("not reached".to_string(), |w| w.to_string());
+        let measured = r.warmup_iterations.map_or("not reached".to_string(), |w| w.to_string());
         let _ = writeln!(out, "{:>12} {:>10} {:>12}", r.app, measured, r.paper);
     }
     out
@@ -57,11 +55,31 @@ pub fn render_fig10(samples: &[(u64, f64)]) -> String {
 pub fn render_overhead(r: &OverheadReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Section 6.3: Apophenia overheads");
-    let _ = writeln!(out, "  simulated task launch, plain:     {:>8.1} µs (paper: 7 µs)", r.launch_plain_us);
-    let _ = writeln!(out, "  simulated task launch, Apophenia: {:>8.1} µs (paper: 12 µs)", r.launch_auto_us);
-    let _ = writeln!(out, "  simulated replay per task:        {:>8.1} µs (paper: 100 µs)", r.replay_us);
-    let _ = writeln!(out, "  measured layer cost, plain:       {:>8.2} µs/task (this implementation, wall clock)", r.measured_plain_us);
-    let _ = writeln!(out, "  measured layer cost, Apophenia:   {:>8.2} µs/task (this implementation, wall clock)", r.measured_auto_us);
+    let _ = writeln!(
+        out,
+        "  simulated task launch, plain:     {:>8.1} µs (paper: 7 µs)",
+        r.launch_plain_us
+    );
+    let _ = writeln!(
+        out,
+        "  simulated task launch, Apophenia: {:>8.1} µs (paper: 12 µs)",
+        r.launch_auto_us
+    );
+    let _ = writeln!(
+        out,
+        "  simulated replay per task:        {:>8.1} µs (paper: 100 µs)",
+        r.replay_us
+    );
+    let _ = writeln!(
+        out,
+        "  measured layer cost, plain:       {:>8.2} µs/task (this implementation, wall clock)",
+        r.measured_plain_us
+    );
+    let _ = writeln!(
+        out,
+        "  measured layer cost, Apophenia:   {:>8.2} µs/task (this implementation, wall clock)",
+        r.measured_auto_us
+    );
     out
 }
 

@@ -24,11 +24,15 @@ use crate::config::Config;
 use crate::finder::{MinedBatch, TraceFinder};
 use crate::replayer::TraceReplayer;
 use std::collections::VecDeque;
+use tasksim::exec::OpLog;
+use tasksim::ids::{RegionId, TraceId};
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use tasksim::stats::RuntimeStats;
 use tasksim::task::TaskDesc;
 
 /// Simulated per-node asynchronous-mining latency, in operations.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DelayModel {
     seed: u64,
     /// Maximum latency the model produces.
@@ -133,12 +137,12 @@ impl DistributedAutoTracer {
     }
 
     /// Issues one task on every node (control replication: the application
-    /// runs everywhere).
+    /// runs everywhere). Exposed through [`TaskIssuer::execute_task`].
     ///
     /// # Errors
     ///
     /// Propagates the first node's runtime error.
-    pub fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
+    fn replicate_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
         self.op_count += 1;
         let hash = task.semantic_hash();
         // Phase 1: every node records the token and captures new mining
@@ -185,38 +189,6 @@ impl DistributedAutoTracer {
         Ok(())
     }
 
-    /// Creates a region on every node, returning the (identical) id.
-    pub fn create_region(&mut self, fields: u32) -> tasksim::ids::RegionId {
-        let ids: Vec<_> = self.nodes.iter_mut().map(|n| n.rt.create_region(fields)).collect();
-        assert!(ids.windows(2).all(|w| w[0] == w[1]));
-        ids[0]
-    }
-
-    /// Marks an iteration on every node.
-    pub fn mark_iteration(&mut self) {
-        for node in &mut self.nodes {
-            node.rt.mark_iteration();
-        }
-    }
-
-    /// Flushes every node.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first node's runtime error.
-    pub fn flush(&mut self) -> Result<(), RuntimeError> {
-        for node in &mut self.nodes {
-            // Remaining queued batches ingest at flush (end of program).
-            while let Some((_, _, batch)) = node.queue.pop_front() {
-                node.replayer.ingest(&batch);
-            }
-            // Discard unfinished mining; then drain the replayer.
-            let _ = node.finder.drain_blocking();
-            node.replayer.flush(&mut node.rt)?;
-        }
-        Ok(())
-    }
-
     /// Verifies all nodes forwarded identical operation streams; returns
     /// the first divergence as an error string.
     ///
@@ -254,6 +226,85 @@ impl DistributedAutoTracer {
     }
 }
 
+impl TaskIssuer for DistributedAutoTracer {
+    /// Creates a region on every node, returning the (identical) id.
+    fn create_region(&mut self, fields: u32) -> RegionId {
+        let ids: Vec<_> = self.nodes.iter_mut().map(|n| n.rt.create_region(fields)).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "nodes agree on region ids");
+        ids[0]
+    }
+
+    /// Partitions a region on every node, returning the (identical)
+    /// subregion ids.
+    fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
+        let mut agreed: Option<Vec<RegionId>> = None;
+        for node in &mut self.nodes {
+            let ids = node.rt.partition(region, parts)?;
+            if let Some(prev) = &agreed {
+                assert_eq!(prev, &ids, "nodes agree on partition ids");
+            }
+            agreed = Some(ids);
+        }
+        Ok(agreed.expect("at least one node"))
+    }
+
+    /// Destroys a region subtree on every node.
+    fn destroy_region(&mut self, region: RegionId) -> Result<(), RuntimeError> {
+        for node in &mut self.nodes {
+            node.rt.destroy_region(region)?;
+        }
+        Ok(())
+    }
+
+    fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
+        self.replicate_task(task)
+    }
+
+    fn begin_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        Err(RuntimeError::AnnotationUnderAuto(id))
+    }
+
+    fn end_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        Err(RuntimeError::AnnotationUnderAuto(id))
+    }
+
+    /// Marks an iteration on every node.
+    fn mark_iteration(&mut self) {
+        for node in &mut self.nodes {
+            node.rt.mark_iteration();
+        }
+    }
+
+    /// Flushes every node: remaining queued batches ingest at flush (end
+    /// of program), unfinished mining is discarded, and each node's
+    /// replayer drains.
+    fn flush(&mut self) -> Result<(), RuntimeError> {
+        for node in &mut self.nodes {
+            while let Some((_, _, batch)) = node.queue.pop_front() {
+                node.replayer.ingest(&batch);
+            }
+            let _ = node.finder.drain_blocking();
+            node.replayer.flush(&mut node.rt)?;
+        }
+        Ok(())
+    }
+
+    /// Node 0's counters — identical on every node while in lock-step.
+    fn stats(&self) -> RuntimeStats {
+        *self.nodes[0].rt.stats()
+    }
+
+    /// Flushes, verifies lock-step across all nodes, and returns node 0's
+    /// operation log.
+    fn finish(self: Box<Self>) -> Result<OpLog, RuntimeError> {
+        let mut this = *self;
+        this.flush()?;
+        this.check_lockstep().map_err(RuntimeError::Divergence)?;
+        let node0 = this.nodes.into_iter().next().expect("at least one node");
+        Ok(node0.rt.into_log())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,24 +312,17 @@ mod tests {
     use tasksim::ids::TaskKindId;
 
     fn cfg() -> Config {
-        Config::standard()
-            .with_min_trace_length(2)
-            .with_batch_size(256)
-            .with_multi_scale_factor(16)
+        Config::standard().with_min_trace_length(2).with_batch_size(256).with_multi_scale_factor(16)
     }
 
     fn drive(d: &mut DistributedAutoTracer, iters: usize) {
         let a = d.create_region(1);
         let b = d.create_region(1);
         for _ in 0..iters {
-            d.execute_task(
-                TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(20.0)),
-            )
-            .unwrap();
-            d.execute_task(
-                TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(20.0)),
-            )
-            .unwrap();
+            d.execute_task(TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(20.0)))
+                .unwrap();
+            d.execute_task(TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(20.0)))
+                .unwrap();
             d.mark_iteration();
         }
         d.flush().unwrap();
@@ -343,10 +387,7 @@ mod tests {
         let waits_early = d.agreement_stats().waits;
         drive_more(&mut d, 150);
         let waits_late = d.agreement_stats().waits;
-        assert_eq!(
-            waits_early, waits_late,
-            "no additional waits once the interval adapted"
-        );
+        assert_eq!(waits_early, waits_late, "no additional waits once the interval adapted");
         d.check_lockstep().expect("lock-step");
     }
 
@@ -355,14 +396,10 @@ mod tests {
         let a = tasksim::ids::RegionId(0);
         let b = tasksim::ids::RegionId(1);
         for _ in 0..iters {
-            d.execute_task(
-                TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(20.0)),
-            )
-            .unwrap();
-            d.execute_task(
-                TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(20.0)),
-            )
-            .unwrap();
+            d.execute_task(TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(20.0)))
+                .unwrap();
+            d.execute_task(TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(20.0)))
+                .unwrap();
             d.mark_iteration();
         }
         d.flush().unwrap();

@@ -14,17 +14,24 @@ use crate::finder::TraceFinder;
 use crate::metrics::{TracedWindow, WarmupDetector};
 use crate::replayer::{ReplayerStats, TraceReplayer};
 use tasksim::exec::OpLog;
-use tasksim::ids::RegionId;
+use tasksim::ids::{RegionId, TraceId};
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
 use tasksim::stats::RuntimeStats;
 use tasksim::task::TaskDesc;
 
 /// Automatic tracing layered over a [`Runtime`].
 ///
+/// Applications normally reach this through
+/// [`Session`](crate::session::Session), which returns it as a
+/// `Box<dyn TaskIssuer>`; region management and manual-bracket rejection
+/// live in the [`TaskIssuer`] impl below.
+///
 /// # Example
 ///
 /// ```
 /// use apophenia::{AutoTracer, Config};
+/// use tasksim::issuer::TaskIssuer;
 /// use tasksim::runtime::RuntimeConfig;
 /// use tasksim::task::TaskDesc;
 /// use tasksim::ids::TaskKindId;
@@ -84,29 +91,6 @@ impl AutoTracer {
         }
     }
 
-    /// Creates a region (pass-through; regions are not operations).
-    pub fn create_region(&mut self, fields: u32) -> RegionId {
-        self.rt.create_region(fields)
-    }
-
-    /// Partitions a region (pass-through).
-    ///
-    /// # Errors
-    ///
-    /// See [`Runtime::partition`].
-    pub fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
-        self.rt.partition(region, parts)
-    }
-
-    /// Destroys a region (pass-through).
-    ///
-    /// # Errors
-    ///
-    /// See [`Runtime::destroy_region`].
-    pub fn destroy_region(&mut self, region: RegionId) -> Result<(), RuntimeError> {
-        self.rt.destroy_region(region)
-    }
-
     /// Algorithm 1's `ExecuteTask`: hash, feed the finder, ingest any
     /// completed analyses, and let the replayer forward what it can.
     ///
@@ -115,15 +99,25 @@ impl AutoTracer {
     /// Propagates runtime errors (which, by construction, automatic
     /// tracing never triggers for trace validity).
     pub fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
+        self.issue_one(task)?;
+        self.absorb_stats();
+        Ok(())
+    }
+
+    /// The per-task core of Algorithm 1, shared by the single-task and
+    /// batched issue paths. Mined batches ingest at the exact stream
+    /// position the finder completed at, so batched issuance is
+    /// decision-for-decision identical to task-at-a-time issuance; only
+    /// the metrics bookkeeping ([`Self::absorb_stats`]) is amortized by
+    /// the caller.
+    fn issue_one(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
         let hash = task.semantic_hash();
         self.issued += 1;
         self.finder.record(hash);
         for batch in self.finder.poll_completed() {
             self.replayer.ingest(&batch);
         }
-        self.replayer.on_task(task, hash, &mut self.rt)?;
-        self.absorb_stats();
-        Ok(())
+        self.replayer.on_task(task, hash, &mut self.rt)
     }
 
     /// Marks an application iteration boundary. The mark binds to the
@@ -193,8 +187,8 @@ impl AutoTracer {
     fn absorb_stats(&mut self) {
         let s = *self.rt.stats();
         let fresh = s.tasks_fresh - self.prev.tasks_fresh;
-        let traced =
-            (s.tasks_recorded + s.tasks_replayed) - (self.prev.tasks_recorded + self.prev.tasks_replayed);
+        let traced = (s.tasks_recorded + s.tasks_replayed)
+            - (self.prev.tasks_recorded + self.prev.tasks_replayed);
         for _ in 0..fresh {
             self.window.push(false);
         }
@@ -207,6 +201,75 @@ impl AutoTracer {
     }
 }
 
+impl TaskIssuer for AutoTracer {
+    /// Regions are not operations; creation passes straight through.
+    fn create_region(&mut self, fields: u32) -> RegionId {
+        self.rt.create_region(fields)
+    }
+
+    fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
+        self.rt.partition(region, parts)
+    }
+
+    fn destroy_region(&mut self, region: RegionId) -> Result<(), RuntimeError> {
+        self.rt.destroy_region(region)
+    }
+
+    fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
+        AutoTracer::execute_task(self, task)
+    }
+
+    /// The batched hot path: each task is hashed and fed to the finder and
+    /// replayer exactly as in [`AutoTracer::execute_task`] (mined batches
+    /// still ingest at their deterministic stream positions, so the
+    /// operation log is bit-identical to task-at-a-time issuance), but the
+    /// runtime-stats delta and traced-window metrics are folded in once
+    /// per batch instead of once per task.
+    fn issue_batch(&mut self, tasks: Vec<TaskDesc>) -> Result<(), RuntimeError> {
+        let mut result = Ok(());
+        for task in tasks {
+            if let Err(e) = self.issue_one(task) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.absorb_stats();
+        result
+    }
+
+    fn begin_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        Err(RuntimeError::AnnotationUnderAuto(id))
+    }
+
+    fn end_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        Err(RuntimeError::AnnotationUnderAuto(id))
+    }
+
+    fn mark_iteration(&mut self) {
+        AutoTracer::mark_iteration(self);
+    }
+
+    fn flush(&mut self) -> Result<(), RuntimeError> {
+        AutoTracer::flush(self)
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        *self.rt.stats()
+    }
+
+    fn warmup_iterations(&self) -> Option<u64> {
+        self.warmup.warmup_iterations()
+    }
+
+    fn traced_samples(&self) -> Vec<(u64, f64)> {
+        self.window.samples().to_vec()
+    }
+
+    fn finish(self: Box<Self>) -> Result<OpLog, RuntimeError> {
+        AutoTracer::finish(*self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,10 +277,7 @@ mod tests {
     use tasksim::ids::TaskKindId;
 
     fn small_config() -> Config {
-        Config::standard()
-            .with_min_trace_length(2)
-            .with_batch_size(256)
-            .with_multi_scale_factor(16)
+        Config::standard().with_min_trace_length(2).with_batch_size(256).with_multi_scale_factor(16)
     }
 
     fn engine() -> AutoTracer {
@@ -248,10 +308,7 @@ mod tests {
         run_loop(&mut auto, 300);
         let s = auto.runtime().stats();
         assert!(s.trace_replays > 0, "replays: {s}");
-        assert!(
-            s.replayed_fraction() > 0.5,
-            "most tasks replayed in steady state: {s}"
-        );
+        assert!(s.replayed_fraction() > 0.5, "most tasks replayed in steady state: {s}");
         assert_eq!(s.mismatches, 0, "automatic traces never mismatch");
     }
 
@@ -336,32 +393,23 @@ mod tests {
         let a = rt.create_region(1);
         let b = rt.create_region(1);
         for _ in 0..400 {
-            rt.execute_task(
-                TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(50.0)),
-            )
-            .unwrap();
-            rt.execute_task(
-                TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(50.0)),
-            )
-            .unwrap();
+            rt.execute_task(TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(50.0)))
+                .unwrap();
+            rt.execute_task(TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(50.0)))
+                .unwrap();
             rt.mark_iteration();
         }
         let untraced_log = rt.into_log();
 
         let auto_tp = tasksim::exec::simulate(&auto_log).steady_throughput(100);
         let untraced_tp = tasksim::exec::simulate(&untraced_log).steady_throughput(100);
-        assert!(
-            auto_tp > untraced_tp * 2.0,
-            "auto {auto_tp} iters/s vs untraced {untraced_tp}"
-        );
+        assert!(auto_tp > untraced_tp * 2.0, "auto {auto_tp} iters/s vs untraced {untraced_tp}");
     }
 
     #[test]
     fn async_mining_mode_also_converges() {
-        let mut auto = AutoTracer::new(
-            RuntimeConfig::single_node(1),
-            small_config().with_async_mining(),
-        );
+        let mut auto =
+            AutoTracer::new(RuntimeConfig::single_node(1), small_config().with_async_mining());
         // Async results land whenever the worker thread gets scheduled, so
         // run long enough (with occasional yields) for ingestion to happen
         // mid-stream rather than only at the final flush.

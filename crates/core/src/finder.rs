@@ -11,8 +11,8 @@
 
 use crate::config::{Config, IdentifierAlgorithm, MiningMode, RepeatsAlgorithm};
 use crate::sampler::MultiScaleSampler;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use substrings::lzw::lzw_parse;
 use substrings::repeats::find_repeats_min_len;
@@ -78,8 +78,7 @@ fn run_job(job: Job) -> MinedBatch {
                 let pos = job.global_start + m.start as u64;
                 match grouped.iter_mut().find(|c| c.content == content) {
                     Some(c) => c.occurrences.push(pos),
-                    None => grouped
-                        .push(MinedCandidate { content, occurrences: vec![pos] }),
+                    None => grouped.push(MinedCandidate { content, occurrences: vec![pos] }),
                 }
             }
             grouped
@@ -89,7 +88,9 @@ fn run_job(job: Job) -> MinedBatch {
 }
 
 enum Miner {
-    Sync { done: VecDeque<MinedBatch> },
+    Sync {
+        done: VecDeque<MinedBatch>,
+    },
     Async {
         tx: Option<Sender<Job>>,
         rx: Receiver<MinedBatch>,
@@ -136,8 +137,8 @@ impl TraceFinder {
         let miner = match config.mining {
             MiningMode::Sync => Miner::Sync { done: VecDeque::new() },
             MiningMode::Async => {
-                let (tx, job_rx) = unbounded::<Job>();
-                let (res_tx, rx) = unbounded::<MinedBatch>();
+                let (tx, job_rx) = channel::<Job>();
+                let (res_tx, rx) = channel::<MinedBatch>();
                 let worker = std::thread::spawn(move || {
                     while let Ok(job) = job_rx.recv() {
                         if res_tx.send(run_job(job)).is_err() {
@@ -296,10 +297,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> Config {
-        Config::standard()
-            .with_batch_size(64)
-            .with_multi_scale_factor(8)
-            .with_min_trace_length(3)
+        Config::standard().with_batch_size(64).with_multi_scale_factor(8).with_min_trace_length(3)
     }
 
     fn feed_pattern(f: &mut TraceFinder, period: &[u64], reps: usize) {

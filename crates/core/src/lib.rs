@@ -12,6 +12,12 @@
 //!
 //! ## Crate map
 //!
+//! One issuing contract — [`tasksim::issuer::TaskIssuer`] — spans every
+//! front-end; everything here either implements it or feeds it:
+//!
+//! * [`session`] — [`Session`]: the application entry point. A builder
+//!   selects machine shape and a [`Tracing`] configuration (untraced /
+//!   manual / auto / distributed) and returns a `Box<dyn TaskIssuer>`.
 //! * [`config`] — the `-lg:auto_trace:*` knobs from the paper's artifact.
 //! * [`sampler`] — ruler-function multi-scale buffer sampling (§4.4).
 //! * [`finder`] — history buffer + (a)synchronous repeat mining (§4.2),
@@ -19,32 +25,45 @@
 //! * [`replayer`] — trie-based online candidate matching, scoring, and
 //!   replay issuance (§4.3).
 //! * [`engine`] — [`AutoTracer`]: Algorithm 1 assembled, sitting between
-//!   the application and a [`tasksim`] runtime.
-//! * [`distributed`] — the §5.1 control-replication agreement protocol.
+//!   the application and a [`tasksim`] runtime. Implements `TaskIssuer`
+//!   with a batched hot path (`issue_batch`) that amortizes per-task
+//!   bookkeeping without changing any tracing decision.
+//! * [`distributed`] — [`DistributedAutoTracer`]: the §5.1
+//!   control-replication agreement protocol; also a `TaskIssuer`.
 //! * [`metrics`] — Figure 9 / Figure 10 instrumentation.
 //!
 //! ## Quickstart
 //!
+//! Applications program against the trait object and select the
+//! configuration by data — swapping `Tracing::Auto` for
+//! `Tracing::Untraced` (or `Tracing::Distributed { .. }`) changes nothing
+//! else in the program:
+//!
 //! ```
-//! use apophenia::{AutoTracer, Config};
-//! use tasksim::runtime::RuntimeConfig;
-//! use tasksim::task::TaskDesc;
+//! use apophenia::{Config, Session, Tracing};
 //! use tasksim::ids::TaskKindId;
+//! use tasksim::task::TaskDesc;
 //!
 //! # fn main() -> Result<(), tasksim::runtime::RuntimeError> {
-//! let mut auto = AutoTracer::new(
-//!     RuntimeConfig::single_node(4),
-//!     Config::standard().with_min_trace_length(2).with_multi_scale_factor(16),
-//! );
-//! let x = auto.create_region(1);
-//! let y = auto.create_region(1);
+//! let mut issuer = Session::builder()
+//!     .nodes(1)
+//!     .gpus_per_node(4)
+//!     .tracing(Tracing::Auto(
+//!         Config::standard().with_min_trace_length(2).with_multi_scale_factor(16),
+//!     ))
+//!     .build();
+//! let x = issuer.create_region(1);
+//! let y = issuer.create_region(1);
 //! for _ in 0..100 {
-//!     auto.execute_task(TaskDesc::new(TaskKindId(0)).reads(x).writes(y))?;
-//!     auto.execute_task(TaskDesc::new(TaskKindId(1)).reads(y).writes(x))?;
-//!     auto.mark_iteration();
+//!     // The batched hot path; `execute_task` issues one at a time.
+//!     issuer.issue_batch(vec![
+//!         TaskDesc::new(TaskKindId(0)).reads(x).writes(y),
+//!         TaskDesc::new(TaskKindId(1)).reads(y).writes(x),
+//!     ])?;
+//!     issuer.mark_iteration();
 //! }
-//! auto.flush()?;
-//! println!("{}", auto.runtime().stats()); // most tasks replayed, no annotations
+//! issuer.flush()?;
+//! println!("{}", issuer.stats()); // most tasks replayed, no annotations
 //! # Ok(())
 //! # }
 //! ```
@@ -56,6 +75,7 @@ pub mod finder;
 pub mod metrics;
 pub mod replayer;
 pub mod sampler;
+pub mod session;
 
 pub use config::{Config, IdentifierAlgorithm, MiningMode, RepeatsAlgorithm, ScoringConfig};
 pub use distributed::{DelayModel, DistributedAutoTracer};
@@ -63,3 +83,4 @@ pub use engine::AutoTracer;
 pub use finder::{MinedBatch, MinedCandidate, TraceFinder};
 pub use metrics::{TracedWindow, WarmupDetector};
 pub use replayer::{TraceReplayer, TraceSink};
+pub use session::{Session, SessionBuilder, Tracing};

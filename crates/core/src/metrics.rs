@@ -49,15 +49,13 @@ impl TracedWindow {
 
     /// Records one forwarded task.
     pub fn push(&mut self, traced: bool) {
-        if self.ring.len() == self.window {
-            if self.ring.pop_front() == Some(true) {
-                self.traced_in_ring -= 1;
-            }
+        if self.ring.len() == self.window && self.ring.pop_front() == Some(true) {
+            self.traced_in_ring -= 1;
         }
         self.ring.push_back(traced);
         self.traced_in_ring += usize::from(traced);
         self.count += 1;
-        if self.count % self.sample_every == 0 {
+        if self.count.is_multiple_of(self.sample_every) {
             self.samples.push((self.count, self.percent()));
         }
     }

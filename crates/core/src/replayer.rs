@@ -164,12 +164,8 @@ impl TraceReplayer {
                     let m = &mut self.meta[idx];
                     m.len = piece.len();
                     m.count = m.count.saturating_add(cand.occurrences.len() as u32);
-                    let occ_end = cand
-                        .occurrences
-                        .iter()
-                        .map(|&o| o + end as u64)
-                        .max()
-                        .unwrap_or(0);
+                    let occ_end =
+                        cand.occurrences.iter().map(|&o| o + end as u64).max().unwrap_or(0);
                     m.last_seen = m.last_seen.max(occ_end.min(batch.slice_end));
                 }
                 offset = end;
@@ -320,25 +316,18 @@ impl TraceReplayer {
 
     /// Highest-scoring completed match (ties: longer, then earlier start).
     fn best_completed(&self) -> Option<CompletedMatch> {
-        self.completed
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                let (sa, sb) = (self.score(a.cand, self.now), self.score(b.cand, self.now));
-                sa.partial_cmp(&sb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| (a.end - a.start).cmp(&(b.end - b.start)))
-                    .then_with(|| b.start.cmp(&a.start))
-            })
+        self.completed.iter().copied().max_by(|a, b| {
+            let (sa, sb) = (self.score(a.cand, self.now), self.score(b.cand, self.now));
+            sa.partial_cmp(&sb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.end - a.start).cmp(&(b.end - b.start)))
+                .then_with(|| b.start.cmp(&a.start))
+        })
     }
 
     /// Flushes the prefix before `m`, forwards `m` inside a trace, and
     /// drops state overlapping it.
-    fn replay<S: TraceSink>(
-        &mut self,
-        m: CompletedMatch,
-        sink: &mut S,
-    ) -> Result<(), S::Error> {
+    fn replay<S: TraceSink>(&mut self, m: CompletedMatch, sink: &mut S) -> Result<(), S::Error> {
         // Forward the untraced prefix.
         while self.pending.front().is_some_and(|p| p.global < m.start) {
             let p = self.pending.pop_front().expect("front exists");

@@ -66,7 +66,7 @@ impl MultiScaleSampler {
     /// if an analysis fires now.
     pub fn on_arrival(&mut self) -> Option<usize> {
         self.arrivals += 1;
-        if self.arrivals % self.scale as u64 != 0 {
+        if !self.arrivals.is_multiple_of(self.scale as u64) {
             return None;
         }
         self.firings += 1;
@@ -163,9 +163,6 @@ mod tests {
             }
         }
         let levels = (cap as f64 / scale as f64).log2().ceil() + 1.0;
-        assert!(
-            (total as f64) <= levels * n as f64,
-            "total {total} exceeds {levels} levels × {n}"
-        );
+        assert!((total as f64) <= levels * n as f64, "total {total} exceeds {levels} levels × {n}");
     }
 }

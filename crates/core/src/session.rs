@@ -1,0 +1,248 @@
+//! The one entry point for applications: build an issuing front-end by
+//! *data*, not by code paths.
+//!
+//! The paper's promise is that automatic tracing is a drop-in layer: the
+//! application issues tasks through the same interface whether it runs
+//! untraced, manually annotated, under Apophenia, or control-replicated
+//! across nodes. [`Session`] delivers that promise as an API: a builder
+//! selects the machine shape and a [`Tracing`] configuration, and
+//! [`SessionBuilder::build`] returns a `Box<dyn TaskIssuer>` — workloads,
+//! examples, benches, and tests hold the trait object and never mention a
+//! concrete front-end type.
+//!
+//! ```
+//! use apophenia::{Config, Session, Tracing};
+//! use tasksim::ids::TaskKindId;
+//! use tasksim::task::TaskDesc;
+//!
+//! # fn main() -> Result<(), tasksim::runtime::RuntimeError> {
+//! let mut issuer = Session::builder()
+//!     .nodes(1)
+//!     .gpus_per_node(4)
+//!     .tracing(Tracing::Auto(
+//!         Config::standard().with_min_trace_length(2).with_multi_scale_factor(8),
+//!     ))
+//!     .build();
+//! let a = issuer.create_region(1);
+//! let b = issuer.create_region(1);
+//! for _ in 0..200 {
+//!     issuer.issue_batch(vec![
+//!         TaskDesc::new(TaskKindId(0)).reads(a).writes(b),
+//!         TaskDesc::new(TaskKindId(1)).reads(b).writes(a),
+//!     ])?;
+//!     issuer.mark_iteration();
+//! }
+//! issuer.flush()?;
+//! assert!(issuer.stats().tasks_replayed > 0, "traced with zero annotations");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::Config;
+use crate::distributed::{DelayModel, DistributedAutoTracer};
+use crate::engine::AutoTracer;
+use tasksim::issuer::TaskIssuer;
+use tasksim::runtime::{Runtime, RuntimeConfig};
+
+/// Which tracing front-end a [`Session`] builds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tracing {
+    /// No tracing: every task pays the full dependence analysis.
+    Untraced,
+    /// The application's own `begin_trace`/`end_trace` annotations drive
+    /// the runtime's tracing engine (the front-end is a bare runtime; the
+    /// *workload* decides to emit brackets).
+    Manual,
+    /// Apophenia: automatic tracing with the given configuration.
+    Auto(Config),
+    /// Control-replicated Apophenia: one engine per node, kept in
+    /// lock-step by the §5.1 ingestion-agreement protocol.
+    Distributed {
+        /// Apophenia configuration used on every node.
+        config: Config,
+        /// Simulated per-node mining-completion latency.
+        delay: DelayModel,
+        /// Starting ingestion-agreement interval, in operations.
+        initial_interval: u64,
+    },
+}
+
+impl Tracing {
+    /// Standard-configuration Apophenia.
+    pub fn auto() -> Self {
+        Tracing::Auto(Config::standard())
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tracing::Untraced => "untraced",
+            Tracing::Manual => "manual",
+            Tracing::Auto(_) => "auto",
+            Tracing::Distributed { .. } => "distributed",
+        }
+    }
+
+    /// Whether the workload should emit its manual trace annotations.
+    pub fn is_manual(&self) -> bool {
+        matches!(self, Tracing::Manual)
+    }
+}
+
+/// Builder for an issuing front-end. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    runtime: RuntimeConfig,
+    tracing: Tracing,
+}
+
+impl SessionBuilder {
+    /// Number of machine nodes (default 1).
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.runtime.nodes = nodes.max(1);
+        self
+    }
+
+    /// GPUs per node (default 1).
+    pub fn gpus_per_node(mut self, gpus: u32) -> Self {
+        self.runtime.gpus_per_node = gpus.max(1);
+        self
+    }
+
+    /// Replaces the full runtime configuration (cost model, mismatch
+    /// policy, window) while keeping the tracing selection.
+    pub fn runtime_config(mut self, config: RuntimeConfig) -> Self {
+        self.runtime = config;
+        self
+    }
+
+    /// Selects the tracing front-end (default [`Tracing::Untraced`]).
+    pub fn tracing(mut self, tracing: Tracing) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Builds the issuer. Automatic front-ends force the runtime into
+    /// `auto_layer` cost accounting themselves; untraced/manual runs keep
+    /// the plain 7 µs launch path.
+    pub fn build(self) -> Box<dyn TaskIssuer> {
+        match self.tracing {
+            Tracing::Untraced | Tracing::Manual => Box::new(Runtime::new(self.runtime)),
+            Tracing::Auto(config) => Box::new(AutoTracer::new(self.runtime, config)),
+            Tracing::Distributed { config, delay, initial_interval } => {
+                Box::new(DistributedAutoTracer::new(self.runtime, config, delay, initial_interval))
+            }
+        }
+    }
+}
+
+/// Namespace for [`Session::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct Session;
+
+impl Session {
+    /// Starts building a front-end: one node, one GPU, untraced.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder { runtime: RuntimeConfig::single_node(1), tracing: Tracing::Untraced }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasksim::cost::Micros;
+    use tasksim::ids::{TaskKindId, TraceId};
+    use tasksim::runtime::RuntimeError;
+    use tasksim::task::TaskDesc;
+
+    fn small_auto() -> Config {
+        Config::standard().with_min_trace_length(2).with_multi_scale_factor(16)
+    }
+
+    fn drive(issuer: &mut dyn TaskIssuer, iters: usize, manual: bool) {
+        let a = issuer.create_region(1);
+        let b = issuer.create_region(1);
+        for _ in 0..iters {
+            if manual {
+                issuer.begin_trace(TraceId(0)).unwrap();
+            }
+            issuer
+                .execute_task(
+                    TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(50.0)),
+                )
+                .unwrap();
+            issuer
+                .execute_task(
+                    TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(50.0)),
+                )
+                .unwrap();
+            if manual {
+                issuer.end_trace(TraceId(0)).unwrap();
+            }
+            issuer.mark_iteration();
+        }
+        issuer.flush().unwrap();
+    }
+
+    #[test]
+    fn builder_selects_front_end_by_data() {
+        for tracing in [
+            Tracing::Untraced,
+            Tracing::Manual,
+            Tracing::Auto(small_auto()),
+            Tracing::Distributed {
+                config: small_auto(),
+                delay: DelayModel::new(1, 0),
+                initial_interval: 8,
+            },
+        ] {
+            let manual = tracing.is_manual();
+            let label = tracing.label();
+            let mut issuer = Session::builder().nodes(2).gpus_per_node(2).tracing(tracing).build();
+            drive(issuer.as_mut(), 200, manual);
+            let stats = issuer.stats();
+            assert_eq!(stats.tasks_total, 400, "{label}");
+            match label {
+                "untraced" => assert_eq!(stats.tasks_replayed, 0, "{label}"),
+                _ => assert!(stats.tasks_replayed > 0, "{label}: {stats}"),
+            }
+            let log = issuer.finish().unwrap();
+            assert_eq!(log.task_count(), 400, "{label}");
+            assert_eq!(log.iteration_count(), 200, "{label}");
+        }
+    }
+
+    #[test]
+    fn auto_front_ends_reject_manual_brackets() {
+        for tracing in [
+            Tracing::Auto(small_auto()),
+            Tracing::Distributed {
+                config: small_auto(),
+                delay: DelayModel::new(1, 0),
+                initial_interval: 8,
+            },
+        ] {
+            let mut issuer = Session::builder().tracing(tracing).build();
+            let err = issuer.begin_trace(TraceId(9)).unwrap_err();
+            assert!(
+                matches!(err, RuntimeError::AnnotationUnderAuto(TraceId(9))),
+                "typed error, not a panic: {err}"
+            );
+            let err = issuer.end_trace(TraceId(9)).unwrap_err();
+            assert!(matches!(err, RuntimeError::AnnotationUnderAuto(_)));
+        }
+    }
+
+    #[test]
+    fn warmup_and_samples_surface_through_the_trait() {
+        let mut issuer = Session::builder().tracing(Tracing::Auto(small_auto())).build();
+        drive(issuer.as_mut(), 300, false);
+        assert!(issuer.warmup_iterations().is_some(), "steady state reached");
+        assert!(!issuer.traced_samples().is_empty());
+        // Untraced front-ends report the defaults.
+        let mut plain = Session::builder().build();
+        drive(plain.as_mut(), 10, false);
+        assert_eq!(plain.warmup_iterations(), None);
+        assert!(plain.traced_samples().is_empty());
+    }
+}

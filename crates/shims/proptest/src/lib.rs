@@ -1,0 +1,418 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the subset of the proptest API its tests use: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`, [`collection::vec`],
+//! [`arbitrary::any`], [`prop_oneof!`], [`strategy::Just`], and the
+//! `prop_assert*` macros. Inputs are generated from a deterministic
+//! generator seeded per test (by module path and test name), so failures
+//! reproduce exactly across runs and machines.
+//!
+//! Deliberate simplifications relative to real proptest: no shrinking (a
+//! failing case panics with the generated value's `Debug` available to the
+//! assertion message), no persistence files, and `prop_assert*` are plain
+//! `assert*` (they abort the case instead of returning `Err`).
+
+pub mod test_runner {
+    //! Case-count configuration and the deterministic generator.
+
+    /// Per-block configuration; only `cases` is honoured.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        /// The case count (named accessor so macros avoid field syntax).
+        pub fn cases_of(&self) -> u32 {
+            self.cases
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator, seeded from the test's name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded by FNV-1a over `test_name`, so every test
+        /// gets a distinct but reproducible stream.
+        pub fn for_test(test_name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        /// The next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    //! Input-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating test inputs.
+    ///
+    /// Unlike real proptest there is no value tree or shrinking:
+    /// `generate` draws one concrete value.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy's concrete type (used by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type; the
+    /// expansion of [`prop_oneof!`].
+    pub struct Union<V> {
+        options: Vec<(u32, BoxedStrategy<V>)>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            assert!(options.iter().any(|(w, _)| *w > 0), "prop_oneof! weights are all zero");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.below(total);
+            for (w, s) in &self.options {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick within total")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + (u128::from(rng.next_u64()) % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-value-space strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over `T`'s full value space.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with a length drawn uniformly
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the standard form: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(N))]` header followed by
+/// `fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.cases_of() {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Plain `assert!` (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Step {
+        Go(u8),
+        Stop,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0u8..10, 2..8)) {
+            prop_assert!((2..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u8..4, any::<u16>()),
+            step in prop_oneof![3 => (0u8..4).prop_map(Step::Go), 1 => Just(Step::Stop)],
+        ) {
+            prop_assert!(pair.0 < 4);
+            match step {
+                Step::Go(k) => prop_assert!(k < 4),
+                Step::Stop => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_test("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

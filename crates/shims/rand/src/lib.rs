@@ -1,0 +1,146 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the tiny subset of the `rand 0.8` API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`], and
+//! [`Rng::gen_range`]. The generator is SplitMix64 — deterministic for a
+//! given seed on every platform, which is all the callers (seeded
+//! synthetic workloads and tests) rely on. It makes no statistical or
+//! cryptographic claims beyond that.
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Draws a value in `[lo, hi)` from `word`.
+    fn from_word(word: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_word(word: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi as u128) - (lo as u128);
+                lo + ((word as u128) % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Types the plain [`Rng::gen`] method can produce.
+pub trait Standard: Sized {
+    /// Builds a value from one generator word.
+    fn from_word(word: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_word(word: u64) -> Self {
+        word
+    }
+}
+
+impl Standard for u32 {
+    fn from_word(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn from_word(word: u64) -> Self {
+        (word >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn from_word(word: u64) -> Self {
+        (word >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn from_word(word: u64) -> Self {
+        word >> 63 == 1
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::from_word(self.next_u64(), range.start, range.end)
+    }
+
+    /// A draw over the type's full value space.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_word(self.next_u64())
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Named generator types.
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+        }
+        let u: usize = r.gen_range(0..3usize);
+        assert!(u < 3);
+    }
+
+    #[test]
+    fn gen_covers_values() {
+        let mut r = StdRng::seed_from_u64(2);
+        let distinct: std::collections::HashSet<u64> = (0..64).map(|_| r.gen()).collect();
+        assert!(distinct.len() > 60, "full-width draws vary");
+    }
+}

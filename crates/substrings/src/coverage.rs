@@ -142,10 +142,7 @@ impl<T: Token> FromIterator<(Vec<T>, Vec<Interval>)> for Matching<T> {
 
 /// Builds a [`Matching`] from the miner's output.
 pub fn matching_from_repeats<T: Token>(repeats: &[crate::repeats::Repeat<T>]) -> Matching<T> {
-    repeats
-        .iter()
-        .map(|r| (r.content.clone(), r.intervals().collect()))
-        .collect()
+    repeats.iter().map(|r| (r.content.clone(), r.intervals().collect())).collect()
 }
 
 /// Best possible coverage by disjoint intervals whose contents each occur
@@ -182,6 +179,7 @@ pub fn max_coverage_upper_bound<T: Token>(s: &[T], min_len: usize) -> usize {
     let mut best = vec![0usize; n + 1];
     for i in 1..=n {
         best[i] = best[i - 1];
+        #[allow(clippy::needless_range_loop)]
         for len in min_len..=i {
             let start = i - len;
             if repeats_at[len][start] {
@@ -253,10 +251,7 @@ mod tests {
         );
         m.insert(
             vec![1, 2],
-            [(6, 8), (8, 10), (13, 15)]
-                .into_iter()
-                .map(|(a, b)| Interval::new(a, b))
-                .collect(),
+            [(6, 8), (8, 10), (13, 15)].into_iter().map(|(a, b)| Interval::new(a, b)).collect(),
         );
         m.validate(&s, 2).expect("optimal matching is valid");
         assert_eq!(m.coverage(), 18);
@@ -279,10 +274,7 @@ mod tests {
         let s = vec![1u8, 2, 3, 1, 2, 3];
         let mut m = Matching::new();
         m.insert(vec![9, 9], vec![Interval::new(0, 2)]);
-        assert!(matches!(
-            m.validate(&s, 2).unwrap_err(),
-            MatchingError::ContentMismatch { .. }
-        ));
+        assert!(matches!(m.validate(&s, 2).unwrap_err(), MatchingError::ContentMismatch { .. }));
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub mod repeats;
 pub mod sais;
 pub mod suffix_array;
 pub mod tandem;
-pub mod winnow;
 pub mod trie;
+pub mod winnow;
 
 use std::fmt::Debug;
 use std::hash::Hash;

@@ -148,7 +148,7 @@ mod tests {
                 let mut end = 0;
                 for m in &p.matches {
                     prop_assert_eq!(m.start, end);
-                    prop_assert!(m.len() >= 1);
+                    prop_assert!(!m.is_empty());
                     end = m.end;
                 }
                 prop_assert_eq!(end, s.len());

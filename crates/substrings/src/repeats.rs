@@ -216,8 +216,7 @@ impl LcpRmq {
         while (1 << k) <= n {
             let prev = &table[k - 1];
             let half = 1 << (k - 1);
-            let row: Vec<usize> =
-                (0..=n - (1 << k)).map(|i| prev[i].min(prev[i + half])).collect();
+            let row: Vec<usize> = (0..=n - (1 << k)).map(|i| prev[i].min(prev[i + half])).collect();
             table.push(row);
             k += 1;
         }

@@ -28,10 +28,8 @@ pub fn suffix_array_sais<T: Token>(s: &[T]) -> Vec<usize> {
     let mut sorted: Vec<T> = s.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    let text: Vec<usize> = s
-        .iter()
-        .map(|t| sorted.binary_search(t).expect("token in own alphabet") + 1)
-        .collect();
+    let text: Vec<usize> =
+        s.iter().map(|t| sorted.binary_search(t).expect("token in own alphabet") + 1).collect();
     let alphabet = sorted.len() + 1;
     sais(&text, alphabet)
 }
@@ -139,9 +137,9 @@ fn sais(text: &[usize], alphabet: usize) -> Vec<usize> {
     let lms_end = |p: usize| {
         // End of the LMS substring starting at p: the next LMS position,
         // or n (exclusive sentinel) for the last one.
-        lms_positions.binary_search(&p).map_or(n, |idx| {
-            lms_positions.get(idx + 1).copied().unwrap_or(n - 1) + 1
-        })
+        lms_positions
+            .binary_search(&p)
+            .map_or(n, |idx| lms_positions.get(idx + 1).copied().unwrap_or(n - 1) + 1)
     };
     let lms_equal = |a: usize, b: usize| {
         let (ea, eb) = (lms_end(a), lms_end(b));

@@ -110,9 +110,7 @@ fn initial_ranks<T: Token>(s: &[T]) -> Vec<usize> {
     let mut sorted: Vec<T> = s.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    s.iter()
-        .map(|t| sorted.binary_search(t).expect("token present in its own alphabet"))
-        .collect()
+    s.iter().map(|t| sorted.binary_search(t).expect("token present in its own alphabet")).collect()
 }
 
 /// Stable counting sort of `items` by `key`, where keys lie in `0..buckets`.

@@ -62,9 +62,7 @@ impl DependenceAnalyzer {
                 req.privilege,
                 crate::privilege::Privilege::ReadWrite | crate::privilege::Privilege::WriteDiscard
             ) {
-                frontier.retain(|user| {
-                    !(covers(forest, req, &user.req))
-                });
+                frontier.retain(|user| !(covers(forest, req, &user.req)));
             }
             frontier.push(User { op, req: req.clone() });
         }
@@ -123,11 +121,7 @@ mod tests {
         forest: &RegionForest,
         tasks: &[TaskDesc],
     ) -> Vec<Vec<OpId>> {
-        tasks
-            .iter()
-            .enumerate()
-            .map(|(i, t)| an.analyze(OpId(i as u64), t, forest))
-            .collect()
+        tasks.iter().enumerate().map(|(i, t)| an.analyze(OpId(i as u64), t, forest)).collect()
     }
 
     #[test]
@@ -283,8 +277,7 @@ mod tests {
         let x = f.create_region(1);
         let y = f.create_region(1);
         for i in 0..200u64 {
-            let step =
-                TaskDesc::new(TaskKindId(0)).reads(x).writes(y);
+            let step = TaskDesc::new(TaskKindId(0)).reads(x).writes(y);
             let copy = TaskDesc::new(TaskKindId(1)).reads(y).writes(x);
             an.analyze(OpId(2 * i), &step, &f);
             an.analyze(OpId(2 * i + 1), &copy, &f);
@@ -318,6 +311,7 @@ mod tests {
                 }
             }
             // Transitive closure.
+            #[allow(clippy::needless_range_loop)]
             for k in 0..n {
                 for i in 0..k {
                     if reach[i][k] {
@@ -340,6 +334,7 @@ mod tests {
                     reach[p.index()][j] = true;
                 }
             }
+            #[allow(clippy::needless_range_loop)]
             for k in 0..n {
                 for i in 0..k {
                     if reach[i][k] {

@@ -366,10 +366,7 @@ mod tests {
         let replayed: Vec<LogOp> = (0..200).map(|_| task(AnalysisKind::Replayed, 50.0)).collect();
         let tf = simulate(&log_with(fresh, false)).total;
         let tr = simulate(&log_with(replayed, false)).total;
-        assert!(
-            tr.0 * 3.0 < tf.0,
-            "replay {tr} not much faster than fresh {tf}"
-        );
+        assert!(tr.0 * 3.0 < tf.0, "replay {tr} not much faster than fresh {tf}");
     }
 
     #[test]

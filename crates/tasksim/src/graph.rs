@@ -34,10 +34,7 @@ impl TaskGraph {
     /// Panics if any predecessor is not an earlier operation.
     pub fn push(&mut self, preds: Vec<OpId>) -> OpId {
         let id = OpId(self.preds.len() as u64);
-        assert!(
-            preds.iter().all(|p| *p < id),
-            "predecessors must precede the new op"
-        );
+        assert!(preds.iter().all(|p| *p < id), "predecessors must precede the new op");
         let mut preds = preds;
         preds.sort_unstable();
         preds.dedup();
@@ -139,10 +136,8 @@ impl TaskGraph {
         let mut finish = vec![Micros::ZERO; self.len()];
         let mut longest = Micros::ZERO;
         for i in 0..self.len() {
-            let start = self.preds[i]
-                .iter()
-                .map(|p| finish[p.index()])
-                .fold(Micros::ZERO, Micros::max);
+            let start =
+                self.preds[i].iter().map(|p| finish[p.index()]).fold(Micros::ZERO, Micros::max);
             finish[i] = start + durations[i];
             longest = longest.max(finish[i]);
         }
@@ -228,8 +223,8 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_graph() -> impl Strategy<Value = TaskGraph> {
-            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..5), 0..30)
-                .prop_map(|spec| {
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..5), 0..30).prop_map(
+                |spec| {
                     let mut g = TaskGraph::new();
                     for (i, preds) in spec.iter().enumerate() {
                         let ps: Vec<OpId> = preds
@@ -240,7 +235,8 @@ mod tests {
                         g.push(ps);
                     }
                     g
-                })
+                },
+            )
         }
 
         proptest! {

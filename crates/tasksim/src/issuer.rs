@@ -1,0 +1,246 @@
+//! The unified task-issuing interface.
+//!
+//! [`TaskIssuer`] is the one contract between an application and whatever
+//! runs beneath it: a bare [`Runtime`] (untraced, or manually annotated),
+//! Apophenia's automatic tracer, or a control-replicated distributed
+//! deployment. The substrate defines the trait so front-end layers
+//! implement it; applications, workload generators, benches, and tests
+//! program against `&mut dyn TaskIssuer` and select the configuration by
+//! *data* (the `apophenia` crate's `Session` builder), not by code paths.
+//!
+//! The trait covers the full application-facing lifecycle:
+//!
+//! * region management — [`create_region`](TaskIssuer::create_region),
+//!   [`partition`](TaskIssuer::partition),
+//!   [`destroy_region`](TaskIssuer::destroy_region);
+//! * task issuance — [`execute_task`](TaskIssuer::execute_task), plus the
+//!   batched hot path [`issue_batch`](TaskIssuer::issue_batch) that lets
+//!   layers amortize per-task bookkeeping (hashing, mining polls, metric
+//!   updates) over a whole batch while preserving program order and
+//!   per-task semantics bit-for-bit;
+//! * manual trace brackets — [`begin_trace`](TaskIssuer::begin_trace) /
+//!   [`end_trace`](TaskIssuer::end_trace); automatic front-ends reject
+//!   them with [`RuntimeError::AnnotationUnderAuto`] (annotating *and*
+//!   auto-tracing the same stream is a program error);
+//! * iteration marks, end-of-stream [`flush`](TaskIssuer::flush), and
+//!   observation — [`stats`](TaskIssuer::stats),
+//!   [`warmup_iterations`](TaskIssuer::warmup_iterations),
+//!   [`traced_samples`](TaskIssuer::traced_samples), and the consuming
+//!   [`finish`](TaskIssuer::finish) that yields the final
+//!   [`OpLog`] for machine simulation.
+
+use crate::exec::OpLog;
+use crate::ids::{RegionId, TraceId};
+use crate::runtime::{Runtime, RuntimeError};
+use crate::stats::RuntimeStats;
+use crate::task::TaskDesc;
+
+/// The object-safe issuing interface every front-end implements.
+///
+/// See the [module docs](self) for the role each method plays. All
+/// implementations preserve application order: tasks reach the underlying
+/// analysis in exactly the order they were issued, whether one at a time
+/// or through [`issue_batch`](TaskIssuer::issue_batch).
+pub trait TaskIssuer {
+    /// Creates a new top-level region with `fields` fields.
+    fn create_region(&mut self, fields: u32) -> RegionId;
+
+    /// Partitions a region into `parts` disjoint subregions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates region errors (unknown or destroyed region, zero parts).
+    fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError>;
+
+    /// Destroys a region subtree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates region errors.
+    fn destroy_region(&mut self, region: RegionId) -> Result<(), RuntimeError>;
+
+    /// Issues one task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors — e.g. trace sequence violations under
+    /// manual annotations. Automatic front-ends never produce trace
+    /// validity errors by construction.
+    fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError>;
+
+    /// Issues a batch of tasks in order — the hot path for issuance-bound
+    /// applications.
+    ///
+    /// Semantically identical to calling
+    /// [`execute_task`](TaskIssuer::execute_task) once per task (the
+    /// operation log is bit-for-bit the same); implementations override it
+    /// to amortize per-call bookkeeping across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first task's error; tasks before it were issued.
+    fn issue_batch(&mut self, tasks: Vec<TaskDesc>) -> Result<(), RuntimeError> {
+        for task in tasks {
+            self.execute_task(task)?;
+        }
+        Ok(())
+    }
+
+    /// Opens a manual trace bracket.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::AnnotationUnderAuto`] on automatically traced
+    /// front-ends; trace bracketing errors otherwise.
+    fn begin_trace(&mut self, id: TraceId) -> Result<(), RuntimeError>;
+
+    /// Closes a manual trace bracket.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::AnnotationUnderAuto`] on automatically traced
+    /// front-ends; trace bracketing/validation errors otherwise.
+    fn end_trace(&mut self, id: TraceId) -> Result<(), RuntimeError>;
+
+    /// Marks an application-level iteration boundary.
+    fn mark_iteration(&mut self);
+
+    /// Drains any buffered state (pending tasks, outstanding analyses).
+    /// Call at end of stream; a pure pass-through front-end does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from forwarding buffered tasks.
+    fn flush(&mut self) -> Result<(), RuntimeError>;
+
+    /// Runtime counters so far. For distributed front-ends: node 0's view
+    /// (identical on every node when in lock-step).
+    fn stats(&self) -> RuntimeStats;
+
+    /// Iterations until the replay steady state, when the front-end
+    /// measures warmup (automatic tracing only).
+    fn warmup_iterations(&self) -> Option<u64> {
+        None
+    }
+
+    /// Traced-fraction samples over the run (automatic tracing only).
+    fn traced_samples(&self) -> Vec<(u64, f64)> {
+        Vec::new()
+    }
+
+    /// Flushes, then consumes the front-end and returns the final
+    /// operation log for [`crate::exec::simulate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors; distributed front-ends also verify
+    /// lock-step and return [`RuntimeError::Divergence`] on violation.
+    fn finish(self: Box<Self>) -> Result<OpLog, RuntimeError>;
+}
+
+impl TaskIssuer for Runtime {
+    fn create_region(&mut self, fields: u32) -> RegionId {
+        Runtime::create_region(self, fields)
+    }
+
+    fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
+        Runtime::partition(self, region, parts)
+    }
+
+    fn destroy_region(&mut self, region: RegionId) -> Result<(), RuntimeError> {
+        Runtime::destroy_region(self, region)
+    }
+
+    fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
+        Runtime::execute_task(self, task).map(|_| ())
+    }
+
+    fn begin_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        Runtime::begin_trace(self, id)
+    }
+
+    fn end_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
+        Runtime::end_trace(self, id)
+    }
+
+    fn mark_iteration(&mut self) {
+        Runtime::mark_iteration(self);
+    }
+
+    fn flush(&mut self) -> Result<(), RuntimeError> {
+        Ok(())
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        *Runtime::stats(self)
+    }
+
+    fn finish(self: Box<Self>) -> Result<OpLog, RuntimeError> {
+        Ok(self.into_log())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Micros;
+    use crate::ids::TaskKindId;
+    use crate::runtime::RuntimeConfig;
+
+    fn step(kind: u32, r: RegionId, w: RegionId) -> TaskDesc {
+        TaskDesc::new(TaskKindId(kind)).reads(r).writes(w).gpu_time(Micros(50.0))
+    }
+
+    /// Drives an issuer through a small manually-annotated loop.
+    fn drive(issuer: &mut dyn TaskIssuer, batched: bool) {
+        let a = issuer.create_region(1);
+        let b = issuer.create_region(1);
+        for _ in 0..4 {
+            issuer.begin_trace(TraceId(0)).unwrap();
+            if batched {
+                issuer.issue_batch(vec![step(0, a, b), step(1, b, a)]).unwrap();
+            } else {
+                issuer.execute_task(step(0, a, b)).unwrap();
+                issuer.execute_task(step(1, b, a)).unwrap();
+            }
+            issuer.end_trace(TraceId(0)).unwrap();
+            issuer.mark_iteration();
+        }
+        issuer.flush().unwrap();
+    }
+
+    #[test]
+    fn runtime_behind_the_trait_matches_direct_use() {
+        let mut boxed: Box<dyn TaskIssuer> = Box::new(Runtime::new(RuntimeConfig::single_node(1)));
+        drive(boxed.as_mut(), false);
+        let stats = boxed.stats();
+        assert_eq!(stats.tasks_total, 8);
+        assert_eq!(stats.trace_replays, 3);
+        let log = boxed.finish().unwrap();
+        assert_eq!(log.task_count(), 8);
+        assert_eq!(log.iteration_count(), 4);
+    }
+
+    #[test]
+    fn default_issue_batch_is_bit_identical_to_single_issue() {
+        let run = |batched: bool| {
+            let mut boxed: Box<dyn TaskIssuer> =
+                Box::new(Runtime::new(RuntimeConfig::single_node(1)));
+            drive(boxed.as_mut(), batched);
+            boxed.finish().unwrap()
+        };
+        let single = run(false);
+        let batch = run(true);
+        assert_eq!(single.ops(), batch.ops(), "batching must not change the log");
+    }
+
+    #[test]
+    fn trait_partition_and_destroy_pass_through() {
+        let mut issuer: Box<dyn TaskIssuer> = Box::new(Runtime::new(RuntimeConfig::single_node(1)));
+        let top = issuer.create_region(2);
+        let parts = issuer.partition(top, 4).unwrap();
+        assert_eq!(parts.len(), 4);
+        issuer.destroy_region(top).unwrap();
+        assert!(issuer.partition(top, 2).is_err(), "destroyed regions stay destroyed");
+    }
+}

@@ -20,6 +20,10 @@
 //!   (the substrate of Lee et al.'s dynamic tracing that Apophenia drives);
 //! * [`runtime`] — the façade tying the above together and producing an
 //!   [`exec::OpLog`] of everything that happened;
+//! * [`issuer`] — the object-safe [`TaskIssuer`] contract applications
+//!   program against, implemented by [`Runtime`] here and by the
+//!   `apophenia` front-ends above it (one API whether a stream runs
+//!   untraced, manually annotated, or automatically traced);
 //! * [`cost`] — the calibrated cost model (α, α_m, α_r, c, launch
 //!   overheads) from the paper's reported measurements;
 //! * [`exec`] — a discrete-event simulation of Legion's three-stage
@@ -40,6 +44,7 @@ pub mod exec;
 pub mod graph;
 pub mod ids;
 pub mod index;
+pub mod issuer;
 pub mod privilege;
 pub mod region;
 pub mod replication;
@@ -50,6 +55,7 @@ pub mod trace;
 
 pub use cost::{CostModel, Micros};
 pub use ids::{FieldId, NodeId, OpId, RegionId, TaskKindId, TraceId};
+pub use issuer::TaskIssuer;
 pub use privilege::Privilege;
 pub use region::RegionForest;
 pub use runtime::{Runtime, RuntimeConfig, RuntimeError};

@@ -124,11 +124,10 @@ mod tests {
 
     #[test]
     fn hash_tokens_distinct() {
-        let toks: Vec<u64> =
-            [ReadOnly, ReadWrite, WriteDiscard, Reduce(SUM), Reduce(MAX)]
-                .iter()
-                .map(|p| p.hash_token())
-                .collect();
+        let toks: Vec<u64> = [ReadOnly, ReadWrite, WriteDiscard, Reduce(SUM), Reduce(MAX)]
+            .iter()
+            .map(|p| p.hash_token())
+            .collect();
         let mut dedup = toks.clone();
         dedup.sort_unstable();
         dedup.dedup();

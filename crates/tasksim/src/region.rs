@@ -93,7 +93,11 @@ impl RegionForest {
     ///
     /// Fails if `region` is unknown/destroyed, already partitioned, or
     /// `parts == 0`.
-    pub fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RegionError> {
+    pub fn partition(
+        &mut self,
+        region: RegionId,
+        parts: u32,
+    ) -> Result<Vec<RegionId>, RegionError> {
         let node = self.get(region)?;
         if !node.children.is_empty() {
             return Err(RegionError::AlreadyPartitioned(region));

@@ -70,7 +70,11 @@ impl ReplicatedRuntime {
     /// # Errors
     ///
     /// Propagates the first shard error.
-    pub fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
+    pub fn partition(
+        &mut self,
+        region: RegionId,
+        parts: u32,
+    ) -> Result<Vec<RegionId>, RuntimeError> {
         let mut out = None;
         for s in &mut self.shards {
             out = Some(s.partition(region, parts)?);
@@ -146,10 +150,7 @@ impl ReplicatedRuntime {
             }
             for (k, (x, y)) in a.ops().iter().zip(b.ops().iter()).enumerate() {
                 if x != y {
-                    return Err(DivergenceError {
-                        shard: i,
-                        what: format!("op {k} differs"),
-                    });
+                    return Err(DivergenceError { shard: i, what: format!("op {k} differs") });
                 }
             }
         }

@@ -96,6 +96,12 @@ pub enum RuntimeError {
     Region(RegionError),
     /// A tracing operation failed.
     Trace(TraceError),
+    /// A manual trace bracket was issued through an automatic-tracing
+    /// front-end. Automatically traced streams must carry no annotations
+    /// (the two bracketings would fight over the runtime's trace state).
+    AnnotationUnderAuto(TraceId),
+    /// Control-replicated shards diverged (described by the message).
+    Divergence(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -103,6 +109,11 @@ impl std::fmt::Display for RuntimeError {
         match self {
             Self::Region(e) => write!(f, "region error: {e}"),
             Self::Trace(e) => write!(f, "trace error: {e}"),
+            Self::AnnotationUnderAuto(id) => write!(
+                f,
+                "manual trace annotation (id {id:?}) issued through an automatic-tracing front-end"
+            ),
+            Self::Divergence(msg) => write!(f, "control-replication divergence: {msg}"),
         }
     }
 }
@@ -112,6 +123,7 @@ impl std::error::Error for RuntimeError {
         match self {
             Self::Region(e) => Some(e),
             Self::Trace(e) => Some(e),
+            Self::AnnotationUnderAuto(_) | Self::Divergence(_) => None,
         }
     }
 }
@@ -195,7 +207,11 @@ impl Runtime {
     /// # Errors
     ///
     /// See [`RegionForest::partition`].
-    pub fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
+    pub fn partition(
+        &mut self,
+        region: RegionId,
+        parts: u32,
+    ) -> Result<Vec<RegionId>, RuntimeError> {
         Ok(self.forest.partition(region, parts)?)
     }
 
@@ -250,7 +266,16 @@ impl Runtime {
                 ops.push(op);
                 self.state = TraceState::Recording { id, ops, hashes, preds, gpu_times };
                 self.stats.tasks_recorded += 1;
-                self.push_task(hash, AnalysisKind::Recording, &task, fresh_preds, false, None, None, 0);
+                self.push_task(
+                    hash,
+                    AnalysisKind::Recording,
+                    &task,
+                    fresh_preds,
+                    false,
+                    None,
+                    None,
+                    0,
+                );
             }
             TraceState::Replaying { id, pos, mut ops, head_task } => {
                 let template = &self.templates[&id];
@@ -297,10 +322,8 @@ impl Runtime {
                 // differ — that is the point of the fence.
                 debug_assert!(
                     {
-                        let internal_fresh: Vec<usize> = fresh_preds
-                            .iter()
-                            .filter_map(|p| ops.binary_search(p).ok())
-                            .collect();
+                        let internal_fresh: Vec<usize> =
+                            fresh_preds.iter().filter_map(|p| ops.binary_search(p).ok()).collect();
                         tpl.internal.iter().all(|e| internal_fresh.contains(e))
                             && (self.config.transitive_reduction
                                 || internal_fresh.iter().all(|e| tpl.internal.contains(e)))
@@ -492,6 +515,7 @@ impl Runtime {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push_task(
         &mut self,
         hash: TaskHash,

@@ -230,10 +230,8 @@ mod tests {
     #[test]
     fn field_overlap_semantics() {
         let all = RegionRequirement::new(RegionId(0), Privilege::ReadOnly);
-        let f0 = RegionRequirement::new(RegionId(0), Privilege::ReadOnly)
-            .with_fields([FieldId(0)]);
-        let f1 = RegionRequirement::new(RegionId(0), Privilege::ReadOnly)
-            .with_fields([FieldId(1)]);
+        let f0 = RegionRequirement::new(RegionId(0), Privilege::ReadOnly).with_fields([FieldId(0)]);
+        let f1 = RegionRequirement::new(RegionId(0), Privilege::ReadOnly).with_fields([FieldId(1)]);
         assert!(all.fields_overlap(&f0), "empty field set means all fields");
         assert!(f0.fields_overlap(&all));
         assert!(!f0.fields_overlap(&f1));

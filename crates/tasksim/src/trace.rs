@@ -132,10 +132,9 @@ impl std::fmt::Display for TraceError {
             Self::WrongTraceId { active, got } => {
                 write!(f, "end_trace({got}) while {active} is active")
             }
-            Self::SequenceMismatch { id, pos, expected, got } => write!(
-                f,
-                "trace {id} invalid at task {pos}: recorded {expected}, issued {got}"
-            ),
+            Self::SequenceMismatch { id, pos, expected, got } => {
+                write!(f, "trace {id} invalid at task {pos}: recorded {expected}, issued {got}")
+            }
             Self::ReplayOverrun { id, len } => {
                 write!(f, "trace {id} overrun: more than {len} tasks issued")
             }
@@ -204,12 +203,7 @@ mod tests {
 
     #[test]
     fn empty_template() {
-        let t = TraceTemplate {
-            hashes: vec![],
-            preds: vec![],
-            gpu_times: vec![],
-            replays: 0,
-        };
+        let t = TraceTemplate { hashes: vec![], preds: vec![], gpu_times: vec![], replays: 0 };
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
     }

@@ -15,10 +15,11 @@
 //! iterations.
 
 use crate::comm;
-use crate::driver::{AppParams, Driver, Workload};
+use crate::driver::{AppParams, Workload};
 use crate::recycle::Recycler;
 use tasksim::cost::Micros;
 use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::RuntimeError;
 use tasksim::task::TaskDesc;
 
@@ -42,7 +43,7 @@ struct CfdState {
 }
 
 impl CfdState {
-    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Self {
+    fn setup(driver: &mut dyn TaskIssuer, params: &AppParams) -> Self {
         Self {
             u: driver.create_region(1),
             v: driver.create_region(1),
@@ -56,7 +57,7 @@ impl CfdState {
     /// `out = op(a, b)` through a fresh temporary from the recycler.
     fn binop(
         &mut self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         kind: u32,
         a: RegionId,
         b: RegionId,
@@ -81,7 +82,7 @@ impl CfdState {
         }
     }
 
-    fn iteration(&mut self, driver: &mut dyn Driver, check: bool) -> Result<(), RuntimeError> {
+    fn iteration(&mut self, driver: &mut dyn TaskIssuer, check: bool) -> Result<(), RuntimeError> {
         // Tentative velocity: a chain of array ops; each superseded
         // temporary is recycled *eagerly* (as its Python binding drops),
         // which is what keeps cuPyNumeric's steady-state region set small.
@@ -150,7 +151,7 @@ impl Workload for Cfd {
 
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError> {
@@ -170,15 +171,12 @@ impl Workload for Cfd {
 /// # Errors
 ///
 /// Returns the trace validation error the runtime raises.
-pub fn run_naive_manual(
-    rt: &mut tasksim::runtime::Runtime,
-    params: &AppParams,
-) -> Result<(), RuntimeError> {
+pub fn run_naive_manual(rt: &mut dyn TaskIssuer, params: &AppParams) -> Result<(), RuntimeError> {
     let mut st = CfdState::setup(rt, params);
     for i in 0..params.iters {
-        Driver::begin_trace(rt, TraceId(700))?;
+        rt.begin_trace(TraceId(700))?;
         st.iteration(rt, i % 10 == 9)?;
-        Driver::end_trace(rt, TraceId(700))?;
+        rt.end_trace(TraceId(700))?;
     }
     Ok(())
 }
@@ -199,10 +197,7 @@ mod tests {
         let mut rt = Runtime::new(RuntimeConfig::single_node(8));
         let p = AppParams::eos(8, ProblemSize::Small, 10);
         let err = run_naive_manual(&mut rt, &p).unwrap_err();
-        assert!(
-            matches!(err, RuntimeError::Trace(_)),
-            "per-iteration annotation invalid: {err}"
-        );
+        assert!(matches!(err, RuntimeError::Trace(_)), "per-iteration annotation invalid: {err}");
     }
 
     #[test]
@@ -227,10 +222,7 @@ mod tests {
         let auto = measure_throughput(&Cfd, &p, &Mode::Auto(auto_cfg()), 320).unwrap();
         let untraced = measure_throughput(&Cfd, &p, &Mode::Untraced, 320).unwrap();
         let speedup = auto / untraced;
-        assert!(
-            speedup < 1.5,
-            "large problems hide more overhead: {speedup}"
-        );
+        assert!(speedup < 1.5, "large problems hide more overhead: {speedup}");
     }
 
     #[test]
@@ -238,12 +230,8 @@ mod tests {
         let p = AppParams::eos(8, ProblemSize::Small, 21);
         let out = run_workload(&Cfd, &p, &Mode::Untraced).unwrap();
         // Checks add tasks relative to a run one check shorter.
-        let base = run_workload(
-            &Cfd,
-            &AppParams::eos(8, ProblemSize::Small, 14),
-            &Mode::Untraced,
-        )
-        .unwrap();
+        let base = run_workload(&Cfd, &AppParams::eos(8, ProblemSize::Small, 14), &Mode::Untraced)
+            .unwrap();
         assert!(out.stats.tasks_total > base.stats.tasks_total);
     }
 }

@@ -24,9 +24,7 @@ pub fn halo_exchange(kind: TaskKindId, region: RegionId, gpus: u32) -> TaskDesc 
 /// extra bandwidth term for payloads of `payload_factor` (1.0 = latency
 /// only).
 pub fn allreduce(kind: TaskKindId, region: RegionId, gpus: u32, payload_factor: f64) -> TaskDesc {
-    TaskDesc::new(kind)
-        .read_writes(region)
-        .gpu_time(latency(gpus) * payload_factor)
+    TaskDesc::new(kind).read_writes(region).gpu_time(latency(gpus) * payload_factor)
 }
 
 #[cfg(test)]

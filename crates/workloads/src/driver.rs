@@ -1,144 +1,24 @@
 //! Running a workload against untraced / manually traced / automatically
-//! traced runtimes.
+//! traced / distributed front-ends.
 //!
-//! Workloads issue tasks through the object-safe [`Driver`] trait so the
-//! same application code runs unchanged against a bare
-//! [`Runtime`] (untraced, or manually annotated) and an
-//! [`AutoTracer`] (Apophenia) — exactly the paper's three experimental
-//! configurations (`untraced`, `manual`, `auto`).
+//! Workloads issue tasks through [`tasksim::issuer::TaskIssuer`] — the one
+//! object-safe contract every front-end implements — so the same
+//! application code runs unchanged against a bare runtime (untraced, or
+//! manually annotated), an [`apophenia::AutoTracer`], or a distributed
+//! deployment. The front-end is selected by *data*: [`Mode`] (a re-export
+//! of [`apophenia::Tracing`]) feeds [`apophenia::Session`], which builds
+//! the issuer. This mirrors the paper's experimental configurations
+//! (`untraced`, `manual`, `auto`) plus the §5.1 distributed deployment.
 
-use apophenia::{AutoTracer, Config};
+use apophenia::Session;
 use tasksim::exec::OpLog;
-use tasksim::ids::{RegionId, TraceId};
-use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use tasksim::issuer::TaskIssuer;
+use tasksim::runtime::RuntimeError;
 use tasksim::stats::RuntimeStats;
-use tasksim::task::TaskDesc;
 
-/// The issuing interface a workload sees.
-pub trait Driver {
-    /// Creates a top-level region.
-    fn create_region(&mut self, fields: u32) -> RegionId;
-
-    /// Partitions a region into disjoint subregions.
-    ///
-    /// # Errors
-    ///
-    /// Propagates runtime region errors.
-    fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError>;
-
-    /// Issues a task.
-    ///
-    /// # Errors
-    ///
-    /// Propagates runtime errors (e.g. trace sequence violations under
-    /// manual annotations).
-    fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError>;
-
-    /// Manual trace begin.
-    ///
-    /// # Errors
-    ///
-    /// Propagates trace bracketing/validation errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics when driven through Apophenia: automatically traced runs
-    /// must not also annotate manually.
-    fn begin_trace(&mut self, id: TraceId) -> Result<(), RuntimeError>;
-
-    /// Manual trace end.
-    ///
-    /// # Errors
-    ///
-    /// Propagates trace bracketing/validation errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics when driven through Apophenia (see [`Driver::begin_trace`]).
-    fn end_trace(&mut self, id: TraceId) -> Result<(), RuntimeError>;
-
-    /// Marks an application iteration boundary.
-    fn mark_iteration(&mut self);
-}
-
-impl Driver for Runtime {
-    fn create_region(&mut self, fields: u32) -> RegionId {
-        Runtime::create_region(self, fields)
-    }
-
-    fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
-        Runtime::partition(self, region, parts)
-    }
-
-    fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
-        Runtime::execute_task(self, task).map(|_| ())
-    }
-
-    fn begin_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
-        Runtime::begin_trace(self, id)
-    }
-
-    fn end_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
-        Runtime::end_trace(self, id)
-    }
-
-    fn mark_iteration(&mut self) {
-        Runtime::mark_iteration(self);
-    }
-}
-
-impl Driver for AutoTracer {
-    fn create_region(&mut self, fields: u32) -> RegionId {
-        AutoTracer::create_region(self, fields)
-    }
-
-    fn partition(&mut self, region: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
-        AutoTracer::partition(self, region, parts)
-    }
-
-    fn execute_task(&mut self, task: TaskDesc) -> Result<(), RuntimeError> {
-        AutoTracer::execute_task(self, task)
-    }
-
-    fn begin_trace(&mut self, _id: TraceId) -> Result<(), RuntimeError> {
-        panic!("manual trace annotations must not be issued through Apophenia");
-    }
-
-    fn end_trace(&mut self, _id: TraceId) -> Result<(), RuntimeError> {
-        panic!("manual trace annotations must not be issued through Apophenia");
-    }
-
-    fn mark_iteration(&mut self) {
-        AutoTracer::mark_iteration(self);
-    }
-}
-
-/// Which tracing configuration a run uses.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Mode {
-    /// No tracing at all: every task pays the full dependence analysis.
-    Untraced,
-    /// The workload's own (hand-written) trace annotations.
-    Manual,
-    /// Apophenia with the given configuration.
-    Auto(Config),
-}
-
-impl Mode {
-    /// Standard Apophenia configuration.
-    pub fn auto() -> Self {
-        Mode::Auto(Config::standard())
-    }
-
-    /// Short label used in experiment output.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Mode::Untraced => "untraced",
-            Mode::Manual => "manual",
-            Mode::Auto(_) => "auto",
-        }
-    }
-}
+/// Which tracing configuration a run uses — [`apophenia::Tracing`] under
+/// its experiment-harness name.
+pub type Mode = apophenia::Tracing;
 
 /// Problem-size class used in the weak-scaling sweeps ("-s/-m/-l").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,7 +79,7 @@ impl AppParams {
     ///
     /// Panics if `gpus` is not a multiple of 4 (or less than 4).
     pub fn perlmutter(gpus: u32, size: ProblemSize, iters: usize) -> Self {
-        assert!(gpus >= 4 && gpus % 4 == 0, "Perlmutter nodes have 4 GPUs");
+        assert!(gpus >= 4 && gpus.is_multiple_of(4), "Perlmutter nodes have 4 GPUs");
         Self { nodes: gpus / 4, gpus_per_node: 4, size, iters }
     }
 
@@ -209,7 +89,7 @@ impl AppParams {
         if gpus < 8 {
             Self { nodes: 1, gpus_per_node: gpus.max(1), size, iters }
         } else {
-            assert!(gpus % 8 == 0, "Eos nodes have 8 GPUs");
+            assert!(gpus.is_multiple_of(8), "Eos nodes have 8 GPUs");
             Self { nodes: gpus / 8, gpus_per_node: 8, size, iters }
         }
     }
@@ -226,14 +106,14 @@ pub trait Workload {
     fn has_manual(&self) -> bool;
 
     /// Issues the full run (setup + `params.iters` iterations) through
-    /// `driver`. `manual` selects the hand-annotated variant.
+    /// `issuer`. `manual` selects the hand-annotated variant.
     ///
     /// # Errors
     ///
     /// Propagates runtime errors.
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        issuer: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError>;
@@ -246,13 +126,16 @@ pub struct RunOutcome {
     pub log: OpLog,
     /// Runtime counters.
     pub stats: RuntimeStats,
-    /// Warmup iterations until replay steady state (auto mode only).
+    /// Warmup iterations until replay steady state (single-node auto only;
+    /// distributed front-ends do not measure warmup and report `None`).
     pub warmup_iterations: Option<u64>,
-    /// Figure 10 traced-fraction samples (auto mode only).
+    /// Figure 10 traced-fraction samples (single-node auto only; empty for
+    /// distributed front-ends).
     pub traced_samples: Vec<(u64, f64)>,
 }
 
-/// Runs `workload` under `mode` and returns the outcome.
+/// Runs `workload` under `mode` and returns the outcome. The front-end is
+/// built through [`Session`]; the workload sees only `dyn TaskIssuer`.
 ///
 /// # Errors
 ///
@@ -268,46 +151,21 @@ pub fn run_workload(
     params: &AppParams,
     mode: &Mode,
 ) -> Result<RunOutcome, RuntimeError> {
-    let rt_config = RuntimeConfig::multi_node(params.nodes, params.gpus_per_node);
-    match mode {
-        Mode::Untraced => {
-            let mut rt = Runtime::new(rt_config);
-            workload.run(&mut rt, params, false)?;
-            let stats = *rt.stats();
-            Ok(RunOutcome {
-                log: rt.into_log(),
-                stats,
-                warmup_iterations: None,
-                traced_samples: Vec::new(),
-            })
-        }
-        Mode::Manual => {
-            assert!(workload.has_manual(), "{} has no manual variant", workload.name());
-            let mut rt = Runtime::new(rt_config);
-            workload.run(&mut rt, params, true)?;
-            let stats = *rt.stats();
-            Ok(RunOutcome {
-                log: rt.into_log(),
-                stats,
-                warmup_iterations: None,
-                traced_samples: Vec::new(),
-            })
-        }
-        Mode::Auto(config) => {
-            let mut auto = AutoTracer::new(rt_config, config.clone());
-            workload.run(&mut auto, params, false)?;
-            auto.flush()?;
-            let stats = *auto.runtime().stats();
-            let warmup = auto.warmup().warmup_iterations();
-            let samples = auto.traced_window().samples().to_vec();
-            Ok(RunOutcome {
-                log: auto.finish()?,
-                stats,
-                warmup_iterations: warmup,
-                traced_samples: samples,
-            })
-        }
+    let manual = mode.is_manual();
+    if manual {
+        assert!(workload.has_manual(), "{} has no manual variant", workload.name());
     }
+    let mut issuer = Session::builder()
+        .nodes(params.nodes)
+        .gpus_per_node(params.gpus_per_node)
+        .tracing(mode.clone())
+        .build();
+    workload.run(issuer.as_mut(), params, manual)?;
+    issuer.flush()?;
+    let stats = issuer.stats();
+    let warmup_iterations = issuer.warmup_iterations();
+    let traced_samples = issuer.traced_samples();
+    Ok(RunOutcome { log: issuer.finish()?, stats, warmup_iterations, traced_samples })
 }
 
 /// Convenience: run and return steady-state throughput (iterations/sec)
@@ -329,8 +187,10 @@ pub fn measure_throughput(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apophenia::Config;
     use tasksim::cost::Micros;
-    use tasksim::ids::TaskKindId;
+    use tasksim::ids::{TaskKindId, TraceId};
+    use tasksim::task::TaskDesc;
 
     /// A trivial two-task loop used to exercise the harness.
     struct Ping;
@@ -346,7 +206,7 @@ mod tests {
 
         fn run(
             &self,
-            d: &mut dyn Driver,
+            d: &mut dyn TaskIssuer,
             p: &AppParams,
             manual: bool,
         ) -> Result<(), RuntimeError> {
@@ -376,22 +236,30 @@ mod tests {
     }
 
     #[test]
-    fn all_three_modes_run() {
+    fn all_modes_run_through_one_harness() {
         let p = params();
-        let auto_cfg =
-            Config::standard().with_min_trace_length(2).with_multi_scale_factor(16);
-        for mode in [Mode::Untraced, Mode::Manual, Mode::Auto(auto_cfg)] {
+        let auto_cfg = Config::standard().with_min_trace_length(2).with_multi_scale_factor(16);
+        let modes = [
+            Mode::Untraced,
+            Mode::Manual,
+            Mode::Auto(auto_cfg.clone()),
+            Mode::Distributed {
+                config: auto_cfg,
+                delay: apophenia::DelayModel::new(5, 0),
+                initial_interval: 16,
+            },
+        ];
+        for mode in modes {
             let out = run_workload(&Ping, &p, &mode).unwrap();
             assert_eq!(out.stats.tasks_total, 600, "{}", mode.label());
-            assert_eq!(out.log.iteration_count(), 300);
+            assert_eq!(out.log.iteration_count(), 300, "{}", mode.label());
         }
     }
 
     #[test]
     fn manual_and_auto_beat_untraced() {
         let p = params();
-        let auto_cfg =
-            Config::standard().with_min_trace_length(2).with_multi_scale_factor(16);
+        let auto_cfg = Config::standard().with_min_trace_length(2).with_multi_scale_factor(16);
         let untraced = measure_throughput(&Ping, &p, &Mode::Untraced, 50).unwrap();
         let manual = measure_throughput(&Ping, &p, &Mode::Manual, 50).unwrap();
         let auto = measure_throughput(&Ping, &p, &Mode::Auto(auto_cfg), 50).unwrap();

@@ -17,9 +17,10 @@
 //!   paper).
 
 use crate::comm;
-use crate::driver::{AppParams, Driver, Workload};
+use crate::driver::{AppParams, Workload};
 use tasksim::cost::Micros;
 use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::RuntimeError;
 use tasksim::task::TaskDesc;
 
@@ -47,7 +48,7 @@ struct FfState {
 }
 
 impl FfState {
-    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Self {
+    fn setup(driver: &mut dyn TaskIssuer, params: &AppParams) -> Self {
         let gpus = params.total_gpus();
         Self {
             activations: (0..=LAYERS).map(|_| driver.create_region(1)).collect(),
@@ -58,7 +59,7 @@ impl FfState {
         }
     }
 
-    fn training_iteration(&self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+    fn training_iteration(&self, driver: &mut dyn TaskIssuer) -> Result<(), RuntimeError> {
         // Forward pass.
         for l in 0..LAYERS {
             driver.execute_task(
@@ -109,7 +110,7 @@ impl Workload for FlexFlow {
 
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError> {

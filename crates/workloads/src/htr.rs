@@ -11,9 +11,10 @@
 //! (~40 ms), but the node-count scaling of analysis exposes it by 64 GPUs.
 
 use crate::comm;
-use crate::driver::{AppParams, Driver, Workload};
+use crate::driver::{AppParams, Workload};
 use tasksim::cost::Micros;
 use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::RuntimeError;
 use tasksim::task::TaskDesc;
 
@@ -37,14 +38,12 @@ struct HtrState {
 }
 
 impl HtrState {
-    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Result<Self, RuntimeError> {
+    fn setup(driver: &mut dyn TaskIssuer, params: &AppParams) -> Result<Self, RuntimeError> {
         let flow = driver.create_region(8);
         let fluxes = driver.create_region(8);
         for k in 0..12 {
             driver.execute_task(
-                TaskDesc::new(TaskKindId(SETUP_BASE + k))
-                    .read_writes(flow)
-                    .gpu_time(Micros(800.0)),
+                TaskDesc::new(TaskKindId(SETUP_BASE + k)).read_writes(flow).gpu_time(Micros(800.0)),
             )?;
         }
         Ok(Self {
@@ -55,7 +54,7 @@ impl HtrState {
         })
     }
 
-    fn step(&self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+    fn step(&self, driver: &mut dyn TaskIssuer) -> Result<(), RuntimeError> {
         for phase in 0..EXCHANGES_PER_ITER {
             driver.execute_task(comm::halo_exchange(HALO, self.flow, self.gpus))?;
             for t in 0..TASKS_PER_ITER / EXCHANGES_PER_ITER {
@@ -89,7 +88,7 @@ impl Workload for Htr {
 
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError> {

@@ -15,11 +15,12 @@
 //! ([`run_naive_manual`] reproduces the failure), while Apophenia finds
 //! the period-2 trace automatically.
 
-use crate::driver::{AppParams, Driver, Workload};
+use crate::driver::{AppParams, Workload};
 use crate::recycle::Recycler;
 use tasksim::cost::Micros;
 use tasksim::ids::{RegionId, TraceId};
-use tasksim::runtime::{Runtime, RuntimeError};
+use tasksim::issuer::TaskIssuer;
+use tasksim::runtime::RuntimeError;
 use tasksim::task::TaskDesc;
 
 /// Task kinds issued by the Jacobi solver.
@@ -48,7 +49,7 @@ struct JacobiState {
 }
 
 impl JacobiState {
-    fn setup(driver: &mut dyn Driver) -> Self {
+    fn setup(driver: &mut dyn TaskIssuer) -> Self {
         let mut rec = Recycler::new(1);
         let r_matrix = driver.create_region(1);
         let b = driver.create_region(1);
@@ -63,7 +64,7 @@ impl JacobiState {
     /// completes ("the region it refers to can be collected and
     /// immediately reused by cuPyNumeric", §2) — this is what produces the
     /// steady state of exactly two alternating region names for `x`.
-    fn iteration(&mut self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+    fn iteration(&mut self, driver: &mut dyn TaskIssuer) -> Result<(), RuntimeError> {
         let t1 = self.rec.alloc(driver);
         driver.execute_task(
             TaskDesc::new(kinds::DOT)
@@ -103,7 +104,7 @@ impl Workload for Jacobi {
 
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError> {
@@ -126,13 +127,13 @@ impl Workload for Jacobi {
 /// Always returns [`RuntimeError::Trace`] with a `SequenceMismatch` (that
 /// is what this function demonstrates); propagates other runtime errors
 /// if the setup itself fails.
-pub fn run_naive_manual(rt: &mut Runtime, iters: usize) -> Result<(), RuntimeError> {
+pub fn run_naive_manual(rt: &mut dyn TaskIssuer, iters: usize) -> Result<(), RuntimeError> {
     let mut st = JacobiState::setup(rt);
     for _ in 0..iters {
-        Driver::begin_trace(rt, TraceId(77))?;
+        rt.begin_trace(TraceId(77))?;
         let res = st.iteration(rt);
         match res {
-            Ok(()) => Driver::end_trace(rt, TraceId(77))?,
+            Ok(()) => rt.end_trace(TraceId(77))?,
             Err(e) => return Err(e),
         }
     }
@@ -147,17 +148,17 @@ pub fn run_naive_manual(rt: &mut Runtime, iters: usize) -> Result<(), RuntimeErr
 ///
 /// Propagates runtime errors (none are expected while the allocator's
 /// steady state holds).
-pub fn run_period2_manual(rt: &mut Runtime, iters: usize) -> Result<(), RuntimeError> {
+pub fn run_period2_manual(rt: &mut dyn TaskIssuer, iters: usize) -> Result<(), RuntimeError> {
     let mut st = JacobiState::setup(rt);
     // Warm the allocator into its steady state.
     st.iteration(rt)?;
     rt.mark_iteration();
     let mut remaining = iters.saturating_sub(1);
     while remaining >= 2 {
-        Driver::begin_trace(rt, TraceId(78))?;
+        rt.begin_trace(TraceId(78))?;
         st.iteration(rt)?;
         st.iteration(rt)?;
-        Driver::end_trace(rt, TraceId(78))?;
+        rt.end_trace(TraceId(78))?;
         rt.mark_iteration();
         rt.mark_iteration();
         remaining -= 2;
@@ -174,7 +175,7 @@ mod tests {
     use super::*;
     use crate::driver::{run_workload, Mode, ProblemSize};
     use apophenia::Config;
-    use tasksim::runtime::RuntimeConfig;
+    use tasksim::runtime::{Runtime, RuntimeConfig};
     use tasksim::trace::TraceError;
 
     fn params(iters: usize) -> AppParams {

@@ -20,8 +20,27 @@
 //!   length matters (Figure 8);
 //! * [`synthetic`] — shape-isolated generators for ablations;
 //! * [`recycle`] — the cuPyNumeric recycling allocator;
-//! * [`driver`] — the untraced / manual / auto run harness;
+//! * [`driver`] — the run harness;
 //! * [`comm`] — communication tasks.
+//!
+//! Every workload issues through [`tasksim::issuer::TaskIssuer`], the one
+//! object-safe contract shared by all front-ends, and the harness builds
+//! that front-end from a [`driver::Mode`] (= [`apophenia::Tracing`]) via
+//! [`apophenia::Session`] — untraced, manual, auto, and distributed runs
+//! differ only in data:
+//!
+//! ```
+//! use apophenia::Config;
+//! use workloads::driver::{run_workload, AppParams, Mode, ProblemSize};
+//!
+//! let params = AppParams { nodes: 1, gpus_per_node: 1, size: ProblemSize::Small, iters: 300 };
+//! let config = Config::standard()
+//!     .with_min_trace_length(4)
+//!     .with_batch_size(512)
+//!     .with_multi_scale_factor(32);
+//! let out = run_workload(&workloads::Jacobi, &params, &Mode::Auto(config)).unwrap();
+//! assert!(out.stats.tasks_replayed > 0, "traced with zero annotations");
+//! ```
 
 pub mod cfd;
 pub mod comm;
@@ -36,10 +55,11 @@ pub mod torchswe;
 
 pub use cfd::Cfd;
 pub use driver::{
-    measure_throughput, run_workload, AppParams, Driver, Mode, ProblemSize, RunOutcome, Workload,
+    measure_throughput, run_workload, AppParams, Mode, ProblemSize, RunOutcome, Workload,
 };
 pub use flexflow::FlexFlow;
 pub use htr::Htr;
 pub use jacobi::Jacobi;
 pub use s3d::S3d;
+pub use tasksim::issuer::TaskIssuer;
 pub use torchswe::TorchSwe;

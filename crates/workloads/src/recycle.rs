@@ -11,9 +11,9 @@
 //! what lets an iterative program settle into a small steady-state set of
 //! rotating region names (with a period of one or more source iterations).
 
-use crate::driver::Driver;
 use std::collections::VecDeque;
 use tasksim::ids::RegionId;
+use tasksim::issuer::TaskIssuer;
 
 /// A LIFO free-list allocator over same-shape regions.
 #[derive(Debug, Default)]
@@ -31,7 +31,7 @@ impl Recycler {
 
     /// Allocates a region: reuses the most recently released region if
     /// available, otherwise creates a fresh one through `driver`.
-    pub fn alloc(&mut self, driver: &mut dyn Driver) -> RegionId {
+    pub fn alloc(&mut self, driver: &mut dyn TaskIssuer) -> RegionId {
         match self.free.pop_back() {
             Some(r) => r,
             None => {

@@ -22,9 +22,10 @@
 //! the Figure 6a shape.
 
 use crate::comm;
-use crate::driver::{AppParams, Driver, Workload};
+use crate::driver::{AppParams, Workload};
 use tasksim::cost::Micros;
 use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::RuntimeError;
 use tasksim::task::TaskDesc;
 
@@ -55,16 +56,14 @@ struct S3dState {
 }
 
 impl S3dState {
-    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Result<Self, RuntimeError> {
+    fn setup(driver: &mut dyn TaskIssuer, params: &AppParams) -> Result<Self, RuntimeError> {
         let field = driver.create_region(4);
         let rhs = driver.create_region(4);
         let chem = driver.create_region(1);
         // Unique setup tasks: chemistry table builds etc.
         for k in 0..24 {
             driver.execute_task(
-                TaskDesc::new(TaskKindId(SETUP_BASE + k))
-                    .read_writes(chem)
-                    .gpu_time(Micros(500.0)),
+                TaskDesc::new(TaskKindId(SETUP_BASE + k)).read_writes(chem).gpu_time(Micros(500.0)),
             )?;
         }
         Ok(Self {
@@ -77,7 +76,7 @@ impl S3dState {
     }
 
     /// One RHS evaluation: the traceable body.
-    fn rhs_body(&self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+    fn rhs_body(&self, driver: &mut dyn TaskIssuer) -> Result<(), RuntimeError> {
         for stage in 0..STAGES {
             driver.execute_task(comm::halo_exchange(HALO, self.field, self.gpus))?;
             for t in 0..TASKS_PER_STAGE {
@@ -102,7 +101,7 @@ impl S3dState {
     }
 
     /// The Fortran+MPI hand-off.
-    fn handoff(&self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+    fn handoff(&self, driver: &mut dyn TaskIssuer) -> Result<(), RuntimeError> {
         driver.execute_task(
             TaskDesc::new(TO_FORTRAN).reads(self.field).gpu_time(comm::latency(self.gpus) * 4.0),
         )?;
@@ -117,7 +116,7 @@ impl S3dState {
     /// Whether iteration `i` performs a hand-off (every iteration for the
     /// first 10, every 10th after).
     fn handoff_at(i: usize) -> bool {
-        i < 10 || i % 10 == 0
+        i < 10 || i.is_multiple_of(10)
     }
 }
 
@@ -132,7 +131,7 @@ impl Workload for S3d {
 
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError> {
@@ -180,8 +179,7 @@ mod tests {
 
     #[test]
     fn stream_shape() {
-        let out = run_workload(&S3d, &params(4, ProblemSize::Small, 12), &Mode::Untraced)
-            .unwrap();
+        let out = run_workload(&S3d, &params(4, ProblemSize::Small, 12), &Mode::Untraced).unwrap();
         // 24 setup + 12 × (197 rhs) + handoffs (iters 0..10 and 10) ×2.
         let handoffs = (0..12).filter(|&i| S3dState::handoff_at(i)).count();
         let expect = 24 + 12 * rhs_tasks_per_iteration() + handoffs * 2;
@@ -190,17 +188,15 @@ mod tests {
 
     #[test]
     fn manual_traces_replay_despite_handoffs() {
-        let out = run_workload(&S3d, &params(4, ProblemSize::Small, 30), &Mode::Manual)
-            .unwrap();
+        let out = run_workload(&S3d, &params(4, ProblemSize::Small, 30), &Mode::Manual).unwrap();
         assert_eq!(out.stats.mismatches, 0);
         assert_eq!(out.stats.trace_replays, 29, "{}", out.stats);
     }
 
     #[test]
     fn auto_reaches_steady_state() {
-        let out =
-            run_workload(&S3d, &params(4, ProblemSize::Small, 80), &Mode::Auto(auto_cfg()))
-                .unwrap();
+        let out = run_workload(&S3d, &params(4, ProblemSize::Small, 80), &Mode::Auto(auto_cfg()))
+            .unwrap();
         assert_eq!(out.stats.mismatches, 0);
         assert!(out.stats.replayed_fraction() > 0.4, "{}", out.stats);
         let w = out.warmup_iterations.expect("steady state reached");

@@ -4,11 +4,12 @@
 //! phase changes, random streams — so the ablation benches can compare
 //! mining algorithms and scoring variants without application noise.
 
-use crate::driver::{AppParams, Driver, Workload};
+use crate::driver::{AppParams, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tasksim::cost::Micros;
 use tasksim::ids::{RegionId, TaskKindId};
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::RuntimeError;
 use tasksim::task::TaskDesc;
 
@@ -36,7 +37,7 @@ impl Default for NoisyLoop {
 impl NoisyLoop {
     fn body(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         a: RegionId,
         b: RegionId,
     ) -> Result<(), RuntimeError> {
@@ -64,7 +65,7 @@ impl Workload for NoisyLoop {
 
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError> {
@@ -118,7 +119,7 @@ impl Workload for RandomStream {
 
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError> {
@@ -128,8 +129,7 @@ impl Workload for RandomStream {
         for _ in 0..params.iters {
             for _ in 0..16 {
                 let kind = TaskKindId(KIND_BASE + 10_000 + rng.gen_range(0..self.kinds));
-                driver
-                    .execute_task(TaskDesc::new(kind).read_writes(a).gpu_time(Micros(100.0)))?;
+                driver.execute_task(TaskDesc::new(kind).read_writes(a).gpu_time(Micros(100.0)))?;
             }
             driver.mark_iteration();
         }
@@ -165,7 +165,7 @@ impl Workload for PhaseChange {
 
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError> {

@@ -13,10 +13,11 @@
 //!   than CFD, plus the same allocator recycling).
 
 use crate::comm;
-use crate::driver::{AppParams, Driver, ProblemSize, Workload};
+use crate::driver::{AppParams, ProblemSize, Workload};
 use crate::recycle::Recycler;
 use tasksim::cost::Micros;
 use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::RuntimeError;
 use tasksim::task::TaskDesc;
 
@@ -50,7 +51,7 @@ struct SweState {
 }
 
 impl SweState {
-    fn setup(driver: &mut dyn Driver, params: &AppParams) -> Self {
+    fn setup(driver: &mut dyn TaskIssuer, params: &AppParams) -> Self {
         Self {
             fields: (0..FIELDS).map(|_| driver.create_region(1)).collect(),
             rec: Recycler::new(1),
@@ -59,7 +60,7 @@ impl SweState {
         }
     }
 
-    fn iteration(&mut self, driver: &mut dyn Driver) -> Result<(), RuntimeError> {
+    fn iteration(&mut self, driver: &mut dyn TaskIssuer) -> Result<(), RuntimeError> {
         // Halo exchange on the conserved fields.
         for f in 0..3 {
             driver.execute_task(comm::halo_exchange(HALO, self.fields[f], self.gpus))?;
@@ -116,7 +117,7 @@ impl Workload for TorchSwe {
 
     fn run(
         &self,
-        driver: &mut dyn Driver,
+        driver: &mut dyn TaskIssuer,
         params: &AppParams,
         manual: bool,
     ) -> Result<(), RuntimeError> {
@@ -136,15 +137,12 @@ impl Workload for TorchSwe {
 /// # Errors
 ///
 /// Returns the trace validation error the runtime raises.
-pub fn run_naive_manual(
-    rt: &mut tasksim::runtime::Runtime,
-    params: &AppParams,
-) -> Result<(), RuntimeError> {
+pub fn run_naive_manual(rt: &mut dyn TaskIssuer, params: &AppParams) -> Result<(), RuntimeError> {
     let mut st = SweState::setup(rt, params);
     for _ in 0..params.iters {
-        Driver::begin_trace(rt, TraceId(900))?;
+        rt.begin_trace(TraceId(900))?;
         st.iteration(rt)?;
-        Driver::end_trace(rt, TraceId(900))?;
+        rt.end_trace(TraceId(900))?;
     }
     Ok(())
 }

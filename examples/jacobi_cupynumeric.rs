@@ -9,16 +9,17 @@
 //!    trace-validity error Legion would raise.
 //! 3. Runs the brittle-but-correct period-2 manual annotation.
 //! 4. Runs Apophenia, which needs no annotations at all.
+//!
+//! Every step issues through the same `Session`-built `dyn TaskIssuer`;
+//! only the `Tracing` value differs.
 
-use apophenia::Config;
-use tasksim::runtime::{Runtime, RuntimeConfig};
+use apophenia::{Config, Session, Tracing};
 use workloads::driver::{run_workload, AppParams, Mode, ProblemSize};
 use workloads::jacobi::{run_naive_manual, run_period2_manual};
 use workloads::Jacobi;
 
 fn main() {
-    let params =
-        AppParams { nodes: 1, gpus_per_node: 1, size: ProblemSize::Small, iters: 400 };
+    let params = AppParams { nodes: 1, gpus_per_node: 1, size: ProblemSize::Small, iters: 400 };
 
     // 1. Inspect the stream: hashes of two consecutive iterations differ,
     // hashes two iterations apart agree.
@@ -36,13 +37,13 @@ fn main() {
     );
 
     // 2. The natural manual annotation fails.
-    let mut rt = Runtime::new(RuntimeConfig::single_node(1));
-    let err = run_naive_manual(&mut rt, 5).expect_err("naive annotation is invalid");
+    let mut rt = Session::builder().tracing(Tracing::Manual).build();
+    let err = run_naive_manual(rt.as_mut(), 5).expect_err("naive annotation is invalid");
     println!("\nNaive per-iteration annotation: {err}");
 
     // 3. The brittle period-2 annotation works.
-    let mut rt = Runtime::new(RuntimeConfig::single_node(1));
-    run_period2_manual(&mut rt, 400).expect("period-2 annotation is valid");
+    let mut rt = Session::builder().tracing(Tracing::Manual).build();
+    run_period2_manual(rt.as_mut(), 400).expect("period-2 annotation is valid");
     println!("\nPeriod-2 manual annotation: {}", rt.stats());
 
     // 4. Apophenia: no annotations, same result.

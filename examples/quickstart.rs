@@ -2,60 +2,58 @@
 //!
 //! Run with `cargo run --release -p bench --example quickstart`.
 //!
-//! Builds a two-task stencil loop, runs it three ways — untraced, manually
-//! traced, and through Apophenia — and compares simulated throughput and
-//! runtime statistics. No annotations are needed for the Apophenia run:
-//! the repeated fragment is discovered from the task stream.
+//! Builds a two-task stencil loop and runs it three ways — untraced,
+//! manually traced, and through Apophenia — comparing simulated throughput
+//! and runtime statistics. All three runs share one issuing function over
+//! `dyn TaskIssuer`; the front-end is selected purely by the `Tracing`
+//! value handed to `Session`. No annotations are needed for the Apophenia
+//! run: the repeated fragment is discovered from the task stream.
 
-use apophenia::{AutoTracer, Config};
+use apophenia::{Config, Session, Tracing};
 use tasksim::cost::Micros;
 use tasksim::exec::simulate;
 use tasksim::ids::{TaskKindId, TraceId};
-use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use tasksim::runtime::RuntimeError;
 use tasksim::task::TaskDesc;
 
 const ITERS: usize = 500;
 const WARMUP: usize = 300;
 
+fn run(tracing: Tracing) -> Result<(f64, String), RuntimeError> {
+    let manual = tracing.is_manual();
+    let mut issuer = Session::builder().nodes(1).gpus_per_node(4).tracing(tracing).build();
+    let (a, b) = (issuer.create_region(1), issuer.create_region(1));
+    for _ in 0..ITERS {
+        if manual {
+            issuer.begin_trace(TraceId(0))?;
+        }
+        // The batched hot path; `execute_task` would issue one at a time.
+        issuer.issue_batch(vec![step(0, a, b), step(1, b, a)])?;
+        if manual {
+            issuer.end_trace(TraceId(0))?;
+        }
+        issuer.mark_iteration();
+    }
+    issuer.flush()?;
+    let stats = issuer.stats().to_string();
+    if let Some(w) = issuer.warmup_iterations() {
+        println!("warmup iterations until steady replay: {w}");
+    }
+    let log = issuer.finish()?;
+    Ok((simulate(&log).steady_throughput(WARMUP), stats))
+}
+
 fn main() -> Result<(), RuntimeError> {
     // 1. Untraced: every task pays the full ~1 ms dependence analysis.
-    let mut rt = Runtime::new(RuntimeConfig::single_node(4));
-    let (a, b) = (rt.create_region(1), rt.create_region(1));
-    for _ in 0..ITERS {
-        rt.execute_task(step(0, a, b))?;
-        rt.execute_task(step(1, b, a))?;
-        rt.mark_iteration();
-    }
-    let untraced = simulate(rt.log()).steady_throughput(WARMUP);
+    let (untraced, _) = run(Tracing::Untraced)?;
 
     // 2. Manually traced: the programmer brackets the loop body.
-    let mut rt = Runtime::new(RuntimeConfig::single_node(4));
-    let (a, b) = (rt.create_region(1), rt.create_region(1));
-    for _ in 0..ITERS {
-        rt.begin_trace(TraceId(0))?;
-        rt.execute_task(step(0, a, b))?;
-        rt.execute_task(step(1, b, a))?;
-        rt.end_trace(TraceId(0))?;
-        rt.mark_iteration();
-    }
-    let manual = simulate(rt.log()).steady_throughput(WARMUP);
+    let (manual, _) = run(Tracing::Manual)?;
 
     // 3. Apophenia: same program, zero annotations.
     let config = Config::standard().with_min_trace_length(2).with_multi_scale_factor(32);
-    let mut auto = AutoTracer::new(RuntimeConfig::single_node(4), config);
-    let (a, b) = (auto.create_region(1), auto.create_region(1));
-    for _ in 0..ITERS {
-        auto.execute_task(step(0, a, b))?;
-        auto.execute_task(step(1, b, a))?;
-        auto.mark_iteration();
-    }
-    auto.flush()?;
-    println!("Apophenia runtime stats: {}", auto.runtime().stats());
-    println!(
-        "warmup iterations until steady replay: {:?}",
-        auto.warmup().warmup_iterations()
-    );
-    let auto_tput = simulate(auto.runtime().log()).steady_throughput(WARMUP);
+    let (auto_tput, auto_stats) = run(Tracing::Auto(config))?;
+    println!("Apophenia runtime stats: {auto_stats}");
 
     println!();
     println!("steady-state throughput (simulated iterations/second):");

@@ -9,98 +9,73 @@
 //! reduction. Apophenia traces it without annotations; the dependence
 //! analysis keeps disjoint subregions parallel and fences whole-region
 //! operations.
+//!
+//! Before the `TaskIssuer` unification this example needed an ad-hoc
+//! driver enum and dispatch macros to run the same logic on two
+//! front-ends; now both paths are one function over `dyn TaskIssuer`.
 
-use apophenia::{AutoTracer, Config};
+use apophenia::{Config, Session, Tracing};
 use tasksim::cost::Micros;
 use tasksim::exec::simulate;
 use tasksim::ids::TaskKindId;
 use tasksim::index::IndexLaunch;
 use tasksim::privilege::ReductionOp;
-use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use tasksim::runtime::RuntimeError;
 
 const GPUS: u32 = 8;
 const ITERS: usize = 1200;
 const WARMUP: usize = 900;
 
 fn run(auto: bool) -> Result<(f64, String), RuntimeError> {
-    let rt_config = RuntimeConfig::multi_node(2, GPUS / 2);
-    let config = Config::standard()
-        .with_min_trace_length(4)
-        .with_batch_size(512)
-        .with_multi_scale_factor(32);
-
-    // Both paths share the same issuing logic through closures over a
-    // small enum of drivers.
-    enum D {
-        Plain(Runtime),
-        Auto(Box<AutoTracer>),
-    }
-    let mut d = if auto {
-        D::Auto(Box::new(AutoTracer::new(rt_config, config)))
+    let tracing = if auto {
+        Tracing::Auto(
+            Config::standard()
+                .with_min_trace_length(4)
+                .with_batch_size(512)
+                .with_multi_scale_factor(32),
+        )
     } else {
-        D::Plain(Runtime::new(rt_config))
+        Tracing::Untraced
     };
+    let mut issuer = Session::builder().nodes(2).gpus_per_node(GPUS / 2).tracing(tracing).build();
 
-    macro_rules! drv {
-        ($method:ident ( $($arg:expr),* )) => {
-            match &mut d {
-                D::Plain(rt) => rt.$method($($arg),*),
-                D::Auto(a) => a.$method($($arg),*),
-            }
-        };
-    }
-    // `execute_task` returns `Result<OpId>` on the plain runtime and
-    // `Result<()>` through Apophenia; unify to `Result<()>`.
-    macro_rules! exec {
-        ($t:expr) => {
-            match &mut d {
-                D::Plain(rt) => rt.execute_task($t).map(|_| ()),
-                D::Auto(a) => a.execute_task($t),
-            }
-        };
-    }
-
-    let grid_a = drv!(create_region(1));
-    let grid_b = drv!(create_region(1));
-    let mut cur = drv!(partition(grid_a, GPUS))?;
-    let mut next = drv!(partition(grid_b, GPUS))?;
-    let residual = drv!(create_region(1));
+    let grid_a = issuer.create_region(1);
+    let grid_b = issuer.create_region(1);
+    let mut cur = issuer.partition(grid_a, GPUS)?;
+    let mut next = issuer.partition(grid_b, GPUS)?;
+    let residual = issuer.create_region(1);
 
     for i in 0..ITERS {
-        exec!(IndexLaunch::new(TaskKindId(10))
-            .projects_read_writes(&cur)
-            .gpu_time_per_point(Micros(60.0), GPUS)
-            .into_task())?;
-        exec!(IndexLaunch::new(TaskKindId(11))
-            .projects_reads(&cur)
-            .projects_writes(&next)
-            .gpu_time_per_point(Micros(400.0), GPUS)
-            .into_task())?;
+        issuer.execute_task(
+            IndexLaunch::new(TaskKindId(10))
+                .projects_read_writes(&cur)
+                .gpu_time_per_point(Micros(60.0), GPUS)
+                .into_task(),
+        )?;
+        issuer.execute_task(
+            IndexLaunch::new(TaskKindId(11))
+                .projects_reads(&cur)
+                .projects_writes(&next)
+                .gpu_time_per_point(Micros(400.0), GPUS)
+                .into_task(),
+        )?;
         if i % 5 == 4 {
-            exec!(IndexLaunch::new(TaskKindId(12))
-                .projects_reads(&next)
-                .reduces_broadcast(residual, ReductionOp(0))
-                .gpu_time_per_point(Micros(50.0), GPUS)
-                .into_task())?;
+            issuer.execute_task(
+                IndexLaunch::new(TaskKindId(12))
+                    .projects_reads(&next)
+                    .reduces_broadcast(residual, ReductionOp(0))
+                    .gpu_time_per_point(Micros(50.0), GPUS)
+                    .into_task(),
+            )?;
         }
         std::mem::swap(&mut cur, &mut next);
-        match &mut d {
-            D::Plain(rt) => rt.mark_iteration(),
-            D::Auto(a) => a.mark_iteration(),
-        }
+        issuer.mark_iteration();
     }
 
-    match d {
-        D::Plain(rt) => {
-            let tput = simulate(rt.log()).steady_throughput(WARMUP);
-            Ok((tput, rt.stats().to_string()))
-        }
-        D::Auto(mut a) => {
-            a.flush()?;
-            let tput = simulate(a.runtime().log()).steady_throughput(WARMUP);
-            Ok((tput, a.runtime().stats().to_string()))
-        }
-    }
+    issuer.flush()?;
+    let stats = issuer.stats().to_string();
+    let log = issuer.finish()?;
+    Ok((simulate(&log).steady_throughput(WARMUP), stats))
 }
 
 fn main() -> Result<(), RuntimeError> {

@@ -20,15 +20,11 @@ fn main() {
     println!("{:>6} {:>12} {:>12} {:>10}", "GPUs", "auto", "untraced", "speedup");
     for gpus in [1u32, 2, 4, 8, 16, 32, 64] {
         let p = AppParams::eos(gpus, ProblemSize::Small, iters);
-        let auto =
-            measure_throughput(&TorchSwe, &p, &Mode::Auto(Config::standard()), warmup)
-                .expect("auto run");
+        let auto = measure_throughput(&TorchSwe, &p, &Mode::Auto(Config::standard()), warmup)
+            .expect("auto run");
         let untraced =
             measure_throughput(&TorchSwe, &p, &Mode::Untraced, warmup).expect("untraced run");
-        println!(
-            "{gpus:>6} {auto:>12.2} {untraced:>12.2} {:>9.2}x",
-            auto / untraced
-        );
+        println!("{gpus:>6} {auto:>12.2} {untraced:>12.2} {:>9.2}x", auto / untraced);
     }
     println!("\nPaper reports 0.91x–2.82x end-to-end speedups, growing with scale.");
 }

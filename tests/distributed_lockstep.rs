@@ -5,14 +5,12 @@
 use apophenia::{Config, DelayModel, DistributedAutoTracer};
 use tasksim::cost::Micros;
 use tasksim::ids::TaskKindId;
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::RuntimeConfig;
 use tasksim::task::TaskDesc;
 
 fn small_config() -> Config {
-    Config::standard()
-        .with_min_trace_length(4)
-        .with_batch_size(512)
-        .with_multi_scale_factor(64)
+    Config::standard().with_min_trace_length(4).with_batch_size(512).with_multi_scale_factor(64)
 }
 
 /// Drives an S3D-shaped stream (RHS body + periodic hand-off) through a
@@ -23,10 +21,7 @@ fn drive_s3d_like(d: &mut DistributedAutoTracer, iters: usize) {
     for i in 0..iters {
         for k in 0..24u32 {
             d.execute_task(
-                TaskDesc::new(TaskKindId(k))
-                    .reads(field)
-                    .read_writes(rhs)
-                    .gpu_time(Micros(500.0)),
+                TaskDesc::new(TaskKindId(k)).reads(field).read_writes(rhs).gpu_time(Micros(500.0)),
             )
             .unwrap();
         }
@@ -89,10 +84,7 @@ fn distributed_matches_single_node_decisions_when_mining_instant() {
             16,
         );
         drive_s3d_like(&mut d, 100);
-        (
-            d.node_runtime(0).stats().trace_replays,
-            d.node_runtime(0).stats().tasks_replayed,
-        )
+        (d.node_runtime(0).stats().trace_replays, d.node_runtime(0).stats().tasks_replayed)
     };
     // Note: analysis costs differ with node count but *decisions* do not.
     assert_eq!(mk(1), mk(4));

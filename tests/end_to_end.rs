@@ -7,7 +7,10 @@ use workloads::driver::{run_workload, AppParams, Mode, ProblemSize, Workload};
 
 fn all_workloads() -> Vec<(&'static dyn Workload, AppParams)> {
     vec![
-        (&workloads::Jacobi, AppParams { nodes: 1, gpus_per_node: 1, size: ProblemSize::Small, iters: 1500 }),
+        (
+            &workloads::Jacobi,
+            AppParams { nodes: 1, gpus_per_node: 1, size: ProblemSize::Small, iters: 1500 },
+        ),
         (&workloads::S3d, AppParams::perlmutter(8, ProblemSize::Small, 120)),
         (&workloads::Htr, AppParams::perlmutter(8, ProblemSize::Small, 200)),
         (&workloads::Cfd, AppParams::eos(8, ProblemSize::Small, 200)),
@@ -21,12 +24,7 @@ fn every_workload_traces_cleanly_under_apophenia() {
     for (w, p) in all_workloads() {
         let out = run_workload(w, &p, &Mode::Auto(Config::standard())).unwrap();
         assert_eq!(out.stats.mismatches, 0, "{}: {}", w.name(), out.stats);
-        assert!(
-            out.stats.tasks_replayed > 0,
-            "{} found no traces: {}",
-            w.name(),
-            out.stats
-        );
+        assert!(out.stats.tasks_replayed > 0, "{} found no traces: {}", w.name(), out.stats);
         // The log is simulatable and iterations are all accounted for.
         let report = simulate(&out.log);
         assert_eq!(out.log.iteration_count(), p.iters, "{}", w.name());
@@ -55,11 +53,7 @@ fn auto_never_slower_than_untraced_by_much() {
         let warmup = p.iters * 3 / 4;
         let ta = simulate(&auto.log).steady_throughput(warmup);
         let tu = simulate(&untraced.log).steady_throughput(warmup);
-        assert!(
-            ta > tu * 0.85,
-            "{}: auto {ta} vs untraced {tu}",
-            w.name()
-        );
+        assert!(ta > tu * 0.85, "{}: auto {ta} vs untraced {tu}", w.name());
     }
 }
 
@@ -83,8 +77,8 @@ fn replay_fraction_grows_over_run() {
     let out = run_workload(&workloads::S3d, &p, &Mode::Auto(Config::standard())).unwrap();
     let samples = &out.traced_samples;
     assert!(!samples.is_empty());
-    let first_quarter: f64 = samples[..samples.len() / 4].iter().map(|s| s.1).sum::<f64>()
-        / (samples.len() / 4) as f64;
+    let first_quarter: f64 =
+        samples[..samples.len() / 4].iter().map(|s| s.1).sum::<f64>() / (samples.len() / 4) as f64;
     let last_quarter: f64 = samples[samples.len() * 3 / 4..].iter().map(|s| s.1).sum::<f64>()
         / (samples.len() - samples.len() * 3 / 4) as f64;
     assert!(

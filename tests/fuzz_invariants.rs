@@ -5,6 +5,7 @@ use apophenia::{AutoTracer, Config};
 use proptest::prelude::*;
 use tasksim::cost::Micros;
 use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::{Runtime, RuntimeConfig};
 use tasksim::task::TaskDesc;
 use tasksim::trace::MismatchPolicy;

@@ -1,14 +1,20 @@
 //! Index-launch integration: a partitioned stencil application traced
 //! automatically, exercising projection requirements through the whole
 //! stack (dependence analysis over partitions, tracing, simulation).
+//!
+//! The stencil issues through `dyn TaskIssuer`, so the untraced and
+//! automatically traced runs share every line of application code; only
+//! the `Tracing` value handed to `Session` differs.
 
-use apophenia::{AutoTracer, Config};
+use apophenia::{Config, Session, Tracing};
 use tasksim::cost::Micros;
-use tasksim::exec::simulate;
+use tasksim::exec::{simulate, OpLog};
 use tasksim::ids::{RegionId, TaskKindId};
 use tasksim::index::IndexLaunch;
+use tasksim::issuer::TaskIssuer;
 use tasksim::privilege::ReductionOp;
-use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
+use tasksim::runtime::RuntimeError;
+use tasksim::stats::RuntimeStats;
 
 /// A 1-D stencil: grid partitioned per GPU; per iteration a halo-exchange
 /// launch, a compute launch projected over the partition, and every few
@@ -21,7 +27,7 @@ struct Stencil {
 }
 
 impl Stencil {
-    fn setup<D: StencilDriver>(d: &mut D, gpus: u32) -> Result<Self, RuntimeError> {
+    fn setup(d: &mut dyn TaskIssuer, gpus: u32) -> Result<Self, RuntimeError> {
         let grid_a = d.create_region(1);
         let grid_b = d.create_region(1);
         let parts_cur = d.partition(grid_a, gpus)?;
@@ -30,16 +36,16 @@ impl Stencil {
         Ok(Self { parts_cur, parts_next, residual, gpus })
     }
 
-    fn iteration<D: StencilDriver>(&mut self, d: &mut D, check: bool) -> Result<(), RuntimeError> {
+    fn iteration(&mut self, d: &mut dyn TaskIssuer, check: bool) -> Result<(), RuntimeError> {
         // Halo exchange: read+write the current partition.
-        d.execute(
+        d.execute_task(
             IndexLaunch::new(TaskKindId(3000))
                 .projects_read_writes(&self.parts_cur)
                 .gpu_time_per_point(Micros(60.0), self.gpus)
                 .into_task(),
         )?;
         // Compute: read cur, write next.
-        d.execute(
+        d.execute_task(
             IndexLaunch::new(TaskKindId(3001))
                 .projects_reads(&self.parts_cur)
                 .projects_writes(&self.parts_next)
@@ -47,7 +53,7 @@ impl Stencil {
                 .into_task(),
         )?;
         if check {
-            d.execute(
+            d.execute_task(
                 IndexLaunch::new(TaskKindId(3002))
                     .projects_reads(&self.parts_next)
                     .reduces_broadcast(self.residual, ReductionOp(0))
@@ -60,59 +66,28 @@ impl Stencil {
     }
 }
 
-/// Minimal driver abstraction so the same stencil runs on both backends.
-trait StencilDriver {
-    fn create_region(&mut self, fields: u32) -> RegionId;
-    fn partition(&mut self, r: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError>;
-    fn execute(&mut self, t: tasksim::task::TaskDesc) -> Result<(), RuntimeError>;
-    fn mark(&mut self);
+fn auto_config() -> Config {
+    Config::standard().with_min_trace_length(4).with_batch_size(512).with_multi_scale_factor(32)
 }
 
-impl StencilDriver for Runtime {
-    fn create_region(&mut self, fields: u32) -> RegionId {
-        Runtime::create_region(self, fields)
-    }
-    fn partition(&mut self, r: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
-        Runtime::partition(self, r, parts)
-    }
-    fn execute(&mut self, t: tasksim::task::TaskDesc) -> Result<(), RuntimeError> {
-        Runtime::execute_task(self, t).map(|_| ())
-    }
-    fn mark(&mut self) {
-        self.mark_iteration();
-    }
-}
-
-impl StencilDriver for AutoTracer {
-    fn create_region(&mut self, fields: u32) -> RegionId {
-        AutoTracer::create_region(self, fields)
-    }
-    fn partition(&mut self, r: RegionId, parts: u32) -> Result<Vec<RegionId>, RuntimeError> {
-        AutoTracer::partition(self, r, parts)
-    }
-    fn execute(&mut self, t: tasksim::task::TaskDesc) -> Result<(), RuntimeError> {
-        AutoTracer::execute_task(self, t)
-    }
-    fn mark(&mut self) {
-        self.mark_iteration();
-    }
-}
-
-fn run_stencil<D: StencilDriver>(d: &mut D, gpus: u32, iters: usize) {
-    let mut st = Stencil::setup(d, gpus).unwrap();
+fn run_stencil(tracing: Tracing, gpus: u32, iters: usize) -> (RuntimeStats, OpLog) {
+    let mut issuer = Session::builder().nodes(2).gpus_per_node(gpus / 2).tracing(tracing).build();
+    let mut st = Stencil::setup(issuer.as_mut(), gpus).unwrap();
     for i in 0..iters {
-        st.iteration(d, i % 5 == 4).unwrap();
-        d.mark();
+        st.iteration(issuer.as_mut(), i % 5 == 4).unwrap();
+        issuer.mark_iteration();
     }
+    issuer.flush().unwrap();
+    let stats = issuer.stats();
+    (stats, issuer.finish().unwrap())
 }
 
 #[test]
 fn stencil_dependences_are_correct() {
-    let mut rt = Runtime::new(RuntimeConfig::multi_node(2, 4));
-    run_stencil(&mut rt, 8, 10);
+    let (_, log) = run_stencil(Tracing::Untraced, 8, 10);
     // Every compute launch depends on the halo before it (read-write vs
     // read on the same partition).
-    let recs: Vec<_> = rt.log().task_records().collect();
+    let recs: Vec<_> = log.task_records().collect();
     // ops: halo(0), compute(1), [check], halo, compute, ...
     assert!(recs[1].preds.contains(&tasksim::ids::OpId(0)), "compute after halo");
     assert!(!recs[0].preds.contains(&tasksim::ids::OpId(1)));
@@ -120,44 +95,25 @@ fn stencil_dependences_are_correct() {
 
 #[test]
 fn stencil_traces_automatically() {
-    let config = Config::standard()
-        .with_min_trace_length(4)
-        .with_batch_size(512)
-        .with_multi_scale_factor(32);
-    let mut auto = AutoTracer::new(RuntimeConfig::multi_node(2, 4), config);
-    run_stencil(&mut auto, 8, 1500);
-    auto.flush().unwrap();
-    let s = auto.runtime().stats();
-    assert_eq!(s.mismatches, 0);
+    let (stats, log) = run_stencil(Tracing::Auto(auto_config()), 8, 1500);
+    assert_eq!(stats.mismatches, 0);
     assert!(
-        s.replayed_fraction() > 0.5,
-        "partitioned stencil reaches replay steady state: {s}"
+        stats.replayed_fraction() > 0.5,
+        "partitioned stencil reaches replay steady state: {stats}"
     );
     // The ping-pong buffer swap means the repeating unit is TWO iterations
     // (like Figure 1): consecutive iterations hash differently.
-    let hashes: Vec<_> = auto.runtime().log().task_records().map(|r| r.hash).collect();
+    let hashes: Vec<_> = log.task_records().map(|r| r.hash).collect();
     assert_ne!(hashes[0], hashes[2], "cur/next swap changes the launch hash");
 }
 
 #[test]
 fn stencil_speedup_from_tracing() {
-    let run = |auto: bool| {
-        if auto {
-            let config = Config::standard()
-                .with_min_trace_length(4)
-                .with_batch_size(512)
-                .with_multi_scale_factor(32);
-            let mut a = AutoTracer::new(RuntimeConfig::multi_node(2, 4), config);
-            run_stencil(&mut a, 8, 1500);
-            a.flush().unwrap();
-            simulate(a.runtime().log()).steady_throughput(1200)
-        } else {
-            let mut rt = Runtime::new(RuntimeConfig::multi_node(2, 4));
-            run_stencil(&mut rt, 8, 1500);
-            simulate(rt.log()).steady_throughput(1200)
-        }
+    let run = |tracing: Tracing| {
+        let (_, log) = run_stencil(tracing, 8, 1500);
+        simulate(&log).steady_throughput(1200)
     };
-    let auto = run(true);
-    let untraced = run(false);
+    let auto = run(Tracing::Auto(auto_config()));
+    let untraced = run(Tracing::Untraced);
     assert!(auto > untraced * 1.5, "auto {auto} vs untraced {untraced}");
 }
