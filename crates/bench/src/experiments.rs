@@ -169,6 +169,23 @@ pub fn fig10() -> Vec<(u64, f64)> {
     out.traced_samples
 }
 
+/// One measured configuration of the `mining_throughput` bench: how fast
+/// the finder pipeline (or a bare suffix-array build) chews through a
+/// token stream.
+#[derive(Debug, Clone)]
+pub struct MiningThroughputRow {
+    /// Token-stream shape: `periodic`, `aperiodic`, `workload`.
+    pub stream: &'static str,
+    /// Configuration label: suffix backend or mining mode under test.
+    pub config: String,
+    /// Stream length in tokens.
+    pub tokens: usize,
+    /// Worker threads (1 for sync/inline configurations).
+    pub threads: usize,
+    /// Measured throughput in millions of tokens per second.
+    pub mtok_per_sec: f64,
+}
+
 /// The §6.3 overheads: simulated per-task launch cost with/without
 /// Apophenia, plus the measured *wall-clock* per-task overhead of this
 /// implementation's Apophenia layer (the analogue of the paper's 7 µs →

@@ -1,6 +1,6 @@
 //! Plain-text rendering of experiment results.
 
-use crate::experiments::{OverheadReport, ScalingFigure, WarmupRow};
+use crate::experiments::{MiningThroughputRow, OverheadReport, ScalingFigure, WarmupRow};
 use std::fmt::Write as _;
 
 /// Renders a scaling figure as an aligned table: one row per GPU count,
@@ -83,6 +83,27 @@ pub fn render_overhead(r: &OverheadReport) -> String {
     out
 }
 
+/// Renders the `mining_throughput` table: the perf trajectory of the
+/// mining hot path across suffix backends, mining modes, thread counts,
+/// and stream shapes.
+pub fn render_mining_throughput(rows: &[MiningThroughputRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Mining throughput (finder hot path)");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>22} {:>10} {:>8} {:>12}",
+        "stream", "config", "tokens", "threads", "Mtok/s"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>22} {:>10} {:>8} {:>12.2}",
+            r.stream, r.config, r.tokens, r.threads, r.mtok_per_sec
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +140,29 @@ mod tests {
         let samples: Vec<(u64, f64)> = (0..100).map(|i| (i * 100, i as f64)).collect();
         let s = render_fig10(&samples);
         assert!(s.contains("% traced"));
+    }
+
+    #[test]
+    fn mining_throughput_render() {
+        let rows = vec![
+            MiningThroughputRow {
+                stream: "periodic",
+                config: "sais".into(),
+                tokens: 65536,
+                threads: 1,
+                mtok_per_sec: 12.345,
+            },
+            MiningThroughputRow {
+                stream: "workload",
+                config: "pool".into(),
+                tokens: 65536,
+                threads: 4,
+                mtok_per_sec: 3.5,
+            },
+        ];
+        let s = render_mining_throughput(&rows);
+        assert!(s.contains("sais") && s.contains("pool"));
+        assert!(s.contains("12.35") && s.contains("3.50"));
+        assert!(s.contains("Mtok/s"));
     }
 }

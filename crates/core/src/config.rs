@@ -15,6 +15,13 @@
 //! Defaults follow the artifact's FlexFlow command line (batch 5000,
 //! min 25, multi-scale 500) with no maximum trace length unless a
 //! configuration asks for one (Figure 8's "auto-200").
+//!
+//! Beyond the artifact's flags, [`Config::suffix_backend`] selects the
+//! suffix-array construction backend (linear-time SA-IS by default) and
+//! [`Config::mining_threads`] sizes the asynchronous mining worker pool;
+//! neither knob changes mining *results* — only how fast they arrive.
+
+use substrings::SuffixBackend;
 
 /// Which buffer-sampling strategy the trace finder uses (§4.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,17 +48,20 @@ pub enum RepeatsAlgorithm {
     Lzw,
 }
 
-/// Whether buffer mining runs on a worker thread or inline.
+/// Whether buffer mining runs on a worker pool or inline.
 ///
 /// Results are ingested at deterministic stream positions either way (the
 /// §5.1 requirement); `Sync` simply guarantees the result is ready at the
-/// first opportunity, which tests rely on.
+/// first opportunity, which tests rely on. `Async` mines on a pool of
+/// [`Config::mining_threads`] workers, with completed batches reassembled
+/// into strict submission order before they are released — so thread
+/// count never changes mining results, only mining latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MiningMode {
     /// Mine inline at submission (deterministic, used by tests/benches).
     #[default]
     Sync,
-    /// Mine on a background worker thread (the production configuration;
+    /// Mine on a background worker pool (the production configuration;
     /// §4.3's "asynchronous analysis of task histories").
     Async,
 }
@@ -99,6 +109,15 @@ pub struct Config {
     pub repeats: RepeatsAlgorithm,
     /// Inline or background mining.
     pub mining: MiningMode,
+    /// Worker threads mining the history buffer under
+    /// [`MiningMode::Async`] (ignored when mining inline). Batches are
+    /// released in submission order regardless of thread count.
+    pub mining_threads: usize,
+    /// Suffix-array construction backend used by Algorithm 2
+    /// ([`SuffixBackend::Sais`] — linear time — by default; prefix
+    /// doubling kept for ablations). Both backends mine identical
+    /// candidates.
+    pub suffix_backend: SuffixBackend,
     /// Scoring constants.
     pub scoring: ScoringConfig,
     /// Consult winnowing fingerprints before each mining job and skip the
@@ -120,6 +139,8 @@ impl Config {
             identifier: IdentifierAlgorithm::MultiScale,
             repeats: RepeatsAlgorithm::QuickMatching,
             mining: MiningMode::Sync,
+            mining_threads: 1,
+            suffix_backend: SuffixBackend::default(),
             scoring: ScoringConfig::default(),
             winnow_prefilter: false,
         }
@@ -153,6 +174,19 @@ impl Config {
     /// Selects background mining.
     pub fn with_async_mining(mut self) -> Self {
         self.mining = MiningMode::Async;
+        self
+    }
+
+    /// Sets the size of the background mining worker pool (clamped to at
+    /// least one thread; only meaningful with [`Self::with_async_mining`]).
+    pub fn with_mining_threads(mut self, threads: usize) -> Self {
+        self.mining_threads = threads.max(1);
+        self
+    }
+
+    /// Selects the suffix-array construction backend.
+    pub fn with_suffix_backend(mut self, backend: SuffixBackend) -> Self {
+        self.suffix_backend = backend;
         self
     }
 
@@ -199,6 +233,17 @@ mod tests {
         assert_eq!(c.max_trace_length, Some(200));
         assert_eq!(c.min_trace_length, 10);
         assert_eq!(c.effective_max_len(), 200);
+    }
+
+    #[test]
+    fn performance_knob_defaults_and_builders() {
+        let c = Config::standard();
+        assert_eq!(c.suffix_backend, SuffixBackend::Sais, "SA-IS is the default backend");
+        assert_eq!(c.mining_threads, 1);
+        let c = c.with_mining_threads(0).with_suffix_backend(SuffixBackend::Doubling);
+        assert_eq!(c.mining_threads, 1, "thread count clamps to >= 1");
+        assert_eq!(c.suffix_backend, SuffixBackend::Doubling);
+        assert_eq!(c.with_mining_threads(4).mining_threads, 4);
     }
 
     #[test]

@@ -408,8 +408,10 @@ mod tests {
 
     #[test]
     fn async_mining_mode_also_converges() {
-        let mut auto =
-            AutoTracer::new(RuntimeConfig::single_node(1), small_config().with_async_mining());
+        let mut auto = AutoTracer::new(
+            RuntimeConfig::single_node(1),
+            small_config().with_async_mining().with_mining_threads(2),
+        );
         // Async results land whenever the worker thread gets scheduled, so
         // run long enough (with occasional yields) for ingestion to happen
         // mid-stream rather than only at the final flush.

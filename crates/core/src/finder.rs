@@ -5,19 +5,28 @@
 //! sampler (or whenever the buffer fills, in `FixedBatch` mode), mines a
 //! slice of it for repeated substrings — Algorithm 2 by default, or one of
 //! the baseline miners for ablations. Mining runs inline or on a worker
-//! thread; either way results come back as [`MinedBatch`]es in submission
-//! order, and the caller decides *when* to ingest them (the §5.1
-//! distributed-agreement hook).
+//! pool of [`Config::mining_threads`] threads; either way results come
+//! back as [`MinedBatch`]es in strict submission order (completions that
+//! finish out of order are reassembled before release), and the caller
+//! decides *when* to ingest them (the §5.1 distributed-agreement hook).
+//!
+//! The per-job hot path is allocation-lean: job token buffers are
+//! recycled through a return channel once a worker finishes with them,
+//! and the history slice is copied out of the ring buffer slice-wise
+//! (`VecDeque::as_slices`) rather than element by element.
 
 use crate::config::{Config, IdentifierAlgorithm, MiningMode, RepeatsAlgorithm};
 use crate::sampler::MultiScaleSampler;
-use std::collections::VecDeque;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use substrings::lzw::lzw_parse;
-use substrings::repeats::find_repeats_min_len;
+use substrings::repeats::find_repeats_min_len_with;
 use substrings::tandem::select_tandem_repeats;
 use substrings::winnow::{has_repetition_evidence, WinnowConfig};
+use substrings::SuffixBackend;
 use tasksim::task::TaskHash;
 
 /// A repeated substring mined from the history buffer, with the *global*
@@ -49,36 +58,52 @@ struct Job {
     global_start: u64,
     min_len: usize,
     algo: RepeatsAlgorithm,
+    backend: SuffixBackend,
 }
 
-fn run_job(job: Job) -> MinedBatch {
-    let slice_end = job.global_start + job.tokens.len() as u64;
+fn run_job(job: &Job) -> MinedBatch {
+    let tokens = job.tokens.as_slice();
+    let slice_end = job.global_start + tokens.len() as u64;
+    // `usize` and `u64` share size and alignment on every supported
+    // target, so the occurrence `collect`s below reuse the source
+    // allocation in place instead of reallocating per candidate.
+    let globalize = |occ: Vec<usize>| -> Vec<u64> {
+        occ.into_iter().map(|p| job.global_start + p as u64).collect()
+    };
     let candidates = match job.algo {
-        RepeatsAlgorithm::QuickMatching => find_repeats_min_len(&job.tokens, job.min_len)
+        RepeatsAlgorithm::QuickMatching => {
+            find_repeats_min_len_with(tokens, job.min_len, job.backend)
+                .into_iter()
+                .map(|r| MinedCandidate {
+                    content: r.content,
+                    occurrences: globalize(r.occurrences),
+                })
+                .collect()
+        }
+        RepeatsAlgorithm::TandemRepeats => select_tandem_repeats(tokens, job.min_len)
             .into_iter()
-            .map(|r| MinedCandidate {
-                content: r.content,
-                occurrences: r.occurrences.iter().map(|&p| job.global_start + p as u64).collect(),
-            })
-            .collect(),
-        RepeatsAlgorithm::TandemRepeats => select_tandem_repeats(&job.tokens, job.min_len)
-            .into_iter()
-            .map(|r| MinedCandidate {
-                content: r.content,
-                occurrences: r.occurrences.iter().map(|&p| job.global_start + p as u64).collect(),
-            })
+            .map(|r| MinedCandidate { content: r.content, occurrences: globalize(r.occurrences) })
             .collect(),
         RepeatsAlgorithm::Lzw => {
             // Collect re-used phrases of sufficient length, grouped by
-            // content.
-            let parse = lzw_parse(&job.tokens);
+            // content. The index borrows slices of the job buffer, so a
+            // phrase's tokens are cloned once (on first sight), not per
+            // occurrence, and lookup is O(1) expected per match.
+            let parse = lzw_parse(tokens);
             let mut grouped: Vec<MinedCandidate> = Vec::new();
+            let mut index: HashMap<&[TaskHash], usize> = HashMap::new();
             for m in parse.matches.iter().filter(|m| m.len() >= job.min_len) {
-                let content = job.tokens[m.start..m.end].to_vec();
+                let content = &tokens[m.start..m.end];
                 let pos = job.global_start + m.start as u64;
-                match grouped.iter_mut().find(|c| c.content == content) {
-                    Some(c) => c.occurrences.push(pos),
-                    None => grouped.push(MinedCandidate { content, occurrences: vec![pos] }),
+                match index.entry(content) {
+                    Entry::Occupied(e) => grouped[*e.get()].occurrences.push(pos),
+                    Entry::Vacant(e) => {
+                        e.insert(grouped.len());
+                        grouped.push(MinedCandidate {
+                            content: content.to_vec(),
+                            occurrences: vec![pos],
+                        });
+                    }
                 }
             }
             grouped
@@ -91,12 +116,20 @@ enum Miner {
     Sync {
         done: VecDeque<MinedBatch>,
     },
-    Async {
+    Pool {
         tx: Option<Sender<Job>>,
         rx: Receiver<MinedBatch>,
-        worker: Option<JoinHandle<()>>,
+        /// Job token buffers coming back from workers for reuse.
+        recycle_rx: Receiver<Vec<TaskHash>>,
+        workers: Vec<JoinHandle<()>>,
+        /// Jobs sent to the pool and not yet received back.
         in_flight: usize,
-        /// Completed batches not yet polled.
+        /// Completed batches received out of submission order, keyed by
+        /// job id until their predecessors arrive.
+        pending: BTreeMap<u64, MinedBatch>,
+        /// Id of the next batch to release (strict submission order).
+        next_emit: u64,
+        /// Batches reassembled into order but not yet polled.
         ready: VecDeque<MinedBatch>,
     },
 }
@@ -113,6 +146,9 @@ pub struct TraceFinder {
     batch_size: usize,
     identifier: IdentifierAlgorithm,
     algo: RepeatsAlgorithm,
+    backend: SuffixBackend,
+    /// Recycled job token buffers awaiting reuse.
+    spare: Vec<Vec<TaskHash>>,
     /// Winnowing pre-filter parameters, when enabled.
     prefilter: Option<WinnowConfig>,
     /// Total analyses submitted (exposed for overhead accounting).
@@ -137,20 +173,40 @@ impl TraceFinder {
         let miner = match config.mining {
             MiningMode::Sync => Miner::Sync { done: VecDeque::new() },
             MiningMode::Async => {
+                let threads = config.mining_threads.max(1);
                 let (tx, job_rx) = channel::<Job>();
+                let job_rx = Arc::new(Mutex::new(job_rx));
                 let (res_tx, rx) = channel::<MinedBatch>();
-                let worker = std::thread::spawn(move || {
-                    while let Ok(job) = job_rx.recv() {
-                        if res_tx.send(run_job(job)).is_err() {
-                            break;
-                        }
-                    }
-                });
-                Miner::Async {
+                let (recycle_tx, recycle_rx) = channel::<Vec<TaskHash>>();
+                let workers = (0..threads)
+                    .map(|_| {
+                        let job_rx = Arc::clone(&job_rx);
+                        let res_tx = res_tx.clone();
+                        let recycle_tx = recycle_tx.clone();
+                        std::thread::spawn(move || loop {
+                            // Hold the lock only while waiting for a job;
+                            // mining runs unlocked so workers overlap.
+                            let job = match job_rx.lock() {
+                                Ok(rx) => rx.recv(),
+                                Err(_) => break,
+                            };
+                            let Ok(job) = job else { break };
+                            let batch = run_job(&job);
+                            let _ = recycle_tx.send(job.tokens);
+                            if res_tx.send(batch).is_err() {
+                                break;
+                            }
+                        })
+                    })
+                    .collect();
+                Miner::Pool {
                     tx: Some(tx),
                     rx,
-                    worker: Some(worker),
+                    recycle_rx,
+                    workers,
                     in_flight: 0,
+                    pending: BTreeMap::new(),
+                    next_emit: 0,
                     ready: VecDeque::new(),
                 }
             }
@@ -168,6 +224,8 @@ impl TraceFinder {
             batch_size: config.batch_size,
             identifier: config.identifier,
             algo: config.repeats,
+            backend: config.suffix_backend,
+            spare: Vec::new(),
             prefilter: config.winnow_prefilter.then(|| {
                 // Tune the winnowing guarantee to the minimum trace length:
                 // a slice with no duplicate fingerprints provably has no
@@ -207,15 +265,36 @@ impl TraceFinder {
         }
     }
 
+    /// Pops a recycled job buffer (draining any returns from the worker
+    /// pool first), or allocates the pool's first.
+    fn take_buffer(&mut self) -> Vec<TaskHash> {
+        if let Miner::Pool { recycle_rx, .. } = &self.miner {
+            while let Ok(returned) = recycle_rx.try_recv() {
+                self.spare.push(returned);
+            }
+        }
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
     /// Submits the buffer suffix starting at `from` (buffer-relative).
     fn submit(&mut self, from: usize) {
-        let tokens: Vec<TaskHash> = self.buffer.iter().skip(from).copied().collect();
-        if tokens.len() < 2 * self.min_len.max(1) {
+        if self.buffer.len() - from < 2 * self.min_len.max(1) {
             return; // Can't contain a repeat worth memoizing.
+        }
+        let mut tokens = self.take_buffer();
+        let (head, tail) = self.buffer.as_slices();
+        if from < head.len() {
+            tokens.extend_from_slice(&head[from..]);
+            tokens.extend_from_slice(tail);
+        } else {
+            tokens.extend_from_slice(&tail[from - head.len()..]);
         }
         if let Some(cfg) = self.prefilter {
             if !has_repetition_evidence(&tokens, cfg) {
                 self.jobs_prefiltered += 1;
+                self.spare.push(tokens);
                 return; // Provably nothing long enough to trace.
             }
         }
@@ -225,27 +304,46 @@ impl TraceFinder {
             global_start: self.buffer_start + from as u64,
             min_len: self.min_len,
             algo: self.algo,
+            backend: self.backend,
         };
         self.next_job += 1;
         self.jobs_submitted += 1;
         match &mut self.miner {
-            Miner::Sync { done } => done.push_back(run_job(job)),
-            Miner::Async { tx, in_flight, .. } => {
-                tx.as_ref().expect("worker alive").send(job).expect("worker alive");
+            Miner::Sync { done } => {
+                done.push_back(run_job(&job));
+                self.spare.push(job.tokens);
+            }
+            Miner::Pool { tx, in_flight, .. } => {
+                tx.as_ref().expect("pool alive").send(job).expect("pool alive");
                 *in_flight += 1;
             }
         }
     }
 
-    /// Returns all completed batches, in submission order.
+    /// Moves every contiguously-numbered pending batch into `ready`.
+    fn release_in_order(
+        pending: &mut BTreeMap<u64, MinedBatch>,
+        next_emit: &mut u64,
+        ready: &mut VecDeque<MinedBatch>,
+    ) {
+        while let Some(b) = pending.remove(next_emit) {
+            ready.push_back(b);
+            *next_emit += 1;
+        }
+    }
+
+    /// Returns all completed batches, in submission order. Batches that
+    /// completed ahead of an unfinished predecessor are withheld until the
+    /// predecessor lands.
     pub fn poll_completed(&mut self) -> Vec<MinedBatch> {
         match &mut self.miner {
             Miner::Sync { done } => done.drain(..).collect(),
-            Miner::Async { rx, in_flight, ready, .. } => {
+            Miner::Pool { rx, in_flight, pending, next_emit, ready, .. } => {
                 while let Ok(b) = rx.try_recv() {
                     *in_flight -= 1;
-                    ready.push_back(b);
+                    pending.insert(b.job, b);
                 }
+                Self::release_in_order(pending, next_emit, ready);
                 ready.drain(..).collect()
             }
         }
@@ -256,12 +354,14 @@ impl TraceFinder {
     pub fn drain_blocking(&mut self) -> Vec<MinedBatch> {
         match &mut self.miner {
             Miner::Sync { done } => done.drain(..).collect(),
-            Miner::Async { rx, in_flight, ready, .. } => {
+            Miner::Pool { rx, in_flight, pending, next_emit, ready, .. } => {
                 while *in_flight > 0 {
-                    let b = rx.recv().expect("worker alive");
+                    let b = rx.recv().expect("pool alive");
                     *in_flight -= 1;
-                    ready.push_back(b);
+                    pending.insert(b.job, b);
                 }
+                Self::release_in_order(pending, next_emit, ready);
+                debug_assert!(pending.is_empty(), "all batches released once in-flight hits 0");
                 ready.drain(..).collect()
             }
         }
@@ -271,7 +371,9 @@ impl TraceFinder {
     pub fn in_flight(&self) -> usize {
         match &self.miner {
             Miner::Sync { done } => done.len(),
-            Miner::Async { in_flight, ready, .. } => *in_flight + ready.len(),
+            Miner::Pool { in_flight, pending, ready, .. } => {
+                *in_flight + pending.len() + ready.len()
+            }
         }
     }
 
@@ -283,9 +385,9 @@ impl TraceFinder {
 
 impl Drop for TraceFinder {
     fn drop(&mut self) {
-        if let Miner::Async { tx, worker, .. } = &mut self.miner {
+        if let Miner::Pool { tx, workers, .. } = &mut self.miner {
             drop(tx.take());
-            if let Some(w) = worker.take() {
+            for w in workers.drain(..) {
                 let _ = w.join();
             }
         }
@@ -391,6 +493,66 @@ mod tests {
     }
 
     #[test]
+    fn pool_reassembles_submission_order() {
+        // Many jobs of very different sizes race across 4 workers: small
+        // jobs finish first, so the pool must withhold them until their
+        // larger predecessors land.
+        let mut c = Config::standard()
+            .with_batch_size(512)
+            .with_multi_scale_factor(8)
+            .with_min_trace_length(2)
+            .with_async_mining()
+            .with_mining_threads(4);
+        c.multi_scale_factor = 8;
+        let mut f = TraceFinder::new(&c);
+        let mut seen: Vec<u64> = Vec::new();
+        for rep in 0..40 {
+            feed_pattern(&mut f, &[1, 2, 3, 4, 5, 6, 7, 8], 4);
+            // Poll mid-stream: released prefixes must already be ordered.
+            for b in f.poll_completed() {
+                seen.push(b.job);
+            }
+            if rep % 8 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        for b in f.drain_blocking() {
+            seen.push(b.job);
+        }
+        let expect: Vec<u64> = (0..seen.len() as u64).collect();
+        assert_eq!(seen, expect, "batches released in strict submission order");
+        assert!(!seen.is_empty(), "jobs actually ran");
+    }
+
+    #[test]
+    fn pool_size_never_changes_results() {
+        let reference = {
+            let mut f = TraceFinder::new(&cfg());
+            feed_pattern(&mut f, &[1, 2, 3, 4, 5], 20);
+            f.drain_blocking()
+        };
+        for threads in [1, 2, 4] {
+            let mut f = TraceFinder::new(&cfg().with_async_mining().with_mining_threads(threads));
+            feed_pattern(&mut f, &[1, 2, 3, 4, 5], 20);
+            assert_eq!(
+                f.drain_blocking(),
+                reference,
+                "{threads}-thread pool mined different batches"
+            );
+        }
+    }
+
+    #[test]
+    fn suffix_backend_never_changes_results() {
+        let mine = |backend| {
+            let mut f = TraceFinder::new(&cfg().with_suffix_backend(backend));
+            feed_pattern(&mut f, &[3, 1, 4, 1, 5, 9, 2, 6], 12);
+            f.drain_blocking()
+        };
+        assert_eq!(mine(SuffixBackend::Sais), mine(SuffixBackend::Doubling));
+    }
+
+    #[test]
     fn lzw_algorithm_produces_candidates() {
         let mut c = cfg();
         c.repeats = RepeatsAlgorithm::Lzw;
@@ -400,6 +562,23 @@ mod tests {
         let batches = f.drain_blocking();
         let any = batches.iter().any(|b| !b.candidates.is_empty());
         assert!(any, "LZW found re-used phrases");
+    }
+
+    #[test]
+    fn lzw_groups_by_content() {
+        let mut c = cfg();
+        c.repeats = RepeatsAlgorithm::Lzw;
+        c.min_trace_length = 2;
+        let mut f = TraceFinder::new(&c);
+        feed_pattern(&mut f, &[1, 2, 3], 24);
+        for b in f.drain_blocking() {
+            let mut contents: Vec<&[TaskHash]> =
+                b.candidates.iter().map(|c| c.content.as_slice()).collect();
+            let total = contents.len();
+            contents.sort();
+            contents.dedup();
+            assert_eq!(contents.len(), total, "no duplicate content groups in {b:?}");
+        }
     }
 
     #[test]

@@ -84,3 +84,4 @@ pub use finder::{MinedBatch, MinedCandidate, TraceFinder};
 pub use metrics::{TracedWindow, WarmupDetector};
 pub use replayer::{TraceReplayer, TraceSink};
 pub use session::{Session, SessionBuilder, Tracing};
+pub use substrings::SuffixBackend;

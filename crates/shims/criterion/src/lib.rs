@@ -9,6 +9,11 @@
 //! `sample_size` timed iterations, and prints mean / min / max per
 //! iteration (plus element throughput when configured). There is no
 //! statistical analysis, HTML report, or baseline comparison.
+//!
+//! Like real criterion, passing `--test` on the bench command line
+//! (`cargo bench -- --test`) runs every benchmark exactly once with no
+//! timing report — the CI smoke mode that keeps benches from bit-rotting
+//! without paying for full sample runs.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -116,28 +121,38 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
     println!("{line}");
 }
 
+/// Whether the bench binary was invoked in `--test` smoke mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// The harness entry point; holds default settings.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        let test_mode = test_mode();
+        Self { sample_size: if test_mode { 1 } else { 10 }, test_mode }
     }
 }
 
 impl Criterion {
-    /// Sets the number of timed iterations per benchmark.
+    /// Sets the number of timed iterations per benchmark (ignored in
+    /// `--test` mode, which always runs each benchmark once).
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
-        BenchmarkGroup { sample_size: self.sample_size, throughput: None, _parent: self }
+        BenchmarkGroup { sample_size: self.sample_size, throughput: None, parent: self }
     }
 
     /// Runs one stand-alone benchmark.
@@ -153,13 +168,16 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     throughput: Option<Throughput>,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed iterations for benchmarks in this group.
+    /// Sets the number of timed iterations for benchmarks in this group
+    /// (ignored in `--test` mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.parent.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 

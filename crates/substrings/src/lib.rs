@@ -5,8 +5,13 @@
 //! This crate implements the string machinery it needs, independent of any
 //! runtime system:
 //!
-//! * [`suffix_array`] — suffix array construction by prefix doubling with
-//!   radix sort (`O(n log n)`) and Kasai's linear-time LCP array.
+//! * [`suffix_array`] — suffix array construction behind a selectable
+//!   backend (`SuffixBackend`): SA-IS induced sorting (`O(n)`, the
+//!   default) or prefix doubling with radix sort (`O(n log n)`), both over
+//!   a shared hash-compacted alphabet and both feeding Kasai's linear-time
+//!   LCP array.
+//! * [`sais`] — the SA-IS construction itself, the finder's default
+//!   suffix backend.
 //! * [`repeats`] — the paper's Algorithm 2: non-overlapping repeated
 //!   substring mining with greedy longest-first selection
 //!   (`quick_matching_of_substrings` in the artifact's flag spelling).
@@ -45,6 +50,8 @@ pub mod suffix_array;
 pub mod tandem;
 pub mod trie;
 pub mod winnow;
+
+pub use suffix_array::SuffixBackend;
 
 use std::fmt::Debug;
 use std::hash::Hash;

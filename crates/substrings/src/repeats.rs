@@ -18,7 +18,7 @@
 //! [`crate::coverage::max_coverage_upper_bound`] provides a reference bound
 //! for small inputs to measure the coverage gap.
 
-use crate::suffix_array::SuffixArray;
+use crate::suffix_array::{SuffixArray, SuffixBackend};
 use crate::{Interval, Token};
 use std::cmp::Reverse;
 
@@ -93,12 +93,26 @@ pub fn find_repeats<T: Token>(s: &[T]) -> Vec<Repeat<T>> {
 ///
 /// `min_len` maps to the runtime flag `-lg:auto_trace:min_trace_length`.
 pub fn find_repeats_min_len<T: Token>(s: &[T], min_len: usize) -> Vec<Repeat<T>> {
+    find_repeats_min_len_with(s, min_len, SuffixBackend::default())
+}
+
+/// [`find_repeats_min_len`] with an explicit suffix-array backend.
+///
+/// The backend is a pure performance knob — both produce identical
+/// suffix/LCP arrays, so the mined repeats are bit-identical; the finder
+/// exposes it as a configuration option and the `mining_throughput` bench
+/// races the two.
+pub fn find_repeats_min_len_with<T: Token>(
+    s: &[T],
+    min_len: usize,
+    backend: SuffixBackend,
+) -> Vec<Repeat<T>> {
     let min_len = min_len.max(1);
     let n = s.len();
     if n < 2 * min_len {
         return Vec::new();
     }
-    let sa = SuffixArray::build(s);
+    let sa = SuffixArray::build_with(s, backend);
     let mut cands = collect_candidates(&sa, min_len);
     assign_groups(&sa, &mut cands);
 
@@ -357,6 +371,16 @@ mod tests {
         assert_eq!(total_coverage(&reps), s.len());
         // The dominant repeat must be a multiple of the 6-token period.
         assert_eq!(reps[0].len() % 6, 0, "dominant repeat {:?}", reps[0].len());
+    }
+
+    #[test]
+    fn backend_choice_never_changes_mining() {
+        let corpus: &[&[u8]] = &[b"aabcbcbaa", b"abababab", b"qqabcdefabcdefqq", b"banana"];
+        for s in corpus {
+            let sais = find_repeats_min_len_with(s, 2, SuffixBackend::Sais);
+            let doubling = find_repeats_min_len_with(s, 2, SuffixBackend::Doubling);
+            assert_eq!(sais, doubling, "backend changed mining on {s:?}");
+        }
     }
 
     #[test]

@@ -2,41 +2,42 @@
 //!
 //! The paper's complexity budget (§4.2) cites linear-time suffix array
 //! construction (Kasai et al. for LCP; SA-IS / DC3 for the array itself).
-//! [`crate::suffix_array::SuffixArray::build`] uses prefix doubling
-//! (`O(n log n)`), which is already within the overall budget; this module
-//! provides the asymptotically optimal induced-sorting construction as an
-//! alternative backend, cross-checked against the doubling implementation
-//! by property tests and raced in the benches.
+//! This module is the **default backend** behind
+//! [`crate::suffix_array::SuffixArray::build`]
+//! ([`SuffixBackend::Sais`](crate::suffix_array::SuffixBackend)): the
+//! history-buffer miner's hot path runs induced sorting in `O(n)` after
+//! the shared hash-based alphabet compaction. Prefix doubling
+//! (`O(n log n)`) remains available as
+//! [`SuffixBackend::Doubling`](crate::suffix_array::SuffixBackend) and is
+//! cross-checked against this implementation by property tests and raced
+//! in the `mining_throughput` bench.
 //!
 //! The algorithm classifies suffixes as S-type (smaller than their right
 //! neighbor) or L-type, locates the leftmost-S (LMS) positions, induce-
 //! sorts from an approximate LMS order, names the LMS substrings, recurses
 //! if names collide, and induce-sorts once more from the exact order.
 
+use crate::suffix_array::compact_alphabet;
 use crate::Token;
 
-/// Builds the suffix array of `s` in `O(n)` time (plus the initial
-/// alphabet compaction, `O(n log n)` for arbitrary tokens).
+/// Builds the suffix array of `s` in `O(n)` time (plus the shared
+/// hash-based alphabet compaction: `O(n)` expected, `O(σ log σ)` in the
+/// number of distinct tokens).
 ///
 /// Returns the same permutation as
-/// [`crate::suffix_array::SuffixArray::build`].
+/// [`crate::suffix_array::SuffixArray::build`]; prefer that entry point
+/// when the LCP and rank arrays are also needed.
 pub fn suffix_array_sais<T: Token>(s: &[T]) -> Vec<usize> {
     if s.is_empty() {
         return Vec::new();
     }
-    // Compact the alphabet to dense ranks.
-    let mut sorted: Vec<T> = s.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
-    let text: Vec<usize> =
-        s.iter().map(|t| sorted.binary_search(t).expect("token in own alphabet") + 1).collect();
-    let alphabet = sorted.len() + 1;
+    let (text, alphabet) = compact_alphabet(s);
     sais(&text, alphabet)
 }
 
-/// Core SA-IS over a dense alphabet `1..alphabet` (0 is reserved for the
-/// virtual sentinel, which is handled implicitly).
-fn sais(text: &[usize], alphabet: usize) -> Vec<usize> {
+/// Core SA-IS over a dense alphabet `0..alphabet`. The virtual sentinel
+/// (smaller than every symbol) is handled implicitly and never stored.
+pub(crate) fn sais(text: &[usize], alphabet: usize) -> Vec<usize> {
     let n = text.len();
     if n == 0 {
         return Vec::new();
@@ -169,8 +170,8 @@ fn sais(text: &[usize], alphabet: usize) -> Vec<usize> {
         lms_sorted
     } else {
         // Recurse on the reduced string of LMS names (in text order).
-        let reduced: Vec<usize> = lms_positions.iter().map(|&p| name_of[p] + 1).collect();
-        let rec = sais(&reduced, names + 2);
+        let reduced: Vec<usize> = lms_positions.iter().map(|&p| name_of[p]).collect();
+        let rec = sais(&reduced, names + 1);
         rec.iter().map(|&i| lms_positions[i]).collect()
     };
 
@@ -180,11 +181,11 @@ fn sais(text: &[usize], alphabet: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::suffix_array::SuffixArray;
+    use crate::suffix_array::{SuffixArray, SuffixBackend};
 
     fn check<T: Token>(s: &[T]) {
         let sais = suffix_array_sais(s);
-        let doubling = SuffixArray::build(s);
+        let doubling = SuffixArray::build_with(s, SuffixBackend::Doubling);
         assert_eq!(sais, doubling.sa(), "SA-IS vs doubling on {s:?}");
     }
 

@@ -2,12 +2,35 @@
 //!
 //! The trace finder (Algorithm 2 of the paper) needs, for an arbitrary
 //! token alphabet, the suffix array of the history buffer plus the LCP
-//! (longest common prefix) array between adjacent suffixes. We build the
-//! suffix array by prefix doubling with counting-sort passes — `O(n log n)`
-//! total — and the LCP array with Kasai's linear-time algorithm, matching
-//! the complexity budget claimed in §4.2 of the paper.
+//! (longest common prefix) array between adjacent suffixes. Two backends
+//! build the suffix array over a shared hash-compacted alphabet:
+//!
+//! * [`SuffixBackend::Sais`] (the default) — linear-time induced sorting
+//!   (`O(n)` after compaction; see [`crate::sais`]), the asymptotically
+//!   optimal path §4.2 budgets for;
+//! * [`SuffixBackend::Doubling`] — prefix doubling with counting-sort
+//!   passes (`O(n log n)`), kept as a cross-check and ablation baseline.
+//!
+//! Both backends feed the same Kasai linear-time LCP construction and
+//! produce identical [`SuffixArray`] values (property-tested in this
+//! module), so backend choice is purely a performance knob.
 
 use crate::Token;
+use std::collections::HashMap;
+
+/// Which suffix-array construction algorithm [`SuffixArray::build_with`]
+/// runs.
+///
+/// Both backends yield bit-identical [`SuffixArray`] values; the choice
+/// only affects construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuffixBackend {
+    /// Prefix doubling with counting-sort passes: `O(n log n)`.
+    Doubling,
+    /// SA-IS induced sorting: `O(n)` after alphabet compaction.
+    #[default]
+    Sais,
+}
 
 /// Suffix array of a token sequence together with its LCP array.
 ///
@@ -37,44 +60,33 @@ pub struct SuffixArray {
 }
 
 impl SuffixArray {
-    /// Builds the suffix array and LCP array of `s`.
+    /// Builds the suffix array and LCP array of `s` with the default
+    /// backend ([`SuffixBackend::Sais`], linear time).
     ///
-    /// Runs in `O(n log n)` time and `O(n)` auxiliary space (beyond the
-    /// output arrays). Accepts any token type; the alphabet is first
-    /// compacted to dense ranks.
+    /// Accepts any token type; the alphabet is first compacted to dense
+    /// ranks by hashing (`O(n)` expected plus `O(σ log σ)` for `σ`
+    /// distinct tokens).
     pub fn build<T: Token>(s: &[T]) -> Self {
+        Self::build_with(s, SuffixBackend::default())
+    }
+
+    /// Builds the suffix array and LCP array of `s` with an explicit
+    /// backend. Both backends return identical results.
+    pub fn build_with<T: Token>(s: &[T], backend: SuffixBackend) -> Self {
         let n = s.len();
         if n == 0 {
             return Self { sa: Vec::new(), rank: Vec::new(), lcp: Vec::new() };
         }
-        let mut rank = initial_ranks(s);
-        let mut sa: Vec<usize> = (0..n).collect();
-        // Sort by initial rank using counting sort.
-        sa = counting_sort_by_key(&sa, n, |&p| rank[p]);
-
-        let mut tmp_rank = vec![0usize; n];
-        let mut k = 1usize;
-        while k < n {
-            // Sort by (rank[p], rank[p + k]) via two stable counting-sort
-            // passes: first the secondary key, then the primary key.
-            let secondary_key = |p: usize| if p + k < n { rank[p + k] + 1 } else { 0 };
-            sa = counting_sort_by_key(&sa, n + 1, |&p| secondary_key(p));
-            sa = counting_sort_by_key(&sa, n, |&p| rank[p]);
-
-            // Re-rank: adjacent entries with equal key pairs share a rank.
-            tmp_rank[sa[0]] = 0;
-            for i in 1..n {
-                let (prev, cur) = (sa[i - 1], sa[i]);
-                let same = rank[prev] == rank[cur] && secondary_key(prev) == secondary_key(cur);
-                tmp_rank[cur] = tmp_rank[prev] + usize::from(!same);
-            }
-            std::mem::swap(&mut rank, &mut tmp_rank);
-            if rank[sa[n - 1]] == n - 1 {
-                break; // All suffixes distinguished.
-            }
-            k *= 2;
+        let (text, alphabet) = compact_alphabet(s);
+        let sa = match backend {
+            SuffixBackend::Doubling => doubling_sa(&text),
+            SuffixBackend::Sais => crate::sais::sais(&text, alphabet),
+        };
+        let mut rank = vec![0usize; n];
+        for (i, &p) in sa.iter().enumerate() {
+            rank[p] = i;
         }
-        let lcp = kasai(s, &sa, &rank);
+        let lcp = kasai(&text, &sa, &rank);
         Self { sa, rank, lcp }
     }
 
@@ -105,12 +117,59 @@ impl SuffixArray {
     }
 }
 
-/// Maps arbitrary tokens to dense initial ranks in `0..distinct`.
-fn initial_ranks<T: Token>(s: &[T]) -> Vec<usize> {
-    let mut sorted: Vec<T> = s.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
-    s.iter().map(|t| sorted.binary_search(t).expect("token present in its own alphabet")).collect()
+/// Maps arbitrary tokens to order-preserving dense ranks in `0..σ`,
+/// returning the ranked text and the alphabet size `σ`.
+///
+/// Hash-based: one pass collects the distinct tokens into a map, the `σ`
+/// distinct tokens (only) are sorted to fix rank order, and a second pass
+/// translates the text through the map — `O(n)` expected plus
+/// `O(σ log σ)`, with no copy of `s` and no per-token binary search.
+/// Every token of `s` is in the map by construction, so translation is
+/// infallible.
+pub(crate) fn compact_alphabet<T: Token>(s: &[T]) -> (Vec<usize>, usize) {
+    let mut rank_of: HashMap<T, usize> = HashMap::new();
+    for &t in s {
+        rank_of.entry(t).or_insert(0);
+    }
+    let mut distinct: Vec<T> = rank_of.keys().copied().collect();
+    distinct.sort_unstable();
+    for (r, t) in distinct.iter().enumerate() {
+        *rank_of.get_mut(t).expect("token came from the map") = r;
+    }
+    (s.iter().map(|t| rank_of[t]).collect(), distinct.len())
+}
+
+/// Prefix-doubling suffix array over a dense-ranked text: `O(n log n)`.
+fn doubling_sa(text: &[usize]) -> Vec<usize> {
+    let n = text.len();
+    let mut rank = text.to_vec();
+    let mut sa: Vec<usize> = (0..n).collect();
+    // Sort by initial rank using counting sort.
+    sa = counting_sort_by_key(&sa, n, |&p| rank[p]);
+
+    let mut tmp_rank = vec![0usize; n];
+    let mut k = 1usize;
+    while k < n {
+        // Sort by (rank[p], rank[p + k]) via two stable counting-sort
+        // passes: first the secondary key, then the primary key.
+        let secondary_key = |p: usize| if p + k < n { rank[p + k] + 1 } else { 0 };
+        sa = counting_sort_by_key(&sa, n + 1, |&p| secondary_key(p));
+        sa = counting_sort_by_key(&sa, n, |&p| rank[p]);
+
+        // Re-rank: adjacent entries with equal key pairs share a rank.
+        tmp_rank[sa[0]] = 0;
+        for i in 1..n {
+            let (prev, cur) = (sa[i - 1], sa[i]);
+            let same = rank[prev] == rank[cur] && secondary_key(prev) == secondary_key(cur);
+            tmp_rank[cur] = tmp_rank[prev] + usize::from(!same);
+        }
+        std::mem::swap(&mut rank, &mut tmp_rank);
+        if rank[sa[n - 1]] == n - 1 {
+            break; // All suffixes distinguished.
+        }
+        k *= 2;
+    }
+    sa
 }
 
 /// Stable counting sort of `items` by `key`, where keys lie in `0..buckets`.
@@ -134,9 +193,9 @@ where
     out
 }
 
-/// Kasai's linear-time LCP construction.
-fn kasai<T: Token>(s: &[T], sa: &[usize], rank: &[usize]) -> Vec<usize> {
-    let n = s.len();
+/// Kasai's linear-time LCP construction over the dense-ranked text.
+fn kasai(text: &[usize], sa: &[usize], rank: &[usize]) -> Vec<usize> {
+    let n = text.len();
     if n <= 1 {
         return Vec::new();
     }
@@ -148,7 +207,7 @@ fn kasai<T: Token>(s: &[T], sa: &[usize], rank: &[usize]) -> Vec<usize> {
             continue;
         }
         let q = sa[rank[p] + 1];
-        while p + h < n && q + h < n && s[p + h] == s[q + h] {
+        while p + h < n && q + h < n && text[p + h] == text[q + h] {
             h += 1;
         }
         lcp[rank[p]] = h;
@@ -177,6 +236,14 @@ mod tests {
             .collect()
     }
 
+    /// Both backends must produce the same `SuffixArray` value (sa, rank,
+    /// and lcp alike).
+    fn check_backend_parity<T: Token>(s: &[T]) {
+        let doubling = SuffixArray::build_with(s, SuffixBackend::Doubling);
+        let sais = SuffixArray::build_with(s, SuffixBackend::Sais);
+        assert_eq!(doubling, sais, "backend mismatch on {s:?}");
+    }
+
     #[test]
     fn empty_and_singleton() {
         let sa = SuffixArray::build::<u8>(&[]);
@@ -187,16 +254,21 @@ mod tests {
         assert_eq!(sa.sa(), &[0]);
         assert_eq!(sa.len(), 1);
         assert_eq!(sa.lcp(), &[] as &[usize]);
+
+        check_backend_parity::<u8>(&[]);
+        check_backend_parity(b"x".as_slice());
     }
 
     #[test]
     fn banana() {
-        let sa = SuffixArray::build(b"banana");
-        assert_eq!(sa.sa(), &[5, 3, 1, 0, 4, 2]);
-        assert_eq!(sa.lcp(), &[1, 3, 0, 0, 2]);
-        // rank is the inverse permutation.
-        for (i, &p) in sa.sa().iter().enumerate() {
-            assert_eq!(sa.rank()[p], i);
+        for backend in [SuffixBackend::Doubling, SuffixBackend::Sais] {
+            let sa = SuffixArray::build_with(b"banana", backend);
+            assert_eq!(sa.sa(), &[5, 3, 1, 0, 4, 2]);
+            assert_eq!(sa.lcp(), &[1, 3, 0, 0, 2]);
+            // rank is the inverse permutation.
+            for (i, &p) in sa.sa().iter().enumerate() {
+                assert_eq!(sa.rank()[p], i);
+            }
         }
     }
 
@@ -206,11 +278,13 @@ mod tests {
         // suffix array column (start indices) is 8,7,0,1,6,4,2,5,3.
         let sa = SuffixArray::build(b"aabcbcbaa");
         assert_eq!(sa.sa(), &[8, 7, 0, 1, 6, 4, 2, 5, 3]);
+        check_backend_parity(b"aabcbcbaa".as_slice());
     }
 
     #[test]
     fn all_equal_tokens() {
         let s = vec![7u64; 64];
+        check_backend_parity(&s);
         let sa = SuffixArray::build(&s);
         // Suffixes sort by decreasing start (shortest first).
         let expect: Vec<usize> = (0..64).rev().collect();
@@ -233,9 +307,12 @@ mod tests {
             b"abababab",
         ];
         for s in corpus {
-            let sa = SuffixArray::build(s);
-            assert_eq!(sa.sa(), naive_sa(s).as_slice(), "sa mismatch on {s:?}");
-            assert_eq!(sa.lcp(), naive_lcp(s, sa.sa()).as_slice(), "lcp mismatch on {s:?}");
+            check_backend_parity(s);
+            for backend in [SuffixBackend::Doubling, SuffixBackend::Sais] {
+                let sa = SuffixArray::build_with(s, backend);
+                assert_eq!(sa.sa(), naive_sa(s).as_slice(), "sa mismatch on {s:?}");
+                assert_eq!(sa.lcp(), naive_lcp(s, sa.sa()).as_slice(), "lcp mismatch on {s:?}");
+            }
         }
     }
 
@@ -243,9 +320,18 @@ mod tests {
     fn large_alphabet_u64() {
         // Tokens far apart in value must still compact correctly.
         let s: Vec<u64> = vec![u64::MAX, 0, 1 << 40, u64::MAX, 0, 1 << 40, u64::MAX];
+        check_backend_parity(&s);
         let sa = SuffixArray::build(&s);
         assert_eq!(sa.sa(), naive_sa(&s).as_slice());
         assert_eq!(sa.lcp(), naive_lcp(&s, sa.sa()).as_slice());
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_density() {
+        let s: Vec<u64> = vec![900, 3, 900, 77, 3, 1 << 50];
+        let (text, alphabet) = compact_alphabet(&s);
+        assert_eq!(alphabet, 4);
+        assert_eq!(text, vec![2, 0, 2, 1, 0, 3]);
     }
 
     mod proptests {
@@ -279,6 +365,31 @@ mod tests {
                     seen[p] = true;
                 }
                 prop_assert!(seen.iter().all(|&b| b));
+            }
+
+            /// Backend parity on random inputs: identical sa, rank, AND
+            /// lcp arrays.
+            #[test]
+            fn backends_agree_random(s in proptest::collection::vec(any::<u16>(), 0..300)) {
+                check_backend_parity(&s);
+            }
+
+            /// Backend parity on periodic inputs (repeat-dense worst case
+            /// for the overlap machinery).
+            #[test]
+            fn backends_agree_periodic(
+                period in 1usize..9,
+                reps in 1usize..40,
+            ) {
+                let s: Vec<u32> = (0..period * reps).map(|i| (i % period) as u32).collect();
+                check_backend_parity(&s);
+            }
+
+            /// Backend parity on all-equal and degenerate short inputs.
+            #[test]
+            fn backends_agree_all_equal(len in 0usize..130, tok in any::<u64>()) {
+                let s = vec![tok; len];
+                check_backend_parity(&s);
             }
         }
     }
