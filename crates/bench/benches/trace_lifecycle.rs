@@ -1,0 +1,117 @@
+//! Long-stream phase-shift soak: the bounded-memory trace lifecycle
+//! end to end.
+//!
+//! A synthetic stream switches its repeating motif every `tasks/4` tasks
+//! — the paper's re-mining motivation (phase-changing applications) as a
+//! soak. Each phase's candidates are dead weight once the phase ends;
+//! without capacity bounds the candidate trie, the replayer's per-
+//! candidate bookkeeping, and the runtime's template store all grow with
+//! stream length. With `CapacityConfig` / `max_templates` set, score-
+//! based eviction retires dead candidates and the footprint flattens.
+//!
+//! Two things are reported per configuration:
+//!
+//! * criterion timing of the full engine run (eviction must not slow the
+//!   hot path measurably), and
+//! * the `bench::report::render_trace_lifecycle` table: peak trie nodes,
+//!   peak candidates, evictions, compactions, template churn, and
+//!   per-phase replay coverage — capped coverage should sit within a few
+//!   percent of uncapped on every active phase.
+//!
+//! In `--test` smoke mode (CI) the stream shrinks from 100k to 10k tasks
+//! and every benchmark runs once, so the eviction path cannot bit-rot.
+
+use bench::{
+    lifecycle_capped_config, lifecycle_capped_runtime, lifecycle_config, render_trace_lifecycle,
+    run_lifecycle_soak,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tasksim::runtime::RuntimeConfig;
+
+const PHASES: usize = 4;
+const MOTIF: usize = 10;
+
+/// `--test` smoke mode: one pass, small stream.
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn tasks_per_phase() -> usize {
+    if smoke() {
+        2_500
+    } else {
+        25_000
+    }
+}
+
+fn bench_soak(c: &mut Criterion) {
+    let per = tasks_per_phase();
+    let total = (PHASES * per) as u64;
+    let mut g = c.benchmark_group("trace_lifecycle");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("uncapped", |b| {
+        b.iter(|| {
+            run_lifecycle_soak(
+                "uncapped",
+                lifecycle_config(),
+                RuntimeConfig::single_node(1),
+                PHASES,
+                per,
+                MOTIF,
+            )
+        })
+    });
+    g.bench_function("capped", |b| {
+        b.iter(|| {
+            run_lifecycle_soak(
+                "capped",
+                lifecycle_capped_config(),
+                lifecycle_capped_runtime(),
+                PHASES,
+                per,
+                MOTIF,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Prints the lifecycle telemetry table (peaks, evictions, coverage).
+fn report_table(_c: &mut Criterion) {
+    let per = tasks_per_phase();
+    let rows = vec![
+        run_lifecycle_soak(
+            "uncapped",
+            lifecycle_config(),
+            RuntimeConfig::single_node(1),
+            PHASES,
+            per,
+            MOTIF,
+        ),
+        run_lifecycle_soak(
+            "capped",
+            lifecycle_capped_config(),
+            lifecycle_capped_runtime(),
+            PHASES,
+            per,
+            MOTIF,
+        ),
+    ];
+    // The soak's contract, checked here too so a timing-only run still
+    // trips on a lifecycle regression.
+    let (uncapped, capped) = (&rows[0], &rows[1]);
+    assert!(capped.peak_trie_nodes <= uncapped.peak_trie_nodes, "caps shrink the footprint");
+    assert!(capped.evictions > 0, "phase shifts force evictions");
+    for (c, u) in capped.phase_coverage.iter().zip(&uncapped.phase_coverage) {
+        assert!(*c >= u - 0.10, "capped coverage {c:.3} within 10% of uncapped {u:.3}");
+    }
+    print!("{}", render_trace_lifecycle(&rows));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_soak, report_table
+}
+criterion_main!(benches);

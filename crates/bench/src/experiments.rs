@@ -1,6 +1,11 @@
 //! The figure/table reproduction functions.
 
-use apophenia::Config;
+use apophenia::{AutoTracer, Config};
+use tasksim::cost::Micros;
+use tasksim::ids::TaskKindId;
+use tasksim::issuer::TaskIssuer;
+use tasksim::runtime::RuntimeConfig;
+use tasksim::task::TaskDesc;
 use workloads::driver::{measure_throughput, run_workload, AppParams, Mode, ProblemSize, Workload};
 
 /// One line series of a scaling plot.
@@ -240,9 +245,124 @@ pub fn tab_overhead() -> OverheadReport {
     }
 }
 
+/// One run of the phase-shift trace-lifecycle soak: memory footprint and
+/// per-phase replay coverage under (or without) capacity bounds.
+#[derive(Debug, Clone)]
+pub struct LifecycleRow {
+    /// Configuration label (`uncapped`, `capped`).
+    pub label: &'static str,
+    /// Tasks driven through the engine.
+    pub tasks: u64,
+    /// Allocated trie-node high-water mark.
+    pub peak_trie_nodes: usize,
+    /// Live-candidate high-water mark.
+    pub peak_candidates: usize,
+    /// Candidates evicted.
+    pub evictions: u64,
+    /// Trie compactions performed.
+    pub compactions: u64,
+    /// Template-store high-water mark.
+    pub peak_templates: u64,
+    /// Templates evicted.
+    pub templates_evicted: u64,
+    /// Per-phase replay coverage: fraction of each phase's tasks replayed
+    /// from a template.
+    pub phase_coverage: Vec<f64>,
+}
+
+/// Drives a synthetic phase-shifting stream — `phases` phases of
+/// `tasks_per_phase` tasks, each phase repeating a disjoint
+/// `motif_len`-task motif — through an [`AutoTracer`] and reports the
+/// lifecycle telemetry. This is the paper's re-mining motivation turned
+/// into a soak: dead phases leave dead candidates behind, and only the
+/// capacity bounds keep the stores from growing with stream length.
+pub fn run_lifecycle_soak(
+    label: &'static str,
+    config: Config,
+    rt_config: RuntimeConfig,
+    phases: usize,
+    tasks_per_phase: usize,
+    motif_len: usize,
+) -> LifecycleRow {
+    let mut auto = AutoTracer::new(rt_config, config);
+    let a = auto.create_region(1);
+    let b = auto.create_region(1);
+    let mut phase_coverage = Vec::with_capacity(phases);
+    let mut prev_replayed = 0u64;
+    let mut prev_total = 0u64;
+    for phase in 0..phases {
+        for i in 0..tasks_per_phase {
+            let kind = TaskKindId((phase * 1000 + i % motif_len) as u32);
+            auto.execute_task(TaskDesc::new(kind).reads(a).writes(b).gpu_time(Micros(20.0)))
+                .expect("soak stream issues cleanly");
+            if i % motif_len == motif_len - 1 {
+                auto.mark_iteration();
+            }
+        }
+        if phase == phases - 1 {
+            auto.flush().expect("flush");
+        }
+        let s = auto.runtime().stats();
+        let total = s.tasks_total - prev_total;
+        let replayed = s.tasks_replayed - prev_replayed;
+        phase_coverage.push(if total == 0 { 0.0 } else { replayed as f64 / total as f64 });
+        prev_total = s.tasks_total;
+        prev_replayed = s.tasks_replayed;
+    }
+    let r = auto.replayer_stats();
+    let s = auto.runtime().stats();
+    LifecycleRow {
+        label,
+        tasks: s.tasks_total,
+        peak_trie_nodes: r.peak_trie_nodes,
+        peak_candidates: r.peak_candidates,
+        evictions: r.evicted_candidates,
+        compactions: r.trie_compactions,
+        peak_templates: s.peak_templates,
+        templates_evicted: s.templates_evicted,
+        phase_coverage,
+    }
+}
+
+/// The soak's standard Apophenia configuration: small enough motifs mine
+/// quickly, and the default decay half-life retires dead phases.
+pub fn lifecycle_config() -> Config {
+    Config::standard()
+        .with_min_trace_length(5)
+        .with_max_trace_length(50)
+        .with_batch_size(1024)
+        .with_multi_scale_factor(128)
+}
+
+/// The capped counterpart: every lifecycle store bounded.
+pub fn lifecycle_capped_config() -> Config {
+    lifecycle_config().with_max_candidates(24).with_max_trie_nodes(1024)
+}
+
+/// Runtime configuration for the capped soak (bounds the template store).
+pub fn lifecycle_capped_runtime() -> RuntimeConfig {
+    RuntimeConfig::single_node(1).with_max_templates(8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lifecycle_soak_reports_phases() {
+        let row = run_lifecycle_soak(
+            "capped",
+            lifecycle_capped_config(),
+            lifecycle_capped_runtime(),
+            2,
+            3_000,
+            10,
+        );
+        assert_eq!(row.phase_coverage.len(), 2);
+        assert_eq!(row.tasks, 6_000);
+        assert!(row.phase_coverage.iter().all(|c| *c > 0.5), "phases trace: {row:?}");
+        assert!(row.peak_candidates <= 24, "{row:?}");
+    }
 
     #[test]
     fn overhead_report_sane() {

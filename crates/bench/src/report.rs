@@ -1,6 +1,8 @@
 //! Plain-text rendering of experiment results.
 
-use crate::experiments::{MiningThroughputRow, OverheadReport, ScalingFigure, WarmupRow};
+use crate::experiments::{
+    LifecycleRow, MiningThroughputRow, OverheadReport, ScalingFigure, WarmupRow,
+};
 use std::fmt::Write as _;
 
 /// Renders a scaling figure as an aligned table: one row per GPU count,
@@ -104,6 +106,43 @@ pub fn render_mining_throughput(rows: &[MiningThroughputRow]) -> String {
     out
 }
 
+/// Renders the `trace_lifecycle` soak table: memory high-water marks and
+/// per-phase replay coverage, capped vs uncapped.
+pub fn render_trace_lifecycle(rows: &[LifecycleRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Trace lifecycle soak (phase-shifting stream)");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>9} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}  coverage/phase",
+        "config",
+        "tasks",
+        "peakNodes",
+        "peakCands",
+        "evicted",
+        "compacts",
+        "peakTmpls",
+        "tmplEvict"
+    );
+    for r in rows {
+        let coverage: Vec<String> =
+            r.phase_coverage.iter().map(|c| format!("{:.0}%", c * 100.0)).collect();
+        let _ = writeln!(
+            out,
+            "{:>10} {:>9} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}  [{}]",
+            r.label,
+            r.tasks,
+            r.peak_trie_nodes,
+            r.peak_candidates,
+            r.evictions,
+            r.compactions,
+            r.peak_templates,
+            r.templates_evicted,
+            coverage.join(" ")
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +203,38 @@ mod tests {
         assert!(s.contains("sais") && s.contains("pool"));
         assert!(s.contains("12.35") && s.contains("3.50"));
         assert!(s.contains("Mtok/s"));
+    }
+
+    #[test]
+    fn trace_lifecycle_render() {
+        let rows = vec![
+            LifecycleRow {
+                label: "uncapped",
+                tasks: 100_000,
+                peak_trie_nodes: 4321,
+                peak_candidates: 99,
+                evictions: 0,
+                compactions: 0,
+                peak_templates: 12,
+                templates_evicted: 0,
+                phase_coverage: vec![0.91, 0.94],
+            },
+            LifecycleRow {
+                label: "capped",
+                tasks: 100_000,
+                peak_trie_nodes: 1024,
+                peak_candidates: 24,
+                evictions: 57,
+                compactions: 3,
+                peak_templates: 8,
+                templates_evicted: 4,
+                phase_coverage: vec![0.90, 0.93],
+            },
+        ];
+        let s = render_trace_lifecycle(&rows);
+        assert!(s.contains("uncapped") && s.contains("capped"));
+        assert!(s.contains("4321") && s.contains("57"));
+        assert!(s.contains("91%") && s.contains("93%"));
+        assert!(s.contains("coverage/phase"));
     }
 }

@@ -20,6 +20,10 @@
 //! suffix-array construction backend (linear-time SA-IS by default) and
 //! [`Config::mining_threads`] sizes the asynchronous mining worker pool;
 //! neither knob changes mining *results* — only how fast they arrive.
+//! [`Config::capacity`] bounds the candidate trie for long-running
+//! streams (see [`CapacityConfig`]); [`Config::validate`] rejects
+//! degenerate values (zero capacities, non-positive half-life) that would
+//! otherwise stall or corrupt the scoring math.
 
 use substrings::SuffixBackend;
 
@@ -65,6 +69,74 @@ pub enum MiningMode {
     /// §4.3's "asynchronous analysis of task histories").
     Async,
 }
+
+/// Memory bounds on the trace-lifecycle stores.
+///
+/// Long-running (or phase-changing) applications mine candidates forever;
+/// without bounds the candidate trie and per-candidate bookkeeping grow
+/// monotonically. These knobs cap them: when a bound is exceeded after a
+/// mining batch is ingested, the replayer evicts the lowest-scoring
+/// candidates (§4.3's scoring function decides utility) until the stores
+/// fit again. Eviction is a pure function of the deterministic ingest
+/// stream, so control-replicated deployments (§5.1) evict in lock-step.
+///
+/// `None` (the default) leaves a store unbounded — the paper's original
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CapacityConfig {
+    /// Maximum live candidates in the replayer's trie. Candidates with a
+    /// pending completed match or a live cursor on their path are never
+    /// evicted; the bound is enforced against the rest, lowest score
+    /// first.
+    pub max_candidates: Option<usize>,
+    /// Maximum live trie nodes (including the root). Useful when
+    /// candidates are long: a few long candidates can dominate memory
+    /// while staying under `max_candidates`.
+    pub max_trie_nodes: Option<usize>,
+}
+
+/// Why a [`Config`] failed [`Config::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `max_trace_length == Some(0)`: a zero-length piece can never
+    /// advance candidate splitting.
+    ZeroMaxTraceLength,
+    /// `batch_size == 0`: an empty history buffer can never mine.
+    ZeroBatchSize,
+    /// `multi_scale_factor == 0`: the sampler needs a positive period.
+    ZeroMultiScaleFactor,
+    /// `mining_threads == 0` (the builder clamps; a literal can not).
+    ZeroMiningThreads,
+    /// `scoring.staleness_half_life` is zero, negative, or NaN: the decay
+    /// `0.5^(staleness / half_life)` would be NaN at zero staleness.
+    NonPositiveHalfLife,
+    /// `scoring.count_cap == 0`: every candidate would score zero.
+    ZeroCountCap,
+    /// `capacity.max_candidates == Some(0)`: a zero-candidate trie cannot
+    /// hold the candidate the replayer just ingested.
+    ZeroMaxCandidates,
+    /// `capacity.max_trie_nodes == Some(0)`: the root alone occupies one
+    /// node.
+    ZeroMaxTrieNodes,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            Self::ZeroMaxTraceLength => "max_trace_length must be at least 1 when set",
+            Self::ZeroBatchSize => "batch_size must be at least 1",
+            Self::ZeroMultiScaleFactor => "multi_scale_factor must be at least 1",
+            Self::ZeroMiningThreads => "mining_threads must be at least 1",
+            Self::NonPositiveHalfLife => "scoring.staleness_half_life must be positive and finite",
+            Self::ZeroCountCap => "scoring.count_cap must be at least 1",
+            Self::ZeroMaxCandidates => "capacity.max_candidates must be at least 1 when set",
+            Self::ZeroMaxTrieNodes => "capacity.max_trie_nodes must be at least 1 when set",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Trace-scoring constants (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,6 +192,8 @@ pub struct Config {
     pub suffix_backend: SuffixBackend,
     /// Scoring constants.
     pub scoring: ScoringConfig,
+    /// Memory bounds on the candidate trie (unbounded by default).
+    pub capacity: CapacityConfig,
     /// Consult winnowing fingerprints before each mining job and skip the
     /// job when the slice provably contains no repeat of at least the
     /// minimum trace length (an optimization beyond the paper, off by
@@ -142,6 +216,7 @@ impl Config {
             mining_threads: 1,
             suffix_backend: SuffixBackend::default(),
             scoring: ScoringConfig::default(),
+            capacity: CapacityConfig::default(),
             winnow_prefilter: false,
         }
     }
@@ -196,9 +271,66 @@ impl Config {
         self
     }
 
-    /// Effective maximum piece length (batch size bounds every candidate).
+    /// Bounds the number of live candidates in the replayer's trie
+    /// (clamped to at least one).
+    pub fn with_max_candidates(mut self, max: usize) -> Self {
+        self.capacity.max_candidates = Some(max.max(1));
+        self
+    }
+
+    /// Bounds the number of live trie nodes (clamped to at least one).
+    pub fn with_max_trie_nodes(mut self, max: usize) -> Self {
+        self.capacity.max_trie_nodes = Some(max.max(1));
+        self
+    }
+
+    /// Effective maximum piece length (batch size bounds every candidate;
+    /// never below one token, so candidate splitting always advances).
     pub fn effective_max_len(&self) -> usize {
-        self.max_trace_length.unwrap_or(usize::MAX).min(self.batch_size)
+        self.max_trace_length.unwrap_or(usize::MAX).min(self.batch_size).max(1)
+    }
+
+    /// Checks the configuration for values the engine cannot run with:
+    /// zero capacities (which would stall candidate splitting or make the
+    /// stores unable to hold anything) and a non-positive staleness
+    /// half-life (which would turn scores into NaN).
+    ///
+    /// The builders clamp these away; validate guards configurations
+    /// assembled by struct literal or deserialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_trace_length == Some(0) {
+            return Err(ConfigError::ZeroMaxTraceLength);
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if self.multi_scale_factor == 0 {
+            return Err(ConfigError::ZeroMultiScaleFactor);
+        }
+        if self.mining_threads == 0 {
+            return Err(ConfigError::ZeroMiningThreads);
+        }
+        let half_life = self.scoring.staleness_half_life;
+        // `> 0.0` is false for zero, negatives, and NaN; `is_finite`
+        // additionally rejects +inf.
+        let half_life_ok = half_life > 0.0 && half_life.is_finite();
+        if !half_life_ok {
+            return Err(ConfigError::NonPositiveHalfLife);
+        }
+        if self.scoring.count_cap == 0 {
+            return Err(ConfigError::ZeroCountCap);
+        }
+        if self.capacity.max_candidates == Some(0) {
+            return Err(ConfigError::ZeroMaxCandidates);
+        }
+        if self.capacity.max_trie_nodes == Some(0) {
+            return Err(ConfigError::ZeroMaxTrieNodes);
+        }
+        Ok(())
     }
 }
 
@@ -252,5 +384,76 @@ mod tests {
         assert_eq!(c.effective_max_len(), 100);
         let c = c.with_max_trace_length(5000);
         assert_eq!(c.effective_max_len(), 100);
+    }
+
+    #[test]
+    fn effective_max_len_never_zero() {
+        // A zero max_trace_length used to make the replayer's candidate
+        // splitting loop forever (`end = offset + 0`); the effective
+        // length now clamps to one token.
+        let mut c = Config::standard();
+        c.max_trace_length = Some(0);
+        assert_eq!(c.effective_max_len(), 1);
+        c.max_trace_length = None;
+        c.batch_size = 0;
+        assert_eq!(c.effective_max_len(), 1);
+    }
+
+    #[test]
+    fn capacity_builders_clamp_and_compose() {
+        let c = Config::standard().with_max_candidates(0).with_max_trie_nodes(0);
+        assert_eq!(c.capacity.max_candidates, Some(1), "clamps to >= 1");
+        assert_eq!(c.capacity.max_trie_nodes, Some(1));
+        let c = Config::standard().with_max_candidates(64).with_max_trie_nodes(4096);
+        assert_eq!(
+            c.capacity,
+            CapacityConfig { max_candidates: Some(64), max_trie_nodes: Some(4096) }
+        );
+        assert!(c.validate().is_ok());
+        assert_eq!(Config::standard().capacity, CapacityConfig::default(), "unbounded by default");
+    }
+
+    #[test]
+    fn validate_rejects_zero_capacities_and_half_life() {
+        assert!(Config::standard().validate().is_ok());
+
+        let mut c = Config::standard();
+        c.max_trace_length = Some(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxTraceLength));
+
+        let mut c = Config::standard();
+        c.batch_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroBatchSize));
+
+        let mut c = Config::standard();
+        c.multi_scale_factor = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMultiScaleFactor));
+
+        let mut c = Config::standard();
+        c.mining_threads = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMiningThreads));
+
+        let mut c = Config::standard();
+        c.scoring.staleness_half_life = 0.0;
+        assert_eq!(c.validate(), Err(ConfigError::NonPositiveHalfLife));
+        c.scoring.staleness_half_life = f64::NAN;
+        assert_eq!(c.validate(), Err(ConfigError::NonPositiveHalfLife));
+        c.scoring.staleness_half_life = f64::INFINITY;
+        assert_eq!(c.validate(), Err(ConfigError::NonPositiveHalfLife));
+
+        let mut c = Config::standard();
+        c.scoring.count_cap = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCountCap));
+
+        let mut c = Config::standard();
+        c.capacity.max_candidates = Some(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxCandidates));
+
+        let mut c = Config::standard();
+        c.capacity.max_trie_nodes = Some(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxTrieNodes));
+
+        // Errors render as readable messages.
+        assert!(ConfigError::NonPositiveHalfLife.to_string().contains("half_life"));
     }
 }

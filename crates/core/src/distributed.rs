@@ -106,14 +106,57 @@ pub struct DistributedAutoTracer {
 impl DistributedAutoTracer {
     /// Builds a deployment of `rt_config.nodes` nodes. `initial_interval`
     /// is the starting ingestion-agreement count.
+    ///
+    /// Degenerate inputs are clamped (zero nodes become one, a zero
+    /// interval becomes one) and the [`Config`] is taken as-is, matching
+    /// [`AutoTracer`](crate::engine::AutoTracer); use [`Self::try_new`]
+    /// to reject bad inputs with a typed error instead.
     pub fn new(
         rt_config: RuntimeConfig,
         config: Config,
         delay: DelayModel,
         initial_interval: u64,
     ) -> Self {
-        let n = rt_config.nodes.max(1);
-        let nodes = (0..n)
+        let mut rt_config = rt_config;
+        rt_config.nodes = rt_config.nodes.max(1);
+        Self::build(rt_config, config, delay, initial_interval.max(1))
+    }
+
+    /// Builds a deployment, rejecting unusable configurations: zero
+    /// nodes, a zero agreement interval, or a [`Config`] that fails
+    /// [`Config::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] describing the problem.
+    pub fn try_new(
+        rt_config: RuntimeConfig,
+        config: Config,
+        delay: DelayModel,
+        initial_interval: u64,
+    ) -> Result<Self, RuntimeError> {
+        if rt_config.nodes == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "distributed deployment needs at least one node".into(),
+            ));
+        }
+        if initial_interval == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "ingestion-agreement interval must be at least one operation".into(),
+            ));
+        }
+        config.validate().map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+        Ok(Self::build(rt_config, config, delay, initial_interval))
+    }
+
+    /// Shared constructor; expects `nodes >= 1` and `initial_interval >= 1`.
+    fn build(
+        rt_config: RuntimeConfig,
+        config: Config,
+        delay: DelayModel,
+        initial_interval: u64,
+    ) -> Self {
+        let nodes = (0..rt_config.nodes)
             .map(|_| NodeState {
                 finder: TraceFinder::new(&config),
                 replayer: TraceReplayer::new(&config),
@@ -124,9 +167,9 @@ impl DistributedAutoTracer {
         Self {
             nodes,
             delay,
-            interval: initial_interval.max(1),
+            interval: initial_interval,
             op_count: 0,
-            stats: AgreementStats { interval: initial_interval.max(1), ..Default::default() },
+            stats: AgreementStats { interval: initial_interval, ..Default::default() },
             jobs_seen: 0,
         }
     }
@@ -220,6 +263,12 @@ impl DistributedAutoTracer {
         &self.nodes[node].rt
     }
 
+    /// A node's replayer counters (eviction/peak bookkeeping included) —
+    /// identical on every node while in lock-step.
+    pub fn node_replayer_stats(&self, node: usize) -> crate::replayer::ReplayerStats {
+        self.nodes[node].replayer.stats()
+    }
+
     /// Protocol statistics.
     pub fn agreement_stats(&self) -> AgreementStats {
         self.stats
@@ -245,7 +294,9 @@ impl TaskIssuer for DistributedAutoTracer {
             }
             agreed = Some(ids);
         }
-        Ok(agreed.expect("at least one node"))
+        agreed.ok_or_else(|| {
+            RuntimeError::InvalidConfig("distributed deployment has no nodes".into())
+        })
     }
 
     /// Destroys a region subtree on every node.
@@ -300,7 +351,9 @@ impl TaskIssuer for DistributedAutoTracer {
         let mut this = *self;
         this.flush()?;
         this.check_lockstep().map_err(RuntimeError::Divergence)?;
-        let node0 = this.nodes.into_iter().next().expect("at least one node");
+        let node0 = this.nodes.into_iter().next().ok_or_else(|| {
+            RuntimeError::InvalidConfig("distributed deployment has no nodes".into())
+        })?;
         Ok(node0.rt.into_log())
     }
 }
@@ -403,6 +456,91 @@ mod tests {
             d.mark_iteration();
         }
         d.flush().unwrap();
+    }
+
+    #[test]
+    fn zero_nodes_is_a_typed_error() {
+        let mut rt = RuntimeConfig::multi_node(2, 2);
+        rt.nodes = 0;
+        let err = DistributedAutoTracer::try_new(rt, cfg(), DelayModel::new(1, 0), 8).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::InvalidConfig(ref m) if m.contains("node")),
+            "typed error, not a panic: {err}"
+        );
+        // `new` clamps instead of panicking.
+        let d = DistributedAutoTracer::new(rt, cfg(), DelayModel::new(1, 0), 8);
+        assert_eq!(d.node_count(), 1);
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let mut bad = cfg();
+        bad.scoring.staleness_half_life = 0.0;
+        let err = DistributedAutoTracer::try_new(
+            RuntimeConfig::multi_node(2, 2),
+            bad,
+            DelayModel::new(1, 0),
+            8,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
+        let err = DistributedAutoTracer::try_new(
+            RuntimeConfig::multi_node(2, 2),
+            cfg(),
+            DelayModel::new(1, 0),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
+        // `new` takes the same degenerate config as-is (no validation
+        // panic), matching AutoTracer's constructor contract.
+        let mut bad = cfg();
+        bad.scoring.staleness_half_life = 0.0;
+        let d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(1, 1),
+            bad,
+            DelayModel::new(1, 0),
+            8,
+        );
+        assert_eq!(d.node_count(), 1);
+    }
+
+    #[test]
+    fn capped_nodes_evict_in_lockstep() {
+        // Phase-shifting stream + tight capacity bounds on every store:
+        // evictions must happen and must happen identically on all nodes.
+        let config = cfg().with_max_candidates(6).with_max_trie_nodes(256);
+        let mut d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(2, 2).with_max_templates(3),
+            config,
+            DelayModel::new(9, 50),
+            4,
+        );
+        let a = d.create_region(1);
+        let b = d.create_region(1);
+        for phase in 0..4u32 {
+            for _ in 0..300 {
+                for k in 0..3 {
+                    d.execute_task(
+                        TaskDesc::new(TaskKindId(phase * 10 + k))
+                            .reads(a)
+                            .writes(b)
+                            .gpu_time(Micros(20.0)),
+                    )
+                    .unwrap();
+                }
+                d.mark_iteration();
+            }
+        }
+        d.flush().unwrap();
+        d.check_lockstep().expect("capped nodes stay in lock-step");
+        let r0 = d.node_replayer_stats(0);
+        assert!(r0.evicted_candidates > 0, "caps actually engaged: {r0:?}");
+        for n in 1..d.node_count() {
+            assert_eq!(d.node_replayer_stats(n), r0, "node {n} evicted identically");
+            assert_eq!(d.node_runtime(n).stats(), d.node_runtime(0).stats());
+        }
+        assert!(d.node_runtime(0).stats().trace_replays > 0, "tracing still works under caps");
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! need no tracing annotations at all.
 
 use crate::config::Config;
-use crate::finder::TraceFinder;
-use crate::metrics::{TracedWindow, WarmupDetector};
+use crate::finder::{FinderError, TraceFinder};
+use crate::metrics::{CapacitySample, CapacitySeries, TracedWindow, WarmupDetector};
 use crate::replayer::{ReplayerStats, TraceReplayer};
 use tasksim::exec::OpLog;
 use tasksim::ids::{RegionId, TraceId};
@@ -60,6 +60,7 @@ pub struct AutoTracer {
     replayer: TraceReplayer,
     window: TracedWindow,
     warmup: WarmupDetector,
+    capacity: CapacitySeries,
     prev: RuntimeStats,
     iter_traced: u64,
     iter_total: u64,
@@ -84,6 +85,7 @@ impl AutoTracer {
             replayer: TraceReplayer::new(&config),
             window: TracedWindow::figure10(),
             warmup: WarmupDetector::default(),
+            capacity: CapacitySeries::new(),
             prev: RuntimeStats::default(),
             iter_traced: 0,
             iter_total: 0,
@@ -114,10 +116,27 @@ impl AutoTracer {
         let hash = task.semantic_hash();
         self.issued += 1;
         self.finder.record(hash);
+        let mut ingested = false;
         for batch in self.finder.poll_completed() {
             self.replayer.ingest(&batch);
+            ingested = true;
+        }
+        if ingested {
+            self.sample_capacity();
         }
         self.replayer.on_task(task, hash, &mut self.rt)
+    }
+
+    /// Records one candidate-store footprint sample (after an ingest).
+    fn sample_capacity(&mut self) {
+        let s = self.replayer.stats();
+        self.capacity.push(CapacitySample {
+            at_task: self.issued,
+            candidates: s.candidates,
+            trie_nodes: self.replayer.trie_node_count(),
+            allocated_nodes: self.replayer.trie_allocated_nodes(),
+            evicted: s.evicted_candidates,
+        });
     }
 
     /// Marks an application iteration boundary. The mark binds to the
@@ -139,8 +158,13 @@ impl AutoTracer {
     ///
     /// Propagates runtime errors.
     pub fn flush(&mut self) -> Result<(), RuntimeError> {
+        let mut ingested = false;
         for batch in self.finder.drain_blocking() {
             self.replayer.ingest(&batch);
+            ingested = true;
+        }
+        if ingested {
+            self.sample_capacity();
         }
         self.replayer.flush(&mut self.rt)?;
         self.absorb_stats();
@@ -160,6 +184,22 @@ impl AutoTracer {
     /// The Figure 10 traced-fraction window.
     pub fn traced_window(&self) -> &TracedWindow {
         &self.window
+    }
+
+    /// The candidate-store footprint series (one sample per ingest).
+    pub fn capacity_series(&self) -> &CapacitySeries {
+        &self.capacity
+    }
+
+    /// Whether the mining pipeline is healthy; see
+    /// [`TraceFinder::health`]. A degraded pipeline keeps the task stream
+    /// flowing — it only costs tracing opportunities.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FinderError`] the pipeline hit.
+    pub fn finder_health(&mut self) -> Result<(), FinderError> {
+        self.finder.health()
     }
 
     /// The Figure 9 warmup detector.
@@ -331,6 +371,23 @@ mod tests {
         let late = samples.last().unwrap().1;
         assert!(late > early, "traced fraction ramps: {early} → {late}");
         assert!(late > 60.0, "steady state mostly traced: {late}");
+    }
+
+    #[test]
+    fn capped_engine_still_traces_and_samples_capacity() {
+        let mut auto = AutoTracer::new(
+            RuntimeConfig::single_node(1).with_max_templates(4),
+            small_config().with_max_candidates(8).with_max_trie_nodes(512),
+        );
+        run_loop(&mut auto, 300);
+        let s = auto.runtime().stats();
+        assert!(s.replayed_fraction() > 0.5, "caps don't hurt a stable loop: {s}");
+        let series = auto.capacity_series();
+        assert!(!series.samples().is_empty(), "one sample per ingest");
+        assert!(series.peak_allocated_nodes() > 0);
+        let last = series.samples().last().unwrap();
+        assert!(last.candidates <= 8, "candidate cap held: {last:?}");
+        assert!(auto.finder_health().is_ok());
     }
 
     #[test]

@@ -29,6 +29,45 @@ use substrings::winnow::{has_repetition_evidence, WinnowConfig};
 use substrings::SuffixBackend;
 use tasksim::task::TaskHash;
 
+/// Why the mining pipeline degraded.
+///
+/// Mining failures never panic the submission path: a dead pool drops
+/// jobs (counted), a panicking worker yields an empty batch for its job
+/// and keeps serving. Either way the stream keeps flowing — the
+/// application loses tracing opportunities, not correctness — and
+/// [`TraceFinder::health`] reports the first failure as a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FinderError {
+    /// Every worker exited (or the pool's channels closed) while jobs
+    /// were outstanding; `lost_jobs` counts submissions that will never
+    /// produce a batch.
+    PoolDisconnected {
+        /// Jobs submitted (or in flight) that can no longer complete.
+        lost_jobs: usize,
+    },
+    /// A worker panicked while mining `job`; the job was answered with an
+    /// empty batch so ordering and accounting stay intact.
+    WorkerPanicked {
+        /// The first job whose mining panicked.
+        job: u64,
+    },
+}
+
+impl std::fmt::Display for FinderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PoolDisconnected { lost_jobs } => {
+                write!(f, "mining worker pool disconnected; {lost_jobs} job(s) lost")
+            }
+            Self::WorkerPanicked { job } => {
+                write!(f, "mining worker panicked on job {job}; empty batch substituted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FinderError {}
+
 /// A repeated substring mined from the history buffer, with the *global*
 /// stream positions of its selected occurrences.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,9 +98,17 @@ struct Job {
     min_len: usize,
     algo: RepeatsAlgorithm,
     backend: SuffixBackend,
+    /// Test hook: makes the worker's `run_job` panic, exercising the
+    /// panic-containment path.
+    #[cfg(test)]
+    poison: bool,
 }
 
 fn run_job(job: &Job) -> MinedBatch {
+    #[cfg(test)]
+    if job.poison {
+        panic!("poisoned mining job {}", job.id);
+    }
     let tokens = job.tokens.as_slice();
     let slice_end = job.global_start + tokens.len() as u64;
     // `usize` and `u64` share size and alignment on every supported
@@ -121,6 +168,8 @@ enum Miner {
         rx: Receiver<MinedBatch>,
         /// Job token buffers coming back from workers for reuse.
         recycle_rx: Receiver<Vec<TaskHash>>,
+        /// Job ids whose mining panicked (answered with empty batches).
+        panic_rx: Receiver<u64>,
         workers: Vec<JoinHandle<()>>,
         /// Jobs sent to the pool and not yet received back.
         in_flight: usize,
@@ -131,6 +180,10 @@ enum Miner {
         next_emit: u64,
         /// Batches reassembled into order but not yet polled.
         ready: VecDeque<MinedBatch>,
+        /// Jobs dropped because the pool's channels disconnected.
+        lost_jobs: usize,
+        /// First panicked job observed (drained from `panic_rx`).
+        first_panic: Option<u64>,
     },
 }
 
@@ -155,6 +208,9 @@ pub struct TraceFinder {
     pub jobs_submitted: u64,
     /// Analyses skipped by the winnowing pre-filter.
     pub jobs_prefiltered: u64,
+    /// Test hook: poison the next submitted job so its worker panics.
+    #[cfg(test)]
+    poison_next: bool,
 }
 
 impl std::fmt::Debug for TraceFinder {
@@ -178,11 +234,13 @@ impl TraceFinder {
                 let job_rx = Arc::new(Mutex::new(job_rx));
                 let (res_tx, rx) = channel::<MinedBatch>();
                 let (recycle_tx, recycle_rx) = channel::<Vec<TaskHash>>();
+                let (panic_tx, panic_rx) = channel::<u64>();
                 let workers = (0..threads)
                     .map(|_| {
                         let job_rx = Arc::clone(&job_rx);
                         let res_tx = res_tx.clone();
                         let recycle_tx = recycle_tx.clone();
+                        let panic_tx = panic_tx.clone();
                         std::thread::spawn(move || loop {
                             // Hold the lock only while waiting for a job;
                             // mining runs unlocked so workers overlap.
@@ -191,7 +249,18 @@ impl TraceFinder {
                                 Err(_) => break,
                             };
                             let Ok(job) = job else { break };
-                            let batch = run_job(&job);
+                            // A panicking miner must not deadlock the
+                            // reorder buffer: answer the job with an empty
+                            // batch, report the panic, keep serving.
+                            let slice_end = job.global_start + job.tokens.len() as u64;
+                            let batch =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_job(&job)
+                                }))
+                                .unwrap_or_else(|_| {
+                                    let _ = panic_tx.send(job.id);
+                                    MinedBatch { job: job.id, candidates: Vec::new(), slice_end }
+                                });
                             let _ = recycle_tx.send(job.tokens);
                             if res_tx.send(batch).is_err() {
                                 break;
@@ -203,11 +272,14 @@ impl TraceFinder {
                     tx: Some(tx),
                     rx,
                     recycle_rx,
+                    panic_rx,
                     workers,
                     in_flight: 0,
                     pending: BTreeMap::new(),
                     next_emit: 0,
                     ready: VecDeque::new(),
+                    lost_jobs: 0,
+                    first_panic: None,
                 }
             }
         };
@@ -236,6 +308,24 @@ impl TraceFinder {
             }),
             jobs_submitted: 0,
             jobs_prefiltered: 0,
+            #[cfg(test)]
+            poison_next: false,
+        }
+    }
+
+    /// Test hook: simulates every worker dying with jobs still queued —
+    /// the submission channel closes, workers are joined, and any results
+    /// they managed to produce are discarded.
+    #[cfg(test)]
+    fn kill_pool_for_test(&mut self) {
+        if let Miner::Pool { tx, workers, rx, .. } = &mut self.miner {
+            drop(tx.take());
+            for w in workers.drain(..) {
+                let _ = w.join();
+            }
+            let (dead_tx, dead_rx) = channel::<MinedBatch>();
+            drop(dead_tx);
+            *rx = dead_rx;
         }
     }
 
@@ -305,6 +395,8 @@ impl TraceFinder {
             min_len: self.min_len,
             algo: self.algo,
             backend: self.backend,
+            #[cfg(test)]
+            poison: std::mem::take(&mut self.poison_next),
         };
         self.next_job += 1;
         self.jobs_submitted += 1;
@@ -313,9 +405,16 @@ impl TraceFinder {
                 done.push_back(run_job(&job));
                 self.spare.push(job.tokens);
             }
-            Miner::Pool { tx, in_flight, .. } => {
-                tx.as_ref().expect("pool alive").send(job).expect("pool alive");
-                *in_flight += 1;
+            Miner::Pool { tx, in_flight, lost_jobs, .. } => {
+                // A dead pool (all workers gone, channel closed) must not
+                // panic the submission path: count the lost job and keep
+                // the stream flowing untraced.
+                let sent = tx.as_ref().is_some_and(|t| t.send(job).is_ok());
+                if sent {
+                    *in_flight += 1;
+                } else {
+                    *lost_jobs += 1;
+                }
             }
         }
     }
@@ -334,35 +433,122 @@ impl TraceFinder {
 
     /// Returns all completed batches, in submission order. Batches that
     /// completed ahead of an unfinished predecessor are withheld until the
-    /// predecessor lands.
+    /// predecessor lands. A pool disconnect is detected here too: the
+    /// outstanding jobs are counted as lost and batches stranded behind
+    /// the resulting ordering hole are released rather than withheld
+    /// forever.
     pub fn poll_completed(&mut self) -> Vec<MinedBatch> {
         match &mut self.miner {
             Miner::Sync { done } => done.drain(..).collect(),
-            Miner::Pool { rx, in_flight, pending, next_emit, ready, .. } => {
-                while let Ok(b) = rx.try_recv() {
-                    *in_flight -= 1;
-                    pending.insert(b.job, b);
+            Miner::Pool {
+                rx,
+                panic_rx,
+                in_flight,
+                pending,
+                next_emit,
+                ready,
+                lost_jobs,
+                first_panic,
+                ..
+            } => {
+                loop {
+                    match rx.try_recv() {
+                        Ok(b) => {
+                            *in_flight -= 1;
+                            pending.insert(b.job, b);
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                            if *in_flight > 0 {
+                                *lost_jobs += *in_flight;
+                                *in_flight = 0;
+                            }
+                            break;
+                        }
+                    }
+                }
+                while let Ok(job) = panic_rx.try_recv() {
+                    first_panic.get_or_insert(job);
                 }
                 Self::release_in_order(pending, next_emit, ready);
+                if *lost_jobs > 0 {
+                    ready.extend(std::mem::take(pending).into_values());
+                }
                 ready.drain(..).collect()
             }
         }
     }
 
     /// Blocks until every submitted job has completed, then returns them
-    /// all (used at shutdown and by tests).
+    /// all (used at shutdown and by tests). If the pool disconnects while
+    /// jobs are outstanding, the outstanding jobs are counted as lost and
+    /// whatever completed is returned; [`Self::health`] reports the loss.
     pub fn drain_blocking(&mut self) -> Vec<MinedBatch> {
         match &mut self.miner {
             Miner::Sync { done } => done.drain(..).collect(),
-            Miner::Pool { rx, in_flight, pending, next_emit, ready, .. } => {
+            Miner::Pool {
+                rx,
+                panic_rx,
+                in_flight,
+                pending,
+                next_emit,
+                ready,
+                lost_jobs,
+                first_panic,
+                ..
+            } => {
                 while *in_flight > 0 {
-                    let b = rx.recv().expect("pool alive");
-                    *in_flight -= 1;
-                    pending.insert(b.job, b);
+                    match rx.recv() {
+                        Ok(b) => {
+                            *in_flight -= 1;
+                            pending.insert(b.job, b);
+                        }
+                        Err(_) => {
+                            *lost_jobs += *in_flight;
+                            *in_flight = 0;
+                        }
+                    }
+                }
+                while let Ok(job) = panic_rx.try_recv() {
+                    first_panic.get_or_insert(job);
                 }
                 Self::release_in_order(pending, next_emit, ready);
-                debug_assert!(pending.is_empty(), "all batches released once in-flight hits 0");
+                if *lost_jobs == 0 {
+                    debug_assert!(pending.is_empty(), "all batches released once in-flight hits 0");
+                } else {
+                    // Lost jobs leave holes in the submission order; release
+                    // what completed rather than withholding it forever.
+                    ready.extend(std::mem::take(pending).into_values());
+                }
                 ready.drain(..).collect()
+            }
+        }
+    }
+
+    /// Whether the mining pipeline is healthy; after a worker death or
+    /// pool disconnect, the first failure as a typed [`FinderError`].
+    ///
+    /// A degraded finder keeps accepting tokens — failures cost tracing
+    /// opportunities, never correctness or panics.
+    ///
+    /// # Errors
+    ///
+    /// [`FinderError::PoolDisconnected`] once any job was dropped,
+    /// otherwise [`FinderError::WorkerPanicked`] if a miner panicked.
+    pub fn health(&mut self) -> Result<(), FinderError> {
+        match &mut self.miner {
+            Miner::Sync { .. } => Ok(()),
+            Miner::Pool { panic_rx, lost_jobs, first_panic, .. } => {
+                while let Ok(job) = panic_rx.try_recv() {
+                    first_panic.get_or_insert(job);
+                }
+                if *lost_jobs > 0 {
+                    Err(FinderError::PoolDisconnected { lost_jobs: *lost_jobs })
+                } else if let Some(job) = *first_panic {
+                    Err(FinderError::WorkerPanicked { job })
+                } else {
+                    Ok(())
+                }
             }
         }
     }
@@ -622,6 +808,51 @@ mod tests {
         // slice of a 6-period stream holds no in-slice repeat), but the
         // larger slices must pass and produce the same candidates.
         assert!(with.jobs_submitted > 0, "long slices pass the filter");
+    }
+
+    #[test]
+    fn dead_pool_degrades_without_panicking() {
+        let mut f = TraceFinder::new(&cfg().with_async_mining());
+        feed_pattern(&mut f, &[1, 2, 3, 4], 8);
+        assert!(f.jobs_submitted > 0, "jobs were in flight");
+        f.kill_pool_for_test();
+        // Submissions after worker death must not panic; they count as
+        // lost and the stream keeps flowing.
+        feed_pattern(&mut f, &[1, 2, 3, 4], 8);
+        // Draining a disconnected pool must not panic either.
+        let _ = f.drain_blocking();
+        let err = f.health().unwrap_err();
+        assert!(
+            matches!(err, FinderError::PoolDisconnected { lost_jobs } if lost_jobs > 0),
+            "typed error: {err}"
+        );
+        assert_eq!(f.in_flight(), 0, "nothing left pending");
+        // The finder still tracks the stream for position accounting.
+        assert_eq!(f.stream_position(), 64);
+        assert!(err.to_string().contains("disconnected"), "{err}");
+    }
+
+    #[test]
+    fn worker_panic_contained_as_empty_batch() {
+        let mut f = TraceFinder::new(&cfg().with_async_mining());
+        f.poison_next = true;
+        feed_pattern(&mut f, &[1, 2, 3, 4], 16);
+        let batches = f.drain_blocking();
+        let err = f.health().unwrap_err();
+        let FinderError::WorkerPanicked { job } = err else {
+            panic!("expected WorkerPanicked, got {err}");
+        };
+        // The panicked job answered with an empty batch, in order.
+        let poisoned = batches.iter().find(|b| b.job == job).expect("batch substituted");
+        assert!(poisoned.candidates.is_empty());
+        for w in batches.windows(2) {
+            assert!(w[0].job < w[1].job, "submission order preserved across the panic");
+        }
+        // The worker survived the panic: later jobs still mine.
+        assert!(
+            batches.iter().any(|b| !b.candidates.is_empty()),
+            "pool kept mining after the panic: {batches:?}"
+        );
     }
 
     #[test]

@@ -77,11 +77,14 @@ pub mod replayer;
 pub mod sampler;
 pub mod session;
 
-pub use config::{Config, IdentifierAlgorithm, MiningMode, RepeatsAlgorithm, ScoringConfig};
+pub use config::{
+    CapacityConfig, Config, ConfigError, IdentifierAlgorithm, MiningMode, RepeatsAlgorithm,
+    ScoringConfig,
+};
 pub use distributed::{DelayModel, DistributedAutoTracer};
 pub use engine::AutoTracer;
-pub use finder::{MinedBatch, MinedCandidate, TraceFinder};
-pub use metrics::{TracedWindow, WarmupDetector};
+pub use finder::{FinderError, MinedBatch, MinedCandidate, TraceFinder};
+pub use metrics::{CapacitySample, CapacitySeries, TracedWindow, WarmupDetector};
 pub use replayer::{TraceReplayer, TraceSink};
 pub use session::{Session, SessionBuilder, Tracing};
 pub use substrings::SuffixBackend;

@@ -1,4 +1,5 @@
-//! Instrumentation behind the paper's Figure 9 and Figure 10.
+//! Instrumentation behind the paper's Figure 9 and Figure 10, plus the
+//! memory-bound telemetry the trace lifecycle exposes.
 //!
 //! * [`TracedWindow`] — for every forwarded task, the fraction of the last
 //!   `W` tasks that ran inside a trace (Figure 10 plots this for S3D with
@@ -6,8 +7,75 @@
 //! * [`WarmupDetector`] — the number of application iterations until
 //!   Apophenia reaches a steady state of replaying traces (Figure 9's
 //!   table; 30–300 iterations across the paper's applications).
+//! * [`CapacitySeries`] — per-ingest samples of the candidate-store
+//!   footprint (live candidates, live/allocated trie nodes, cumulative
+//!   evictions), the series behind the soak bench's peak-memory report.
 
 use std::collections::VecDeque;
+
+/// One sample of the candidate-store footprint, taken after a mining
+/// batch was ingested (and any eviction ran).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacitySample {
+    /// Stream position (tasks issued so far) at the sample.
+    pub at_task: u64,
+    /// Live candidates in the trie.
+    pub candidates: usize,
+    /// Live trie nodes (including the root).
+    pub trie_nodes: usize,
+    /// Allocated trie node slots (live + free-listed).
+    pub allocated_nodes: usize,
+    /// Candidates evicted so far.
+    pub evicted: u64,
+}
+
+/// Records the candidate-store footprint over the stream — the memory
+/// trajectory the [`CapacityConfig`](crate::config::CapacityConfig)
+/// bounds are meant to flatten.
+///
+/// The series itself is bounded (it would be ironic otherwise): past
+/// [`Self::MAX_SAMPLES`] entries it halves its resolution by dropping
+/// every second sample, so arbitrarily long streams keep a fixed-size
+/// sketch of the whole trajectory instead of growing linearly.
+#[derive(Debug, Clone, Default)]
+pub struct CapacitySeries {
+    samples: Vec<CapacitySample>,
+    peak_allocated: usize,
+}
+
+impl CapacitySeries {
+    /// Retention bound: the series decimates itself past this length.
+    pub const MAX_SAMPLES: usize = 4096;
+
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one post-ingest sample.
+    pub fn push(&mut self, sample: CapacitySample) {
+        self.peak_allocated = self.peak_allocated.max(sample.allocated_nodes);
+        self.samples.push(sample);
+        if self.samples.len() > Self::MAX_SAMPLES {
+            // Keep every other sample: half the resolution, full span.
+            let mut keep = false;
+            self.samples.retain(|_| {
+                keep = !keep;
+                keep
+            });
+        }
+    }
+
+    /// The recorded samples, in stream order.
+    pub fn samples(&self) -> &[CapacitySample] {
+        &self.samples
+    }
+
+    /// Largest allocated-node footprint ever sampled.
+    pub fn peak_allocated_nodes(&self) -> usize {
+        self.peak_allocated
+    }
+}
 
 /// Rolling traced-fraction tracker (Figure 10).
 #[derive(Debug, Clone)]
@@ -226,5 +294,48 @@ mod tests {
         let mut d = WarmupDetector::new(0.8, 1);
         d.record_iteration(0, 0);
         assert_eq!(d.warmup_iterations(), Some(0));
+    }
+
+    #[test]
+    fn capacity_series_tracks_peak() {
+        let mut s = CapacitySeries::new();
+        assert_eq!(s.peak_allocated_nodes(), 0);
+        for (i, alloc) in [10, 40, 25].into_iter().enumerate() {
+            s.push(CapacitySample {
+                at_task: i as u64 * 100,
+                candidates: 3,
+                trie_nodes: alloc - 2,
+                allocated_nodes: alloc,
+                evicted: i as u64,
+            });
+        }
+        assert_eq!(s.samples().len(), 3);
+        assert_eq!(s.peak_allocated_nodes(), 40, "peak survives later shrinkage");
+        assert_eq!(s.samples()[2].evicted, 2);
+    }
+
+    #[test]
+    fn capacity_series_is_itself_bounded() {
+        let mut s = CapacitySeries::new();
+        let n = CapacitySeries::MAX_SAMPLES * 4;
+        for i in 0..n {
+            s.push(CapacitySample {
+                at_task: i as u64,
+                candidates: 1,
+                trie_nodes: 1,
+                allocated_nodes: i,
+                evicted: 0,
+            });
+        }
+        assert!(s.samples().len() <= CapacitySeries::MAX_SAMPLES, "{}", s.samples().len());
+        assert!(s.samples().len() > CapacitySeries::MAX_SAMPLES / 4, "sketch keeps resolution");
+        // The sketch still spans the whole stream and the peak is exact.
+        assert_eq!(s.peak_allocated_nodes(), n - 1);
+        let last = s.samples().last().unwrap().at_task;
+        assert!(last >= (n as u64) * 3 / 4, "span preserved: last sample at {last}");
+        // Stream order is preserved through decimation.
+        for w in s.samples().windows(2) {
+            assert!(w[0].at_task < w[1].at_task);
+        }
     }
 }

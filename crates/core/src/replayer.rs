@@ -17,10 +17,25 @@
 //! at or before the best completed match) is still alive: it may complete
 //! a longer, better-scoring candidate. Deferral is bounded by the longest
 //! candidate in the trie, so the pending queue cannot grow without bound.
+//!
+//! # Bounded memory
+//!
+//! With [`CapacityConfig`] limits set, the candidate store itself is
+//! bounded too: after every ingest, while the trie exceeds
+//! `max_candidates` live candidates or `max_trie_nodes` live nodes, the
+//! lowest-scoring candidate is evicted (ties evict the newer id). Two
+//! classes are deferred — candidates with a completed match awaiting a
+//! replay decision (their in-flight occurrence must resolve first) and
+//! candidates with a live cursor on their path (the cursor may be about
+//! to complete them). Eviction inputs — scores, cursor positions, pending
+//! matches — are pure functions of the ingest/replay stream, so
+//! control-replicated nodes (§5.1) evict identically. When the trie's
+//! free list outgrows its live nodes the trie is compacted and surviving
+//! cursors are remapped, so allocation tracks the live set.
 
-use crate::config::{Config, ScoringConfig};
+use crate::config::{CapacityConfig, Config, ScoringConfig};
 use crate::finder::MinedBatch;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use substrings::trie::{CandidateId, NodeId, Trie};
 use tasksim::ids::TraceId;
 use tasksim::task::{TaskDesc, TaskHash};
@@ -38,6 +53,18 @@ pub trait TraceSink {
     fn end_trace(&mut self, id: TraceId) -> Result<(), Self::Error>;
     /// Forwards a task launch.
     fn execute_task(&mut self, task: TaskDesc) -> Result<(), Self::Error>;
+    /// Notifies the sink that no future replay will reference `id` (the
+    /// candidate recorded under it was evicted), so any template stored
+    /// for it can be dropped. Without this, candidate eviction would
+    /// orphan templates and the template store would keep growing even
+    /// under a candidate cap. Default: ignore.
+    ///
+    /// # Errors
+    ///
+    /// Sink-defined.
+    fn forget_trace(&mut self, _id: TraceId) -> Result<(), Self::Error> {
+        Ok(())
+    }
 }
 
 impl TraceSink for tasksim::runtime::Runtime {
@@ -54,10 +81,15 @@ impl TraceSink for tasksim::runtime::Runtime {
     fn execute_task(&mut self, task: TaskDesc) -> Result<(), Self::Error> {
         tasksim::runtime::Runtime::execute_task(self, task).map(|_| ())
     }
+
+    fn forget_trace(&mut self, id: TraceId) -> Result<(), Self::Error> {
+        tasksim::runtime::Runtime::forget_template(self, id);
+        Ok(())
+    }
 }
 
 /// Per-candidate bookkeeping for scoring.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct CandidateMeta {
     /// Assigned on first replay; templates are recorded under this id.
     trace_id: Option<TraceId>,
@@ -102,8 +134,21 @@ pub struct ReplayerStats {
     pub forwarded_traced: u64,
     /// Trace fragments issued (begin/end pairs).
     pub traces_issued: u64,
-    /// Candidate pieces currently known.
+    /// Candidate pieces currently live.
     pub candidates: usize,
+    /// Candidates evicted to stay under the [`CapacityConfig`] bounds.
+    pub evicted_candidates: u64,
+    /// Times the candidate trie was compacted to release freed nodes.
+    pub trie_compactions: u64,
+    /// Most live candidates held at once, sampled after capacity
+    /// enforcement. With `max_candidates` set this exceeds the cap only
+    /// while every over-cap candidate is deferred (a pending completed
+    /// match or a live cursor on its path) — eviction is best-effort at
+    /// each ingest, re-attempted at the next.
+    pub peak_candidates: usize,
+    /// Most trie node slots ever allocated at once (live + free-listed) —
+    /// the memory high-water mark the capacity bounds exist to contain.
+    pub peak_trie_nodes: usize,
 }
 
 /// The online recognizer/replayer. See module docs.
@@ -114,7 +159,12 @@ pub struct TraceReplayer {
     cursors: Vec<Cursor>,
     pending: VecDeque<PendingTask>,
     completed: Vec<CompletedMatch>,
+    /// Trace ids whose candidates were evicted; the sink is told to drop
+    /// their templates at the next forwarding opportunity (eviction runs
+    /// inside `ingest`, which has no sink at hand).
+    retired_traces: Vec<TraceId>,
     scoring: ScoringConfig,
+    capacity: CapacityConfig,
     min_len: usize,
     max_piece: usize,
     next_trace: u32,
@@ -132,7 +182,9 @@ impl TraceReplayer {
             cursors: Vec::new(),
             pending: VecDeque::new(),
             completed: Vec::new(),
+            retired_traces: Vec::new(),
             scoring: config.scoring,
+            capacity: config.capacity,
             min_len: config.min_trace_length,
             max_piece: config.effective_max_len(),
             next_trace: 0,
@@ -142,7 +194,8 @@ impl TraceReplayer {
     }
 
     /// Ingests mined candidates: splits them into pieces of at most
-    /// `max_trace_length` tokens (Figure 8) and registers each piece.
+    /// `max_trace_length` tokens (Figure 8) and registers each piece, then
+    /// enforces the [`CapacityConfig`] bounds by score-based eviction.
     pub fn ingest(&mut self, batch: &MinedBatch) {
         for cand in &batch.candidates {
             let mut offset = 0usize;
@@ -153,13 +206,7 @@ impl TraceReplayer {
                     let id = self.trie.insert(piece).expect("non-empty piece");
                     let idx = id.0 as usize;
                     if self.meta.len() <= idx {
-                        self.meta.resize_with(idx + 1, || CandidateMeta {
-                            trace_id: None,
-                            count: 0,
-                            last_seen: 0,
-                            replays: 0,
-                            len: 0,
-                        });
+                        self.meta.resize_with(idx + 1, CandidateMeta::default);
                     }
                     let m = &mut self.meta[idx];
                     m.len = piece.len();
@@ -171,7 +218,93 @@ impl TraceReplayer {
                 offset = end;
             }
         }
+        // Node peak samples *before* enforcement (the true allocation
+        // high-water, including the transient a big batch causes);
+        // candidate peak samples *after* (the live-set high-water the
+        // `max_candidates` bound guarantees).
+        self.stats.peak_trie_nodes =
+            self.stats.peak_trie_nodes.max(self.trie.allocated_node_count());
+        self.enforce_capacity();
+        self.stats.peak_candidates = self.stats.peak_candidates.max(self.trie.candidate_count());
         self.stats.candidates = self.trie.candidate_count();
+    }
+
+    /// Whether the trie currently exceeds a configured bound.
+    fn over_capacity(&self) -> bool {
+        self.capacity.max_candidates.is_some_and(|m| self.trie.candidate_count() > m)
+            || self.capacity.max_trie_nodes.is_some_and(|m| self.trie.node_count() > m)
+    }
+
+    /// Evicts lowest-scoring candidates until the [`CapacityConfig`]
+    /// bounds hold, then compacts the trie if the free list dominates.
+    ///
+    /// Deterministic by construction: ranking uses the §4.3 score at the
+    /// current stream position with candidate-id tie-breaks, and the
+    /// deferral sets (pending matches, live-cursor paths) are functions of
+    /// the deterministic ingest/replay stream — so control-replicated
+    /// nodes evict in lock-step.
+    fn enforce_capacity(&mut self) {
+        if !self.over_capacity() {
+            return;
+        }
+        // Candidates whose in-flight occurrence awaits a replay decision.
+        let pending: HashSet<u32> = self.completed.iter().map(|c| c.cand.0).collect();
+        let cursor_nodes: HashSet<NodeId> = self.cursors.iter().map(|c| c.node).collect();
+        let mut ranked: Vec<(f64, u32)> = (0..self.trie.candidate_slots() as u32)
+            .filter(|&i| self.trie.is_live(CandidateId(i)))
+            .map(|i| (self.score(CandidateId(i), self.now), i))
+            .collect();
+        // Lowest score evicts first; ties evict the newer (higher) id.
+        ranked.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then_with(|| b.1.cmp(&a.1))
+        });
+        for (_, idx) in ranked {
+            if !self.over_capacity() {
+                break;
+            }
+            let id = CandidateId(idx);
+            if pending.contains(&idx) {
+                continue;
+            }
+            if !cursor_nodes.is_empty()
+                && self
+                    .trie
+                    .path_nodes(id)
+                    .is_some_and(|p| p.iter().any(|n| cursor_nodes.contains(n)))
+            {
+                continue;
+            }
+            let pruned = self.trie.remove(id).expect("ranked candidates are live");
+            if !pruned.is_empty() && !self.cursors.is_empty() {
+                // Deferral keeps cursor-occupied paths alive, so this is
+                // defensive: no cursor should ever sit on a pruned node.
+                let dead: HashSet<NodeId> = pruned.into_iter().collect();
+                self.cursors.retain(|c| !dead.contains(&c.node));
+            }
+            // The template recorded under the candidate's trace id (if
+            // any) is unreachable once the candidate is gone; queue it so
+            // the sink can drop it too.
+            if let Some(tid) = self.meta[idx as usize].trace_id {
+                self.retired_traces.push(tid);
+            }
+            self.meta[idx as usize] = CandidateMeta::default();
+            self.stats.evicted_candidates += 1;
+        }
+        // Compact when the freed slots matter: either the allocated table
+        // exceeds the configured node bound (the bound is about memory,
+        // not just live structure) or the free list outweighs the live
+        // set. Surviving cursors are remapped to the rebuilt nodes.
+        let over_alloc =
+            self.capacity.max_trie_nodes.is_some_and(|m| self.trie.allocated_node_count() > m);
+        if self.trie.free_node_count() > 0
+            && (over_alloc || self.trie.free_node_count() > self.trie.node_count())
+        {
+            let remap = self.trie.compact();
+            for c in &mut self.cursors {
+                c.node = remap[c.node.index()].expect("cursors sit on live nodes");
+            }
+            self.stats.trie_compactions += 1;
+        }
     }
 
     /// Feeds one task through the recognizer, forwarding whatever is ready
@@ -186,6 +319,7 @@ impl TraceReplayer {
         hash: TaskHash,
         sink: &mut S,
     ) -> Result<(), S::Error> {
+        self.drain_retired(sink)?;
         let global = self.now;
         self.now += 1;
         self.pending.push_back(PendingTask { desc, global });
@@ -229,6 +363,7 @@ impl TraceReplayer {
     ///
     /// Propagates the first sink error.
     pub fn flush<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), S::Error> {
+        self.drain_retired(sink)?;
         // No more tokens will arrive: live cursors can never finish.
         self.cursors.clear();
         while let Some(best) = self.best_completed() {
@@ -252,14 +387,51 @@ impl TraceReplayer {
         self.pending.len()
     }
 
+    /// Live trie nodes (including the root).
+    pub fn trie_node_count(&self) -> usize {
+        self.trie.node_count()
+    }
+
+    /// Allocated trie node slots (live + free-listed) — the actual memory
+    /// footprint between compactions.
+    pub fn trie_allocated_nodes(&self) -> usize {
+        self.trie.allocated_node_count()
+    }
+
+    /// Whether `id` names a live (not evicted) candidate.
+    pub fn candidate_live(&self, id: CandidateId) -> bool {
+        self.trie.is_live(id)
+    }
+
     /// The score (§4.3) of candidate `cand` as of stream position `now`.
+    ///
+    /// Never NaN: a degenerate (non-positive) half-life — which
+    /// [`Config::validate`](crate::config::Config::validate) rejects but a
+    /// struct literal can still produce — degrades to "fresh scores full,
+    /// anything stale scores zero" instead of poisoning every comparison.
     pub fn score(&self, cand: CandidateId, now: u64) -> f64 {
         let m = &self.meta[cand.0 as usize];
         let count = m.count.min(self.scoring.count_cap) as f64;
         let staleness = now.saturating_sub(m.last_seen) as f64;
-        let decay = 0.5f64.powf(staleness / self.scoring.staleness_half_life);
+        let half_life = self.scoring.staleness_half_life;
+        let decay = if staleness <= 0.0 {
+            1.0
+        } else if half_life > 0.0 {
+            0.5f64.powf(staleness / half_life)
+        } else {
+            0.0
+        };
         let bonus = if m.replays > 0 { 1.0 + self.scoring.replay_bonus } else { 1.0 };
         m.len as f64 * count * decay * bonus
+    }
+
+    /// Tells the sink to drop templates whose candidates were evicted
+    /// since the last forwarding opportunity.
+    fn drain_retired<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), S::Error> {
+        for tid in std::mem::take(&mut self.retired_traces) {
+            sink.forget_trace(tid)?;
+        }
+        Ok(())
     }
 
     /// Drives flush/replay decisions after each arrival.
@@ -379,6 +551,7 @@ mod tests {
         Begin(TraceId),
         End(TraceId),
         Task(TaskHash),
+        Forget(TraceId),
     }
 
     impl TraceSink for EventSink {
@@ -396,6 +569,11 @@ mod tests {
 
         fn execute_task(&mut self, task: TaskDesc) -> Result<(), Infallible> {
             self.events.push(Event::Task(task.semantic_hash()));
+            Ok(())
+        }
+
+        fn forget_trace(&mut self, id: TraceId) -> Result<(), Infallible> {
+            self.events.push(Event::Forget(id));
             Ok(())
         }
     }
@@ -602,6 +780,216 @@ mod tests {
         // the bonus. Compare against a manually computed unbonused score.
         let after = r.score(CandidateId(0), r.now);
         assert!(after > before, "replayed candidate scores higher: {after} vs {before}");
+    }
+
+    #[test]
+    fn reingest_accumulates_count_without_duplicating() {
+        let mut r = TraceReplayer::new(&cfg(2));
+        r.ingest(&MinedBatch {
+            job: 0,
+            candidates: vec![MinedCandidate {
+                content: vec![hash(1), hash(2)],
+                occurrences: vec![0, 4],
+            }],
+            slice_end: 8,
+        });
+        let id = CandidateId(0);
+        assert_eq!(r.stats().candidates, 1);
+        let first = r.score(id, 8);
+        // A later analysis re-mines the same candidate: same id, counts
+        // and recency accumulate, nothing duplicates.
+        r.ingest(&MinedBatch {
+            job: 1,
+            candidates: vec![MinedCandidate {
+                content: vec![hash(1), hash(2)],
+                occurrences: vec![8, 12, 16],
+            }],
+            slice_end: 20,
+        });
+        assert_eq!(r.stats().candidates, 1, "re-ingest never duplicates");
+        let second = r.score(id, 20);
+        // count 2 → 5 at zero staleness: score strictly grows.
+        assert!(second > first, "count accumulated: {second} vs {first}");
+        // len stays that of the piece (guards against len clobbering).
+        let at_cap = r.score(id, 20);
+        assert!(at_cap <= 2.0 * 16.0 + 1e-9, "len still 2: {at_cap}");
+    }
+
+    #[test]
+    fn eviction_drops_lowest_scoring_candidate() {
+        let mut r = TraceReplayer::new(&cfg(2).with_max_candidates(2));
+        // Three candidates, utility ordered by occurrence count.
+        r.ingest(&MinedBatch {
+            job: 0,
+            candidates: vec![
+                MinedCandidate { content: vec![hash(1), hash(2)], occurrences: vec![0, 2, 4] },
+                MinedCandidate { content: vec![hash(3), hash(4)], occurrences: vec![6, 8] },
+                MinedCandidate { content: vec![hash(5), hash(6)], occurrences: vec![10] },
+            ],
+            slice_end: 12,
+        });
+        let s = r.stats();
+        assert_eq!(s.candidates, 2, "cap enforced");
+        assert_eq!(s.evicted_candidates, 1);
+        assert_eq!(s.peak_candidates, 2, "live-set peak respects the cap");
+        assert!(!r.candidate_live(CandidateId(2)), "lowest-count candidate evicted");
+        assert!(r.candidate_live(CandidateId(0)));
+        assert!(r.candidate_live(CandidateId(1)));
+        // Survivors still replay; the evicted sequence passes through.
+        let mut sink = EventSink::default();
+        feed(&mut r, &mut sink, &[5, 6, 1, 2]);
+        r.flush(&mut sink).unwrap();
+        assert_eq!(r.stats().traces_issued, 1, "only the survivor traced");
+    }
+
+    #[test]
+    fn eviction_reuses_candidate_slots_cleanly() {
+        let mut r = TraceReplayer::new(&cfg(2).with_max_candidates(1));
+        r.ingest(&batch_of(&[&[1, 2]]));
+        r.ingest(&MinedBatch {
+            job: 1,
+            candidates: vec![MinedCandidate {
+                content: vec![hash(3), hash(4)],
+                occurrences: vec![4, 6, 8],
+            }],
+            slice_end: 10,
+        });
+        // [1,2] (count 1, stale) evicted; [3,4] reuses its slot with
+        // fresh bookkeeping.
+        assert_eq!(r.stats().candidates, 1);
+        assert_eq!(r.stats().evicted_candidates, 1);
+        let mut sink = EventSink::default();
+        feed(&mut r, &mut sink, &[1, 2, 3, 4]);
+        r.flush(&mut sink).unwrap();
+        assert_eq!(r.stats().traces_issued, 1, "recycled slot replays as the new candidate");
+        let tasks: Vec<TaskHash> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Task(h) => Some(*h),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tasks, vec![hash(1), hash(2), hash(3), hash(4)], "order preserved");
+    }
+
+    #[test]
+    fn eviction_forgets_orphaned_templates() {
+        let mut r = TraceReplayer::new(&cfg(2).with_max_candidates(1));
+        let mut s = EventSink::default();
+        r.ingest(&batch_of(&[&[1, 2]]));
+        // Replay once so the candidate carries TraceId(0) and the sink
+        // holds a template for it.
+        feed(&mut r, &mut s, &[1, 2]);
+        assert_eq!(r.stats().traces_issued, 1);
+        // A fresher candidate evicts it; the next forwarding opportunity
+        // must tell the sink to drop the now-unreachable template.
+        r.ingest(&MinedBatch {
+            job: 1,
+            candidates: vec![MinedCandidate {
+                content: vec![hash(3), hash(4)],
+                occurrences: vec![4, 6, 8],
+            }],
+            slice_end: 10,
+        });
+        feed(&mut r, &mut s, &[9]);
+        assert!(
+            s.events.contains(&Event::Forget(TraceId(0))),
+            "orphaned template forgotten: {:?}",
+            s.events
+        );
+        // Never-replayed evicted candidates (no trace id) emit nothing.
+        let forgets = s.events.iter().filter(|e| matches!(e, Event::Forget(_))).count();
+        assert_eq!(forgets, 1);
+    }
+
+    #[test]
+    fn eviction_defers_candidates_with_live_cursors() {
+        let mut r = TraceReplayer::new(&cfg(2).with_max_candidates(1));
+        r.ingest(&batch_of(&[&[7, 8]]));
+        let mut sink = EventSink::default();
+        // Start a partial match of [7,8]: a live cursor sits on its path.
+        feed(&mut r, &mut sink, &[7]);
+        // A fresher, higher-scoring candidate arrives; the cap says evict,
+        // but [7,8]'s cursor defers its eviction.
+        r.ingest(&MinedBatch {
+            job: 1,
+            candidates: vec![MinedCandidate {
+                content: vec![hash(5), hash(6)],
+                occurrences: vec![10, 12, 14],
+            }],
+            slice_end: 16,
+        });
+        assert!(r.candidate_live(CandidateId(0)), "cursor-protected candidate survives");
+        // The in-progress match completes and replays.
+        feed(&mut r, &mut sink, &[8]);
+        r.flush(&mut sink).unwrap();
+        assert_eq!(r.stats().traces_issued, 1, "deferred candidate completed its match");
+    }
+
+    #[test]
+    fn trie_node_cap_bounds_memory_and_compacts() {
+        let mut r = TraceReplayer::new(&cfg(2).with_max_trie_nodes(16));
+        // Waves of disjoint candidates; each wave's staleness makes the
+        // previous wave evictable.
+        for wave in 0..20u32 {
+            let base = wave * 100;
+            let content: Vec<TaskHash> = (base..base + 8).map(hash).collect();
+            r.ingest(&MinedBatch {
+                job: u64::from(wave),
+                candidates: vec![MinedCandidate {
+                    content,
+                    occurrences: vec![u64::from(wave) * 100, u64::from(wave) * 100 + 8],
+                }],
+                slice_end: u64::from(wave + 1) * 100,
+            });
+            assert!(r.trie_node_count() <= 17, "live nodes capped: {}", r.trie_node_count());
+        }
+        let s = r.stats();
+        assert!(s.evicted_candidates > 0);
+        assert!(s.trie_compactions > 0, "free list released: {s:?}");
+        assert!(
+            r.trie_allocated_nodes() <= 2 * 17,
+            "allocation tracks the live set: {}",
+            r.trie_allocated_nodes()
+        );
+        assert!(s.peak_trie_nodes < 20 * 8, "peaks stayed far below unbounded growth");
+    }
+
+    #[test]
+    fn zero_max_trace_length_terminates() {
+        // Regression: `end = offset + 0` used to loop `ingest` forever.
+        let mut bad = cfg(1);
+        bad.max_trace_length = Some(0);
+        let mut r = TraceReplayer::new(&bad);
+        r.ingest(&batch_of(&[&[1, 2, 3]]));
+        assert!(r.stats().candidates <= 3, "split degraded to 1-token pieces");
+    }
+
+    #[test]
+    fn zero_half_life_scores_stay_finite() {
+        // Regression: staleness 0 / half-life 0 used to be NaN, poisoning
+        // every `best_completed` comparison.
+        let mut bad = cfg(2);
+        bad.scoring.staleness_half_life = 0.0;
+        let mut r = TraceReplayer::new(&bad);
+        r.ingest(&MinedBatch {
+            job: 0,
+            candidates: vec![MinedCandidate {
+                content: vec![hash(1), hash(2)],
+                occurrences: vec![0],
+            }],
+            slice_end: 2,
+        });
+        let fresh = r.score(CandidateId(0), 2);
+        let stale = r.score(CandidateId(0), 100);
+        assert!(fresh.is_finite() && fresh > 0.0, "fresh score finite: {fresh}");
+        assert_eq!(stale, 0.0, "stale score collapses instead of NaN");
+        // And the replayer still replays.
+        let mut sink = EventSink::default();
+        feed(&mut r, &mut sink, &[1, 2]);
+        r.flush(&mut sink).unwrap();
+        assert_eq!(r.stats().traces_issued, 1);
     }
 
     #[test]

@@ -5,20 +5,46 @@
 //! into the trie that represent potential matches"). A cursor that reaches
 //! a terminal node has recognized a full candidate occurrence.
 //!
-//! The trie is append-only: candidates are only ever added (the replayer
-//! retires candidates by scoring, not deletion), so node indices are
-//! stable and cursors can be stored compactly as `(node, start)` pairs.
+//! # Lifecycle
+//!
+//! Long-running streams retire candidates as well as add them, so the trie
+//! supports the full lifecycle:
+//!
+//! * [`Trie::insert`] adds a candidate, reusing tombstoned candidate slots
+//!   and free-listed nodes before growing the arrays.
+//! * [`Trie::remove`] tombstones a candidate's terminal and prunes every
+//!   node that no longer lies on a live candidate's path, pushing pruned
+//!   nodes onto a free list for reuse. The pruned node ids are returned so
+//!   callers holding cursors can invalidate the ones left dangling.
+//! * [`Trie::compact`] rebuilds the node table from the live candidates,
+//!   releasing the free list's memory. Node ids are *not* stable across
+//!   compaction; the returned remap translates surviving old ids.
+//!
+//! Between removals node indices are stable: `remove` never moves a live
+//! node, so cursors stored as `(node, start)` pairs stay valid as long as
+//! their node was not in the pruned set.
 
 use crate::Token;
 use std::collections::HashMap;
 
 /// Identifies a candidate sequence stored in a [`Trie`].
+///
+/// Ids of removed candidates are recycled by later insertions; a recycled
+/// id names the *new* candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CandidateId(pub u32);
 
 /// Identifies a trie node. The root is [`Trie::ROOT`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(u32);
+
+impl NodeId {
+    /// The node's slot index — the key into the remap returned by
+    /// [`Trie::compact`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Node<T> {
@@ -33,7 +59,14 @@ struct Node<T> {
     subtree_max: u32,
 }
 
-/// A prefix tree over token sequences with cursor-based traversal.
+impl<T> Node<T> {
+    fn new(depth: u32) -> Self {
+        Self { children: HashMap::new(), terminal: None, depth, subtree_max: 0 }
+    }
+}
+
+/// A prefix tree over token sequences with cursor-based traversal and
+/// candidate removal. See the [module docs](self).
 ///
 /// # Example
 ///
@@ -51,11 +84,18 @@ struct Node<T> {
 #[derive(Debug, Clone)]
 pub struct Trie<T> {
     nodes: Vec<Node<T>>,
-    /// Length of each candidate, indexed by `CandidateId`.
+    /// Length of each candidate, indexed by `CandidateId`. `0` marks a
+    /// tombstoned (removed) slot awaiting reuse.
     lengths: Vec<u32>,
     /// Content of each candidate (kept for re-validation and replay
-    /// bookkeeping by the runtime layer).
+    /// bookkeeping by the runtime layer). Emptied on removal.
     contents: Vec<Vec<T>>,
+    /// Pruned node slots available for reuse.
+    free_nodes: Vec<u32>,
+    /// Tombstoned candidate slots available for reuse.
+    free_candidates: Vec<u32>,
+    /// Candidates currently stored (lengths slots with a non-zero length).
+    live_candidates: usize,
 }
 
 impl<T: Token> Trie<T> {
@@ -65,14 +105,30 @@ impl<T: Token> Trie<T> {
     /// Creates an empty trie.
     pub fn new() -> Self {
         Self {
-            nodes: vec![Node {
-                children: HashMap::new(),
-                terminal: None,
-                depth: 0,
-                subtree_max: 0,
-            }],
+            nodes: vec![Node::new(0)],
             lengths: Vec::new(),
             contents: Vec::new(),
+            free_nodes: Vec::new(),
+            free_candidates: Vec::new(),
+            live_candidates: 0,
+        }
+    }
+
+    /// Allocates a node, reusing a free-listed slot when one exists.
+    fn alloc_node(&mut self, depth: u32) -> NodeId {
+        match self.free_nodes.pop() {
+            Some(slot) => {
+                let node = &mut self.nodes[slot as usize];
+                debug_assert!(node.children.is_empty() && node.terminal.is_none());
+                node.depth = depth;
+                node.subtree_max = 0;
+                NodeId(slot)
+            }
+            None => {
+                let id = NodeId(self.nodes.len() as u32);
+                self.nodes.push(Node::new(depth));
+                id
+            }
         }
     }
 
@@ -80,7 +136,8 @@ impl<T: Token> Trie<T> {
     ///
     /// Returns the existing id (without duplicating) if `seq` was already
     /// present, and `None` if `seq` is empty (empty candidates are
-    /// meaningless and rejected).
+    /// meaningless and rejected). Tombstoned candidate slots and pruned
+    /// nodes are reused before the backing arrays grow.
     pub fn insert(&mut self, seq: &[T]) -> Option<CandidateId> {
         if seq.is_empty() {
             return None;
@@ -90,18 +147,15 @@ impl<T: Token> Trie<T> {
         for (i, &tok) in seq.iter().enumerate() {
             let node = &mut self.nodes[cur.0 as usize];
             node.subtree_max = node.subtree_max.max(len);
-            let next_free = NodeId(self.nodes.len() as u32);
             let depth = i as u32 + 1;
-            let entry = self.nodes[cur.0 as usize].children.entry(tok).or_insert(next_free);
-            let nxt = *entry;
-            if nxt == next_free {
-                self.nodes.push(Node {
-                    children: HashMap::new(),
-                    terminal: None,
-                    depth,
-                    subtree_max: 0,
-                });
-            }
+            let nxt = match self.nodes[cur.0 as usize].children.get(&tok) {
+                Some(&n) => n,
+                None => {
+                    let n = self.alloc_node(depth);
+                    self.nodes[cur.0 as usize].children.insert(tok, n);
+                    n
+                }
+            };
             cur = nxt;
         }
         let node = &mut self.nodes[cur.0 as usize];
@@ -109,11 +163,120 @@ impl<T: Token> Trie<T> {
         if let Some(existing) = node.terminal {
             return Some(existing);
         }
-        let id = CandidateId(self.lengths.len() as u32);
-        node.terminal = Some(id);
-        self.lengths.push(seq.len() as u32);
-        self.contents.push(seq.to_vec());
+        let id = match self.free_candidates.pop() {
+            Some(slot) => {
+                self.lengths[slot as usize] = len;
+                self.contents[slot as usize] = seq.to_vec();
+                CandidateId(slot)
+            }
+            None => {
+                let id = CandidateId(self.lengths.len() as u32);
+                self.lengths.push(len);
+                self.contents.push(seq.to_vec());
+                id
+            }
+        };
+        self.nodes[cur.0 as usize].terminal = Some(id);
+        self.live_candidates += 1;
         Some(id)
+    }
+
+    /// Removes candidate `id`, pruning every node left on no live
+    /// candidate's path. Returns the pruned node ids (callers holding
+    /// cursors must drop cursors sitting on them), or `None` if `id` is
+    /// not a live candidate.
+    pub fn remove(&mut self, id: CandidateId) -> Option<Vec<NodeId>> {
+        let idx = id.0 as usize;
+        if idx >= self.lengths.len() || self.lengths[idx] == 0 {
+            return None;
+        }
+        let seq = std::mem::take(&mut self.contents[idx]);
+        self.lengths[idx] = 0;
+        self.free_candidates.push(id.0);
+        self.live_candidates -= 1;
+
+        // Walk the candidate's path.
+        let mut path = Vec::with_capacity(seq.len() + 1);
+        path.push(Self::ROOT);
+        let mut cur = Self::ROOT;
+        for &tok in &seq {
+            cur = self.step(cur, tok).expect("live candidate path exists");
+            path.push(cur);
+        }
+        debug_assert_eq!(self.nodes[cur.0 as usize].terminal, Some(id));
+        self.nodes[cur.0 as usize].terminal = None;
+
+        // Prune bottom-up until a node still carries children or another
+        // candidate's terminal.
+        let mut pruned = Vec::new();
+        let mut last_live = 0;
+        for i in (1..path.len()).rev() {
+            let n = path[i];
+            let node = &self.nodes[n.0 as usize];
+            if node.children.is_empty() && node.terminal.is_none() {
+                self.nodes[path[i - 1].0 as usize].children.remove(&seq[i - 1]);
+                self.free_nodes.push(n.0);
+                pruned.push(n);
+            } else {
+                last_live = i;
+                break;
+            }
+        }
+        // Recompute subtree_max along the surviving prefix (the removed
+        // candidate may have been the longest through these nodes).
+        for i in (0..=last_live).rev() {
+            let n = path[i];
+            let children: Vec<NodeId> =
+                self.nodes[n.0 as usize].children.values().copied().collect();
+            let mut max =
+                self.nodes[n.0 as usize].terminal.map_or(0, |c| self.lengths[c.0 as usize]);
+            for child in children {
+                max = max.max(self.nodes[child.0 as usize].subtree_max);
+            }
+            self.nodes[n.0 as usize].subtree_max = max;
+        }
+        Some(pruned)
+    }
+
+    /// Rebuilds the node table from the live candidates, dropping the free
+    /// list. Candidate ids are stable; node ids are not — the returned
+    /// remap translates each old node index to its new id (`None` for
+    /// pruned/free slots).
+    pub fn compact(&mut self) -> Vec<Option<NodeId>> {
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        remap[0] = Some(Self::ROOT);
+        let mut new_nodes: Vec<Node<T>> = vec![Node::new(0)];
+        for idx in 0..self.lengths.len() {
+            let len = self.lengths[idx];
+            if len == 0 {
+                continue;
+            }
+            let id = CandidateId(idx as u32);
+            let mut old = Self::ROOT;
+            let mut new = Self::ROOT;
+            for (i, &tok) in self.contents[idx].iter().enumerate() {
+                old = self.step(old, tok).expect("live candidate path exists");
+                let node = &mut new_nodes[new.0 as usize];
+                node.subtree_max = node.subtree_max.max(len);
+                let nxt = match new_nodes[new.0 as usize].children.get(&tok) {
+                    Some(&n) => n,
+                    None => {
+                        let n = NodeId(new_nodes.len() as u32);
+                        new_nodes.push(Node::new(i as u32 + 1));
+                        new_nodes[new.0 as usize].children.insert(tok, n);
+                        n
+                    }
+                };
+                new = nxt;
+                remap[old.0 as usize] = Some(new);
+            }
+            let node = &mut new_nodes[new.0 as usize];
+            node.subtree_max = node.subtree_max.max(len);
+            node.terminal = Some(id);
+        }
+        self.nodes = new_nodes;
+        self.free_nodes.clear();
+        remap
     }
 
     /// Advances a cursor by one token; `None` if no such transition exists.
@@ -143,42 +306,81 @@ impl<T: Token> Trie<T> {
         self.nodes[node.0 as usize].subtree_max as usize
     }
 
-    /// Length of the longest candidate in the whole trie.
+    /// Length of the longest live candidate in the whole trie.
     pub fn max_candidate_len(&self) -> usize {
-        self.lengths.iter().copied().max().unwrap_or(0) as usize
+        self.nodes[0].subtree_max as usize
     }
 
-    /// Length of candidate `id`.
+    /// Whether `id` names a live (inserted, not removed) candidate.
+    pub fn is_live(&self, id: CandidateId) -> bool {
+        self.lengths.get(id.0 as usize).copied().unwrap_or(0) > 0
+    }
+
+    /// The node ids on candidate `id`'s path from the root (root excluded),
+    /// or `None` if `id` is not live.
+    pub fn path_nodes(&self, id: CandidateId) -> Option<Vec<NodeId>> {
+        if !self.is_live(id) {
+            return None;
+        }
+        let mut cur = Self::ROOT;
+        let mut path = Vec::with_capacity(self.lengths[id.0 as usize] as usize);
+        for &tok in &self.contents[id.0 as usize] {
+            cur = self.step(cur, tok)?;
+            path.push(cur);
+        }
+        Some(path)
+    }
+
+    /// Length of candidate `id` (`0` if `id` was removed).
     ///
     /// # Panics
     ///
-    /// Panics if `id` was not returned by [`Self::insert`] on this trie.
+    /// Panics if `id` was never returned by [`Self::insert`] on this trie
+    /// (use [`Self::is_live`] to probe arbitrary ids safely).
     pub fn candidate_len(&self, id: CandidateId) -> usize {
         self.lengths[id.0 as usize] as usize
     }
 
-    /// Content of candidate `id`.
+    /// Content of candidate `id` (empty if `id` was removed).
     ///
     /// # Panics
     ///
-    /// Panics if `id` was not returned by [`Self::insert`] on this trie.
+    /// Panics if `id` was never returned by [`Self::insert`] on this trie
+    /// (use [`Self::is_live`] to probe arbitrary ids safely).
     pub fn candidate(&self, id: CandidateId) -> &[T] {
         &self.contents[id.0 as usize]
     }
 
-    /// Number of stored candidates.
+    /// Number of live candidates.
     pub fn candidate_count(&self) -> usize {
+        self.live_candidates
+    }
+
+    /// One past the largest candidate id ever issued (live or tombstoned);
+    /// the bound callers sizing per-candidate side tables need.
+    pub fn candidate_slots(&self) -> usize {
         self.lengths.len()
     }
 
-    /// Number of trie nodes (including the root).
+    /// Number of live trie nodes (including the root).
     pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free_nodes.len()
+    }
+
+    /// Number of allocated node slots, live or free-listed — the actual
+    /// memory footprint until [`Self::compact`] runs.
+    pub fn allocated_node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Nodes currently on the free list.
+    pub fn free_node_count(&self) -> usize {
+        self.free_nodes.len()
     }
 
     /// Whether the trie holds no candidates.
     pub fn is_empty(&self) -> bool {
-        self.lengths.is_empty()
+        self.live_candidates == 0
     }
 
     /// Whether any candidate starts with `token` (i.e. a fresh cursor could
@@ -255,9 +457,105 @@ mod tests {
         assert_eq!(t.node_count(), before + 1);
     }
 
+    #[test]
+    fn remove_prunes_exclusive_nodes() {
+        let mut t = Trie::new();
+        let abcd = t.insert(b"abcd").unwrap();
+        let ab = t.insert(b"ab").unwrap();
+        assert_eq!(t.node_count(), 5);
+        let pruned = t.remove(abcd).unwrap();
+        // c and d pruned; a and b survive (ab still lives there).
+        assert_eq!(pruned.len(), 2);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.candidate_count(), 1);
+        assert!(!t.is_live(abcd));
+        assert!(t.is_live(ab));
+        assert_eq!(t.max_candidate_len(), 2);
+        // The shared prefix still recognizes ab.
+        let mut cur = Trie::<u8>::ROOT;
+        cur = t.step(cur, b'a').unwrap();
+        cur = t.step(cur, b'b').unwrap();
+        assert_eq!(t.terminal(cur), Some(ab));
+        assert!(t.is_leaf(cur), "c edge pruned");
+    }
+
+    #[test]
+    fn remove_interior_candidate_keeps_nodes() {
+        let mut t = Trie::new();
+        let abcd = t.insert(b"abcd").unwrap();
+        let ab = t.insert(b"ab").unwrap();
+        let pruned = t.remove(ab).unwrap();
+        assert!(pruned.is_empty(), "all of ab's nodes lie on abcd's path");
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.max_candidate_len(), 4);
+        assert!(t.is_live(abcd));
+    }
+
+    #[test]
+    fn remove_last_candidate_empties_trie() {
+        let mut t = Trie::new();
+        let ab = t.insert(b"ab").unwrap();
+        t.remove(ab).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.node_count(), 1, "only the root survives");
+        assert_eq!(t.max_candidate_len(), 0);
+        assert!(!t.can_start_with(b'a'));
+        assert_eq!(t.remove(ab), None, "double remove is a no-op");
+    }
+
+    #[test]
+    fn insert_reuses_freed_slots() {
+        let mut t = Trie::new();
+        let abc = t.insert(b"abc").unwrap();
+        let allocated = t.allocated_node_count();
+        t.remove(abc).unwrap();
+        assert_eq!(t.free_node_count(), 3);
+        let xyz = t.insert(b"xyz").unwrap();
+        assert_eq!(t.allocated_node_count(), allocated, "nodes recycled, not grown");
+        assert_eq!(t.free_node_count(), 0);
+        assert_eq!(xyz, abc, "candidate slot recycled too");
+        assert_eq!(t.candidate(xyz), b"xyz");
+        assert_eq!(t.candidate_len(xyz), 3);
+    }
+
+    #[test]
+    fn compact_releases_free_list_and_remaps() {
+        let mut t = Trie::new();
+        let long = t.insert(b"abcdefgh").unwrap();
+        let ab = t.insert(b"ab").unwrap();
+        t.remove(long).unwrap();
+        assert!(t.free_node_count() > 0);
+        // Old id of the node recognizing "ab".
+        let mut cur = Trie::<u8>::ROOT;
+        cur = t.step(cur, b'a').unwrap();
+        cur = t.step(cur, b'b').unwrap();
+        let remap = t.compact();
+        assert_eq!(t.free_node_count(), 0);
+        assert_eq!(t.allocated_node_count(), 3);
+        let mapped = remap[cur.0 as usize].expect("live node survives compaction");
+        assert_eq!(t.terminal(mapped), Some(ab));
+        assert_eq!(t.depth(mapped), 2);
+        assert_eq!(t.max_candidate_len(), 2);
+    }
+
+    #[test]
+    fn subtree_max_tracks_removals() {
+        let mut t = Trie::new();
+        let abc = t.insert(b"abc").unwrap();
+        t.insert(b"abde").unwrap();
+        let a = t.step(Trie::<u8>::ROOT, b'a').unwrap();
+        assert_eq!(t.potential_len(a), 4);
+        let abde = CandidateId(1);
+        t.remove(abde).unwrap();
+        assert_eq!(t.potential_len(a), 3);
+        t.remove(abc).unwrap();
+        assert_eq!(t.max_candidate_len(), 0);
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;
+        use std::collections::HashMap as Map;
 
         proptest! {
             /// Walking any inserted sequence from the root terminates at a
@@ -291,6 +589,98 @@ mod tests {
                 }
                 let total: usize = seqs.iter().map(Vec::len).sum();
                 prop_assert!(t.node_count() <= total + 1);
+            }
+
+            /// Interleaved insert/remove tracked against a naive
+            /// set-of-sequences model: live candidates stay recognized,
+            /// removed ones stay gone, and every aggregate (candidate
+            /// count, max length, node count, start-token set) matches a
+            /// trie rebuilt fresh from the model.
+            #[test]
+            fn interleaved_insert_remove_matches_model(
+                ops in proptest::collection::vec(
+                    (any::<bool>(), proptest::collection::vec(0u8..3, 1..8)),
+                    1..40)
+            ) {
+                let mut t: Trie<u8> = Trie::new();
+                let mut model: Map<Vec<u8>, CandidateId> = Map::new();
+                for (remove, seq) in &ops {
+                    if *remove {
+                        if let Some(id) = model.remove(seq) {
+                            prop_assert!(t.remove(id).is_some());
+                        } else {
+                            // Removing something never inserted (or already
+                            // removed) must be a clean no-op.
+                            prop_assert!(
+                                model.values().next().is_none()
+                                    || t.candidate_count() == model.len()
+                            );
+                        }
+                    } else {
+                        let id = t.insert(seq).unwrap();
+                        model.insert(seq.clone(), id);
+                    }
+
+                    // Live candidates recognized with their current ids.
+                    for (s, id) in &model {
+                        let mut cur = Trie::<u8>::ROOT;
+                        for &tok in s {
+                            cur = t.step(cur, tok).expect("live path intact");
+                        }
+                        prop_assert_eq!(t.terminal(cur), Some(*id));
+                        prop_assert_eq!(t.candidate(*id), s.as_slice());
+                        prop_assert!(t.is_live(*id));
+                    }
+
+                    // Aggregates match a trie built fresh from the model.
+                    let mut fresh: Trie<u8> = Trie::new();
+                    for s in model.keys() {
+                        fresh.insert(s);
+                    }
+                    prop_assert_eq!(t.candidate_count(), model.len());
+                    prop_assert_eq!(t.node_count(), fresh.node_count());
+                    prop_assert_eq!(t.max_candidate_len(), fresh.max_candidate_len());
+                    for tok in 0u8..3 {
+                        prop_assert_eq!(t.can_start_with(tok), fresh.can_start_with(tok));
+                    }
+                    prop_assert_eq!(t.is_empty(), model.is_empty());
+                }
+            }
+
+            /// Compaction preserves recognition and shrinks allocation to
+            /// exactly the live node count.
+            #[test]
+            fn compaction_preserves_recognition(
+                keep in proptest::collection::vec(
+                    proptest::collection::vec(0u8..3, 1..8), 1..10),
+                drop_ in proptest::collection::vec(
+                    proptest::collection::vec(0u8..3, 1..8), 1..10)
+            ) {
+                let mut t: Trie<u8> = Trie::new();
+                let mut model: Map<Vec<u8>, CandidateId> = Map::new();
+                for s in keep.iter().chain(&drop_) {
+                    let id = t.insert(s).unwrap();
+                    model.insert(s.clone(), id);
+                }
+                for s in &drop_ {
+                    if keep.contains(s) {
+                        continue; // also in the keep set; stays live
+                    }
+                    if let Some(id) = model.remove(s) {
+                        t.remove(id);
+                    }
+                }
+                let live_nodes = t.node_count();
+                t.compact();
+                prop_assert_eq!(t.allocated_node_count(), live_nodes);
+                prop_assert_eq!(t.free_node_count(), 0);
+                for (s, id) in &model {
+                    let mut cur = Trie::<u8>::ROOT;
+                    for &tok in s {
+                        cur = t.step(cur, tok).expect("path survives compaction");
+                    }
+                    prop_assert_eq!(t.terminal(cur), Some(*id));
+                }
             }
         }
     }

@@ -50,6 +50,13 @@ pub struct RuntimeConfig {
     /// stage (`-lg:window`). The artifact uses 30000. Must exceed the
     /// longest trace for the §5.2 no-speculation gate to stay harmless.
     pub window: u32,
+    /// Maximum templates the runtime retains (`None` = unbounded, the
+    /// historical behaviour). When a newly recorded template pushes the
+    /// store over this bound, the template with the fewest replays — ties
+    /// broken by least-recent use, then smallest id — is evicted. The
+    /// active (just-recorded or currently replaying) trace is never
+    /// evicted; an evicted id simply re-records on its next `begin_trace`.
+    pub max_templates: Option<usize>,
 }
 
 impl RuntimeConfig {
@@ -63,6 +70,7 @@ impl RuntimeConfig {
             mismatch_policy: MismatchPolicy::Strict,
             transitive_reduction: true,
             window: 30_000,
+            max_templates: None,
         }
     }
 
@@ -74,6 +82,12 @@ impl RuntimeConfig {
     /// Enables the Apophenia-layer cost accounting.
     pub fn with_auto_layer(mut self) -> Self {
         self.auto_layer = true;
+        self
+    }
+
+    /// Bounds the template store (clamped to at least one template).
+    pub fn with_max_templates(mut self, max: usize) -> Self {
+        self.max_templates = Some(max.max(1));
         self
     }
 
@@ -102,6 +116,10 @@ pub enum RuntimeError {
     AnnotationUnderAuto(TraceId),
     /// Control-replicated shards diverged (described by the message).
     Divergence(String),
+    /// A front-end was constructed with an unusable configuration
+    /// (described by the message) — e.g. a zero-node distributed
+    /// deployment or a zero capacity bound.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -114,6 +132,7 @@ impl std::fmt::Display for RuntimeError {
                 "manual trace annotation (id {id:?}) issued through an automatic-tracing front-end"
             ),
             Self::Divergence(msg) => write!(f, "control-replication divergence: {msg}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -123,7 +142,7 @@ impl std::error::Error for RuntimeError {
         match self {
             Self::Region(e) => Some(e),
             Self::Trace(e) => Some(e),
-            Self::AnnotationUnderAuto(_) | Self::Divergence(_) => None,
+            Self::AnnotationUnderAuto(_) | Self::Divergence(_) | Self::InvalidConfig(_) => None,
         }
     }
 }
@@ -409,12 +428,21 @@ impl Runtime {
                     return Err(TraceError::WrongTraceId { active, got: id }.into());
                 }
                 if !hashes.is_empty() {
-                    let mut t = TraceTemplate { hashes, preds, gpu_times, replays: 0 };
+                    let mut t = TraceTemplate {
+                        hashes,
+                        preds,
+                        gpu_times,
+                        replays: 0,
+                        last_used: self.stats.tasks_total,
+                    };
                     if self.config.transitive_reduction {
                         t.reduce_edges();
                     }
                     self.templates.insert(id, t);
                     self.stats.traces_recorded += 1;
+                    self.stats.peak_templates =
+                        self.stats.peak_templates.max(self.templates.len() as u64);
+                    self.enforce_template_cap(id);
                 }
                 Ok(())
             }
@@ -435,7 +463,9 @@ impl Runtime {
                         }
                     }
                 } else {
-                    self.templates.get_mut(&id).expect("active template").replays += 1;
+                    let t = self.templates.get_mut(&id).expect("active template");
+                    t.replays += 1;
+                    t.last_used = self.stats.tasks_total;
                     self.stats.trace_replays += 1;
                     Ok(())
                 }
@@ -465,9 +495,55 @@ impl Runtime {
         self.log.push(LogOp::IterationMark(after_tasks));
     }
 
+    /// Evicts templates until the store fits `max_templates`, never
+    /// touching `active` (the just-recorded trace). Victims are chosen by
+    /// fewest replays, then least-recent use, then smallest id — a total
+    /// order, so the choice is deterministic despite the hash map.
+    fn enforce_template_cap(&mut self, active: TraceId) {
+        let Some(cap) = self.config.max_templates else { return };
+        while self.templates.len() > cap {
+            let victim = self
+                .templates
+                .iter()
+                .filter(|(id, _)| **id != active)
+                .min_by_key(|(id, t)| (t.replays, t.last_used, id.0))
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else { break };
+            self.templates.remove(&victim);
+            self.stats.templates_evicted += 1;
+        }
+    }
+
+    /// Drops the template recorded for `id`, if any — the hook an
+    /// automatic-tracing layer uses when it retires a candidate so its
+    /// template does not linger unreachable. The active (recording or
+    /// replaying) trace is never dropped. Returns whether a template was
+    /// removed; removals count toward `templates_evicted`.
+    pub fn forget_template(&mut self, id: TraceId) -> bool {
+        let active = match &self.state {
+            TraceState::Idle => None,
+            TraceState::Recording { id, .. }
+            | TraceState::Replaying { id, .. }
+            | TraceState::Poisoned { id } => Some(*id),
+        };
+        if active == Some(id) {
+            return false;
+        }
+        let removed = self.templates.remove(&id).is_some();
+        if removed {
+            self.stats.templates_evicted += 1;
+        }
+        removed
+    }
+
     /// Whether a template exists for `id`.
     pub fn has_template(&self, id: TraceId) -> bool {
         self.templates.contains_key(&id)
+    }
+
+    /// Number of templates currently stored.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
     }
 
     /// The template recorded for `id`, if any.
@@ -732,6 +808,102 @@ mod tests {
         let recs: Vec<_> = rt.log().task_records().collect();
         assert_eq!(recs[2].forward_gate, Some(4), "head gated on the trace-tail task number");
         assert_eq!(recs[3].forward_gate, None);
+    }
+
+    #[test]
+    fn template_store_bounded_by_replays_then_lru() {
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1).with_max_templates(2));
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        // Record trace 0 and replay it twice (hot), then record trace 1
+        // (cold), then record trace 2 — the store must evict the
+        // fewest-replayed template (1), never the active one (2).
+        for _ in 0..3 {
+            rt.begin_trace(TraceId(0)).unwrap();
+            rt.execute_task(step_task(a, b)).unwrap();
+            rt.end_trace(TraceId(0)).unwrap();
+        }
+        rt.begin_trace(TraceId(1)).unwrap();
+        rt.execute_task(step_task(b, a)).unwrap();
+        rt.end_trace(TraceId(1)).unwrap();
+        assert_eq!(rt.template_count(), 2);
+        assert_eq!(rt.stats().templates_evicted, 0);
+
+        rt.begin_trace(TraceId(2)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(2)).unwrap();
+        assert_eq!(rt.template_count(), 2, "cap enforced");
+        assert_eq!(rt.stats().templates_evicted, 1);
+        assert!(rt.has_template(TraceId(0)), "replayed template survives");
+        assert!(!rt.has_template(TraceId(1)), "zero-replay template evicted");
+        assert!(rt.has_template(TraceId(2)), "active template never evicted");
+        assert_eq!(rt.stats().peak_templates, 3, "peak seen before eviction");
+    }
+
+    #[test]
+    fn lru_breaks_replay_ties() {
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1).with_max_templates(2));
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        // Record 0, 1, 2 in order, all with zero replays. The victim must
+        // be the least-recently *used* of the zero-replay templates: 0.
+        rt.begin_trace(TraceId(0)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(0)).unwrap();
+        rt.begin_trace(TraceId(1)).unwrap();
+        rt.execute_task(step_task(b, a)).unwrap();
+        rt.end_trace(TraceId(1)).unwrap();
+        rt.begin_trace(TraceId(2)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(2)).unwrap();
+        assert!(!rt.has_template(TraceId(0)), "oldest zero-replay template evicted");
+        assert!(rt.has_template(TraceId(1)));
+        assert!(rt.has_template(TraceId(2)));
+    }
+
+    #[test]
+    fn forget_template_drops_inactive_only() {
+        let mut rt = rt();
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        rt.begin_trace(TraceId(0)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(0)).unwrap();
+        assert!(!rt.forget_template(TraceId(9)), "unknown id is a no-op");
+        assert_eq!(rt.stats().templates_evicted, 0);
+        // The active trace's template survives a forget.
+        rt.begin_trace(TraceId(0)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        assert!(!rt.forget_template(TraceId(0)), "active trace never dropped");
+        assert!(rt.has_template(TraceId(0)));
+        rt.end_trace(TraceId(0)).unwrap();
+        // Idle again: the forget lands and is counted.
+        assert!(rt.forget_template(TraceId(0)));
+        assert!(!rt.has_template(TraceId(0)));
+        assert_eq!(rt.stats().templates_evicted, 1);
+    }
+
+    #[test]
+    fn evicted_template_re_records_cleanly() {
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1).with_max_templates(1));
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        rt.begin_trace(TraceId(0)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(0)).unwrap();
+        rt.begin_trace(TraceId(1)).unwrap();
+        rt.execute_task(step_task(b, a)).unwrap();
+        rt.end_trace(TraceId(1)).unwrap();
+        assert!(!rt.has_template(TraceId(0)));
+        // Trace 0 comes back: begin_trace records again instead of
+        // replaying a ghost.
+        rt.begin_trace(TraceId(0)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(0)).unwrap();
+        assert!(rt.has_template(TraceId(0)));
+        assert_eq!(rt.stats().traces_recorded, 3);
+        assert_eq!(rt.stats().templates_evicted, 2);
+        assert_eq!(rt.stats().mismatches, 0);
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct RuntimeStats {
     pub mismatches: u64,
     /// Iteration marks observed.
     pub iterations: u64,
+    /// Templates evicted by the bounded template store
+    /// (`RuntimeConfig::max_templates`).
+    pub templates_evicted: u64,
+    /// Most templates ever stored at once.
+    pub peak_templates: u64,
 }
 
 impl RuntimeStats {
@@ -42,14 +47,16 @@ impl std::fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "tasks={} (fresh={}, recorded={}, replayed={}) traces={} replays={} mismatches={}",
+            "tasks={} (fresh={}, recorded={}, replayed={}) traces={} replays={} mismatches={} \
+             templates_evicted={}",
             self.tasks_total,
             self.tasks_fresh,
             self.tasks_recorded,
             self.tasks_replayed,
             self.traces_recorded,
             self.trace_replays,
-            self.mismatches
+            self.mismatches,
+            self.templates_evicted
         )
     }
 }

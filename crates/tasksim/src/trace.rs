@@ -41,6 +41,9 @@ pub struct TraceTemplate {
     pub gpu_times: Vec<Micros>,
     /// How many times this template has been replayed.
     pub replays: u64,
+    /// Task-count stamp of the template's last recording or completed
+    /// replay — the LRU key the bounded template store evicts by.
+    pub last_used: u64,
 }
 
 impl TraceTemplate {
@@ -175,6 +178,7 @@ mod tests {
             ],
             gpu_times: vec![Micros(1.0); 4],
             replays: 0,
+            last_used: 0,
         }
     }
 
@@ -203,7 +207,13 @@ mod tests {
 
     #[test]
     fn empty_template() {
-        let t = TraceTemplate { hashes: vec![], preds: vec![], gpu_times: vec![], replays: 0 };
+        let t = TraceTemplate {
+            hashes: vec![],
+            preds: vec![],
+            gpu_times: vec![],
+            replays: 0,
+            last_used: 0,
+        };
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
     }

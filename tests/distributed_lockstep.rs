@@ -72,6 +72,47 @@ fn agreement_interval_adapts_and_stops_stalling() {
 }
 
 #[test]
+fn capped_two_node_deployment_evicts_in_lockstep() {
+    // The bounded-memory lifecycle must be §5.1-safe: with every store
+    // capped and a phase-shifting stream forcing evictions, a capped
+    // 2-node deployment under skewed mining delays stays in lock-step
+    // and evicts identically on both nodes.
+    let config = small_config().with_max_candidates(8).with_max_trie_nodes(512);
+    let mut d = DistributedAutoTracer::new(
+        RuntimeConfig::multi_node(2, 4).with_max_templates(4),
+        config,
+        DelayModel::new(2025, 120),
+        8,
+    );
+    let a = d.create_region(1);
+    let b = d.create_region(1);
+    for phase in 0..4u32 {
+        for _ in 0..250 {
+            for k in 0..4 {
+                d.execute_task(
+                    TaskDesc::new(TaskKindId(phase * 100 + k))
+                        .reads(a)
+                        .writes(b)
+                        .gpu_time(Micros(50.0)),
+                )
+                .unwrap();
+            }
+            d.mark_iteration();
+        }
+    }
+    d.flush().unwrap();
+    d.check_lockstep().expect("capped nodes stay in lock-step");
+    let r0 = d.node_replayer_stats(0);
+    let r1 = d.node_replayer_stats(1);
+    assert_eq!(r0, r1, "eviction bookkeeping identical across nodes");
+    assert!(r0.evicted_candidates > 0, "phase shifts forced evictions: {r0:?}");
+    assert!(r0.candidates <= 8, "candidate cap held: {r0:?}");
+    let s = d.node_runtime(0).stats();
+    assert!(s.trace_replays > 0, "tracing still effective under caps: {s}");
+    assert_eq!(d.node_runtime(1).stats(), s);
+}
+
+#[test]
 fn distributed_matches_single_node_decisions_when_mining_instant() {
     // With zero mining delay and the same ingestion interval the
     // distributed deployment's node 0 must behave exactly like a

@@ -1,0 +1,67 @@
+//! Bounded-memory trace-lifecycle acceptance.
+//!
+//! On a 4-phase, 100k-task synthetic stream that switches its repeating
+//! motif every phase (the paper's re-mining motivation turned into a
+//! soak), the [`apophenia::CapacityConfig`] bounds must keep peak trie
+//! node and template counts flat while replay coverage on the *active*
+//! phase stays within 10% of the uncapped run — evicting dead candidates
+//! must not cost live tracing.
+
+use bench::{
+    lifecycle_capped_config, lifecycle_capped_runtime, lifecycle_config, run_lifecycle_soak,
+};
+use tasksim::runtime::RuntimeConfig;
+
+const PHASES: usize = 4;
+const TASKS_PER_PHASE: usize = 25_000;
+const MOTIF: usize = 10;
+
+#[test]
+fn capped_soak_bounds_memory_without_losing_coverage() {
+    let uncapped = run_lifecycle_soak(
+        "uncapped",
+        lifecycle_config(),
+        RuntimeConfig::single_node(1),
+        PHASES,
+        TASKS_PER_PHASE,
+        MOTIF,
+    );
+    let capped = run_lifecycle_soak(
+        "capped",
+        lifecycle_capped_config(),
+        lifecycle_capped_runtime(),
+        PHASES,
+        TASKS_PER_PHASE,
+        MOTIF,
+    );
+    assert_eq!(capped.tasks, (PHASES * TASKS_PER_PHASE) as u64);
+
+    // Memory stays bounded: the candidate cap holds exactly, the node
+    // footprint stays within the configured bound (plus the root and
+    // transient pre-compaction slack), and the template store never
+    // exceeds its cap by more than the just-recorded template.
+    assert!(capped.peak_candidates <= 24, "candidate cap held: {capped:?}");
+    assert!(capped.peak_trie_nodes <= 2 * 1024 + 64, "node footprint bounded: {capped:?}");
+    assert!(capped.peak_templates <= 9, "template cap held: {capped:?}");
+    assert!(capped.evictions > 0, "dead phases actually evicted: {capped:?}");
+    assert!(capped.templates_evicted > 0, "dead templates evicted: {capped:?}");
+
+    // The uncapped run demonstrates the leak the bounds exist to stop.
+    assert!(
+        uncapped.peak_trie_nodes > capped.peak_trie_nodes,
+        "uncapped run grows past the capped footprint: {} vs {}",
+        uncapped.peak_trie_nodes,
+        capped.peak_trie_nodes
+    );
+    assert!(uncapped.peak_candidates > capped.peak_candidates, "{uncapped:?}");
+
+    // Replay coverage on each active phase stays within 10% (absolute)
+    // of the uncapped run: eviction retires *dead* candidates only.
+    for (phase, (c, u)) in capped.phase_coverage.iter().zip(&uncapped.phase_coverage).enumerate() {
+        assert!(
+            *c >= u - 0.10,
+            "phase {phase}: capped coverage {c:.3} fell more than 10% below uncapped {u:.3}\n\
+             capped: {capped:?}\nuncapped: {uncapped:?}"
+        );
+    }
+}
