@@ -9,11 +9,13 @@
 
 use apophenia::Config;
 use criterion::{criterion_group, criterion_main, Criterion};
-use workloads::driver::{run_workload, AppParams, Mode, ProblemSize, Workload};
+use tasksim::exec::LogRetention;
+use workloads::driver::{run_workload, run_workload_with, AppParams, Mode, ProblemSize, Workload};
 
 fn run(w: &dyn Workload, p: &AppParams, mode: &Mode) -> f64 {
-    let out = run_workload(w, p, mode).expect("run");
-    tasksim::exec::simulate(&out.log).steady_throughput(p.iters / 2)
+    // Drained: the figure pipelines only need the report.
+    let out = run_workload_with(w, p, mode, LogRetention::Drain).expect("run");
+    out.report.steady_throughput(p.iters / 2)
 }
 
 fn bench_figures(c: &mut Criterion) {

@@ -65,8 +65,8 @@ fn workload_stream(n: usize) -> Vec<u64> {
     };
     let mut issuer = Session::builder().build();
     wl.run(issuer.as_mut(), &params, false).expect("workload runs untraced");
-    let log = issuer.finish().expect("untraced log");
-    let mut s: Vec<u64> = log.task_records().map(|r| r.hash.0).collect();
+    let artifacts = issuer.finish().expect("untraced log");
+    let mut s: Vec<u64> = artifacts.log().task_records().map(|r| r.hash.0).collect();
     s.truncate(n);
     s
 }

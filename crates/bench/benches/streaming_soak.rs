@@ -1,0 +1,105 @@
+//! Production-length streaming soak: the `LogRetention::Drain` memory
+//! bound, end to end.
+//!
+//! A million-task repeating-motif stream is driven through an
+//! [`apophenia::AutoTracer`] with every lifecycle store capped (the PR 3
+//! bounds) twice: once with `LogRetention::Full` — the historical
+//! accumulate-then-simulate shape, whose `OpLog` grows with the stream —
+//! and once with `LogRetention::Drain`, where each operation streams
+//! through the runtime's attached `SimPipeline` and is dropped.
+//!
+//! Three things are checked every run (timing or smoke):
+//!
+//! * the drained run's `peak_retained` (stored ops + pipeline buffers,
+//!   the RSS proxy from `LogStats`) stays under a small constant times
+//!   `window + max_trace_length` — O(1) in the stream length — while the
+//!   full run's equals the stream length;
+//! * the two reports are **bit-identical** (`total` compared by bits);
+//! * tracing itself keeps working (most tasks replayed) — draining the
+//!   log must cost nothing but the log.
+//!
+//! In `--test` smoke mode (CI) the stream shrinks from 1M to 150k tasks
+//! — still 4–5× the 30000-op window, so the bound stays meaningful — and
+//! every benchmark runs once.
+
+use bench::{render_streaming_soak, run_streaming_soak, streaming_soak_bound};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tasksim::exec::LogRetention;
+
+const MOTIF: usize = 10;
+
+/// `--test` smoke mode: one pass, smaller stream.
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn stream_tasks() -> usize {
+    if let Some(n) = std::env::var("STREAMING_SOAK_TASKS").ok().and_then(|v| v.parse().ok()) {
+        return n;
+    }
+    if smoke() {
+        150_000
+    } else {
+        1_000_000
+    }
+}
+
+fn bench_soak(c: &mut Criterion) {
+    let tasks = stream_tasks();
+    let mut g = c.benchmark_group("streaming_soak");
+    g.sample_size(2);
+    g.throughput(Throughput::Elements(tasks as u64));
+    g.bench_function("full", |b| {
+        b.iter(|| run_streaming_soak("full", LogRetention::Full, tasks, MOTIF))
+    });
+    g.bench_function("drain", |b| {
+        b.iter(|| run_streaming_soak("drain", LogRetention::Drain, tasks, MOTIF))
+    });
+    g.finish();
+}
+
+/// Prints the residency table and enforces the soak's contract.
+fn report_table(_c: &mut Criterion) {
+    let tasks = stream_tasks();
+    let rows = vec![
+        run_streaming_soak("full", LogRetention::Full, tasks, MOTIF),
+        run_streaming_soak("drain", LogRetention::Drain, tasks, MOTIF),
+    ];
+    let (full, drain) = (&rows[0], &rows[1]);
+    assert_eq!(full.pushed, drain.pushed, "same stream both ways");
+    assert_eq!(
+        full.peak_retained as u64, full.pushed,
+        "full retention materializes the whole stream"
+    );
+    let bound = streaming_soak_bound();
+    assert!(
+        drain.peak_retained <= bound,
+        "drain residency {} exceeds the O(window + trace length) bound {bound}",
+        drain.peak_retained
+    );
+    // Only meaningful once the stream actually dwarfs the window
+    // (guards the STREAMING_SOAK_TASKS escape hatch).
+    if full.pushed as usize > 4 * bound {
+        assert!(
+            drain.peak_retained * 4 < full.peak_retained,
+            "the bound is about the stream being long: drain {} vs full {}",
+            drain.peak_retained,
+            full.peak_retained
+        );
+    }
+    assert_eq!(
+        full.total_us.to_bits(),
+        drain.total_us.to_bits(),
+        "retention never changes the simulated timeline"
+    );
+    assert_eq!(full.iterations, drain.iterations);
+    assert!(drain.replayed_fraction > 0.5, "tracing unaffected by draining: {drain:?}");
+    print!("{}", render_streaming_soak(&rows));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench_soak, report_table
+}
+criterion_main!(benches);

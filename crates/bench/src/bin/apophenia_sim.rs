@@ -168,7 +168,7 @@ fn main() {
     );
 
     let out = run_workload(workload, &params, &mode).expect("run failed");
-    let report = tasksim::exec::simulate(&out.log);
+    let report = &out.report;
     println!("stats: {}", out.stats);
     if let Some(w) = out.warmup_iterations {
         println!("warmup iterations: {w}");

@@ -261,6 +261,10 @@ pub struct LifecycleRow {
     pub evictions: u64,
     /// Trie compactions performed.
     pub compactions: u64,
+    /// Final per-candidate bookkeeping slots (after tail truncation).
+    pub meta_capacity: usize,
+    /// Most per-candidate bookkeeping slots ever allocated.
+    pub peak_meta_capacity: usize,
     /// Template-store high-water mark.
     pub peak_templates: u64,
     /// Templates evicted.
@@ -318,10 +322,80 @@ pub fn run_lifecycle_soak(
         peak_candidates: r.peak_candidates,
         evictions: r.evicted_candidates,
         compactions: r.trie_compactions,
+        meta_capacity: r.meta_capacity,
+        peak_meta_capacity: r.peak_meta_capacity,
         peak_templates: s.peak_templates,
         templates_evicted: s.templates_evicted,
         phase_coverage,
     }
+}
+
+/// One run of the streaming-simulation soak: how many operations stayed
+/// resident under a retention policy, on a stream long enough that the
+/// difference is the whole point.
+#[derive(Debug, Clone)]
+pub struct StreamingSoakRow {
+    /// Configuration label (`full`, `drain`).
+    pub label: &'static str,
+    /// Operations pushed over the run.
+    pub pushed: u64,
+    /// Most operations resident at once (stored log + pipeline buffers) —
+    /// the RSS proxy.
+    pub peak_retained: usize,
+    /// Fraction of tasks replayed (tracing must keep working either way).
+    pub replayed_fraction: f64,
+    /// Iterations the report resolved.
+    pub iterations: usize,
+    /// Simulated completion time (µs) — must be bit-identical across
+    /// retention policies.
+    pub total_us: f64,
+}
+
+/// Drives a `tasks`-task repeating-motif stream through an [`AutoTracer`]
+/// with every lifecycle store capped ([`lifecycle_capped_config`]) under
+/// the given retention policy, and reports the residency counters. Under
+/// [`tasksim::exec::LogRetention::Drain`] the operation log is never
+/// materialized — each op streams through the attached `SimPipeline` —
+/// so peak residency is O(window + max trace length) instead of
+/// O(stream).
+pub fn run_streaming_soak(
+    label: &'static str,
+    retention: tasksim::exec::LogRetention,
+    tasks: usize,
+    motif_len: usize,
+) -> StreamingSoakRow {
+    let rt_cfg = RuntimeConfig::single_node(1).with_log_retention(retention);
+    let mut auto = AutoTracer::new(rt_cfg, lifecycle_capped_config());
+    let a = auto.create_region(1);
+    let b = auto.create_region(1);
+    for i in 0..tasks {
+        let kind = TaskKindId((i % motif_len) as u32);
+        auto.execute_task(TaskDesc::new(kind).reads(a).writes(b).gpu_time(Micros(20.0)))
+            .expect("soak stream issues cleanly");
+        if i % motif_len == motif_len - 1 {
+            auto.mark_iteration();
+        }
+    }
+    auto.flush().expect("flush");
+    let log_stats = auto.runtime().log_stats();
+    let stats = *auto.runtime().stats();
+    let artifacts = auto.finish().expect("finish");
+    StreamingSoakRow {
+        label,
+        pushed: log_stats.pushed,
+        peak_retained: log_stats.peak_retained,
+        replayed_fraction: stats.replayed_fraction(),
+        iterations: artifacts.report.iteration_finish.len(),
+        total_us: artifacts.report.total.0,
+    }
+}
+
+/// The residency bound the streaming soak must hold: a small constant
+/// times (window + max trace length) — resident ops independent of
+/// stream length.
+pub fn streaming_soak_bound() -> usize {
+    let window = RuntimeConfig::single_node(1).window as usize;
+    4 * (window + lifecycle_capped_config().effective_max_len()) + 64
 }
 
 /// The soak's standard Apophenia configuration: small enough motifs mine
@@ -362,6 +436,20 @@ mod tests {
         assert_eq!(row.tasks, 6_000);
         assert!(row.phase_coverage.iter().all(|c| *c > 0.5), "phases trace: {row:?}");
         assert!(row.peak_candidates <= 24, "{row:?}");
+    }
+
+    #[test]
+    fn streaming_soak_reports_and_bounds() {
+        use tasksim::exec::LogRetention;
+        let n = 8_000;
+        let full = run_streaming_soak("full", LogRetention::Full, n, 10);
+        let drain = run_streaming_soak("drain", LogRetention::Drain, n, 10);
+        assert_eq!(full.pushed, drain.pushed);
+        assert_eq!(full.peak_retained as u64, full.pushed, "full retains the whole stream");
+        assert!(drain.peak_retained <= streaming_soak_bound(), "{drain:?}");
+        assert_eq!(full.total_us.to_bits(), drain.total_us.to_bits(), "bit-identical reports");
+        assert_eq!(full.iterations, drain.iterations);
+        assert!(drain.replayed_fraction > 0.5, "tracing still works drained: {drain:?}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Plain-text rendering of experiment results.
 
 use crate::experiments::{
-    LifecycleRow, MiningThroughputRow, OverheadReport, ScalingFigure, WarmupRow,
+    LifecycleRow, MiningThroughputRow, OverheadReport, ScalingFigure, StreamingSoakRow, WarmupRow,
 };
 use std::fmt::Write as _;
 
@@ -113,13 +113,14 @@ pub fn render_trace_lifecycle(rows: &[LifecycleRow]) -> String {
     let _ = writeln!(out, "Trace lifecycle soak (phase-shifting stream)");
     let _ = writeln!(
         out,
-        "{:>10} {:>9} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}  coverage/phase",
+        "{:>10} {:>9} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10} {:>10}  coverage/phase",
         "config",
         "tasks",
         "peakNodes",
         "peakCands",
         "evicted",
         "compacts",
+        "meta",
         "peakTmpls",
         "tmplEvict"
     );
@@ -128,16 +129,42 @@ pub fn render_trace_lifecycle(rows: &[LifecycleRow]) -> String {
             r.phase_coverage.iter().map(|c| format!("{:.0}%", c * 100.0)).collect();
         let _ = writeln!(
             out,
-            "{:>10} {:>9} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}  [{}]",
+            "{:>10} {:>9} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10} {:>10}  [{}]",
             r.label,
             r.tasks,
             r.peak_trie_nodes,
             r.peak_candidates,
             r.evictions,
             r.compactions,
+            format!("{}/{}", r.meta_capacity, r.peak_meta_capacity),
             r.peak_templates,
             r.templates_evicted,
             coverage.join(" ")
+        );
+    }
+    out
+}
+
+/// Renders the `streaming_soak` table: resident-operation high-water
+/// marks per retention policy on a production-length stream.
+pub fn render_streaming_soak(rows: &[StreamingSoakRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Streaming simulation soak (log retention)");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>10} {:>10} {:>16}",
+        "config", "ops", "peakResident", "replayed", "iters", "simTotal(s)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>12} {:>9.0}% {:>10} {:>16.3}",
+            r.label,
+            r.pushed,
+            r.peak_retained,
+            r.replayed_fraction * 100.0,
+            r.iterations,
+            r.total_us / 1e6
         );
     }
     out
@@ -206,6 +233,32 @@ mod tests {
     }
 
     #[test]
+    fn streaming_soak_render() {
+        let rows = vec![
+            StreamingSoakRow {
+                label: "full",
+                pushed: 1_100_000,
+                peak_retained: 1_100_000,
+                replayed_fraction: 0.97,
+                iterations: 100_000,
+                total_us: 2.5e8,
+            },
+            StreamingSoakRow {
+                label: "drain",
+                pushed: 1_100_000,
+                peak_retained: 30_500,
+                replayed_fraction: 0.97,
+                iterations: 100_000,
+                total_us: 2.5e8,
+            },
+        ];
+        let s = render_streaming_soak(&rows);
+        assert!(s.contains("full") && s.contains("drain"));
+        assert!(s.contains("1100000") && s.contains("30500"));
+        assert!(s.contains("97%") && s.contains("peakResident"));
+    }
+
+    #[test]
     fn trace_lifecycle_render() {
         let rows = vec![
             LifecycleRow {
@@ -215,6 +268,8 @@ mod tests {
                 peak_candidates: 99,
                 evictions: 0,
                 compactions: 0,
+                meta_capacity: 99,
+                peak_meta_capacity: 99,
                 peak_templates: 12,
                 templates_evicted: 0,
                 phase_coverage: vec![0.91, 0.94],
@@ -226,6 +281,8 @@ mod tests {
                 peak_candidates: 24,
                 evictions: 57,
                 compactions: 3,
+                meta_capacity: 21,
+                peak_meta_capacity: 38,
                 peak_templates: 8,
                 templates_evicted: 4,
                 phase_coverage: vec![0.90, 0.93],
@@ -234,6 +291,7 @@ mod tests {
         let s = render_trace_lifecycle(&rows);
         assert!(s.contains("uncapped") && s.contains("capped"));
         assert!(s.contains("4321") && s.contains("57"));
+        assert!(s.contains("21/38"), "meta current/peak rendered: {s}");
         assert!(s.contains("91%") && s.contains("93%"));
         assert!(s.contains("coverage/phase"));
     }

@@ -24,9 +24,9 @@ use crate::config::Config;
 use crate::finder::{MinedBatch, TraceFinder};
 use crate::replayer::TraceReplayer;
 use std::collections::VecDeque;
-use tasksim::exec::OpLog;
+use tasksim::exec::LogStats;
 use tasksim::ids::{RegionId, TraceId};
-use tasksim::issuer::TaskIssuer;
+use tasksim::issuer::{RunArtifacts, TaskIssuer};
 use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
 use tasksim::stats::RuntimeStats;
 use tasksim::task::TaskDesc;
@@ -97,6 +97,10 @@ pub struct DistributedAutoTracer {
     delay: DelayModel,
     /// Agreed operation-count between job submission and ingestion.
     interval: u64,
+    /// Tasks the application has issued so far (control replication: the
+    /// same count on every node). Iteration marks bind to this — the
+    /// *issued* count — not to how many tasks a node's replayer happens to
+    /// have forwarded, so buffering never skews iteration accounting.
     op_count: u64,
     stats: AgreementStats,
     /// Jobs seen so far (to detect new submissions).
@@ -147,6 +151,65 @@ impl DistributedAutoTracer {
         }
         config.validate().map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
         Ok(Self::build(rt_config, config, delay, initial_interval))
+    }
+
+    /// Builds a deployment whose nodes are configured *individually* —
+    /// the deployment shape real launchers produce (one config file per
+    /// rank) — rejecting configurations whose capacity bounds disagree.
+    ///
+    /// Every eviction decision (candidate caps, trie node caps, template
+    /// caps) is a pure function of the deterministic task stream *and the
+    /// bounds*: nodes with different bounds would silently diverge at the
+    /// first eviction, which `check_lockstep` only catches after the
+    /// damage. This constructor surfaces the mistake at construction time
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when `nodes` is empty, when
+    /// any per-node [`Config`] fails validation, when capacity bounds
+    /// ([`Config::capacity`](crate::config::CapacityConfig) /
+    /// [`RuntimeConfig::max_templates`]) differ between nodes, or when any
+    /// other tracing-relevant configuration differs (differing anything —
+    /// mining knobs, scoring, cost model — also diverges; capacity gets
+    /// the specific message because it is the deployment knob most likely
+    /// to be tuned per node).
+    pub fn try_new_nodes(
+        nodes: &[(RuntimeConfig, Config)],
+        delay: DelayModel,
+        initial_interval: u64,
+    ) -> Result<Self, RuntimeError> {
+        let Some(((rt0, cfg0), rest)) = nodes.split_first() else {
+            return Err(RuntimeError::InvalidConfig(
+                "distributed deployment needs at least one node".into(),
+            ));
+        };
+        for (i, (rt, cfg)) in rest.iter().enumerate() {
+            if cfg.capacity != cfg0.capacity || rt.max_templates != rt0.max_templates {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "node {} disagrees with node 0 on capacity bounds \
+                     (candidates/trie nodes {:?} vs {:?}, max_templates {:?} vs {:?}): \
+                     capped stores would evict divergently at the first eviction",
+                    i + 1,
+                    cfg.capacity,
+                    cfg0.capacity,
+                    rt.max_templates,
+                    rt0.max_templates,
+                )));
+            }
+            if cfg != cfg0 || rt != rt0 {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "node {} is configured differently from node 0: control replication \
+                     requires identical tracing configuration on every node",
+                    i + 1,
+                )));
+            }
+        }
+        // The slice length is the deployment size; the shared machine
+        // shape comes from the (agreed) per-node runtime config.
+        let mut rt = *rt0;
+        rt.nodes = nodes.len() as u32;
+        Self::try_new(rt, cfg0.clone(), delay, initial_interval)
     }
 
     /// Shared constructor; expects `nodes >= 1` and `initial_interval >= 1`.
@@ -235,6 +298,12 @@ impl DistributedAutoTracer {
     /// Verifies all nodes forwarded identical operation streams; returns
     /// the first divergence as an error string.
     ///
+    /// Stored ops are compared element-wise under
+    /// [`tasksim::exec::LogRetention::Full`]; the push count and the
+    /// order-sensitive stream digest are compared always, so the check
+    /// stays meaningful when [`tasksim::exec::LogRetention::Drain`]
+    /// discards the ops themselves.
+    ///
     /// # Errors
     ///
     /// Returns a description of the first diverging operation.
@@ -242,17 +311,20 @@ impl DistributedAutoTracer {
         let a = self.nodes[0].rt.log();
         for (i, node) in self.nodes.iter().enumerate().skip(1) {
             let b = node.rt.log();
-            if a.ops().len() != b.ops().len() {
+            if a.stats().pushed != b.stats().pushed {
                 return Err(format!(
                     "node {i} issued {} ops, node 0 issued {}",
-                    b.ops().len(),
-                    a.ops().len()
+                    b.stats().pushed,
+                    a.stats().pushed
                 ));
             }
             for (k, (x, y)) in a.ops().iter().zip(b.ops().iter()).enumerate() {
                 if x != y {
                     return Err(format!("node {i} diverged from node 0 at op {k}"));
                 }
+            }
+            if a.digest() != b.digest() {
+                return Err(format!("node {i}'s op-stream digest diverged from node 0's"));
             }
         }
         Ok(())
@@ -319,10 +391,16 @@ impl TaskIssuer for DistributedAutoTracer {
         Err(RuntimeError::AnnotationUnderAuto(id))
     }
 
-    /// Marks an iteration on every node.
+    /// Marks an iteration on every node. The mark binds to the tasks
+    /// *issued* so far (`op_count`), exactly like the single-node
+    /// [`crate::engine::AutoTracer`]: some of those tasks may still sit in
+    /// the replayers' pending buffers and be forwarded (even flushed)
+    /// after the mark, and the simulator resolves marks by task count, so
+    /// iteration timings stay attached to their own tasks either way.
     fn mark_iteration(&mut self) {
+        let issued = self.op_count;
         for node in &mut self.nodes {
-            node.rt.mark_iteration();
+            node.rt.mark_iteration_after(issued);
         }
     }
 
@@ -345,16 +423,22 @@ impl TaskIssuer for DistributedAutoTracer {
         *self.nodes[0].rt.stats()
     }
 
+    /// Node 0's residency counters — identical on every node while in
+    /// lock-step.
+    fn log_stats(&self) -> LogStats {
+        self.nodes[0].rt.log_stats()
+    }
+
     /// Flushes, verifies lock-step across all nodes, and returns node 0's
-    /// operation log.
-    fn finish(self: Box<Self>) -> Result<OpLog, RuntimeError> {
+    /// artifacts.
+    fn finish(self: Box<Self>) -> Result<RunArtifacts, RuntimeError> {
         let mut this = *self;
         this.flush()?;
         this.check_lockstep().map_err(RuntimeError::Divergence)?;
         let node0 = this.nodes.into_iter().next().ok_or_else(|| {
             RuntimeError::InvalidConfig("distributed deployment has no nodes".into())
         })?;
-        Ok(node0.rt.into_log())
+        Ok(node0.rt.into_artifacts())
     }
 }
 
@@ -541,6 +625,53 @@ mod tests {
             assert_eq!(d.node_runtime(n).stats(), d.node_runtime(0).stats());
         }
         assert!(d.node_runtime(0).stats().trace_replays > 0, "tracing still works under caps");
+    }
+
+    #[test]
+    fn per_node_capacity_disagreement_is_a_typed_error() {
+        let rt = RuntimeConfig::multi_node(2, 2);
+        let agreed = vec![(rt, cfg().with_max_candidates(8)), (rt, cfg().with_max_candidates(8))];
+        let d = DistributedAutoTracer::try_new_nodes(&agreed, DelayModel::new(1, 0), 8)
+            .expect("agreed capacities construct");
+        assert_eq!(d.node_count(), 2);
+
+        // Differing candidate caps: the specific capacity message.
+        let skewed = vec![(rt, cfg().with_max_candidates(8)), (rt, cfg().with_max_candidates(4))];
+        let err =
+            DistributedAutoTracer::try_new_nodes(&skewed, DelayModel::new(1, 0), 8).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::InvalidConfig(ref m) if m.contains("capacity")),
+            "typed capacity error: {err}"
+        );
+
+        // Differing template caps (a RuntimeConfig knob) are caught too.
+        let skewed_templates =
+            vec![(rt.with_max_templates(4), cfg()), (rt.with_max_templates(2), cfg())];
+        let err = DistributedAutoTracer::try_new_nodes(&skewed_templates, DelayModel::new(1, 0), 8)
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::InvalidConfig(ref m) if m.contains("max_templates")),
+            "{err}"
+        );
+
+        // Any other tracing-relevant disagreement is rejected generically.
+        let skewed_mining = vec![(rt, cfg()), (rt, cfg().with_min_trace_length(3))];
+        let err = DistributedAutoTracer::try_new_nodes(&skewed_mining, DelayModel::new(1, 0), 8)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
+
+        // Empty deployments and invalid per-node configs still error.
+        let err = DistributedAutoTracer::try_new_nodes(&[], DelayModel::new(1, 0), 8).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
+        let mut bad = cfg();
+        bad.scoring.staleness_half_life = 0.0;
+        let err = DistributedAutoTracer::try_new_nodes(
+            &[(rt, bad.clone()), (rt, bad)],
+            DelayModel::new(1, 0),
+            8,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -13,9 +13,9 @@ use crate::config::Config;
 use crate::finder::{FinderError, TraceFinder};
 use crate::metrics::{CapacitySample, CapacitySeries, TracedWindow, WarmupDetector};
 use crate::replayer::{ReplayerStats, TraceReplayer};
-use tasksim::exec::OpLog;
+use tasksim::exec::LogStats;
 use tasksim::ids::{RegionId, TraceId};
-use tasksim::issuer::TaskIssuer;
+use tasksim::issuer::{RunArtifacts, TaskIssuer};
 use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
 use tasksim::stats::RuntimeStats;
 use tasksim::task::TaskDesc;
@@ -212,15 +212,18 @@ impl AutoTracer {
         self.finder.jobs_submitted
     }
 
-    /// Flushes and consumes the engine, returning the runtime's operation
-    /// log for simulation.
+    /// Flushes and consumes the engine, returning the run's artifacts:
+    /// the simulation report (streamed incrementally when the runtime was
+    /// built with [`tasksim::exec::LogRetention::Drain`], batch-computed
+    /// otherwise — bit-identical either way), the raw log when retention
+    /// kept it, and the final stats.
     ///
     /// # Errors
     ///
     /// Propagates runtime errors from the final flush.
-    pub fn finish(mut self) -> Result<OpLog, RuntimeError> {
+    pub fn finish(mut self) -> Result<RunArtifacts, RuntimeError> {
         self.flush()?;
-        Ok(self.rt.into_log())
+        Ok(self.rt.into_artifacts())
     }
 
     /// Folds newly forwarded tasks into the metrics.
@@ -297,6 +300,10 @@ impl TaskIssuer for AutoTracer {
         *self.rt.stats()
     }
 
+    fn log_stats(&self) -> LogStats {
+        self.rt.log_stats()
+    }
+
     fn warmup_iterations(&self) -> Option<u64> {
         self.warmup.warmup_iterations()
     }
@@ -305,7 +312,7 @@ impl TaskIssuer for AutoTracer {
         self.window.samples().to_vec()
     }
 
-    fn finish(self: Box<Self>) -> Result<OpLog, RuntimeError> {
+    fn finish(self: Box<Self>) -> Result<RunArtifacts, RuntimeError> {
         AutoTracer::finish(*self)
     }
 }
@@ -424,13 +431,45 @@ mod tests {
     }
 
     #[test]
-    fn finish_yields_simulatable_log() {
+    fn finish_yields_report_and_log() {
         let mut auto = engine();
         run_loop(&mut auto, 100);
-        let log = auto.finish().unwrap();
-        let report = tasksim::exec::simulate(&log);
-        assert!(report.total > Micros::ZERO);
-        assert_eq!(log.iteration_count(), 100);
+        let artifacts = auto.finish().unwrap();
+        assert!(artifacts.report.total > Micros::ZERO);
+        assert_eq!(artifacts.log().iteration_count(), 100);
+        assert_eq!(
+            artifacts.report,
+            tasksim::exec::simulate(artifacts.log()),
+            "precomputed report equals a batch pass over the stored log"
+        );
+    }
+
+    #[test]
+    fn drained_engine_matches_full_and_bounds_residency() {
+        use tasksim::exec::LogRetention;
+        let body = |retention: LogRetention| {
+            // Retention is O(window + trace length); shrink the window so
+            // the bound is visible on a test-sized stream (the default
+            // 30000 exceeds the whole run).
+            let mut rt_cfg = RuntimeConfig::single_node(1).with_log_retention(retention);
+            rt_cfg.window = 64;
+            let mut auto = AutoTracer::new(rt_cfg, small_config());
+            run_loop(&mut auto, 1000);
+            let resident = auto.rt.log_stats();
+            (auto.finish().unwrap(), resident)
+        };
+        let (full, full_resident) = body(LogRetention::Full);
+        let (drained, drain_resident) = body(LogRetention::Drain);
+        assert_eq!(full.report, drained.report, "drain is bit-identical to full");
+        assert_eq!(full.stats, drained.stats);
+        assert!(drained.log.is_none());
+        assert_eq!(full_resident.retained, full_resident.pushed as usize);
+        assert!(
+            drain_resident.peak_retained * 4 < full_resident.peak_retained,
+            "drained residency {} far below full {}",
+            drain_resident.peak_retained,
+            full_resident.peak_retained
+        );
     }
 
     #[test]
@@ -438,12 +477,9 @@ mod tests {
         // The headline claim, end to end: an iterative program with small
         // tasks runs faster (in simulated time) with Apophenia than
         // without tracing.
-        let body = |rt_cfg: RuntimeConfig| -> OpLog {
-            let mut auto = AutoTracer::new(rt_cfg, small_config());
-            run_loop(&mut auto, 400);
-            auto.finish().unwrap()
-        };
-        let auto_log = body(RuntimeConfig::single_node(1));
+        let mut auto = AutoTracer::new(RuntimeConfig::single_node(1), small_config());
+        run_loop(&mut auto, 400);
+        let auto_report = auto.finish().unwrap().report;
 
         // Untraced baseline.
         let mut rt = Runtime::new(RuntimeConfig::single_node(1));
@@ -456,10 +492,10 @@ mod tests {
                 .unwrap();
             rt.mark_iteration();
         }
-        let untraced_log = rt.into_log();
+        let untraced_report = rt.into_artifacts().report;
 
-        let auto_tp = tasksim::exec::simulate(&auto_log).steady_throughput(100);
-        let untraced_tp = tasksim::exec::simulate(&untraced_log).steady_throughput(100);
+        let auto_tp = auto_report.steady_throughput(100);
+        let untraced_tp = untraced_report.steady_throughput(100);
         assert!(auto_tp > untraced_tp * 2.0, "auto {auto_tp} iters/s vs untraced {untraced_tp}");
     }
 

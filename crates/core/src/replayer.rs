@@ -149,6 +149,12 @@ pub struct ReplayerStats {
     /// Most trie node slots ever allocated at once (live + free-listed) —
     /// the memory high-water mark the capacity bounds exist to contain.
     pub peak_trie_nodes: usize,
+    /// Slots currently allocated in the per-candidate bookkeeping table
+    /// (`meta`, parallel to the trie's candidate slots). Shrinks when
+    /// capacity enforcement truncates trailing tombstoned slots.
+    pub meta_capacity: usize,
+    /// Most `meta` slots ever allocated at once.
+    pub peak_meta_capacity: usize,
 }
 
 /// The online recognizer/replayer. See module docs.
@@ -218,6 +224,7 @@ impl TraceReplayer {
                 offset = end;
             }
         }
+        self.stats.peak_meta_capacity = self.stats.peak_meta_capacity.max(self.meta.len());
         // Node peak samples *before* enforcement (the true allocation
         // high-water, including the transient a big batch causes);
         // candidate peak samples *after* (the live-set high-water the
@@ -305,6 +312,17 @@ impl TraceReplayer {
             }
             self.stats.trie_compactions += 1;
         }
+        // Shrink the candidate id space (and the parallel `meta` side
+        // table) past the last live candidate: slots are reused, but
+        // without this the tables would stay at their historical high
+        // water forever (ROADMAP follow-up). Trailing slots are exactly
+        // the ones no live id indexes, so truncation never moves a live
+        // candidate and stays deterministic across replicated nodes.
+        let slots = self.trie.truncate_candidates();
+        if slots < self.meta.len() {
+            self.meta.truncate(slots);
+            self.meta.shrink_to_fit();
+        }
     }
 
     /// Feeds one task through the recognizer, forwarding whatever is ready
@@ -379,7 +397,11 @@ impl TraceReplayer {
 
     /// Replayer counters.
     pub fn stats(&self) -> ReplayerStats {
-        ReplayerStats { candidates: self.trie.candidate_count(), ..self.stats }
+        ReplayerStats {
+            candidates: self.trie.candidate_count(),
+            meta_capacity: self.meta.len(),
+            ..self.stats
+        }
     }
 
     /// Number of tasks currently buffered.
@@ -901,6 +923,34 @@ mod tests {
         // Never-replayed evicted candidates (no trace id) emit nothing.
         let forgets = s.events.iter().filter(|e| matches!(e, Event::Forget(_))).count();
         assert_eq!(forgets, 1);
+    }
+
+    #[test]
+    fn eviction_truncates_meta_tail() {
+        let mut r = TraceReplayer::new(&cfg(2).with_max_candidates(1));
+        // A hot candidate first, then a cold one: the cold (tail) slot is
+        // evicted and the id space + meta table shrink back.
+        r.ingest(&MinedBatch {
+            job: 0,
+            candidates: vec![MinedCandidate {
+                content: vec![hash(1), hash(2)],
+                occurrences: vec![0, 2, 4, 6],
+            }],
+            slice_end: 8,
+        });
+        r.ingest(&MinedBatch {
+            job: 1,
+            candidates: vec![MinedCandidate {
+                content: vec![hash(3), hash(4)],
+                occurrences: vec![0],
+            }],
+            slice_end: 8,
+        });
+        let s = r.stats();
+        assert_eq!(s.candidates, 1);
+        assert!(r.candidate_live(CandidateId(0)), "high-score candidate survives");
+        assert_eq!(s.peak_meta_capacity, 2, "both slots were allocated");
+        assert_eq!(s.meta_capacity, 1, "tombstoned tail slot truncated: {s:?}");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 use crate::config::Config;
 use crate::distributed::{DelayModel, DistributedAutoTracer};
 use crate::engine::AutoTracer;
+use tasksim::exec::LogRetention;
 use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::{Runtime, RuntimeConfig};
 
@@ -113,6 +114,16 @@ impl SessionBuilder {
     /// policy, window) while keeping the tracing selection.
     pub fn runtime_config(mut self, config: RuntimeConfig) -> Self {
         self.runtime = config;
+        self
+    }
+
+    /// Selects the operation-log retention policy (default
+    /// [`LogRetention::Full`]). [`LogRetention::Drain`] streams every op
+    /// through the incremental simulator as it is issued — resident
+    /// memory stays O(window + trace length) on arbitrarily long runs,
+    /// the report is bit-identical, and `finish()` returns `log: None`.
+    pub fn log_retention(mut self, retention: LogRetention) -> Self {
+        self.runtime.retention = retention;
         self
     }
 
@@ -206,9 +217,44 @@ mod tests {
                 "untraced" => assert_eq!(stats.tasks_replayed, 0, "{label}"),
                 _ => assert!(stats.tasks_replayed > 0, "{label}: {stats}"),
             }
-            let log = issuer.finish().unwrap();
+            let artifacts = issuer.finish().unwrap();
+            let log = artifacts.log();
             assert_eq!(log.task_count(), 400, "{label}");
             assert_eq!(log.iteration_count(), 200, "{label}");
+            assert_eq!(artifacts.report.iteration_finish.len(), 200, "{label}");
+        }
+    }
+
+    #[test]
+    fn drained_sessions_match_full_for_every_front_end() {
+        use tasksim::exec::LogRetention;
+        for tracing in [
+            Tracing::Untraced,
+            Tracing::Manual,
+            Tracing::Auto(small_auto()),
+            Tracing::Distributed {
+                config: small_auto(),
+                delay: DelayModel::new(7, 12),
+                initial_interval: 8,
+            },
+        ] {
+            let label = tracing.label();
+            let manual = tracing.is_manual();
+            let run = |retention: LogRetention| {
+                let mut issuer = Session::builder()
+                    .nodes(2)
+                    .gpus_per_node(2)
+                    .tracing(tracing.clone())
+                    .log_retention(retention)
+                    .build();
+                drive(issuer.as_mut(), 150, manual);
+                issuer.finish().unwrap()
+            };
+            let full = run(LogRetention::Full);
+            let drained = run(LogRetention::Drain);
+            assert_eq!(full.report, drained.report, "{label}: retention changed the report");
+            assert_eq!(full.stats, drained.stats, "{label}");
+            assert!(drained.log.is_none(), "{label}: drained run kept a log");
         }
     }
 

@@ -362,6 +362,24 @@ impl<T: Token> Trie<T> {
         self.lengths.len()
     }
 
+    /// Drops trailing tombstoned candidate slots, shrinking the id space
+    /// to one past the largest *live* id and releasing the backing
+    /// memory. Tombstoned slots below that bound stay on the free list
+    /// (in their original recycling order, so id assignment remains
+    /// deterministic). Returns the new slot count; callers keeping
+    /// per-candidate side tables indexed by [`CandidateId`] truncate them
+    /// to the same bound.
+    pub fn truncate_candidates(&mut self) -> usize {
+        let keep = self.lengths.iter().rposition(|&l| l > 0).map_or(0, |i| i + 1);
+        self.lengths.truncate(keep);
+        self.contents.truncate(keep);
+        self.free_candidates.retain(|&slot| (slot as usize) < keep);
+        self.lengths.shrink_to_fit();
+        self.contents.shrink_to_fit();
+        self.free_candidates.shrink_to_fit();
+        keep
+    }
+
     /// Number of live trie nodes (including the root).
     pub fn node_count(&self) -> usize {
         self.nodes.len() - self.free_nodes.len()
@@ -536,6 +554,35 @@ mod tests {
         assert_eq!(t.terminal(mapped), Some(ab));
         assert_eq!(t.depth(mapped), 2);
         assert_eq!(t.max_candidate_len(), 2);
+    }
+
+    #[test]
+    fn truncate_drops_trailing_tombstones_only() {
+        let mut t = Trie::new();
+        let a = t.insert(b"aa").unwrap();
+        let b = t.insert(b"bb").unwrap();
+        let c = t.insert(b"cc").unwrap();
+        assert_eq!(t.candidate_slots(), 3);
+        // Tombstone the middle: nothing to truncate (the tail is live).
+        t.remove(b).unwrap();
+        assert_eq!(t.truncate_candidates(), 3, "live tail pins the slot space");
+        assert!(t.is_live(a) && t.is_live(c));
+        // Tombstone the tail too: both trailing slots go; the interior
+        // free slot b held is also past the new bound and is dropped.
+        t.remove(c).unwrap();
+        assert_eq!(t.truncate_candidates(), 1);
+        assert_eq!(t.candidate_slots(), 1);
+        assert!(t.is_live(a));
+        assert!(!t.is_live(c), "probing a truncated id is safe");
+        // Insertion after truncation allocates fresh tail ids.
+        let d = t.insert(b"dd").unwrap();
+        assert_eq!(d, CandidateId(1));
+        assert_eq!(t.candidate_slots(), 2);
+        // Empty trie truncates to zero slots.
+        t.remove(a).unwrap();
+        t.remove(d).unwrap();
+        assert_eq!(t.truncate_candidates(), 0);
+        assert_eq!(t.candidate_slots(), 0);
     }
 
     #[test]

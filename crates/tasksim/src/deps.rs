@@ -28,12 +28,26 @@ struct User {
     req: RegionRequirement,
 }
 
+/// One region tree's frontier, split by conflict class. Pure readers can
+/// never conflict with later *reads*, so keeping them apart lets a read
+/// requirement skip the reader scan entirely — without the split, a
+/// region that is only ever read (a constant table, a broadcast operand)
+/// accumulates readers forever and every later read rescans them all,
+/// turning read-heavy streams quadratic.
+#[derive(Debug, Default)]
+struct Frontier {
+    /// Earlier writers and reducers: every later requirement scans these.
+    others: Vec<User>,
+    /// Earlier pure readers: scanned only by non-read requirements.
+    readers: Vec<User>,
+}
+
 /// The dependence analyzer. Feed it tasks in program order with
 /// [`DependenceAnalyzer::analyze`]; it returns each task's predecessors.
 #[derive(Debug, Default)]
 pub struct DependenceAnalyzer {
     /// Frontier of users, keyed by region-tree root.
-    frontiers: HashMap<RegionId, Vec<User>>,
+    frontiers: HashMap<RegionId, Frontier>,
 }
 
 impl DependenceAnalyzer {
@@ -49,12 +63,22 @@ impl DependenceAnalyzer {
         for req in &task.requirements {
             let root = forest.root(req.region);
             let frontier = self.frontiers.entry(root).or_default();
-            for user in frontier.iter() {
+            let scan = |user: &User, preds: &mut Vec<OpId>| {
                 if user.req.privilege.conflicts_with(req.privilege)
                     && forest.may_alias(user.req.region, req.region)
                     && user.req.fields_overlap(req)
                 {
                     preds.push(user.op);
+                }
+            };
+            for user in &frontier.others {
+                scan(user, &mut preds);
+            }
+            let is_read = req.privilege == crate::privilege::Privilege::ReadOnly;
+            if !is_read {
+                // Read/read pairs never conflict, so reads skip this scan.
+                for user in &frontier.readers {
+                    scan(user, &mut preds);
                 }
             }
             // Retirement: a writer that covers an entry dominates it.
@@ -62,9 +86,15 @@ impl DependenceAnalyzer {
                 req.privilege,
                 crate::privilege::Privilege::ReadWrite | crate::privilege::Privilege::WriteDiscard
             ) {
-                frontier.retain(|user| !(covers(forest, req, &user.req)));
+                frontier.others.retain(|user| !(covers(forest, req, &user.req)));
+                frontier.readers.retain(|user| !(covers(forest, req, &user.req)));
             }
-            frontier.push(User { op, req: req.clone() });
+            let user = User { op, req: req.clone() };
+            if is_read {
+                frontier.readers.push(user);
+            } else {
+                frontier.others.push(user);
+            }
         }
         preds.sort_unstable();
         preds.dedup();
@@ -81,7 +111,7 @@ impl DependenceAnalyzer {
     /// Total frontier entries currently tracked (a measure of analysis
     /// state size).
     pub fn frontier_size(&self) -> usize {
-        self.frontiers.values().map(Vec::len).sum()
+        self.frontiers.values().map(|f| f.others.len() + f.readers.len()).sum()
     }
 }
 

@@ -24,16 +24,50 @@
 //!   auto-tracing the same stream is a program error);
 //! * iteration marks, end-of-stream [`flush`](TaskIssuer::flush), and
 //!   observation — [`stats`](TaskIssuer::stats),
+//!   [`log_stats`](TaskIssuer::log_stats),
 //!   [`warmup_iterations`](TaskIssuer::warmup_iterations),
 //!   [`traced_samples`](TaskIssuer::traced_samples), and the consuming
-//!   [`finish`](TaskIssuer::finish) that yields the final
-//!   [`OpLog`] for machine simulation.
+//!   [`finish`](TaskIssuer::finish) that yields the run's
+//!   [`RunArtifacts`] — the machine-simulation [`SimReport`] (computed
+//!   incrementally under [`LogRetention::Drain`](crate::exec::LogRetention)
+//!   or by a batch pass under
+//!   [`LogRetention::Full`](crate::exec::LogRetention); bit-identical
+//!   either way), the raw [`OpLog`] when retention kept it, and the final
+//!   [`RuntimeStats`].
 
-use crate::exec::OpLog;
+use crate::exec::{LogStats, OpLog, SimReport};
 use crate::ids::{RegionId, TraceId};
 use crate::runtime::{Runtime, RuntimeError};
 use crate::stats::RuntimeStats;
 use crate::task::TaskDesc;
+
+/// Everything a finished run produces. Returned by
+/// [`TaskIssuer::finish`]; see the [module docs](self).
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The machine-simulation report — always available, whichever
+    /// retention policy produced it.
+    pub report: SimReport,
+    /// The raw operation log, present only under
+    /// [`LogRetention::Full`](crate::exec::LogRetention) (a drained run
+    /// never materialized it — that is the point).
+    pub log: Option<OpLog>,
+    /// Final runtime counters.
+    pub stats: RuntimeStats,
+}
+
+impl RunArtifacts {
+    /// The stored operation log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run used
+    /// [`LogRetention::Drain`](crate::exec::LogRetention) — callers that
+    /// inspect raw ops must run with full retention.
+    pub fn log(&self) -> &OpLog {
+        self.log.as_ref().expect("raw OpLog requires LogRetention::Full")
+    }
+}
 
 /// The object-safe issuing interface every front-end implements.
 ///
@@ -117,6 +151,12 @@ pub trait TaskIssuer {
     /// (identical on every node when in lock-step).
     fn stats(&self) -> RuntimeStats;
 
+    /// Resident-operation counters (ops pushed / currently retained /
+    /// peak retained) — how much of the stream is materialized under the
+    /// configured [`LogRetention`](crate::exec::LogRetention). For
+    /// distributed front-ends: node 0's view.
+    fn log_stats(&self) -> LogStats;
+
     /// Iterations until the replay steady state, when the front-end
     /// measures warmup (automatic tracing only).
     fn warmup_iterations(&self) -> Option<u64> {
@@ -128,14 +168,16 @@ pub trait TaskIssuer {
         Vec::new()
     }
 
-    /// Flushes, then consumes the front-end and returns the final
-    /// operation log for [`crate::exec::simulate`].
+    /// Flushes, then consumes the front-end and returns the run's
+    /// [`RunArtifacts`]: the simulation report (already computed — no
+    /// separate `simulate` call needed), the raw log when retention kept
+    /// it, and the final stats.
     ///
     /// # Errors
     ///
     /// Propagates flush errors; distributed front-ends also verify
     /// lock-step and return [`RuntimeError::Divergence`] on violation.
-    fn finish(self: Box<Self>) -> Result<OpLog, RuntimeError>;
+    fn finish(self: Box<Self>) -> Result<RunArtifacts, RuntimeError>;
 }
 
 impl TaskIssuer for Runtime {
@@ -175,8 +217,12 @@ impl TaskIssuer for Runtime {
         *Runtime::stats(self)
     }
 
-    fn finish(self: Box<Self>) -> Result<OpLog, RuntimeError> {
-        Ok(self.into_log())
+    fn log_stats(&self) -> LogStats {
+        Runtime::log_stats(self)
+    }
+
+    fn finish(self: Box<Self>) -> Result<RunArtifacts, RuntimeError> {
+        Ok(self.into_artifacts())
     }
 }
 
@@ -216,9 +262,13 @@ mod tests {
         let stats = boxed.stats();
         assert_eq!(stats.tasks_total, 8);
         assert_eq!(stats.trace_replays, 3);
-        let log = boxed.finish().unwrap();
+        assert_eq!(boxed.log_stats().pushed, 12, "8 tasks + 4 marks");
+        let artifacts = boxed.finish().unwrap();
+        assert_eq!(artifacts.stats.tasks_total, 8);
+        let log = artifacts.log();
         assert_eq!(log.task_count(), 8);
         assert_eq!(log.iteration_count(), 4);
+        assert_eq!(artifacts.report, crate::exec::simulate(log), "report precomputed");
     }
 
     #[test]
@@ -231,7 +281,24 @@ mod tests {
         };
         let single = run(false);
         let batch = run(true);
-        assert_eq!(single.ops(), batch.ops(), "batching must not change the log");
+        assert_eq!(single.log().ops(), batch.log().ops(), "batching must not change the log");
+    }
+
+    #[test]
+    fn drained_runtime_reports_identically_without_a_log() {
+        use crate::exec::LogRetention;
+        let run = |retention: LogRetention| {
+            let mut boxed: Box<dyn TaskIssuer> =
+                Box::new(Runtime::new(RuntimeConfig::single_node(1).with_log_retention(retention)));
+            drive(boxed.as_mut(), false);
+            boxed.finish().unwrap()
+        };
+        let full = run(LogRetention::Full);
+        let drained = run(LogRetention::Drain);
+        assert_eq!(full.report, drained.report, "retention never changes the report");
+        assert_eq!(full.stats, drained.stats);
+        assert!(drained.log.is_none(), "drained run materializes no log");
+        assert!(full.log.is_some());
     }
 
     #[test]

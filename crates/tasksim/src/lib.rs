@@ -54,8 +54,9 @@ pub mod task;
 pub mod trace;
 
 pub use cost::{CostModel, Micros};
+pub use exec::{simulate, LogRetention, LogStats, OpLog, SimPipeline, SimReport};
 pub use ids::{FieldId, NodeId, OpId, RegionId, TaskKindId, TraceId};
-pub use issuer::TaskIssuer;
+pub use issuer::{RunArtifacts, TaskIssuer};
 pub use privilege::Privilege;
 pub use region::RegionForest;
 pub use runtime::{Runtime, RuntimeConfig, RuntimeError};

@@ -19,8 +19,9 @@
 
 use crate::cost::{AnalysisKind, CostModel, Micros};
 use crate::deps::DependenceAnalyzer;
-use crate::exec::{LogOp, OpLog, TaskRecord};
+use crate::exec::{simulate, LogOp, LogRetention, LogStats, OpLog, SimPipeline, TaskRecord};
 use crate::ids::{OpId, RegionId, TraceId};
+use crate::issuer::RunArtifacts;
 use crate::region::{RegionError, RegionForest};
 use crate::stats::RuntimeStats;
 use crate::task::{TaskDesc, TaskHash};
@@ -57,6 +58,12 @@ pub struct RuntimeConfig {
     /// active (just-recorded or currently replaying) trace is never
     /// evicted; an evicted id simply re-records on its next `begin_trace`.
     pub max_templates: Option<usize>,
+    /// What happens to operations after analysis: materialize the whole
+    /// [`OpLog`] ([`LogRetention::Full`], the historical behaviour) or
+    /// stream each op through an attached [`SimPipeline`] and drop it
+    /// ([`LogRetention::Drain`]), bounding resident memory on
+    /// production-length runs.
+    pub retention: LogRetention,
 }
 
 impl RuntimeConfig {
@@ -71,6 +78,7 @@ impl RuntimeConfig {
             transitive_reduction: true,
             window: 30_000,
             max_templates: None,
+            retention: LogRetention::Full,
         }
     }
 
@@ -88,6 +96,12 @@ impl RuntimeConfig {
     /// Bounds the template store (clamped to at least one template).
     pub fn with_max_templates(mut self, max: usize) -> Self {
         self.max_templates = Some(max.max(1));
+        self
+    }
+
+    /// Selects the operation-log retention policy.
+    pub fn with_log_retention(mut self, retention: LogRetention) -> Self {
+        self.retention = retention;
         self
     }
 
@@ -194,12 +208,17 @@ pub struct Runtime {
     templates: HashMap<TraceId, TraceTemplate>,
     state: TraceState,
     log: OpLog,
+    /// The incremental simulator every operation streams into under
+    /// [`LogRetention::Drain`] (`None` under [`LogRetention::Full`], where
+    /// the stored log is simulated in one batch pass at the end).
+    pipeline: Option<SimPipeline>,
     stats: RuntimeStats,
 }
 
 impl Runtime {
     /// Creates a runtime with the given configuration.
     pub fn new(config: RuntimeConfig) -> Self {
+        let pipeline = (config.retention == LogRetention::Drain).then(|| SimPipeline::new(config));
         Self {
             config,
             forest: RegionForest::new(),
@@ -207,6 +226,7 @@ impl Runtime {
             templates: HashMap::new(),
             state: TraceState::Idle,
             log: OpLog::new(config),
+            pipeline,
             stats: RuntimeStats::default(),
         }
     }
@@ -490,9 +510,26 @@ impl Runtime {
     /// task in *application* order. Layers that buffer tasks (Apophenia's
     /// pending queue) use this so the mark stays attached to its iteration
     /// even when logged later.
+    ///
+    /// Mark counts must be non-decreasing and no further than `window`
+    /// behind the tasks already executed by the time the mark is
+    /// simulated — automatically true when binding to an issued-task
+    /// count, as every front-end does. A hand-built deeper lookback
+    /// resolves against the oldest completion the simulator still retains
+    /// (debug builds assert).
     pub fn mark_iteration_after(&mut self, after_tasks: u64) {
         self.stats.iterations += 1;
-        self.log.push(LogOp::IterationMark(after_tasks));
+        self.append(LogOp::IterationMark(after_tasks));
+    }
+
+    /// Routes one operation per the retention policy: into the attached
+    /// pipeline under [`LogRetention::Drain`] (the log still counts and
+    /// digests it), stored in the log under [`LogRetention::Full`].
+    fn append(&mut self, op: LogOp) {
+        if let Some(pipeline) = &mut self.pipeline {
+            pipeline.feed(&op);
+        }
+        self.log.push(op);
     }
 
     /// Evicts templates until the store fits `max_templates`, never
@@ -556,14 +593,52 @@ impl Runtime {
         &self.stats
     }
 
-    /// The operation log so far.
+    /// The operation log so far (op-free but still counting/digesting
+    /// under [`LogRetention::Drain`]).
     pub fn log(&self) -> &OpLog {
         &self.log
     }
 
-    /// Consumes the runtime, returning the final operation log.
+    /// Resident-operation counters: the log's stored ops plus whatever the
+    /// attached pipeline is buffering — the memory the retention policy
+    /// governs.
+    pub fn log_stats(&self) -> LogStats {
+        let log = self.log.stats();
+        match &self.pipeline {
+            Some(p) => {
+                let pipe = p.log_stats();
+                LogStats {
+                    pushed: log.pushed,
+                    retained: log.retained + pipe.retained,
+                    peak_retained: log.peak_retained + pipe.peak_retained,
+                }
+            }
+            None => log,
+        }
+    }
+
+    /// Consumes the runtime, returning the final operation log (empty of
+    /// ops under [`LogRetention::Drain`]; prefer [`Self::into_artifacts`]).
     pub fn into_log(self) -> OpLog {
         self.log
+    }
+
+    /// Consumes the runtime into the run's artifacts: the simulation
+    /// report (from the attached pipeline under [`LogRetention::Drain`],
+    /// or a batch pass over the stored log under [`LogRetention::Full`]),
+    /// the raw log when retention kept it, and the runtime counters. The
+    /// two retention policies produce bit-identical reports — they drive
+    /// the same [`SimPipeline`] state machine, differing only in when ops
+    /// are fed.
+    pub fn into_artifacts(self) -> RunArtifacts {
+        let stats = self.stats;
+        match self.pipeline {
+            Some(pipeline) => RunArtifacts { report: pipeline.finalize(), log: None, stats },
+            None => {
+                let report = simulate(&self.log);
+                RunArtifacts { report, log: Some(self.log), stats }
+            }
+        }
     }
 
     /// Handles a replay validation failure per the configured policy.
@@ -603,7 +678,7 @@ impl Runtime {
         exec_gate: Option<u64>,
         trace_len: u32,
     ) {
-        self.log.push(LogOp::Task(TaskRecord {
+        self.append(LogOp::Task(TaskRecord {
             hash,
             analysis,
             gpu_time: task.gpu_time,

@@ -148,25 +148,33 @@ impl TaskDesc {
 
 /// Minimal FNV-1a over u64 words. Deterministic across platforms and runs
 /// (unlike `DefaultHasher`), which control replication requires: every
-/// shard must compute identical token streams.
-struct Fnv1a(u64);
+/// shard must compute identical token streams. Also the primitive behind
+/// the [`crate::exec::OpLog`] stream digest — one copy of the constants,
+/// one folding scheme.
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(Self::OFFSET)
     }
 
-    fn write(&mut self, v: u64) {
+    /// Resumes from a captured [`Self::finish`] state — incremental
+    /// digests fold one record at a time.
+    pub(crate) fn resume(state: u64) -> Self {
+        Fnv1a(state)
+    }
+
+    pub(crate) fn write(&mut self, v: u64) {
         for byte in v.to_le_bytes() {
             self.0 ^= u64::from(byte);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

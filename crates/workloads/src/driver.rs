@@ -11,7 +11,7 @@
 //! (`untraced`, `manual`, `auto`) plus the §5.1 distributed deployment.
 
 use apophenia::Session;
-use tasksim::exec::OpLog;
+use tasksim::exec::{LogRetention, OpLog, SimReport};
 use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::RuntimeError;
 use tasksim::stats::RuntimeStats;
@@ -122,8 +122,12 @@ pub trait Workload {
 /// Everything a single run produces.
 #[derive(Debug)]
 pub struct RunOutcome {
-    /// The operation log, ready for [`tasksim::exec::simulate`].
-    pub log: OpLog,
+    /// The machine-simulation report — streamed incrementally under
+    /// [`LogRetention::Drain`], batch-computed under
+    /// [`LogRetention::Full`]; bit-identical either way.
+    pub report: SimReport,
+    /// The raw operation log, present only under [`LogRetention::Full`].
+    pub log: Option<OpLog>,
     /// Runtime counters.
     pub stats: RuntimeStats,
     /// Warmup iterations until replay steady state (single-node auto only;
@@ -134,8 +138,20 @@ pub struct RunOutcome {
     pub traced_samples: Vec<(u64, f64)>,
 }
 
-/// Runs `workload` under `mode` and returns the outcome. The front-end is
-/// built through [`Session`]; the workload sees only `dyn TaskIssuer`.
+impl RunOutcome {
+    /// The stored operation log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run used [`LogRetention::Drain`].
+    pub fn log(&self) -> &OpLog {
+        self.log.as_ref().expect("raw OpLog requires LogRetention::Full")
+    }
+}
+
+/// Runs `workload` under `mode` with full log retention and returns the
+/// outcome (report + raw log). The front-end is built through [`Session`];
+/// the workload sees only `dyn TaskIssuer`.
 ///
 /// # Errors
 ///
@@ -151,6 +167,27 @@ pub fn run_workload(
     params: &AppParams,
     mode: &Mode,
 ) -> Result<RunOutcome, RuntimeError> {
+    run_workload_with(workload, params, mode, LogRetention::Full)
+}
+
+/// [`run_workload`] with an explicit retention policy:
+/// [`LogRetention::Drain`] streams the run through the incremental
+/// simulator (no log materialized — resident ops stay O(window + trace
+/// length), which is what makes production-length streams feasible).
+///
+/// # Errors
+///
+/// See [`run_workload`].
+///
+/// # Panics
+///
+/// See [`run_workload`].
+pub fn run_workload_with(
+    workload: &dyn Workload,
+    params: &AppParams,
+    mode: &Mode,
+    retention: LogRetention,
+) -> Result<RunOutcome, RuntimeError> {
     let manual = mode.is_manual();
     if manual {
         assert!(workload.has_manual(), "{} has no manual variant", workload.name());
@@ -159,17 +196,25 @@ pub fn run_workload(
         .nodes(params.nodes)
         .gpus_per_node(params.gpus_per_node)
         .tracing(mode.clone())
+        .log_retention(retention)
         .build();
     workload.run(issuer.as_mut(), params, manual)?;
     issuer.flush()?;
-    let stats = issuer.stats();
     let warmup_iterations = issuer.warmup_iterations();
     let traced_samples = issuer.traced_samples();
-    Ok(RunOutcome { log: issuer.finish()?, stats, warmup_iterations, traced_samples })
+    let artifacts = issuer.finish()?;
+    Ok(RunOutcome {
+        report: artifacts.report,
+        log: artifacts.log,
+        stats: artifacts.stats,
+        warmup_iterations,
+        traced_samples,
+    })
 }
 
 /// Convenience: run and return steady-state throughput (iterations/sec)
-/// after `warmup` iterations.
+/// after `warmup` iterations. Uses [`LogRetention::Drain`] — throughput
+/// needs only the report, so nothing is materialized.
 ///
 /// # Errors
 ///
@@ -180,8 +225,8 @@ pub fn measure_throughput(
     mode: &Mode,
     warmup: usize,
 ) -> Result<f64, RuntimeError> {
-    let outcome = run_workload(workload, params, mode)?;
-    Ok(tasksim::exec::simulate(&outcome.log).steady_throughput(warmup))
+    let outcome = run_workload_with(workload, params, mode, LogRetention::Drain)?;
+    Ok(outcome.report.steady_throughput(warmup))
 }
 
 #[cfg(test)]
@@ -252,8 +297,20 @@ mod tests {
         for mode in modes {
             let out = run_workload(&Ping, &p, &mode).unwrap();
             assert_eq!(out.stats.tasks_total, 600, "{}", mode.label());
-            assert_eq!(out.log.iteration_count(), 300, "{}", mode.label());
+            assert_eq!(out.log().iteration_count(), 300, "{}", mode.label());
+            assert_eq!(out.report.iteration_finish.len(), 300, "{}", mode.label());
         }
+    }
+
+    #[test]
+    fn drained_run_matches_full_retention() {
+        let p = params();
+        let cfg = Config::standard().with_min_trace_length(2).with_multi_scale_factor(16);
+        let full = run_workload(&Ping, &p, &Mode::Auto(cfg.clone())).unwrap();
+        let drained = run_workload_with(&Ping, &p, &Mode::Auto(cfg), LogRetention::Drain).unwrap();
+        assert_eq!(full.report, drained.report, "retention never changes the report");
+        assert_eq!(full.stats, drained.stats);
+        assert!(drained.log.is_none());
     }
 
     #[test]

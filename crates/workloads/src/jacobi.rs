@@ -185,7 +185,7 @@ mod tests {
     /// Collect the hash stream of an untraced run.
     fn hash_stream(iters: usize) -> Vec<u64> {
         let out = run_workload(&Jacobi, &params(iters), &Mode::Untraced).unwrap();
-        out.log.task_records().map(|r| r.hash.0).collect()
+        out.log().task_records().map(|r| r.hash.0).collect()
     }
 
     #[test]

@@ -178,7 +178,7 @@ mod tests {
         // analysis-bound at 8 GPUs.
         let p = AppParams::eos(8, ProblemSize::Large, 60);
         let out = run_workload(&TorchSwe, &p, &Mode::Untraced).unwrap();
-        let report = tasksim::exec::simulate(&out.log);
+        let report = &out.report;
         assert!(report.stall_fraction() > 0.2, "stalls: {}", report.stall_fraction());
     }
 

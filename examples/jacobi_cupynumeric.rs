@@ -24,7 +24,7 @@ fn main() {
     // 1. Inspect the stream: hashes of two consecutive iterations differ,
     // hashes two iterations apart agree.
     let out = run_workload(&Jacobi, &params, &Mode::Untraced).expect("untraced run");
-    let hashes: Vec<u64> = out.log.task_records().map(|r| r.hash.0).collect();
+    let hashes: Vec<u64> = out.log().task_records().map(|r| r.hash.0).collect();
     println!("Figure 1b, observed: steady-state stream (task hashes, 4 iterations):");
     for it in 4..8 {
         let h = &hashes[it * 3..it * 3 + 3];

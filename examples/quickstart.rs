@@ -11,7 +11,7 @@
 
 use apophenia::{Config, Session, Tracing};
 use tasksim::cost::Micros;
-use tasksim::exec::simulate;
+use tasksim::exec::LogRetention;
 use tasksim::ids::{TaskKindId, TraceId};
 use tasksim::runtime::RuntimeError;
 use tasksim::task::TaskDesc;
@@ -21,7 +21,14 @@ const WARMUP: usize = 300;
 
 fn run(tracing: Tracing) -> Result<(f64, String), RuntimeError> {
     let manual = tracing.is_manual();
-    let mut issuer = Session::builder().nodes(1).gpus_per_node(4).tracing(tracing).build();
+    // Drain retention: the run is simulated *as it streams* — no op log
+    // is ever materialized, and `finish()` hands back the report.
+    let mut issuer = Session::builder()
+        .nodes(1)
+        .gpus_per_node(4)
+        .tracing(tracing)
+        .log_retention(LogRetention::Drain)
+        .build();
     let (a, b) = (issuer.create_region(1), issuer.create_region(1));
     for _ in 0..ITERS {
         if manual {
@@ -39,8 +46,8 @@ fn run(tracing: Tracing) -> Result<(f64, String), RuntimeError> {
     if let Some(w) = issuer.warmup_iterations() {
         println!("warmup iterations until steady replay: {w}");
     }
-    let log = issuer.finish()?;
-    Ok((simulate(&log).steady_throughput(WARMUP), stats))
+    let artifacts = issuer.finish()?;
+    Ok((artifacts.report.steady_throughput(WARMUP), stats))
 }
 
 fn main() -> Result<(), RuntimeError> {

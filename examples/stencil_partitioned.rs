@@ -16,7 +16,7 @@
 
 use apophenia::{Config, Session, Tracing};
 use tasksim::cost::Micros;
-use tasksim::exec::simulate;
+use tasksim::exec::LogRetention;
 use tasksim::ids::TaskKindId;
 use tasksim::index::IndexLaunch;
 use tasksim::privilege::ReductionOp;
@@ -37,7 +37,12 @@ fn run(auto: bool) -> Result<(f64, String), RuntimeError> {
     } else {
         Tracing::Untraced
     };
-    let mut issuer = Session::builder().nodes(2).gpus_per_node(GPUS / 2).tracing(tracing).build();
+    let mut issuer = Session::builder()
+        .nodes(2)
+        .gpus_per_node(GPUS / 2)
+        .tracing(tracing)
+        .log_retention(LogRetention::Drain)
+        .build();
 
     let grid_a = issuer.create_region(1);
     let grid_b = issuer.create_region(1);
@@ -74,8 +79,8 @@ fn run(auto: bool) -> Result<(f64, String), RuntimeError> {
 
     issuer.flush()?;
     let stats = issuer.stats().to_string();
-    let log = issuer.finish()?;
-    Ok((simulate(&log).steady_throughput(WARMUP), stats))
+    let artifacts = issuer.finish()?;
+    Ok((artifacts.report.steady_throughput(WARMUP), stats))
 }
 
 fn main() -> Result<(), RuntimeError> {

@@ -2,22 +2,28 @@
 //! and simulated timings — the property control replication rests on.
 
 use apophenia::Config;
-use tasksim::exec::simulate;
-use workloads::driver::{run_workload, AppParams, Mode, ProblemSize, Workload};
+use tasksim::exec::LogRetention;
+use workloads::driver::{run_workload, run_workload_with, AppParams, Mode, ProblemSize, Workload};
 
 fn run_twice(w: &dyn Workload, p: &AppParams, mode: &Mode) {
     let a = run_workload(w, p, mode).unwrap();
     let b = run_workload(w, p, mode).unwrap();
     assert_eq!(a.stats, b.stats, "{} stats deterministic", w.name());
-    assert_eq!(a.log.ops().len(), b.log.ops().len());
-    for (i, (x, y)) in a.log.ops().iter().zip(b.log.ops().iter()).enumerate() {
+    assert_eq!(a.log().ops().len(), b.log().ops().len());
+    for (i, (x, y)) in a.log().ops().iter().zip(b.log().ops().iter()).enumerate() {
         assert_eq!(x, y, "{} op {i} deterministic", w.name());
     }
-    let (ra, rb) = (simulate(&a.log), simulate(&b.log));
+    assert_eq!(a.log().digest(), b.log().digest(), "{} digest deterministic", w.name());
+    let (ra, rb) = (&a.report, &b.report);
     assert_eq!(ra.iteration_finish.len(), rb.iteration_finish.len());
     for (x, y) in ra.iteration_finish.iter().zip(rb.iteration_finish.iter()) {
         assert!((x.0 - y.0).abs() < 1e-9, "simulated timings deterministic");
     }
+    // The streaming path is deterministic too — and bit-identical to the
+    // batch reports above.
+    let c = run_workload_with(w, p, mode, LogRetention::Drain).unwrap();
+    assert_eq!(&c.report, ra, "{}: drained report diverges from batch", w.name());
+    assert_eq!(c.stats, a.stats);
 }
 
 #[test]

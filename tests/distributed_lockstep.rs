@@ -113,6 +113,63 @@ fn capped_two_node_deployment_evicts_in_lockstep() {
 }
 
 #[test]
+fn drained_deployment_stays_checkable_and_matches_full() {
+    // Under `LogRetention::Drain` no node stores any ops, yet lock-step
+    // must stay verifiable (via the order-sensitive stream digest) and
+    // the finished report must be bit-identical to a full-retention run.
+    use tasksim::exec::LogRetention;
+    use tasksim::issuer::TaskIssuer as _;
+    let run = |retention: LogRetention| {
+        let mut d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(2, 4).with_log_retention(retention),
+            small_config(),
+            DelayModel::new(2024, 100),
+            16,
+        );
+        drive_s3d_like(&mut d, 150);
+        d.check_lockstep().expect("lock-step verifiable under any retention");
+        let resident = d.log_stats();
+        (Box::new(d).finish().expect("finish"), resident)
+    };
+    let (full, full_resident) = run(LogRetention::Full);
+    let (drained, drain_resident) = run(LogRetention::Drain);
+    assert_eq!(full.report, drained.report, "retention never changes the distributed report");
+    assert_eq!(full.stats, drained.stats);
+    assert!(drained.log.is_none());
+    assert_eq!(full_resident.pushed, drain_resident.pushed, "same stream counted both ways");
+    assert_eq!(
+        full_resident.retained as u64, full_resident.pushed,
+        "full retention keeps every op"
+    );
+}
+
+#[test]
+fn digest_catches_divergence_when_ops_are_drained() {
+    // Two *independent* drained runs fed different streams must carry
+    // different digests — the property check_lockstep's drained-mode
+    // comparison rests on.
+    use tasksim::exec::LogRetention;
+    use tasksim::issuer::TaskIssuer as _;
+    let run = |kinds: u32| {
+        let mut d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(1, 4).with_log_retention(LogRetention::Drain),
+            small_config(),
+            DelayModel::new(0, 0),
+            16,
+        );
+        let a = d.create_region(1);
+        let b = d.create_region(1);
+        for k in 0..kinds {
+            d.execute_task(TaskDesc::new(TaskKindId(k % 7)).reads(a).writes(b)).unwrap();
+        }
+        d.flush().unwrap();
+        d.node_runtime(0).log().digest()
+    };
+    assert_ne!(run(40), run(41), "streams of different shape digest differently");
+    assert_eq!(run(40), run(40), "digests are deterministic");
+}
+
+#[test]
 fn distributed_matches_single_node_decisions_when_mining_instant() {
     // With zero mining delay and the same ingestion interval the
     // distributed deployment's node 0 must behave exactly like a

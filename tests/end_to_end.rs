@@ -2,8 +2,8 @@
 //! (stream → Apophenia → runtime → machine simulation).
 
 use apophenia::Config;
-use tasksim::exec::simulate;
-use workloads::driver::{run_workload, AppParams, Mode, ProblemSize, Workload};
+use tasksim::exec::LogRetention;
+use workloads::driver::{run_workload, run_workload_with, AppParams, Mode, ProblemSize, Workload};
 
 fn all_workloads() -> Vec<(&'static dyn Workload, AppParams)> {
     vec![
@@ -25,10 +25,10 @@ fn every_workload_traces_cleanly_under_apophenia() {
         let out = run_workload(w, &p, &Mode::Auto(Config::standard())).unwrap();
         assert_eq!(out.stats.mismatches, 0, "{}: {}", w.name(), out.stats);
         assert!(out.stats.tasks_replayed > 0, "{} found no traces: {}", w.name(), out.stats);
-        // The log is simulatable and iterations are all accounted for.
-        let report = simulate(&out.log);
-        assert_eq!(out.log.iteration_count(), p.iters, "{}", w.name());
-        assert!(report.total > tasksim::cost::Micros::ZERO);
+        // The run is simulated and iterations are all accounted for.
+        assert_eq!(out.log().iteration_count(), p.iters, "{}", w.name());
+        assert_eq!(out.report.iteration_finish.len(), p.iters, "{}", w.name());
+        assert!(out.report.total > tasksim::cost::Micros::ZERO);
     }
 }
 
@@ -37,8 +37,8 @@ fn order_preserved_for_every_workload() {
     for (w, p) in all_workloads() {
         let untraced = run_workload(w, &p, &Mode::Untraced).unwrap();
         let auto = run_workload(w, &p, &Mode::Auto(Config::standard())).unwrap();
-        let a: Vec<_> = untraced.log.task_records().map(|r| r.hash).collect();
-        let b: Vec<_> = auto.log.task_records().map(|r| r.hash).collect();
+        let a: Vec<_> = untraced.log().task_records().map(|r| r.hash).collect();
+        let b: Vec<_> = auto.log().task_records().map(|r| r.hash).collect();
         assert_eq!(a, b, "{}: Apophenia must not reorder the stream", w.name());
     }
 }
@@ -46,14 +46,30 @@ fn order_preserved_for_every_workload() {
 #[test]
 fn auto_never_slower_than_untraced_by_much() {
     // The paper's floor: 0.91x in the worst configuration. Allow 0.85 for
-    // simulation noise on short runs.
+    // simulation noise on short runs. Both runs drain their logs — the
+    // report is all a throughput comparison needs.
     for (w, p) in all_workloads() {
-        let auto = run_workload(w, &p, &Mode::Auto(Config::standard())).unwrap();
-        let untraced = run_workload(w, &p, &Mode::Untraced).unwrap();
+        let auto =
+            run_workload_with(w, &p, &Mode::Auto(Config::standard()), LogRetention::Drain).unwrap();
+        let untraced = run_workload_with(w, &p, &Mode::Untraced, LogRetention::Drain).unwrap();
+        assert!(auto.log.is_none(), "{}: drained runs keep no log", w.name());
         let warmup = p.iters * 3 / 4;
-        let ta = simulate(&auto.log).steady_throughput(warmup);
-        let tu = simulate(&untraced.log).steady_throughput(warmup);
+        let ta = auto.report.steady_throughput(warmup);
+        let tu = untraced.report.steady_throughput(warmup);
         assert!(ta > tu * 0.85, "{}: auto {ta} vs untraced {tu}", w.name());
+    }
+}
+
+#[test]
+fn streaming_matches_batch_for_every_workload() {
+    // The tentpole's acceptance, end to end: Drain and Full retention
+    // produce bit-identical reports on every workload under auto tracing.
+    for (w, p) in all_workloads() {
+        let full = run_workload(w, &p, &Mode::Auto(Config::standard())).unwrap();
+        let drained =
+            run_workload_with(w, &p, &Mode::Auto(Config::standard()), LogRetention::Drain).unwrap();
+        assert_eq!(full.report, drained.report, "{}: retention changed the report", w.name());
+        assert_eq!(full.stats, drained.stats, "{}", w.name());
     }
 }
 

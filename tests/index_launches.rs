@@ -8,7 +8,7 @@
 
 use apophenia::{Config, Session, Tracing};
 use tasksim::cost::Micros;
-use tasksim::exec::{simulate, OpLog};
+use tasksim::exec::OpLog;
 use tasksim::ids::{RegionId, TaskKindId};
 use tasksim::index::IndexLaunch;
 use tasksim::issuer::TaskIssuer;
@@ -70,7 +70,11 @@ fn auto_config() -> Config {
     Config::standard().with_min_trace_length(4).with_batch_size(512).with_multi_scale_factor(32)
 }
 
-fn run_stencil(tracing: Tracing, gpus: u32, iters: usize) -> (RuntimeStats, OpLog) {
+fn run_stencil(
+    tracing: Tracing,
+    gpus: u32,
+    iters: usize,
+) -> (RuntimeStats, OpLog, tasksim::exec::SimReport) {
     let mut issuer = Session::builder().nodes(2).gpus_per_node(gpus / 2).tracing(tracing).build();
     let mut st = Stencil::setup(issuer.as_mut(), gpus).unwrap();
     for i in 0..iters {
@@ -78,13 +82,13 @@ fn run_stencil(tracing: Tracing, gpus: u32, iters: usize) -> (RuntimeStats, OpLo
         issuer.mark_iteration();
     }
     issuer.flush().unwrap();
-    let stats = issuer.stats();
-    (stats, issuer.finish().unwrap())
+    let artifacts = issuer.finish().unwrap();
+    (artifacts.stats, artifacts.log.expect("full retention"), artifacts.report)
 }
 
 #[test]
 fn stencil_dependences_are_correct() {
-    let (_, log) = run_stencil(Tracing::Untraced, 8, 10);
+    let (_, log, _) = run_stencil(Tracing::Untraced, 8, 10);
     // Every compute launch depends on the halo before it (read-write vs
     // read on the same partition).
     let recs: Vec<_> = log.task_records().collect();
@@ -95,7 +99,7 @@ fn stencil_dependences_are_correct() {
 
 #[test]
 fn stencil_traces_automatically() {
-    let (stats, log) = run_stencil(Tracing::Auto(auto_config()), 8, 1500);
+    let (stats, log, _) = run_stencil(Tracing::Auto(auto_config()), 8, 1500);
     assert_eq!(stats.mismatches, 0);
     assert!(
         stats.replayed_fraction() > 0.5,
@@ -110,8 +114,8 @@ fn stencil_traces_automatically() {
 #[test]
 fn stencil_speedup_from_tracing() {
     let run = |tracing: Tracing| {
-        let (_, log) = run_stencil(tracing, 8, 1500);
-        simulate(&log).steady_throughput(1200)
+        let (_, _, report) = run_stencil(tracing, 8, 1500);
+        report.steady_throughput(1200)
     };
     let auto = run(Tracing::Auto(auto_config()));
     let untraced = run(Tracing::Untraced);

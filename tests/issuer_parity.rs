@@ -1,21 +1,26 @@
 //! Front-end parity: one workload, every `Session` configuration, one
 //! `dyn TaskIssuer` code path.
 //!
-//! The `TaskIssuer` unification promises two things this file proves:
+//! The `TaskIssuer` unification promises three things this file proves:
 //!
 //! * **Order preservation across front-ends** — untraced, manual, auto,
 //!   and distributed runs of the same program forward the application's
 //!   tasks in exactly the same order (identical task-record hash
 //!   streams), no matter how differently they bracket, buffer, or replay
-//!   them.
+//!   them — and bind every iteration mark to the same issued-task count.
 //! * **Batch/single equivalence** — `issue_batch` is semantically
 //!   identical to task-at-a-time `execute_task`: the operation logs are
 //!   bit-for-bit equal (same records, same analysis kinds, same edges,
 //!   same gates), not merely the same hash sequence.
+//! * **Streaming/batch equivalence** — `LogRetention::Drain` (ops fed
+//!   incrementally through `SimPipeline` and dropped) produces a
+//!   `SimReport` bit-identical to `LogRetention::Full` (ops accumulated,
+//!   then `simulate(&OpLog)` in one batch pass), for every front-end and
+//!   across randomized program shapes (proptest below).
 
 use apophenia::{Config, DelayModel, Session, Tracing};
 use tasksim::cost::Micros;
-use tasksim::exec::OpLog;
+use tasksim::exec::{simulate, LogOp, LogRetention, OpLog, SimReport};
 use tasksim::ids::{TaskKindId, TraceId};
 use tasksim::issuer::TaskIssuer;
 use tasksim::task::{TaskDesc, TaskHash};
@@ -87,28 +92,48 @@ fn drive(issuer: &mut dyn TaskIssuer, manual: bool, batched: bool) -> Vec<TaskHa
     expected
 }
 
+fn build(tracing: Tracing, retention: LogRetention) -> Box<dyn TaskIssuer> {
+    Session::builder().nodes(2).gpus_per_node(2).tracing(tracing).log_retention(retention).build()
+}
+
 fn run(tracing: Tracing, batched: bool) -> (Vec<TaskHash>, OpLog) {
     let manual = tracing.is_manual();
-    let mut issuer = Session::builder().nodes(2).gpus_per_node(2).tracing(tracing).build();
+    let mut issuer = build(tracing, LogRetention::Full);
     let expected = drive(issuer.as_mut(), manual, batched);
-    (expected, issuer.finish().unwrap())
+    let artifacts = issuer.finish().unwrap();
+    (expected, artifacts.log.expect("full retention"))
+}
+
+/// The iteration-mark binding of a log: each mark's issued-task count.
+fn mark_counts(log: &OpLog) -> Vec<u64> {
+    log.ops()
+        .iter()
+        .filter_map(|op| match op {
+            LogOp::IterationMark(k) => Some(*k),
+            LogOp::Task(_) => None,
+        })
+        .collect()
 }
 
 #[test]
 fn every_front_end_preserves_application_order() {
-    let mut streams: Vec<(&'static str, Vec<TaskHash>)> = Vec::new();
+    let mut streams: Vec<(&'static str, Vec<TaskHash>, Vec<u64>)> = Vec::new();
     for tracing in all_tracings() {
         let label = tracing.label();
         let (expected, log) = run(tracing, false);
         let got: Vec<TaskHash> = log.task_records().map(|r| r.hash).collect();
         assert_eq!(got, expected, "{label}: stream differs from issue order");
-        streams.push((label, got));
+        streams.push((label, got, mark_counts(&log)));
     }
     // All four front-ends saw the identical program, so all four logs hold
-    // the identical hash stream.
-    let (first_label, first) = &streams[0];
-    for (label, stream) in &streams[1..] {
+    // the identical hash stream — and bind every iteration mark to the
+    // same issued-task count (buffering layers may *position* marks
+    // differently in the log, but the binding is what the simulator
+    // resolves, and it must agree).
+    let (first_label, first, first_marks) = &streams[0];
+    for (label, stream, marks) in &streams[1..] {
         assert_eq!(stream, first, "{label} diverges from {first_label}");
+        assert_eq!(marks, first_marks, "{label} binds marks differently than {first_label}");
     }
 }
 
@@ -154,4 +179,198 @@ fn manual_front_end_replays_the_bracketed_body() {
     let stats = issuer.stats();
     assert_eq!(stats.trace_replays, (ITERS - 1) as u64, "{stats}");
     assert_eq!(stats.mismatches, 0);
+}
+
+#[test]
+fn drain_is_bit_identical_to_full_for_every_front_end() {
+    for tracing in all_tracings() {
+        let label = tracing.label();
+        let manual = tracing.is_manual();
+        let mut full = build(tracing.clone(), LogRetention::Full);
+        drive(full.as_mut(), manual, false);
+        let full = full.finish().unwrap();
+        let mut drained = build(tracing, LogRetention::Drain);
+        drive(drained.as_mut(), manual, false);
+        let resident = drained.log_stats();
+        let drained = drained.finish().unwrap();
+        // The streaming report equals both the full-retention report and
+        // an explicit batch pass over the materialized log.
+        assert_eq!(full.report, drained.report, "{label}: drain diverged from full");
+        assert_eq!(
+            drained.report,
+            simulate(full.log()),
+            "{label}: pipeline diverged from simulate(&OpLog)"
+        );
+        assert_eq!(full.stats, drained.stats, "{label}");
+        assert!(drained.log.is_none(), "{label}");
+        // Every op was counted even though none were stored. (Residency
+        // stays O(window + trace length) — proven in the engine tests and
+        // the `streaming_soak` bench, where streams dwarf the window; this
+        // test's stream is shorter than the artifact's 30000-op window.)
+        assert_eq!(resident.pushed, full.log().stats().pushed, "{label}");
+    }
+}
+
+#[test]
+fn late_flushed_tasks_keep_their_iteration_mark() {
+    // Regression: an iteration mark logged while the auto tracer still
+    // buffers tasks of its iteration lands in the log *before* those
+    // tasks (flush forwards them afterwards). The mark must still bind to
+    // the issued-task count — in both batch (Full) and streaming (Drain)
+    // modes — so the iteration's timing includes its own tasks.
+    let run = |retention: LogRetention| {
+        let mut issuer = build(Tracing::Auto(small_auto()), retention);
+        let a = issuer.create_region(1);
+        let b = issuer.create_region(1);
+        let body = |issuer: &mut dyn TaskIssuer, upto: u32| {
+            for k in 0..upto {
+                let (src, dst) = if k % 2 == 0 { (a, b) } else { (b, a) };
+                issuer
+                    .execute_task(
+                        TaskDesc::new(TaskKindId(k))
+                            .reads(src)
+                            .read_writes(dst)
+                            .gpu_time(Micros(80.0)),
+                    )
+                    .unwrap();
+            }
+        };
+        for _ in 0..60 {
+            body(issuer.as_mut(), 4);
+            issuer.mark_iteration();
+        }
+        // A final *partial* body: the matcher holds these tasks in its
+        // pending buffer (a longer match may still complete), so the mark
+        // below is logged ahead of them and flush() pushes them after it.
+        body(issuer.as_mut(), 2);
+        issuer.mark_iteration();
+        issuer.flush().unwrap();
+        issuer.finish().unwrap()
+    };
+    let full = run(LogRetention::Full);
+    let drained = run(LogRetention::Drain);
+    assert_eq!(full.report, drained.report, "batch and streaming marker accounting agree");
+
+    let log = full.log();
+    let ops = log.ops();
+    let last_mark_pos =
+        ops.iter().rposition(|op| matches!(op, LogOp::IterationMark(_))).expect("marks logged");
+    assert!(
+        last_mark_pos < ops.len() - 1 && matches!(ops.last(), Some(LogOp::Task(_))),
+        "scenario really buffered tasks past the final mark"
+    );
+    let LogOp::IterationMark(k) = ops[last_mark_pos] else { unreachable!() };
+    assert_eq!(k, full.stats.tasks_total, "the mark binds to the issued-task count");
+
+    // Marker semantics locked: moving the mark to the log's end (after
+    // the tasks it was buffered past) changes nothing — marks resolve by
+    // task count, not log position.
+    let mut reordered = OpLog::new(*log.config());
+    for (i, op) in ops.iter().enumerate() {
+        if i != last_mark_pos {
+            reordered.push(op.clone());
+        }
+    }
+    reordered.push(ops[last_mark_pos].clone());
+    assert_eq!(simulate(&reordered).iteration_finish, full.report.iteration_finish);
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Issues a randomized program shape: `spec` selects, per step,
+    /// between a repeated loop body (traceable), a rotating task, a
+    /// unique task, and an iteration mark. Manual mode brackets the loop
+    /// body only.
+    fn drive_random(issuer: &mut dyn TaskIssuer, spec: &[(u8, u8)], manual: bool) {
+        let a = issuer.create_region(1);
+        let b = issuer.create_region(1);
+        for (i, &(step, gpu)) in spec.iter().enumerate() {
+            match step % 4 {
+                0 | 1 => {
+                    // The repeated body (two variants by parity keep a
+                    // couple of motifs alive at once).
+                    let variant = u32::from(step % 2);
+                    if manual {
+                        issuer.begin_trace(TraceId(variant)).unwrap();
+                    }
+                    for k in 0..4u32 {
+                        let (src, dst) = if k % 2 == 0 { (a, b) } else { (b, a) };
+                        issuer
+                            .execute_task(
+                                TaskDesc::new(TaskKindId(10 * variant + k))
+                                    .reads(src)
+                                    .read_writes(dst)
+                                    .gpu_time(Micros(f64::from(gpu) + 10.0)),
+                            )
+                            .unwrap();
+                    }
+                    if manual {
+                        issuer.end_trace(TraceId(variant)).unwrap();
+                    }
+                }
+                2 => {
+                    issuer
+                        .execute_task(
+                            TaskDesc::new(TaskKindId(2000 + i as u32))
+                                .reads(a)
+                                .writes(b)
+                                .gpu_time(Micros(35.0)),
+                        )
+                        .unwrap();
+                }
+                _ => issuer.mark_iteration(),
+            }
+        }
+        issuer.flush().unwrap();
+    }
+
+    fn report_of(
+        tracing: Tracing,
+        retention: LogRetention,
+        spec: &[(u8, u8)],
+    ) -> (SimReport, Option<OpLog>) {
+        let manual = tracing.is_manual();
+        let mut issuer = build(tracing, retention);
+        drive_random(issuer.as_mut(), spec, manual);
+        let artifacts = issuer.finish().unwrap();
+        (artifacts.report, artifacts.log)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The streaming (Drain) and batch (Full → `simulate(&OpLog)`)
+        /// paths produce bit-identical `SimReport`s across random program
+        /// shapes and all four issuer front-ends. Manual mode only
+        /// brackets deterministic bodies, so every front-end accepts
+        /// every generated stream.
+        #[test]
+        fn drain_equals_full_across_front_ends(
+            spec in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..120),
+        ) {
+            for tracing in all_tracings() {
+                let label = tracing.label();
+                let (full_report, full_log) =
+                    report_of(tracing.clone(), LogRetention::Full, &spec);
+                let (drain_report, drain_log) =
+                    report_of(tracing, LogRetention::Drain, &spec);
+                let full_log = full_log.expect("full retention keeps the log");
+                prop_assert!(drain_log.is_none(), "{}: drain kept a log", label);
+                prop_assert_eq!(
+                    &full_report,
+                    &drain_report,
+                    "{}: drain diverged from full", label
+                );
+                // The wrapper really is the same machine: a batch pass
+                // over the stored ops reproduces both.
+                prop_assert_eq!(
+                    &simulate(&full_log),
+                    &drain_report,
+                    "{}: simulate(&OpLog) diverged from the pipeline", label
+                );
+            }
+        }
+    }
 }

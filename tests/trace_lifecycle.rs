@@ -45,6 +45,13 @@ fn capped_soak_bounds_memory_without_losing_coverage() {
     assert!(capped.peak_templates <= 9, "template cap held: {capped:?}");
     assert!(capped.evictions > 0, "dead phases actually evicted: {capped:?}");
     assert!(capped.templates_evicted > 0, "dead templates evicted: {capped:?}");
+    // The per-candidate `meta` side table shrinks when trailing
+    // tombstoned slots are truncated — it no longer sits at its
+    // historical high water forever.
+    assert!(
+        capped.meta_capacity < capped.peak_meta_capacity,
+        "meta side table truncated below its peak: {capped:?}"
+    );
 
     // The uncapped run demonstrates the leak the bounds exist to stop.
     assert!(
