@@ -1,0 +1,95 @@
+//! Restartable-run soak: kill a drained million-task run mid-stream,
+//! resume from the checkpoint, and prove the continuation bit-identical.
+//!
+//! The same capped, drained repeating-motif stream as `streaming_soak`
+//! is driven twice through the `Session` front-end:
+//!
+//! * **straight** — the uninterrupted reference (1M tasks);
+//! * **resumed** — killed at 500k tasks: the engine is checkpointed to
+//!   bytes via `TaskIssuer::checkpoint`, dropped (the "crash"), restored
+//!   with `Session::resume_from`, and driven to completion.
+//!
+//! Every run (timing or smoke) asserts the restartable-run contract:
+//! identical task totals, identical iteration counts, the same op-stream
+//! digest, and a simulated total equal **to the bit** — plus a sanity
+//! bound on the snapshot size (the drained engine state is O(window +
+//! caps), so the snapshot must be far smaller than the stream).
+//!
+//! In `--test` smoke mode (CI) the stream shrinks from 1M to 120k tasks
+//! (killed at 60k) and every benchmark runs once.
+
+use bench::{render_checkpoint_soak, run_checkpoint_soak};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const MOTIF: usize = 10;
+
+/// `--test` smoke mode: one pass, smaller stream.
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn stream_tasks() -> usize {
+    if let Some(n) = std::env::var("CHECKPOINT_SOAK_TASKS").ok().and_then(|v| v.parse().ok()) {
+        return n;
+    }
+    if smoke() {
+        120_000
+    } else {
+        1_000_000
+    }
+}
+
+fn bench_soak(c: &mut Criterion) {
+    let tasks = stream_tasks();
+    let mut g = c.benchmark_group("checkpoint_soak");
+    g.sample_size(2);
+    g.throughput(Throughput::Elements(tasks as u64));
+    g.bench_function("straight", |b| b.iter(|| run_checkpoint_soak("straight", tasks, 0, MOTIF)));
+    g.bench_function("kill_resume", |b| {
+        b.iter(|| run_checkpoint_soak("resumed", tasks, tasks / 2, MOTIF))
+    });
+    g.finish();
+}
+
+/// Prints the comparison table and enforces the restartable-run contract.
+fn report_table(_c: &mut Criterion) {
+    let tasks = stream_tasks();
+    let rows = vec![
+        run_checkpoint_soak("straight", tasks, 0, MOTIF),
+        run_checkpoint_soak("resumed", tasks, tasks / 2, MOTIF),
+    ];
+    let (straight, resumed) = (&rows[0], &rows[1]);
+    assert_eq!(straight.tasks, resumed.tasks, "same stream both ways");
+    assert_eq!(straight.digest, resumed.digest, "op-stream digest must survive the kill");
+    assert_eq!(straight.iterations, resumed.iterations);
+    assert_eq!(
+        straight.total_us.to_bits(),
+        resumed.total_us.to_bits(),
+        "kill/resume never changes the simulated timeline"
+    );
+    assert!(
+        (straight.replayed_fraction - resumed.replayed_fraction).abs() < 1e-12,
+        "tracing decisions identical: {} vs {}",
+        straight.replayed_fraction,
+        resumed.replayed_fraction
+    );
+    assert!(resumed.replayed_fraction > 0.5, "tracing kept working across the kill: {resumed:?}");
+    assert!(resumed.snapshot_bytes > 0, "a snapshot was actually written");
+    // The drained engine is O(window + caps): the snapshot must not scale
+    // with the half-million tasks already processed (64 bytes/task would
+    // be 32 MB; the real figure is a few hundred KB dominated by the
+    // 30000-op window's clock histories).
+    assert!(
+        resumed.snapshot_bytes < 8 * 1024 * 1024,
+        "snapshot ballooned to {} bytes — engine state is leaking into it",
+        resumed.snapshot_bytes
+    );
+    print!("{}", render_checkpoint_soak(&rows));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench_soak, report_table
+}
+criterion_main!(benches);

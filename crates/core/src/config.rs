@@ -70,6 +70,28 @@ pub enum MiningMode {
     Async,
 }
 
+/// What the engine does when the mining pipeline degrades (a worker
+/// panic or a dead worker pool — the failures surfaced as
+/// [`FinderError`](crate::finder::FinderError) via `health()`).
+///
+/// Degrading is invisible to correctness — the task stream keeps flowing,
+/// only tracing opportunities are lost — so it is the default. A
+/// deployment that treats silent slowdown as worse than a crash (e.g. a
+/// batch queue that should reschedule the job) selects fail-stop and gets
+/// a typed [`RuntimeError::FinderFailed`](tasksim::runtime::RuntimeError)
+/// from `execute_task`/`issue_batch` at the first issue after the
+/// failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FinderPolicy {
+    /// Keep running untraced after a mining failure (the historical
+    /// behaviour; the failure stays visible through `health()`).
+    #[default]
+    DegradeUntraced,
+    /// Return a typed error from the next task issue after a mining
+    /// failure.
+    FailStop,
+}
+
 /// Memory bounds on the trace-lifecycle stores.
 ///
 /// Long-running (or phase-changing) applications mine candidates forever;
@@ -199,6 +221,9 @@ pub struct Config {
     /// minimum trace length (an optimization beyond the paper, off by
     /// default; see `substrings::winnow`).
     pub winnow_prefilter: bool,
+    /// What a mining-pipeline failure does to the engine (degrade
+    /// untraced by default; see [`FinderPolicy`]).
+    pub finder_policy: FinderPolicy,
 }
 
 impl Config {
@@ -218,6 +243,7 @@ impl Config {
             scoring: ScoringConfig::default(),
             capacity: CapacityConfig::default(),
             winnow_prefilter: false,
+            finder_policy: FinderPolicy::default(),
         }
     }
 
@@ -268,6 +294,12 @@ impl Config {
     /// Enables the winnowing pre-filter.
     pub fn with_winnow_prefilter(mut self) -> Self {
         self.winnow_prefilter = true;
+        self
+    }
+
+    /// Selects the mining-failure policy.
+    pub fn with_finder_policy(mut self, policy: FinderPolicy) -> Self {
+        self.finder_policy = policy;
         self
     }
 

@@ -21,14 +21,16 @@
 //! the protocol sees exactly the nondeterminism a real deployment would.
 
 use crate::config::Config;
-use crate::finder::{MinedBatch, TraceFinder};
+use crate::finder::{get_batch, put_batch, MinedBatch, TraceFinder};
 use crate::replayer::TraceReplayer;
+use crate::snapshot::{get_config, put_config};
 use std::collections::VecDeque;
 use tasksim::exec::LogStats;
 use tasksim::ids::{RegionId, TraceId};
 use tasksim::issuer::{RunArtifacts, TaskIssuer};
 use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
-use tasksim::stats::RuntimeStats;
+use tasksim::snapshot::{self, CheckpointMeta, SnapshotError, SnapshotReader, SnapshotWriter};
+use tasksim::stats::{BufferStats, RuntimeStats};
 use tasksim::task::TaskDesc;
 
 /// Simulated per-node asynchronous-mining latency, in operations.
@@ -94,6 +96,9 @@ pub struct AgreementStats {
 #[derive(Debug)]
 pub struct DistributedAutoTracer {
     nodes: Vec<NodeState>,
+    /// The per-node tracing configuration (identical on every node) —
+    /// retained so checkpoints are self-contained.
+    config: Config,
     delay: DelayModel,
     /// Agreed operation-count between job submission and ingestion.
     interval: u64,
@@ -229,6 +234,7 @@ impl DistributedAutoTracer {
             .collect();
         Self {
             nodes,
+            config,
             delay,
             interval: initial_interval,
             op_count: 0,
@@ -254,9 +260,15 @@ impl DistributedAutoTracer {
         // Phase 1: every node records the token and captures new mining
         // results, stamping them with simulated readiness and the agreed
         // ingestion point.
+        let fail_stop = self.config.finder_policy == crate::config::FinderPolicy::FailStop;
         let mut max_job = self.jobs_seen;
         for (i, node) in self.nodes.iter_mut().enumerate() {
             node.finder.record(hash);
+            if fail_stop {
+                node.finder
+                    .health()
+                    .map_err(|e| RuntimeError::FinderFailed(format!("node {i}: {e}")))?;
+            }
             for batch in node.finder.poll_completed() {
                 let ready_at = self.op_count + self.delay.delay(i as u32, batch.job);
                 let ingest_at = self.op_count + self.interval;
@@ -345,6 +357,77 @@ impl DistributedAutoTracer {
     pub fn agreement_stats(&self) -> AgreementStats {
         self.stats
     }
+
+    /// Serializes the whole deployment: the shared configuration, the
+    /// agreement protocol's state, and every node's runtime, finder,
+    /// replayer, and pending ingestion queue. All nodes cut at the same
+    /// issued-task barrier (`op_count` — checkpoints happen between
+    /// replicated task issues, when every node has processed exactly the
+    /// same stream), so a restored deployment stays in lock-step.
+    pub fn write_snapshot(&mut self, w: &mut SnapshotWriter) {
+        put_config(w, &self.config);
+        w.put_u64(self.delay.seed);
+        w.put_u64(self.delay.max_delay);
+        w.put_u64(self.interval);
+        w.put_u64(self.op_count);
+        w.put_u64(self.stats.ingests);
+        w.put_u64(self.stats.waits);
+        w.put_u64(self.stats.stall_ops);
+        w.put_u64(self.stats.interval);
+        w.put_u64(self.jobs_seen);
+        w.put_len(self.nodes.len());
+        for node in &mut self.nodes {
+            node.rt.write_snapshot(w);
+            node.finder.write_snapshot(w);
+            node.replayer.write_snapshot(w);
+            let queue: Vec<&(u64, u64, MinedBatch)> = node.queue.iter().collect();
+            w.put_seq(&queue, |w, (ingest_at, ready_at, batch)| {
+                w.put_u64(*ingest_at);
+                w.put_u64(*ready_at);
+                put_batch(w, batch);
+            });
+        }
+    }
+
+    /// Rebuilds a deployment from [`Self::write_snapshot`] output,
+    /// re-validating lock-step on the restored state: every node's op
+    /// count and stream digest must agree (the same check
+    /// [`Self::check_lockstep`] applies at finish), so a snapshot that
+    /// was assembled from diverged nodes is rejected with a typed error
+    /// instead of silently resuming a broken deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on truncated, corrupt, or diverged input.
+    pub fn restore_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let config = get_config(r)?;
+        let delay = DelayModel { seed: r.get_u64()?, max_delay: r.get_u64()? };
+        let interval = r.get_u64()?;
+        let op_count = r.get_u64()?;
+        let stats = AgreementStats {
+            ingests: r.get_u64()?,
+            waits: r.get_u64()?,
+            stall_ops: r.get_u64()?,
+            interval: r.get_u64()?,
+        };
+        let jobs_seen = r.get_u64()?;
+        let node_count = r.get_len()?;
+        if node_count == 0 {
+            return Err(SnapshotError::Corrupt("distributed snapshot has no nodes".into()));
+        }
+        let mut nodes = Vec::with_capacity(node_count.min(r.remaining()));
+        for _ in 0..node_count {
+            let rt = Runtime::restore_snapshot(r)?;
+            let finder = TraceFinder::restore_snapshot(&config, r)?;
+            let replayer = TraceReplayer::restore_snapshot(&config, r)?;
+            let queue = r.get_deque(|r| Ok((r.get_u64()?, r.get_u64()?, get_batch(r)?)))?;
+            nodes.push(NodeState { finder, replayer, rt, queue });
+        }
+        let d = Self { nodes, delay, interval, op_count, stats, jobs_seen, config };
+        d.check_lockstep()
+            .map_err(|msg| SnapshotError::Corrupt(format!("restored nodes diverged: {msg}")))?;
+        Ok(d)
+    }
 }
 
 impl TaskIssuer for DistributedAutoTracer {
@@ -406,13 +489,22 @@ impl TaskIssuer for DistributedAutoTracer {
 
     /// Flushes every node: remaining queued batches ingest at flush (end
     /// of program), unfinished mining is discarded, and each node's
-    /// replayer drains.
+    /// replayer drains. Under [`crate::config::FinderPolicy::FailStop`] a
+    /// mining failure that surfaced since the last issue (a drain can
+    /// reveal lost jobs or late worker panics) is returned as a typed
+    /// error, matching the single-node engine's flush.
     fn flush(&mut self) -> Result<(), RuntimeError> {
-        for node in &mut self.nodes {
+        let fail_stop = self.config.finder_policy == crate::config::FinderPolicy::FailStop;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
             while let Some((_, _, batch)) = node.queue.pop_front() {
                 node.replayer.ingest(&batch);
             }
             let _ = node.finder.drain_blocking();
+            if fail_stop {
+                node.finder
+                    .health()
+                    .map_err(|e| RuntimeError::FinderFailed(format!("node {i}: {e}")))?;
+            }
             node.replayer.flush(&mut node.rt)?;
         }
         Ok(())
@@ -427,6 +519,41 @@ impl TaskIssuer for DistributedAutoTracer {
     /// lock-step.
     fn log_stats(&self) -> LogStats {
         self.nodes[0].rt.log_stats()
+    }
+
+    /// Node 0's buffering depths — identical on every node while in
+    /// lock-step.
+    fn buffered_ops(&self) -> BufferStats {
+        let r = self.nodes[0].replayer.stats();
+        BufferStats {
+            replayer_pending: r.pending_tasks,
+            peak_replayer_pending: r.peak_pending_tasks,
+            ..self.nodes[0].rt.buffer_stats()
+        }
+    }
+
+    /// Node 0's op-stream digest — identical on every node while in
+    /// lock-step.
+    fn op_digest(&self) -> u64 {
+        self.nodes[0].rt.op_digest()
+    }
+
+    /// Checkpoints every node at the current issued-task barrier
+    /// (`op_count`): between replicated issues all nodes have processed
+    /// exactly the same stream, so the snapshot is the distributed
+    /// analogue of the §5.1 agreement — one agreed cut, no node ahead of
+    /// another. `check_lockstep` re-validates the restored digests.
+    fn checkpoint(&mut self, out: &mut dyn std::io::Write) -> Result<CheckpointMeta, RuntimeError> {
+        let mut w = SnapshotWriter::new();
+        self.write_snapshot(&mut w);
+        Ok(snapshot::write_checkpoint(
+            snapshot::FRONT_END_DISTRIBUTED,
+            self.op_count,
+            self.nodes[0].rt.log_stats().pushed,
+            self.nodes[0].rt.op_digest(),
+            &w.into_payload(),
+            out,
+        )?)
     }
 
     /// Flushes, verifies lock-step across all nodes, and returns node 0's
@@ -672,6 +799,58 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, RuntimeError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn fail_stop_surfaces_finder_failures_at_flush() {
+        use crate::config::FinderPolicy;
+        // A worker panic that lands only at the final drain must still be
+        // surfaced by flush under fail-stop (regression: flush used to
+        // swallow it on the distributed front-end).
+        let config = cfg()
+            .with_async_mining()
+            .with_multi_scale_factor(8)
+            .with_finder_policy(FinderPolicy::FailStop);
+        let mut d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(2, 2),
+            config,
+            DelayModel::new(1, 0),
+            1 << 19, // park results in the queue; ingestion never fires
+        );
+        let a = d.create_region(1);
+        let b = d.create_region(1);
+        d.nodes[0].finder.poison_next = true;
+        let mut issue_err = None;
+        for k in 0..32u32 {
+            if let Err(e) = d.execute_task(TaskDesc::new(TaskKindId(k % 4)).reads(a).writes(b)) {
+                issue_err = Some(e);
+                break;
+            }
+        }
+        let err = match issue_err {
+            // The panic may already surface at a later issue's health
+            // check — also correct under fail-stop.
+            Some(e) => e,
+            None => d.flush().expect_err("fail-stop flush surfaces the worker panic"),
+        };
+        assert!(
+            matches!(err, RuntimeError::FinderFailed(ref m) if m.contains("panicked")),
+            "typed error: {err}"
+        );
+        // The default degrade policy flushes the same scenario cleanly.
+        let mut d = DistributedAutoTracer::new(
+            RuntimeConfig::multi_node(2, 2),
+            cfg().with_async_mining().with_multi_scale_factor(8),
+            DelayModel::new(1, 0),
+            1 << 19,
+        );
+        let a = d.create_region(1);
+        let b = d.create_region(1);
+        d.nodes[0].finder.poison_next = true;
+        for k in 0..32u32 {
+            d.execute_task(TaskDesc::new(TaskKindId(k % 4)).reads(a).writes(b)).unwrap();
+        }
+        d.flush().expect("degrade policy keeps flushing");
     }
 
     #[test]

@@ -9,15 +9,19 @@
 //! calls to the underlying [`Runtime`]. Applications using [`AutoTracer`]
 //! need no tracing annotations at all.
 
-use crate::config::Config;
+use crate::config::{Config, FinderPolicy};
 use crate::finder::{FinderError, TraceFinder};
 use crate::metrics::{CapacitySample, CapacitySeries, TracedWindow, WarmupDetector};
 use crate::replayer::{ReplayerStats, TraceReplayer};
+use crate::snapshot::{get_config, put_config};
 use tasksim::exec::LogStats;
 use tasksim::ids::{RegionId, TraceId};
 use tasksim::issuer::{RunArtifacts, TaskIssuer};
 use tasksim::runtime::{Runtime, RuntimeConfig, RuntimeError};
-use tasksim::stats::RuntimeStats;
+use tasksim::snapshot::{
+    self, CheckpointMeta, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
+use tasksim::stats::{BufferStats, RuntimeStats};
 use tasksim::task::TaskDesc;
 
 /// Automatic tracing layered over a [`Runtime`].
@@ -55,6 +59,10 @@ use tasksim::task::TaskDesc;
 /// ```
 #[derive(Debug)]
 pub struct AutoTracer {
+    /// The tracing configuration the engine was built from — retained so
+    /// checkpoints are self-contained (a restored process needs no
+    /// side-channel config).
+    config: Config,
     rt: Runtime,
     finder: TraceFinder,
     replayer: TraceReplayer,
@@ -80,9 +88,10 @@ impl AutoTracer {
     /// accounting).
     pub fn over(rt: Runtime, config: Config) -> Self {
         Self {
-            rt,
             finder: TraceFinder::new(&config),
             replayer: TraceReplayer::new(&config),
+            config,
+            rt,
             window: TracedWindow::figure10(),
             warmup: WarmupDetector::default(),
             capacity: CapacitySeries::new(),
@@ -116,6 +125,7 @@ impl AutoTracer {
         let hash = task.semantic_hash();
         self.issued += 1;
         self.finder.record(hash);
+        self.enforce_finder_policy()?;
         let mut ingested = false;
         for batch in self.finder.poll_completed() {
             self.replayer.ingest(&batch);
@@ -125,6 +135,17 @@ impl AutoTracer {
             self.sample_capacity();
         }
         self.replayer.on_task(task, hash, &mut self.rt)
+    }
+
+    /// Under [`FinderPolicy::FailStop`], turns a degraded mining pipeline
+    /// into a typed error at the next issue; under the default degrade
+    /// policy this is free (the failure stays visible via
+    /// [`Self::finder_health`]).
+    fn enforce_finder_policy(&mut self) -> Result<(), RuntimeError> {
+        if self.config.finder_policy == FinderPolicy::FailStop {
+            self.finder.health().map_err(|e| RuntimeError::FinderFailed(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// Records one candidate-store footprint sample (after an ingest).
@@ -158,6 +179,7 @@ impl AutoTracer {
     ///
     /// Propagates runtime errors.
     pub fn flush(&mut self) -> Result<(), RuntimeError> {
+        self.enforce_finder_policy()?;
         let mut ingested = false;
         for batch in self.finder.drain_blocking() {
             self.replayer.ingest(&batch);
@@ -224,6 +246,59 @@ impl AutoTracer {
     pub fn finish(mut self) -> Result<RunArtifacts, RuntimeError> {
         self.flush()?;
         Ok(self.rt.into_artifacts())
+    }
+
+    /// Serializes the engine's complete state — configuration, runtime
+    /// (log, templates, analyzer, pipeline), finder (history buffer,
+    /// sampler, completed batches), replayer (trie, cursors, pending
+    /// buffer), and metrics — as one self-contained payload. The finder's
+    /// mining pipeline is quiesced first, which is why this takes
+    /// `&mut self`; the engine continues normally afterwards.
+    pub fn write_snapshot(&mut self, w: &mut SnapshotWriter) {
+        put_config(w, &self.config);
+        self.rt.write_snapshot(w);
+        self.finder.write_snapshot(w);
+        self.replayer.write_snapshot(w);
+        self.window.snapshot(w);
+        self.warmup.snapshot(w);
+        self.capacity.snapshot(w);
+        self.prev.snapshot(w);
+        w.put_u64(self.iter_traced);
+        w.put_u64(self.iter_total);
+        w.put_u64(self.issued);
+    }
+
+    /// Rebuilds an engine from [`Self::write_snapshot`] output. The
+    /// restored engine continues bit-identically to the uninterrupted
+    /// run: same mining schedule, same replay decisions, same evictions,
+    /// same report.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on truncated or structurally impossible input.
+    pub fn restore_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let config = get_config(r)?;
+        let rt = Runtime::restore_snapshot(r)?;
+        if !rt.config().auto_layer {
+            return Err(SnapshotError::Corrupt(
+                "auto-tracer snapshot carries a non-auto runtime".into(),
+            ));
+        }
+        let finder = TraceFinder::restore_snapshot(&config, r)?;
+        let replayer = TraceReplayer::restore_snapshot(&config, r)?;
+        Ok(Self {
+            config,
+            rt,
+            finder,
+            replayer,
+            window: TracedWindow::restore(r)?,
+            warmup: WarmupDetector::restore(r)?,
+            capacity: CapacitySeries::restore(r)?,
+            prev: RuntimeStats::restore(r)?,
+            iter_traced: r.get_u64()?,
+            iter_total: r.get_u64()?,
+            issued: r.get_u64()?,
+        })
     }
 
     /// Folds newly forwarded tasks into the metrics.
@@ -302,6 +377,33 @@ impl TaskIssuer for AutoTracer {
 
     fn log_stats(&self) -> LogStats {
         self.rt.log_stats()
+    }
+
+    /// Replayer pending buffer + pipeline deferral queue, unified.
+    fn buffered_ops(&self) -> BufferStats {
+        let r = self.replayer.stats();
+        BufferStats {
+            replayer_pending: r.pending_tasks,
+            peak_replayer_pending: r.peak_pending_tasks,
+            ..self.rt.buffer_stats()
+        }
+    }
+
+    fn op_digest(&self) -> u64 {
+        self.rt.op_digest()
+    }
+
+    fn checkpoint(&mut self, out: &mut dyn std::io::Write) -> Result<CheckpointMeta, RuntimeError> {
+        let mut w = SnapshotWriter::new();
+        self.write_snapshot(&mut w);
+        Ok(snapshot::write_checkpoint(
+            snapshot::FRONT_END_AUTO,
+            self.issued,
+            self.rt.log_stats().pushed,
+            self.rt.op_digest(),
+            &w.into_payload(),
+            out,
+        )?)
     }
 
     fn warmup_iterations(&self) -> Option<u64> {
@@ -395,6 +497,140 @@ mod tests {
         let last = series.samples().last().unwrap();
         assert!(last.candidates <= 8, "candidate cap held: {last:?}");
         assert!(auto.finder_health().is_ok());
+    }
+
+    #[test]
+    fn fail_stop_policy_surfaces_finder_errors() {
+        use crate::config::FinderPolicy;
+        let mut auto = AutoTracer::new(
+            RuntimeConfig::single_node(1),
+            small_config()
+                .with_async_mining()
+                .with_multi_scale_factor(8)
+                .with_finder_policy(FinderPolicy::FailStop),
+        );
+        auto.finder.kill_pool_for_test();
+        let a = auto.create_region(1);
+        let b = auto.create_region(1);
+        // The first issue after a job is lost must fail with the typed
+        // error (the stream before that flows normally).
+        let mut failure = None;
+        for i in 0..64u32 {
+            let t = TaskDesc::new(TaskKindId(i % 2)).reads(a).writes(b);
+            if let Err(e) = TaskIssuer::issue_batch(&mut auto, vec![t]) {
+                failure = Some(e);
+                break;
+            }
+        }
+        let err = failure.expect("fail-stop surfaced the dead pool");
+        assert!(
+            matches!(err, RuntimeError::FinderFailed(ref m) if m.contains("disconnected")),
+            "typed error: {err}"
+        );
+    }
+
+    #[test]
+    fn degrade_policy_keeps_streaming_after_finder_death() {
+        // The default: same failure, no error — the run continues
+        // untraced and health() reports the degradation.
+        let mut auto = AutoTracer::new(
+            RuntimeConfig::single_node(1),
+            small_config().with_async_mining().with_multi_scale_factor(8),
+        );
+        auto.finder.kill_pool_for_test();
+        let a = auto.create_region(1);
+        let b = auto.create_region(1);
+        for i in 0..64u32 {
+            auto.execute_task(TaskDesc::new(TaskKindId(i % 2)).reads(a).writes(b))
+                .expect("degrade policy never errors");
+        }
+        auto.flush().unwrap();
+        assert_eq!(auto.runtime().stats().tasks_total, 64, "stream kept flowing");
+        assert!(auto.finder_health().is_err(), "degradation stays observable");
+    }
+
+    #[test]
+    fn replayer_scores_reach_the_template_store() {
+        use tasksim::ids::TraceId;
+        let mut auto = engine();
+        run_loop(&mut auto, 300);
+        assert!(auto.runtime().stats().trace_replays > 0);
+        assert!(
+            auto.runtime().trace_score(TraceId(0)).is_some_and(|s| s > 0.0),
+            "the replayed trace carries its §4.3 score as the shared eviction signal"
+        );
+    }
+
+    #[test]
+    fn buffered_ops_reports_replayer_and_pipeline_queues() {
+        use tasksim::exec::LogRetention;
+        let mut rt_cfg = RuntimeConfig::single_node(1).with_log_retention(LogRetention::Drain);
+        rt_cfg.window = 64;
+        let mut auto = AutoTracer::new(rt_cfg, small_config());
+        run_loop(&mut auto, 400);
+        let b = TaskIssuer::buffered_ops(&auto);
+        assert!(b.peak_replayer_pending > 0, "a traced loop buffers in the replayer: {b:?}");
+        assert!(b.peak_pipeline_deferred > 0, "gated replays defer in the pipeline: {b:?}");
+        // After flush, the replayer's queue is empty again.
+        assert_eq!(b.replayer_pending, 0, "{b:?}");
+        assert!(b.peak_total() >= b.total());
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_bit_identically() {
+        use tasksim::issuer::TaskIssuer as _;
+        let straight = {
+            let mut auto = engine();
+            run_loop(&mut auto, 200);
+            auto.finish().unwrap()
+        };
+        let resumed = {
+            let mut auto = engine();
+            let a = auto.create_region(1);
+            let b = auto.create_region(1);
+            for _ in 0..73 {
+                auto.execute_task(
+                    TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(50.0)),
+                )
+                .unwrap();
+                auto.execute_task(
+                    TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(50.0)),
+                )
+                .unwrap();
+                auto.mark_iteration();
+            }
+            let mut bytes = Vec::new();
+            let meta = auto.checkpoint(&mut bytes).unwrap();
+            assert_eq!(meta.tasks_issued, 146);
+            drop(auto);
+            let (tag, payload) = tasksim::snapshot::read_envelope(&mut bytes.as_slice()).unwrap();
+            assert_eq!(tag, tasksim::snapshot::FRONT_END_AUTO);
+            let mut r = tasksim::snapshot::SnapshotReader::new(&payload);
+            let mut auto = AutoTracer::restore_snapshot(&mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(auto.runtime().op_digest(), meta.op_digest);
+            for _ in 73..200 {
+                auto.execute_task(
+                    TaskDesc::new(TaskKindId(0)).reads(a).writes(b).gpu_time(Micros(50.0)),
+                )
+                .unwrap();
+                auto.execute_task(
+                    TaskDesc::new(TaskKindId(1)).reads(b).writes(a).gpu_time(Micros(50.0)),
+                )
+                .unwrap();
+                auto.mark_iteration();
+            }
+            auto.flush().unwrap();
+            auto.finish().unwrap()
+        };
+        assert_eq!(straight.stats, resumed.stats);
+        assert_eq!(straight.log().digest(), resumed.log().digest(), "bit-identical op stream");
+        assert_eq!(straight.report, resumed.report);
+        assert_eq!(
+            straight.report.total.0.to_bits(),
+            resumed.report.total.0.to_bits(),
+            "clocks identical to the bit"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use substrings::repeats::find_repeats_min_len_with;
 use substrings::tandem::select_tandem_repeats;
 use substrings::winnow::{has_repetition_evidence, WinnowConfig};
 use substrings::SuffixBackend;
+use tasksim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use tasksim::task::TaskHash;
 
 /// Why the mining pipeline degraded.
@@ -210,7 +211,7 @@ pub struct TraceFinder {
     pub jobs_prefiltered: u64,
     /// Test hook: poison the next submitted job so its worker panics.
     #[cfg(test)]
-    poison_next: bool,
+    pub(crate) poison_next: bool,
 }
 
 impl std::fmt::Debug for TraceFinder {
@@ -317,7 +318,7 @@ impl TraceFinder {
     /// the submission channel closes, workers are joined, and any results
     /// they managed to produce are discarded.
     #[cfg(test)]
-    fn kill_pool_for_test(&mut self) {
+    pub(crate) fn kill_pool_for_test(&mut self) {
         if let Miner::Pool { tx, workers, rx, .. } = &mut self.miner {
             drop(tx.take());
             for w in workers.drain(..) {
@@ -479,49 +480,61 @@ impl TraceFinder {
         }
     }
 
+    /// Blocks until every in-flight mining job has landed and been
+    /// reassembled into the ready queue — the quiescent point a snapshot
+    /// cuts at. A no-op for synchronous mining (jobs complete at
+    /// submission). Nothing is released to the caller; the batches stay
+    /// queued for the next [`Self::poll_completed`], whether that happens
+    /// on this finder or on one restored from the snapshot.
+    fn quiesce(&mut self) {
+        let Miner::Pool {
+            rx,
+            panic_rx,
+            in_flight,
+            pending,
+            next_emit,
+            ready,
+            lost_jobs,
+            first_panic,
+            ..
+        } = &mut self.miner
+        else {
+            return;
+        };
+        while *in_flight > 0 {
+            match rx.recv() {
+                Ok(b) => {
+                    *in_flight -= 1;
+                    pending.insert(b.job, b);
+                }
+                Err(_) => {
+                    *lost_jobs += *in_flight;
+                    *in_flight = 0;
+                }
+            }
+        }
+        while let Ok(job) = panic_rx.try_recv() {
+            first_panic.get_or_insert(job);
+        }
+        Self::release_in_order(pending, next_emit, ready);
+        if *lost_jobs == 0 {
+            debug_assert!(pending.is_empty(), "all batches released once in-flight hits 0");
+        } else {
+            // Lost jobs leave holes in the submission order; release
+            // what completed rather than withholding it forever.
+            ready.extend(std::mem::take(pending).into_values());
+        }
+    }
+
     /// Blocks until every submitted job has completed, then returns them
     /// all (used at shutdown and by tests). If the pool disconnects while
     /// jobs are outstanding, the outstanding jobs are counted as lost and
     /// whatever completed is returned; [`Self::health`] reports the loss.
     pub fn drain_blocking(&mut self) -> Vec<MinedBatch> {
+        self.quiesce();
         match &mut self.miner {
             Miner::Sync { done } => done.drain(..).collect(),
-            Miner::Pool {
-                rx,
-                panic_rx,
-                in_flight,
-                pending,
-                next_emit,
-                ready,
-                lost_jobs,
-                first_panic,
-                ..
-            } => {
-                while *in_flight > 0 {
-                    match rx.recv() {
-                        Ok(b) => {
-                            *in_flight -= 1;
-                            pending.insert(b.job, b);
-                        }
-                        Err(_) => {
-                            *lost_jobs += *in_flight;
-                            *in_flight = 0;
-                        }
-                    }
-                }
-                while let Ok(job) = panic_rx.try_recv() {
-                    first_panic.get_or_insert(job);
-                }
-                Self::release_in_order(pending, next_emit, ready);
-                if *lost_jobs == 0 {
-                    debug_assert!(pending.is_empty(), "all batches released once in-flight hits 0");
-                } else {
-                    // Lost jobs leave holes in the submission order; release
-                    // what completed rather than withholding it forever.
-                    ready.extend(std::mem::take(pending).into_values());
-                }
-                ready.drain(..).collect()
-            }
+            Miner::Pool { ready, .. } => ready.drain(..).collect(),
         }
     }
 
@@ -567,6 +580,106 @@ impl TraceFinder {
     pub fn stream_position(&self) -> u64 {
         self.buffer_start + self.buffer.len() as u64
     }
+
+    /// Serializes the finder's dynamic state: the rolling history buffer,
+    /// sampler counters, job accounting, completed-but-unpolled batches,
+    /// and pipeline health. Configuration-derived fields are not written
+    /// — [`Self::restore_snapshot`] rebuilds them from the same
+    /// [`Config`] the snapshot's owner serializes alongside.
+    ///
+    /// Asynchronous pools are quiesced first (in-flight jobs are waited
+    /// for and queued as ready), so the snapshot needs no thread state;
+    /// with synchronous mining — the deterministic configuration — this
+    /// is a pure observation and the continuation is bit-identical.
+    pub fn write_snapshot(&mut self, w: &mut SnapshotWriter) {
+        self.quiesce();
+        w.put_deque(&self.buffer, |w, h| w.put_u64(h.0));
+        w.put_u64(self.buffer_start);
+        w.put_u64(self.sampler.arrivals());
+        w.put_u64(self.sampler.firings());
+        w.put_u64(self.next_job);
+        w.put_u64(self.jobs_submitted);
+        w.put_u64(self.jobs_prefiltered);
+        let (completed, lost_jobs, first_panic): (Vec<&MinedBatch>, usize, Option<u64>) =
+            match &self.miner {
+                Miner::Sync { done } => (done.iter().collect(), 0, None),
+                Miner::Pool { ready, lost_jobs, first_panic, .. } => {
+                    (ready.iter().collect(), *lost_jobs, *first_panic)
+                }
+            };
+        w.put_seq(&completed, |w, b| put_batch(w, b));
+        w.put_len(lost_jobs);
+        w.put_opt_u64(first_panic);
+    }
+
+    /// Rebuilds a finder from `config` plus the dynamic state captured by
+    /// [`Self::write_snapshot`]. The restored finder submits its next
+    /// mining job at exactly the stream position the original would have.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on truncated or structurally impossible input.
+    pub fn restore_snapshot(
+        config: &Config,
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<Self, SnapshotError> {
+        let mut f = TraceFinder::new(config);
+        f.buffer = r.get_deque(|r| Ok(TaskHash(r.get_u64()?)))?;
+        if f.buffer.len() > f.batch_size {
+            return Err(SnapshotError::Corrupt("history buffer exceeds its capacity".into()));
+        }
+        f.buffer_start = r.get_u64()?;
+        let arrivals = r.get_u64()?;
+        let firings = r.get_u64()?;
+        f.sampler.restore_counts(arrivals, firings);
+        f.next_job = r.get_u64()?;
+        f.jobs_submitted = r.get_u64()?;
+        f.jobs_prefiltered = r.get_u64()?;
+        let completed = r.get_seq(get_batch)?;
+        let lost = r.get_len()?;
+        let panicked = r.get_opt_u64()?;
+        match &mut f.miner {
+            Miner::Sync { done } => {
+                if lost > 0 || panicked.is_some() {
+                    return Err(SnapshotError::Corrupt(
+                        "synchronous finder cannot carry pool failures".into(),
+                    ));
+                }
+                done.extend(completed);
+            }
+            Miner::Pool { ready, next_emit, lost_jobs, first_panic, .. } => {
+                ready.extend(completed);
+                *next_emit = f.next_job;
+                *lost_jobs = lost;
+                *first_panic = panicked;
+            }
+        }
+        Ok(f)
+    }
+}
+
+/// Writes one [`MinedBatch`].
+pub(crate) fn put_batch(w: &mut SnapshotWriter, b: &MinedBatch) {
+    w.put_u64(b.job);
+    w.put_seq(&b.candidates, |w, c| {
+        w.put_seq(&c.content, |w, h| w.put_u64(h.0));
+        w.put_seq(&c.occurrences, |w, o| w.put_u64(*o));
+    });
+    w.put_u64(b.slice_end);
+}
+
+/// Reads one [`MinedBatch`].
+pub(crate) fn get_batch(r: &mut SnapshotReader<'_>) -> Result<MinedBatch, SnapshotError> {
+    Ok(MinedBatch {
+        job: r.get_u64()?,
+        candidates: r.get_seq(|r| {
+            Ok(MinedCandidate {
+                content: r.get_seq(|r| Ok(TaskHash(r.get_u64()?)))?,
+                occurrences: r.get_seq(|r| r.get_u64())?,
+            })
+        })?,
+        slice_end: r.get_u64()?,
+    })
 }
 
 impl Drop for TraceFinder {

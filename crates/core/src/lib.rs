@@ -30,6 +30,10 @@
 //!   bookkeeping without changing any tracing decision.
 //! * [`distributed`] — [`DistributedAutoTracer`]: the §5.1
 //!   control-replication agreement protocol; also a `TaskIssuer`.
+//! * [`snapshot`] — checkpoint/restore: every front-end serializes its
+//!   complete state (`TaskIssuer::checkpoint`) and
+//!   [`Session::resume_from`](session::Session::resume_from) rebuilds it
+//!   in a fresh process, continuing bit-identically.
 //! * [`metrics`] — Figure 9 / Figure 10 instrumentation.
 //!
 //! ## Quickstart
@@ -76,10 +80,11 @@ pub mod metrics;
 pub mod replayer;
 pub mod sampler;
 pub mod session;
+pub mod snapshot;
 
 pub use config::{
-    CapacityConfig, Config, ConfigError, IdentifierAlgorithm, MiningMode, RepeatsAlgorithm,
-    ScoringConfig,
+    CapacityConfig, Config, ConfigError, FinderPolicy, IdentifierAlgorithm, MiningMode,
+    RepeatsAlgorithm, ScoringConfig,
 };
 pub use distributed::{DelayModel, DistributedAutoTracer};
 pub use engine::AutoTracer;
@@ -87,4 +92,5 @@ pub use finder::{FinderError, MinedBatch, MinedCandidate, TraceFinder};
 pub use metrics::{CapacitySample, CapacitySeries, TracedWindow, WarmupDetector};
 pub use replayer::{TraceReplayer, TraceSink};
 pub use session::{Session, SessionBuilder, Tracing};
+pub use snapshot::{CheckpointMeta, SnapshotError};
 pub use substrings::SuffixBackend;

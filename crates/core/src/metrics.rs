@@ -12,6 +12,7 @@
 //!   evictions), the series behind the soak bench's peak-memory report.
 
 use std::collections::VecDeque;
+use tasksim::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// One sample of the candidate-store footprint, taken after a mining
 /// batch was ingested (and any eviction ran).
@@ -215,6 +216,90 @@ impl WarmupDetector {
 impl Default for WarmupDetector {
     fn default() -> Self {
         Self::new(0.8, 3)
+    }
+}
+
+impl Snapshot for CapacitySeries {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_seq(&self.samples, |w, s| {
+            w.put_u64(s.at_task);
+            w.put_len(s.candidates);
+            w.put_len(s.trie_nodes);
+            w.put_len(s.allocated_nodes);
+            w.put_u64(s.evicted);
+        });
+        w.put_len(self.peak_allocated);
+    }
+}
+
+impl Restore for CapacitySeries {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            samples: r.get_seq(|r| {
+                Ok(CapacitySample {
+                    at_task: r.get_u64()?,
+                    candidates: r.get_len()?,
+                    trie_nodes: r.get_len()?,
+                    allocated_nodes: r.get_len()?,
+                    evicted: r.get_u64()?,
+                })
+            })?,
+            peak_allocated: r.get_len()?,
+        })
+    }
+}
+
+impl Snapshot for TracedWindow {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_len(self.window);
+        w.put_deque(&self.ring, |w, b| w.put_bool(*b));
+        w.put_seq(&self.samples, |w, (at, pct)| {
+            w.put_u64(*at);
+            w.put_f64(*pct);
+        });
+        w.put_u64(self.sample_every);
+        w.put_u64(self.count);
+    }
+}
+
+impl Restore for TracedWindow {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let window = r.get_len()?;
+        let ring = r.get_deque(|r| r.get_bool())?;
+        if window == 0 || ring.len() > window {
+            return Err(SnapshotError::Corrupt("traced-window ring exceeds its window".into()));
+        }
+        let traced_in_ring = ring.iter().filter(|&&b| b).count();
+        let samples = r.get_seq(|r| Ok((r.get_u64()?, r.get_f64()?)))?;
+        let sample_every = r.get_u64()?;
+        if sample_every == 0 {
+            return Err(SnapshotError::Corrupt("traced-window sample interval is zero".into()));
+        }
+        Ok(Self { window, ring, traced_in_ring, samples, sample_every, count: r.get_u64()? })
+    }
+}
+
+impl Snapshot for WarmupDetector {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_f64(self.threshold);
+        w.put_u32(self.consecutive);
+        w.put_u32(self.streak);
+        w.put_u64(self.iterations);
+        w.put_opt_u64(self.steady_at);
+        w.put_seq(&self.history, |w, f| w.put_f64(*f));
+    }
+}
+
+impl Restore for WarmupDetector {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            threshold: r.get_f64()?,
+            consecutive: r.get_u32()?,
+            streak: r.get_u32()?,
+            iterations: r.get_u64()?,
+            steady_at: r.get_opt_u64()?,
+            history: r.get_seq(|r| r.get_f64())?,
+        })
     }
 }
 

@@ -36,8 +36,9 @@
 use crate::config::{CapacityConfig, Config, ScoringConfig};
 use crate::finder::MinedBatch;
 use std::collections::{HashSet, VecDeque};
-use substrings::trie::{CandidateId, NodeId, Trie};
+use substrings::trie::{CandidateId, NodeId, NodeSnapshot, Trie, TrieSnapshot};
 use tasksim::ids::TraceId;
+use tasksim::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tasksim::task::{TaskDesc, TaskHash};
 
 /// Where the replayer forwards operations — the runtime beneath Apophenia.
@@ -65,6 +66,19 @@ pub trait TraceSink {
     fn forget_trace(&mut self, _id: TraceId) -> Result<(), Self::Error> {
         Ok(())
     }
+
+    /// Reports the replayer's current §4.3 utility score for the
+    /// candidate behind trace `id`, pushed just before each replay — the
+    /// shared signal a bounded template store ranks its own evictions by,
+    /// so the two stores agree about what is hot. The score is a pure
+    /// function of the deterministic stream. Default: ignore.
+    ///
+    /// # Errors
+    ///
+    /// Sink-defined.
+    fn record_trace_score(&mut self, _id: TraceId, _score: f64) -> Result<(), Self::Error> {
+        Ok(())
+    }
 }
 
 impl TraceSink for tasksim::runtime::Runtime {
@@ -84,6 +98,11 @@ impl TraceSink for tasksim::runtime::Runtime {
 
     fn forget_trace(&mut self, id: TraceId) -> Result<(), Self::Error> {
         tasksim::runtime::Runtime::forget_template(self, id);
+        Ok(())
+    }
+
+    fn record_trace_score(&mut self, id: TraceId, score: f64) -> Result<(), Self::Error> {
+        tasksim::runtime::Runtime::note_trace_score(self, id, score);
         Ok(())
     }
 }
@@ -155,6 +174,11 @@ pub struct ReplayerStats {
     pub meta_capacity: usize,
     /// Most `meta` slots ever allocated at once.
     pub peak_meta_capacity: usize,
+    /// Tasks currently buffered in the pending queue (the replayer's half
+    /// of the end-to-end backpressure signal).
+    pub pending_tasks: usize,
+    /// Most tasks ever buffered in the pending queue at once.
+    pub peak_pending_tasks: usize,
 }
 
 /// The online recognizer/replayer. See module docs.
@@ -341,6 +365,7 @@ impl TraceReplayer {
         let global = self.now;
         self.now += 1;
         self.pending.push_back(PendingTask { desc, global });
+        self.stats.peak_pending_tasks = self.stats.peak_pending_tasks.max(self.pending.len());
 
         // Advance cursors (including a fresh one starting here).
         let mut survivors = Vec::with_capacity(self.cursors.len() + 1);
@@ -400,6 +425,7 @@ impl TraceReplayer {
         ReplayerStats {
             candidates: self.trie.candidate_count(),
             meta_capacity: self.meta.len(),
+            pending_tasks: self.pending.len(),
             ..self.stats
         }
     }
@@ -445,6 +471,147 @@ impl TraceReplayer {
         };
         let bonus = if m.replays > 0 { 1.0 + self.scoring.replay_bonus } else { 1.0 };
         m.len as f64 * count * decay * bonus
+    }
+
+    /// Serializes the replayer's complete dynamic state: the candidate
+    /// trie (free lists and tombstones included, so slot recycling
+    /// continues identically), the meta table, live cursors, the pending
+    /// buffer, completed matches, retired trace ids, and counters.
+    /// Configuration-derived fields are rebuilt from the [`Config`] the
+    /// snapshot's owner serializes alongside.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        let snap = self.trie.to_snapshot();
+        w.put_seq(&snap.nodes, |w, n| {
+            w.put_seq(&n.children, |w, (tok, child)| {
+                w.put_u64(tok.0);
+                w.put_u32(*child);
+            });
+            w.put_opt_u32(n.terminal);
+            w.put_u32(n.depth);
+            w.put_u32(n.subtree_max);
+        });
+        w.put_seq(&snap.lengths, |w, l| w.put_u32(*l));
+        w.put_seq(&snap.contents, |w, c| w.put_seq(c, |w, h| w.put_u64(h.0)));
+        w.put_seq(&snap.free_nodes, |w, n| w.put_u32(*n));
+        w.put_seq(&snap.free_candidates, |w, c| w.put_u32(*c));
+        w.put_seq(&self.meta, |w, m| {
+            w.put_opt_u32(m.trace_id.map(|t| t.0));
+            w.put_u32(m.count);
+            w.put_u64(m.last_seen);
+            w.put_u64(m.replays);
+            w.put_len(m.len);
+        });
+        w.put_seq(&self.cursors, |w, c| {
+            w.put_len(c.node.index());
+            w.put_u64(c.start);
+        });
+        w.put_deque(&self.pending, |w, p| {
+            p.desc.snapshot(w);
+            w.put_u64(p.global);
+        });
+        w.put_seq(&self.completed, |w, c| {
+            w.put_u32(c.cand.0);
+            w.put_u64(c.start);
+            w.put_u64(c.end);
+        });
+        w.put_seq(&self.retired_traces, |w, t| w.put_u32(t.0));
+        w.put_u32(self.next_trace);
+        w.put_u64(self.now);
+        let s = &self.stats;
+        w.put_u64(s.forwarded_untraced);
+        w.put_u64(s.forwarded_traced);
+        w.put_u64(s.traces_issued);
+        w.put_u64(s.evicted_candidates);
+        w.put_u64(s.trie_compactions);
+        w.put_len(s.peak_candidates);
+        w.put_len(s.peak_trie_nodes);
+        w.put_len(s.peak_meta_capacity);
+        w.put_len(s.peak_pending_tasks);
+    }
+
+    /// Rebuilds a replayer from `config` plus the state captured by
+    /// [`Self::write_snapshot`]. The restored replayer makes every future
+    /// match, replay, and eviction decision exactly as the original would
+    /// have.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on truncated or structurally impossible input
+    /// (broken trie invariants, out-of-range cursors, dead completed
+    /// matches).
+    pub fn restore_snapshot(
+        config: &Config,
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<Self, SnapshotError> {
+        let nodes = r.get_seq(|r| {
+            Ok(NodeSnapshot {
+                children: r.get_seq(|r| Ok((TaskHash(r.get_u64()?), r.get_u32()?)))?,
+                terminal: r.get_opt_u32()?,
+                depth: r.get_u32()?,
+                subtree_max: r.get_u32()?,
+            })
+        })?;
+        let snap = TrieSnapshot {
+            nodes,
+            lengths: r.get_seq(|r| r.get_u32())?,
+            contents: r.get_seq(|r| r.get_seq(|r| Ok(TaskHash(r.get_u64()?))))?,
+            free_nodes: r.get_seq(|r| r.get_u32())?,
+            free_candidates: r.get_seq(|r| r.get_u32())?,
+        };
+        let trie = Trie::from_snapshot(snap).map_err(SnapshotError::Corrupt)?;
+        let mut replayer = TraceReplayer::new(config);
+        let node_bound = trie.allocated_node_count();
+        replayer.trie = trie;
+        replayer.meta = r.get_seq(|r| {
+            Ok(CandidateMeta {
+                trace_id: r.get_opt_u32()?.map(TraceId),
+                count: r.get_u32()?,
+                last_seen: r.get_u64()?,
+                replays: r.get_u64()?,
+                len: r.get_len()?,
+            })
+        })?;
+        replayer.cursors = r.get_seq(|r| {
+            let node = r.get_len()?;
+            if node >= node_bound {
+                return Err(SnapshotError::Corrupt("cursor node out of range".into()));
+            }
+            Ok(Cursor { node: NodeId::from_index(node), start: r.get_u64()? })
+        })?;
+        replayer.pending =
+            r.get_deque(|r| Ok(PendingTask { desc: TaskDesc::restore(r)?, global: r.get_u64()? }))?;
+        replayer.completed = r.get_seq(|r| {
+            Ok(CompletedMatch {
+                cand: CandidateId(r.get_u32()?),
+                start: r.get_u64()?,
+                end: r.get_u64()?,
+            })
+        })?;
+        for c in &replayer.completed {
+            if (c.cand.0 as usize) >= replayer.meta.len() || !replayer.trie.is_live(c.cand) {
+                return Err(SnapshotError::Corrupt(
+                    "completed match names a dead candidate".into(),
+                ));
+            }
+        }
+        replayer.retired_traces = r.get_seq(|r| Ok(TraceId(r.get_u32()?)))?;
+        replayer.next_trace = r.get_u32()?;
+        replayer.now = r.get_u64()?;
+        replayer.stats = ReplayerStats {
+            forwarded_untraced: r.get_u64()?,
+            forwarded_traced: r.get_u64()?,
+            traces_issued: r.get_u64()?,
+            candidates: replayer.trie.candidate_count(),
+            evicted_candidates: r.get_u64()?,
+            trie_compactions: r.get_u64()?,
+            peak_candidates: r.get_len()?,
+            peak_trie_nodes: r.get_len()?,
+            meta_capacity: replayer.meta.len(),
+            peak_meta_capacity: r.get_len()?,
+            pending_tasks: replayer.pending.len(),
+            peak_pending_tasks: r.get_len()?,
+        };
+        Ok(replayer)
     }
 
     /// Tells the sink to drop templates whose candidates were evicted
@@ -533,12 +700,17 @@ impl TraceReplayer {
             Some(m.start),
             "match start must head the pending queue"
         );
+        // Push the candidate's current utility to the sink before the
+        // brackets: a bounded template store ranks its evictions by this
+        // shared signal instead of its own replays/LRU heuristic.
+        let score = self.score(m.cand, self.now);
         let meta = &mut self.meta[m.cand.0 as usize];
         let tid = *meta.trace_id.get_or_insert_with(|| {
             let t = TraceId(self.next_trace);
             self.next_trace += 1;
             t
         });
+        sink.record_trace_score(tid, score)?;
         sink.begin_trace(tid)?;
         for _ in m.start..m.end {
             let p = self.pending.pop_front().expect("matched tasks are pending");
@@ -1040,6 +1212,114 @@ mod tests {
         feed(&mut r, &mut sink, &[1, 2]);
         r.flush(&mut sink).unwrap();
         assert_eq!(r.stats().traces_issued, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_state_and_counters() {
+        let config = cfg(2).with_max_candidates(4);
+        let mut r = TraceReplayer::new(&config);
+        r.ingest(&batch_of(&[&[1, 2, 3], &[7, 8]]));
+        let mut s = EventSink::default();
+        // Leave a live cursor and pending tasks at the cut.
+        feed(&mut r, &mut s, &[9, 1, 2]);
+        assert!(r.pending_len() > 0, "cut mid-match");
+
+        let mut w = SnapshotWriter::new();
+        r.write_snapshot(&mut w);
+        let payload = w.into_payload();
+        let mut reader = SnapshotReader::new(&payload);
+        let mut restored = TraceReplayer::restore_snapshot(&config, &mut reader).unwrap();
+        reader.expect_end().unwrap();
+        assert_eq!(restored.stats(), r.stats());
+        assert_eq!(restored.pending_len(), r.pending_len());
+        assert_eq!(restored.trie_node_count(), r.trie_node_count());
+
+        // Both finish the match identically.
+        let (mut sa, mut sb) = (EventSink::default(), EventSink::default());
+        feed(&mut r, &mut sa, &[3, 5]);
+        feed(&mut restored, &mut sb, &[3, 5]);
+        r.flush(&mut sa).unwrap();
+        restored.flush(&mut sb).unwrap();
+        assert_eq!(sa.events, sb.events, "continuation is event-for-event identical");
+        assert_eq!(r.stats(), restored.stats());
+    }
+
+    #[test]
+    fn corrupt_replayer_snapshots_rejected() {
+        let config = cfg(2);
+        let mut r = TraceReplayer::new(&config);
+        r.ingest(&batch_of(&[&[1, 2]]));
+        let mut s = EventSink::default();
+        feed(&mut r, &mut s, &[1]);
+        let mut w = SnapshotWriter::new();
+        r.write_snapshot(&mut w);
+        let payload = w.into_payload();
+        // Truncation at any prefix is a typed error, never a panic.
+        for cut in [0, 1, payload.len() / 2, payload.len() - 1] {
+            let mut reader = SnapshotReader::new(&payload[..cut]);
+            assert!(
+                TraceReplayer::restore_snapshot(&config, &mut reader).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Snapshot/restore at a random point of a random stream:
+            /// the restored replayer must forward exactly the events the
+            /// uninterrupted replayer forwards for the rest of the
+            /// stream, including after a fresh mining ingest (which
+            /// exercises slot recycling and capacity eviction).
+            #[test]
+            fn snapshot_restore_continues_identically(
+                cand_a in proptest::collection::vec(1u32..5, 2..5),
+                cand_b in proptest::collection::vec(1u32..5, 2..5),
+                stream in proptest::collection::vec(1u32..6, 4..50),
+                cut_sel in any::<u16>(),
+            ) {
+                let config = cfg(2).with_max_candidates(2);
+                let mut original = TraceReplayer::new(&config);
+                let seed: Vec<&[u32]> = vec![&cand_a];
+                original.ingest(&batch_of(&seed));
+                let cut = 1 + (cut_sel as usize) % (stream.len() - 1);
+                let mut pre = EventSink::default();
+                feed(&mut original, &mut pre, &stream[..cut]);
+
+                let mut w = SnapshotWriter::new();
+                original.write_snapshot(&mut w);
+                let payload = w.into_payload();
+                let mut reader = SnapshotReader::new(&payload);
+                let mut restored =
+                    TraceReplayer::restore_snapshot(&config, &mut reader).unwrap();
+                reader.expect_end().unwrap();
+
+                // A post-cut ingest lands identically on both (the
+                // capacity cap may force an eviction decision).
+                let late: Vec<&[u32]> = vec![&cand_b];
+                original.ingest(&batch_of(&late));
+                restored.ingest(&batch_of(&late));
+
+                let (mut sa, mut sb) = (EventSink::default(), EventSink::default());
+                feed(&mut original, &mut sa, &stream[cut..]);
+                feed(&mut restored, &mut sb, &stream[cut..]);
+                original.flush(&mut sa).unwrap();
+                restored.flush(&mut sb).unwrap();
+                prop_assert_eq!(sa.events, sb.events);
+                prop_assert_eq!(original.stats(), restored.stats());
+
+                // And their states stay byte-identical afterwards.
+                let (mut wa, mut wb) = (SnapshotWriter::new(), SnapshotWriter::new());
+                original.write_snapshot(&mut wa);
+                restored.write_snapshot(&mut wb);
+                prop_assert_eq!(wa.into_payload(), wb.into_payload());
+            }
+        }
     }
 
     #[test]

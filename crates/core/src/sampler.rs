@@ -83,6 +83,14 @@ impl MultiScaleSampler {
     pub fn firings(&self) -> u64 {
         self.firings
     }
+
+    /// Restores the arrival/firing counters captured by a snapshot, so a
+    /// resumed stream fires analyses on exactly the schedule the
+    /// uninterrupted stream would have.
+    pub(crate) fn restore_counts(&mut self, arrivals: u64, firings: u64) {
+        self.arrivals = arrivals;
+        self.firings = firings;
+    }
 }
 
 #[cfg(test)]

@@ -156,6 +156,71 @@ impl Session {
     pub fn builder() -> SessionBuilder {
         SessionBuilder { runtime: RuntimeConfig::single_node(1), tracing: Tracing::Untraced }
     }
+
+    /// Restores a front-end from a checkpoint written by
+    /// [`TaskIssuer::checkpoint`]. The snapshot is self-contained — the
+    /// envelope's front-end tag selects which front-end to rebuild, and
+    /// the payload carries every configuration knob — so a fresh process
+    /// needs nothing but the bytes. The restored issuer continues
+    /// **bit-identically** to the uninterrupted run: same reports, same
+    /// op digest, same eviction decisions.
+    ///
+    /// ```
+    /// use apophenia::{Config, Session, Tracing};
+    /// use tasksim::ids::TaskKindId;
+    /// use tasksim::task::TaskDesc;
+    ///
+    /// # fn main() -> Result<(), tasksim::runtime::RuntimeError> {
+    /// let mut issuer = Session::builder()
+    ///     .tracing(Tracing::Auto(
+    ///         Config::standard().with_min_trace_length(2).with_multi_scale_factor(8),
+    ///     ))
+    ///     .build();
+    /// let a = issuer.create_region(1);
+    /// let b = issuer.create_region(1);
+    /// for _ in 0..100 {
+    ///     issuer.execute_task(TaskDesc::new(TaskKindId(0)).reads(a).writes(b))?;
+    ///     issuer.mark_iteration();
+    /// }
+    /// // Checkpoint mid-stream (in production: to a file), "crash", …
+    /// let mut bytes = Vec::new();
+    /// let meta = issuer.checkpoint(&mut bytes)?;
+    /// drop(issuer);
+    /// // … and resume in a fresh session, continuing where it left off.
+    /// let mut resumed = Session::resume_from(&mut bytes.as_slice())?;
+    /// assert_eq!(resumed.op_digest(), meta.op_digest);
+    /// for _ in 0..100 {
+    ///     resumed.execute_task(TaskDesc::new(TaskKindId(0)).reads(a).writes(b))?;
+    ///     resumed.mark_iteration();
+    /// }
+    /// resumed.flush()?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Snapshot`](tasksim::runtime::RuntimeError) with a
+    /// typed [`SnapshotError`](tasksim::snapshot::SnapshotError) on
+    /// truncated, corrupt, version-mismatched, or unknown-front-end
+    /// input.
+    pub fn resume_from(
+        reader: &mut dyn std::io::Read,
+    ) -> Result<Box<dyn TaskIssuer>, tasksim::runtime::RuntimeError> {
+        use tasksim::snapshot::{self, SnapshotError, SnapshotReader};
+        let (tag, payload) = snapshot::read_envelope(reader)?;
+        let mut r = SnapshotReader::new(&payload);
+        let issuer: Box<dyn TaskIssuer> = match tag {
+            snapshot::FRONT_END_RUNTIME => Box::new(Runtime::restore_snapshot(&mut r)?),
+            snapshot::FRONT_END_AUTO => Box::new(AutoTracer::restore_snapshot(&mut r)?),
+            snapshot::FRONT_END_DISTRIBUTED => {
+                Box::new(DistributedAutoTracer::restore_snapshot(&mut r)?)
+            }
+            other => return Err(SnapshotError::UnknownFrontEnd(other).into()),
+        };
+        r.expect_end().map_err(tasksim::runtime::RuntimeError::Snapshot)?;
+        Ok(issuer)
+    }
 }
 
 #[cfg(test)]

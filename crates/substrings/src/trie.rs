@@ -44,6 +44,15 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a node id from a slot index previously obtained through
+    /// [`Self::index`] — the inverse needed when external bookkeeping
+    /// (e.g. a serialized cursor set) is restored against a trie rebuilt
+    /// by [`Trie::from_snapshot`]. The caller is responsible for the
+    /// index naming a live node of the same trie.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -414,6 +423,161 @@ impl<T: Token> Default for Trie<T> {
     }
 }
 
+/// One node of a [`TrieSnapshot`]: the plain-data mirror of a trie node,
+/// with children listed in sorted token order so identical tries produce
+/// identical snapshots despite the backing hash maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSnapshot<T> {
+    /// `(token, child slot index)` transitions, sorted by token.
+    pub children: Vec<(T, u32)>,
+    /// Terminal candidate slot, if a candidate ends here.
+    pub terminal: Option<u32>,
+    /// Tokens from the root.
+    pub depth: u32,
+    /// Longest candidate through this node.
+    pub subtree_max: u32,
+}
+
+/// A complete, plain-data image of a [`Trie`] — including the free
+/// list and tombstone state, so the restored trie recycles slots in
+/// exactly the order the original would have. Produced by
+/// [`Trie::to_snapshot`], consumed by [`Trie::from_snapshot`]; the
+/// serialization layer above decides how the image reaches disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrieSnapshot<T> {
+    /// Every allocated node slot, live or free-listed, by index.
+    pub nodes: Vec<NodeSnapshot<T>>,
+    /// Candidate lengths by slot (`0` = tombstone).
+    pub lengths: Vec<u32>,
+    /// Candidate contents by slot (empty = tombstone).
+    pub contents: Vec<Vec<T>>,
+    /// Free-listed node slots, in recycling order.
+    pub free_nodes: Vec<u32>,
+    /// Tombstoned candidate slots, in recycling order.
+    pub free_candidates: Vec<u32>,
+}
+
+impl<T: Token> Trie<T> {
+    /// Captures the trie's complete state (see [`TrieSnapshot`]).
+    pub fn to_snapshot(&self) -> TrieSnapshot<T> {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut children: Vec<(T, u32)> =
+                    n.children.iter().map(|(&tok, &id)| (tok, id.0)).collect();
+                children.sort_unstable_by_key(|&(tok, _)| tok);
+                NodeSnapshot {
+                    children,
+                    terminal: n.terminal.map(|c| c.0),
+                    depth: n.depth,
+                    subtree_max: n.subtree_max,
+                }
+            })
+            .collect();
+        TrieSnapshot {
+            nodes,
+            lengths: self.lengths.clone(),
+            contents: self.contents.clone(),
+            free_nodes: self.free_nodes.clone(),
+            free_candidates: self.free_candidates.clone(),
+        }
+    }
+
+    /// Rebuilds a trie from a snapshot, validating structural invariants:
+    /// slot indices in range, candidate lengths matching contents,
+    /// terminals naming live candidates, and free lists naming genuinely
+    /// free slots. A restored trie is behaviorally identical to the
+    /// original — same recognition, same future slot recycling.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn from_snapshot(snap: TrieSnapshot<T>) -> Result<Self, String> {
+        let node_bound = snap.nodes.len();
+        if node_bound == 0 {
+            return Err("trie snapshot has no root node".into());
+        }
+        if snap.lengths.len() != snap.contents.len() {
+            return Err("candidate length/content tables disagree".into());
+        }
+        let cand_bound = snap.lengths.len();
+        let mut live_candidates = 0usize;
+        for (len, content) in snap.lengths.iter().zip(&snap.contents) {
+            match len {
+                0 if !content.is_empty() => {
+                    return Err("tombstoned candidate retains content".into())
+                }
+                0 => {}
+                l if *l as usize != content.len() => {
+                    return Err("candidate length disagrees with its content".into())
+                }
+                _ => live_candidates += 1,
+            }
+        }
+        let free_node_set: std::collections::HashSet<u32> =
+            snap.free_nodes.iter().copied().collect();
+        if free_node_set.len() != snap.free_nodes.len() {
+            return Err("duplicate free-listed node".into());
+        }
+        let mut nodes = Vec::with_capacity(node_bound);
+        for (idx, n) in snap.nodes.iter().enumerate() {
+            let free = free_node_set.contains(&(idx as u32));
+            if free && (!n.children.is_empty() || n.terminal.is_some()) {
+                return Err("free-listed node is not empty".into());
+            }
+            let mut children = HashMap::with_capacity(n.children.len());
+            for &(tok, child) in &n.children {
+                if child as usize >= node_bound || child == 0 {
+                    return Err("child index out of range".into());
+                }
+                if children.insert(tok, NodeId(child)).is_some() {
+                    return Err("duplicate child token".into());
+                }
+            }
+            if let Some(c) = n.terminal {
+                if (c as usize) >= cand_bound || snap.lengths[c as usize] == 0 {
+                    return Err("terminal names a dead candidate".into());
+                }
+            }
+            nodes.push(Node {
+                children,
+                terminal: n.terminal.map(CandidateId),
+                depth: n.depth,
+                subtree_max: n.subtree_max,
+            });
+        }
+        for &slot in &snap.free_candidates {
+            if slot as usize >= cand_bound || snap.lengths[slot as usize] != 0 {
+                return Err("free-listed candidate slot is live".into());
+            }
+        }
+        let trie = Self {
+            nodes,
+            lengths: snap.lengths,
+            contents: snap.contents,
+            free_nodes: snap.free_nodes,
+            free_candidates: snap.free_candidates,
+            live_candidates,
+        };
+        // Every live candidate must be recognized along an intact path.
+        for idx in 0..trie.lengths.len() {
+            if trie.lengths[idx] == 0 {
+                continue;
+            }
+            let mut cur = Self::ROOT;
+            for &tok in &trie.contents[idx] {
+                cur =
+                    trie.step(cur, tok).ok_or_else(|| "live candidate path broken".to_string())?;
+            }
+            if trie.nodes[cur.0 as usize].terminal != Some(CandidateId(idx as u32)) {
+                return Err("live candidate not terminal at its path end".into());
+            }
+        }
+        Ok(trie)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +750,57 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let mut t = Trie::new();
+        let abc = t.insert(b"abc").unwrap();
+        let ab = t.insert(b"ab").unwrap();
+        let xyz = t.insert(b"xyz").unwrap();
+        t.remove(xyz).unwrap(); // leaves free nodes + a tombstoned slot
+        let snap = t.to_snapshot();
+        let r = Trie::from_snapshot(snap.clone()).unwrap();
+        assert_eq!(r.to_snapshot(), snap, "round trip is a fixed point");
+        assert_eq!(r.candidate_count(), 2);
+        assert_eq!(r.free_node_count(), t.free_node_count());
+        assert_eq!(r.candidate(ab), b"ab");
+        assert_eq!(r.candidate_len(abc), 3);
+        // Recycling continues exactly where the original would: the next
+        // insert reuses xyz's candidate slot and the freed nodes.
+        let mut orig = t;
+        let mut rest = r;
+        assert_eq!(orig.insert(b"pq"), rest.insert(b"pq"));
+        assert_eq!(orig.to_snapshot(), rest.to_snapshot());
+    }
+
+    #[test]
+    fn corrupt_snapshots_rejected() {
+        let mut t = Trie::new();
+        t.insert(b"ab").unwrap();
+        let good = t.to_snapshot();
+
+        let mut bad = good.clone();
+        bad.nodes.clear();
+        assert!(Trie::from_snapshot(bad).is_err(), "no root");
+
+        let mut bad = good.clone();
+        bad.lengths[0] = 9;
+        assert!(Trie::from_snapshot(bad).is_err(), "length/content mismatch");
+
+        let mut bad = good.clone();
+        bad.nodes[0].children[0].1 = 99;
+        assert!(Trie::from_snapshot(bad).is_err(), "child out of range");
+
+        let mut bad = good.clone();
+        bad.free_candidates.push(0);
+        assert!(Trie::from_snapshot(bad).is_err(), "live slot on the free list");
+
+        let mut bad = good.clone();
+        bad.nodes[2].terminal = None;
+        assert!(Trie::from_snapshot(bad).is_err(), "live candidate lost its terminal");
+
+        assert!(Trie::from_snapshot(good).is_ok());
+    }
+
+    #[test]
     fn subtree_max_tracks_removals() {
         let mut t = Trie::new();
         let abc = t.insert(b"abc").unwrap();
@@ -692,6 +907,45 @@ mod tests {
                     }
                     prop_assert_eq!(t.is_empty(), model.is_empty());
                 }
+            }
+
+            /// Snapshot/restore at a random point of a random
+            /// insert/remove stream: the restored trie must behave
+            /// byte-for-byte like the original for the *rest* of the
+            /// stream — same ids, same prunes, same recycling.
+            #[test]
+            fn snapshot_restore_continues_identically(
+                ops in proptest::collection::vec(
+                    (any::<bool>(), proptest::collection::vec(0u8..3, 1..8)),
+                    2..40),
+                cut_sel in any::<u16>()
+            ) {
+                let cut = (cut_sel as usize) % ops.len();
+                let mut t: Trie<u8> = Trie::new();
+                let mut ids: Vec<CandidateId> = Vec::new();
+                let apply = |t: &mut Trie<u8>, ids: &mut Vec<CandidateId>,
+                             op: &(bool, Vec<u8>)| {
+                    let (remove, seq) = op;
+                    if *remove {
+                        if let Some(id) = ids.pop() {
+                            t.remove(id);
+                        }
+                    } else if let Some(id) = t.insert(seq) {
+                        ids.push(id);
+                    }
+                };
+                for op in &ops[..cut] {
+                    apply(&mut t, &mut ids, op);
+                }
+                let mut restored =
+                    Trie::from_snapshot(t.to_snapshot()).expect("own snapshots restore");
+                let mut ids_r = ids.clone();
+                for op in &ops[cut..] {
+                    apply(&mut t, &mut ids, op);
+                    apply(&mut restored, &mut ids_r, op);
+                    prop_assert_eq!(t.to_snapshot(), restored.to_snapshot());
+                }
+                prop_assert_eq!(ids, ids_r);
             }
 
             /// Compaction preserves recognition and shrinks allocation to

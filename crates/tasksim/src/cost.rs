@@ -15,6 +15,7 @@
 //!   fan-in that makes untraced runs fall off at scale (substitution
 //!   documented in DESIGN.md §6).
 
+use crate::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
@@ -202,6 +203,63 @@ impl CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         Self::paper_calibrated()
+    }
+}
+
+impl Snapshot for AnalysisKind {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u8(match self {
+            AnalysisKind::Fresh => 0,
+            AnalysisKind::Recording => 1,
+            AnalysisKind::Replayed => 2,
+        });
+    }
+}
+
+impl Restore for AnalysisKind {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(AnalysisKind::Fresh),
+            1 => Ok(AnalysisKind::Recording),
+            2 => Ok(AnalysisKind::Replayed),
+            t => Err(SnapshotError::Corrupt(format!("invalid analysis kind {t}"))),
+        }
+    }
+}
+
+impl Snapshot for CostModel {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        for v in [
+            self.alpha_analysis.0,
+            self.alpha_memo.0,
+            self.alpha_replay.0,
+            self.replay_const.0,
+            self.launch.0,
+            self.launch_auto.0,
+            self.analysis_scale_kappa,
+            self.replay_len_knee,
+            self.comm_base.0,
+            self.comm_per_doubling.0,
+        ] {
+            w.put_f64(v);
+        }
+    }
+}
+
+impl Restore for CostModel {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            alpha_analysis: Micros(r.get_f64()?),
+            alpha_memo: Micros(r.get_f64()?),
+            alpha_replay: Micros(r.get_f64()?),
+            replay_const: Micros(r.get_f64()?),
+            launch: Micros(r.get_f64()?),
+            launch_auto: Micros(r.get_f64()?),
+            analysis_scale_kappa: r.get_f64()?,
+            replay_len_knee: r.get_f64()?,
+            comm_base: Micros(r.get_f64()?),
+            comm_per_doubling: Micros(r.get_f64()?),
+        })
     }
 }
 

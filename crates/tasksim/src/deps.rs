@@ -18,6 +18,7 @@
 
 use crate::ids::{OpId, RegionId};
 use crate::region::RegionForest;
+use crate::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::task::{RegionRequirement, TaskDesc};
 use std::collections::HashMap;
 
@@ -112,6 +113,50 @@ impl DependenceAnalyzer {
     /// state size).
     pub fn frontier_size(&self) -> usize {
         self.frontiers.values().map(|f| f.others.len() + f.readers.len()).sum()
+    }
+}
+
+fn snapshot_users(w: &mut SnapshotWriter, users: &[User]) {
+    w.put_seq(users, |w, u| {
+        w.put_u64(u.op.0);
+        u.req.snapshot(w);
+    });
+}
+
+fn restore_users(r: &mut SnapshotReader<'_>) -> Result<Vec<User>, SnapshotError> {
+    r.get_seq(|r| Ok(User { op: OpId(r.get_u64()?), req: RegionRequirement::restore(r)? }))
+}
+
+impl Snapshot for DependenceAnalyzer {
+    /// Frontier keys are written in sorted order so identical analyzer
+    /// states serialize to identical bytes despite the hash map.
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        let mut roots: Vec<RegionId> = self.frontiers.keys().copied().collect();
+        roots.sort_unstable();
+        w.put_seq(&roots, |w, root| {
+            w.put_u32(root.0);
+            let f = &self.frontiers[root];
+            snapshot_users(w, &f.others);
+            snapshot_users(w, &f.readers);
+        });
+    }
+}
+
+impl Restore for DependenceAnalyzer {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let entries = r.get_seq(|r| {
+            let root = RegionId(r.get_u32()?);
+            let others = restore_users(r)?;
+            let readers = restore_users(r)?;
+            Ok((root, Frontier { others, readers }))
+        })?;
+        let mut frontiers = HashMap::with_capacity(entries.len());
+        for (root, frontier) in entries {
+            if frontiers.insert(root, frontier).is_some() {
+                return Err(SnapshotError::Corrupt(format!("duplicate frontier for {root}")));
+            }
+        }
+        Ok(Self { frontiers })
     }
 }
 

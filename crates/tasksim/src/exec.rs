@@ -59,6 +59,7 @@
 use crate::cost::{AnalysisKind, Micros};
 use crate::ids::OpId;
 use crate::runtime::RuntimeConfig;
+use crate::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::task::{Fnv1a, TaskHash};
 use std::collections::VecDeque;
 
@@ -215,6 +216,111 @@ impl OpLog {
     /// [`LogRetention::Drain`] discards the ops themselves.
     pub fn digest(&self) -> u64 {
         self.digest
+    }
+}
+
+impl Snapshot for LogRetention {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u8(match self {
+            LogRetention::Full => 0,
+            LogRetention::Drain => 1,
+        });
+    }
+}
+
+impl Restore for LogRetention {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(LogRetention::Full),
+            1 => Ok(LogRetention::Drain),
+            t => Err(SnapshotError::Corrupt(format!("invalid retention tag {t}"))),
+        }
+    }
+}
+
+impl Snapshot for TaskRecord {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.hash.0);
+        self.analysis.snapshot(w);
+        w.put_f64(self.gpu_time.0);
+        w.put_seq(&self.preds, |w, p| w.put_u64(p.0));
+        w.put_bool(self.replay_head);
+        w.put_opt_u64(self.forward_gate);
+        w.put_opt_u64(self.exec_gate);
+        w.put_u32(self.trace_len);
+    }
+}
+
+impl Restore for TaskRecord {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            hash: TaskHash(r.get_u64()?),
+            analysis: AnalysisKind::restore(r)?,
+            gpu_time: Micros(r.get_f64()?),
+            preds: r.get_seq(|r| Ok(OpId(r.get_u64()?)))?,
+            replay_head: r.get_bool()?,
+            forward_gate: r.get_opt_u64()?,
+            exec_gate: r.get_opt_u64()?,
+            trace_len: r.get_u32()?,
+        })
+    }
+}
+
+impl Snapshot for LogOp {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        match self {
+            LogOp::Task(t) => {
+                w.put_u8(0);
+                t.snapshot(w);
+            }
+            LogOp::IterationMark(after) => {
+                w.put_u8(1);
+                w.put_u64(*after);
+            }
+        }
+    }
+}
+
+impl Restore for LogOp {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(LogOp::Task(TaskRecord::restore(r)?)),
+            1 => Ok(LogOp::IterationMark(r.get_u64()?)),
+            t => Err(SnapshotError::Corrupt(format!("invalid log-op tag {t}"))),
+        }
+    }
+}
+
+impl Snapshot for OpLog {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        self.config.snapshot(w);
+        w.put_seq(&self.ops, |w, op| op.snapshot(w));
+        w.put_u64(self.pushed);
+        w.put_len(self.peak_retained);
+        w.put_u64(self.digest);
+    }
+}
+
+impl Restore for OpLog {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let config = RuntimeConfig::restore(r)?;
+        let ops = r.get_seq(LogOp::restore)?;
+        let log = Self {
+            ops,
+            config,
+            pushed: r.get_u64()?,
+            peak_retained: r.get_len()?,
+            digest: r.get_u64()?,
+        };
+        if config.retention == LogRetention::Full && log.ops.len() as u64 != log.pushed {
+            return Err(SnapshotError::Corrupt(
+                "full-retention log stores fewer ops than it pushed".into(),
+            ));
+        }
+        if config.retention == LogRetention::Drain && !log.ops.is_empty() {
+            return Err(SnapshotError::Corrupt("drained log stores ops".into()));
+        }
+        Ok(log)
     }
 }
 
@@ -456,6 +562,10 @@ pub struct SimPipeline {
     // Telemetry.
     fed: u64,
     peak_retained: usize,
+    /// Most ops ever parked behind an unresolved gate at once (analysis
+    /// deferrals + gated execution queue) — the pipeline's share of the
+    /// end-to-end backpressure signal.
+    peak_deferred: usize,
 }
 
 impl SimPipeline {
@@ -483,6 +593,7 @@ impl SimPipeline {
             iteration_finish: Vec::new(),
             fed: 0,
             peak_retained: 0,
+            peak_deferred: 0,
         }
     }
 
@@ -549,6 +660,20 @@ impl SimPipeline {
     /// Most resident entries ever held at once.
     pub fn peak_retained(&self) -> usize {
         self.peak_retained
+    }
+
+    /// Operations currently parked behind an unresolved gate: ops whose
+    /// analysis waits on launches that have not arrived, plus analyzed
+    /// tasks whose execution gate has not resolved. The pipeline's side
+    /// of the end-to-end buffering operators watch (the replayer's
+    /// pending queue is the other).
+    pub fn deferred(&self) -> usize {
+        self.pending.len() + self.exec_queue.len()
+    }
+
+    /// Most gate-deferred operations ever parked at once.
+    pub fn peak_deferred(&self) -> usize {
+        self.peak_deferred
     }
 
     /// Residency counters, shaped like [`OpLog::stats`].
@@ -714,6 +839,118 @@ impl SimPipeline {
             .trim(self.app_done.len().saturating_sub(self.window).min(executed.saturating_sub(1)));
         self.done.trim(executed.saturating_sub(self.window));
         self.peak_retained = self.peak_retained.max(self.retained());
+        self.peak_deferred = self.peak_deferred.max(self.deferred());
+    }
+}
+
+impl Snapshot for History {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.base);
+        w.put_deque(&self.buf, |w, t| w.put_f64(t.0));
+    }
+}
+
+impl Restore for History {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self { base: r.get_u64()?, buf: r.get_deque(|r| Ok(Micros(r.get_f64()?)))? })
+    }
+}
+
+impl Snapshot for SimOp {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        match *self {
+            SimOp::Task { analysis, gpu_time, replay_head, forward_gate, exec_gate, trace_len } => {
+                w.put_u8(0);
+                analysis.snapshot(w);
+                w.put_f64(gpu_time.0);
+                w.put_bool(replay_head);
+                w.put_opt_u64(forward_gate);
+                w.put_opt_u64(exec_gate);
+                w.put_u32(trace_len);
+            }
+            SimOp::Mark(after) => {
+                w.put_u8(1);
+                w.put_u64(after);
+            }
+        }
+    }
+}
+
+impl Restore for SimOp {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(SimOp::Task {
+                analysis: AnalysisKind::restore(r)?,
+                gpu_time: Micros(r.get_f64()?),
+                replay_head: r.get_bool()?,
+                forward_gate: r.get_opt_u64()?,
+                exec_gate: r.get_opt_u64()?,
+                trace_len: r.get_u32()?,
+            }),
+            1 => Ok(SimOp::Mark(r.get_u64()?)),
+            t => Err(SnapshotError::Corrupt(format!("invalid sim-op tag {t}"))),
+        }
+    }
+}
+
+impl Snapshot for SimPipeline {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        self.cfg.snapshot(w);
+        w.put_f64(self.app_t.0);
+        self.app_done.snapshot(w);
+        w.put_u64(self.app_next);
+        w.put_f64(self.analysis_t.0);
+        w.put_f64(self.analysis_busy.0);
+        self.analysis_done.snapshot(w);
+        w.put_deque(&self.pending, |w, op| op.snapshot(w));
+        w.put_u64(self.analyzed_ops);
+        w.put_f64(self.exec_t.0);
+        w.put_f64(self.exec_busy.0);
+        w.put_f64(self.exec_stall.0);
+        w.put_deque(&self.exec_queue, |w, t| {
+            w.put_f64(t.gpu_time.0);
+            w.put_opt_u64(t.exec_gate);
+        });
+        self.done.snapshot(w);
+        w.put_deque(&self.marks, |w, m| w.put_u64(*m));
+        w.put_seq(&self.iteration_finish, |w, t| w.put_f64(t.0));
+        w.put_u64(self.fed);
+        w.put_len(self.peak_retained);
+        w.put_len(self.peak_deferred);
+    }
+}
+
+impl Restore for SimPipeline {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let cfg = RuntimeConfig::restore(r)?;
+        // Derived fields come from the config, exactly as in `new`.
+        let mut p = SimPipeline::new(cfg);
+        p.app_t = Micros(r.get_f64()?);
+        p.app_done = History::restore(r)?;
+        p.app_next = r.get_u64()?;
+        p.analysis_t = Micros(r.get_f64()?);
+        p.analysis_busy = Micros(r.get_f64()?);
+        p.analysis_done = History::restore(r)?;
+        p.pending = r.get_deque(SimOp::restore)?;
+        p.analyzed_ops = r.get_u64()?;
+        p.exec_t = Micros(r.get_f64()?);
+        p.exec_busy = Micros(r.get_f64()?);
+        p.exec_stall = Micros(r.get_f64()?);
+        p.exec_queue = r.get_deque(|r| {
+            Ok(ExecTask { gpu_time: Micros(r.get_f64()?), exec_gate: r.get_opt_u64()? })
+        })?;
+        p.done = History::restore(r)?;
+        p.marks = r.get_deque(|r| r.get_u64())?;
+        p.iteration_finish = r.get_seq(|r| Ok(Micros(r.get_f64()?)))?;
+        p.fed = r.get_u64()?;
+        p.peak_retained = r.get_len()?;
+        p.peak_deferred = r.get_len()?;
+        if p.analyzed_ops + p.pending.len() as u64 != p.fed {
+            return Err(SnapshotError::Corrupt(
+                "pipeline cursors disagree with the fed-op count".into(),
+            ));
+        }
+        Ok(p)
     }
 }
 

@@ -38,8 +38,10 @@
 use crate::exec::{LogStats, OpLog, SimReport};
 use crate::ids::{RegionId, TraceId};
 use crate::runtime::{Runtime, RuntimeError};
-use crate::stats::RuntimeStats;
+use crate::snapshot::{self, CheckpointMeta, SnapshotWriter};
+use crate::stats::{BufferStats, RuntimeStats};
 use crate::task::TaskDesc;
+use std::io::Write;
 
 /// Everything a finished run produces. Returned by
 /// [`TaskIssuer::finish`]; see the [module docs](self).
@@ -157,6 +159,39 @@ pub trait TaskIssuer {
     /// distributed front-ends: node 0's view.
     fn log_stats(&self) -> LogStats;
 
+    /// End-to-end buffering depths and peaks (replayer pending queue +
+    /// pipeline deferral queue) — the backpressure signal operators watch
+    /// on long runs. For distributed front-ends: node 0's view.
+    fn buffered_ops(&self) -> BufferStats {
+        BufferStats::default()
+    }
+
+    /// The order-sensitive digest of every operation pushed so far (node
+    /// 0's view for distributed front-ends). A checkpoint records this
+    /// value; the restored run starts from it and must extend it exactly
+    /// as the uninterrupted run would.
+    fn op_digest(&self) -> u64;
+
+    /// Serializes the front-end's complete state into `out` as a
+    /// versioned snapshot (see [`crate::snapshot`]), returning a
+    /// [`CheckpointMeta`] describing the cut. The front-end remains fully
+    /// usable afterwards, and restoring the snapshot in a fresh process
+    /// (the `apophenia` crate's `Session::resume_from`) continues
+    /// bit-identically to the uninterrupted run. Under the deterministic
+    /// synchronous-mining default the observed run is provably
+    /// unperturbed too; an *asynchronous* mining pool is quiesced first
+    /// (in-flight jobs are waited for), which can make results available
+    /// earlier in the stream than an uncheckpointed run would have seen
+    /// them — async ingest timing is inherently schedule-dependent either
+    /// way. Checkpoints cut at task boundaries: call between
+    /// `execute_task`/`issue_batch` calls. Distributed front-ends
+    /// checkpoint every node at the same issued-task barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Snapshot`] when writing to `out` fails.
+    fn checkpoint(&mut self, out: &mut dyn Write) -> Result<CheckpointMeta, RuntimeError>;
+
     /// Iterations until the replay steady state, when the front-end
     /// measures warmup (automatic tracing only).
     fn warmup_iterations(&self) -> Option<u64> {
@@ -219,6 +254,27 @@ impl TaskIssuer for Runtime {
 
     fn log_stats(&self) -> LogStats {
         Runtime::log_stats(self)
+    }
+
+    fn buffered_ops(&self) -> BufferStats {
+        Runtime::buffer_stats(self)
+    }
+
+    fn op_digest(&self) -> u64 {
+        Runtime::op_digest(self)
+    }
+
+    fn checkpoint(&mut self, out: &mut dyn Write) -> Result<CheckpointMeta, RuntimeError> {
+        let mut w = SnapshotWriter::new();
+        self.write_snapshot(&mut w);
+        Ok(snapshot::write_checkpoint(
+            snapshot::FRONT_END_RUNTIME,
+            self.stats().tasks_total,
+            Runtime::log_stats(self).pushed,
+            Runtime::op_digest(self),
+            &w.into_payload(),
+            out,
+        )?)
     }
 
     fn finish(self: Box<Self>) -> Result<RunArtifacts, RuntimeError> {

@@ -31,6 +31,10 @@
 //!   yielding steady-state iteration throughput;
 //! * [`replication`] — dynamic control replication: one runtime shard per
 //!   node, with the determinism checks Apophenia must preserve (§5.1);
+//! * [`snapshot`] — the versioned binary codec behind
+//!   [`TaskIssuer::checkpoint`](issuer::TaskIssuer::checkpoint): every
+//!   stateful layer serializes itself so an interrupted run can restore
+//!   mid-stream and continue bit-identically;
 //! * [`stats`] — counters shared by the above.
 //!
 //! The crate deliberately knows nothing about Apophenia: the `apophenia`
@@ -49,6 +53,7 @@ pub mod privilege;
 pub mod region;
 pub mod replication;
 pub mod runtime;
+pub mod snapshot;
 pub mod stats;
 pub mod task;
 pub mod trace;
@@ -60,4 +65,8 @@ pub use issuer::{RunArtifacts, TaskIssuer};
 pub use privilege::Privilege;
 pub use region::RegionForest;
 pub use runtime::{Runtime, RuntimeConfig, RuntimeError};
+pub use snapshot::{
+    CheckpointMeta, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
+pub use stats::BufferStats;
 pub use task::{RegionRequirement, TaskDesc, TaskHash};

@@ -14,6 +14,7 @@
 //! behaviour (Figure 1) that makes naive manual tracing invalid.
 
 use crate::ids::RegionId;
+use crate::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 #[derive(Debug, Clone)]
 struct RegionNode {
@@ -202,6 +203,43 @@ impl RegionForest {
             Some(n) if n.live => Ok(n),
             _ => Err(RegionError::UnknownRegion(r)),
         }
+    }
+}
+
+impl Snapshot for RegionForest {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_seq(&self.nodes, |w, n| {
+            w.put_opt_u32(n.parent.map(|p| p.0));
+            w.put_seq(&n.children, |w, c| w.put_u32(c.0));
+            w.put_u32(n.depth);
+            w.put_u32(n.fields);
+            w.put_bool(n.live);
+        });
+    }
+}
+
+impl Restore for RegionForest {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let nodes = r.get_seq(|r| {
+            let parent = r.get_opt_u32()?.map(RegionId);
+            let children = r.get_seq(|r| Ok(RegionId(r.get_u32()?)))?;
+            Ok(RegionNode {
+                parent,
+                children,
+                depth: r.get_u32()?,
+                fields: r.get_u32()?,
+                live: r.get_bool()?,
+            })
+        })?;
+        let bound = nodes.len();
+        for n in &nodes {
+            if n.parent.is_some_and(|p| p.index() >= bound)
+                || n.children.iter().any(|c| c.index() >= bound)
+            {
+                return Err(SnapshotError::Corrupt("region id out of range".into()));
+            }
+        }
+        Ok(Self { nodes })
     }
 }
 

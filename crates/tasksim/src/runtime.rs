@@ -23,7 +23,8 @@ use crate::exec::{simulate, LogOp, LogRetention, LogStats, OpLog, SimPipeline, T
 use crate::ids::{OpId, RegionId, TraceId};
 use crate::issuer::RunArtifacts;
 use crate::region::{RegionError, RegionForest};
-use crate::stats::RuntimeStats;
+use crate::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+use crate::stats::{BufferStats, RuntimeStats};
 use crate::task::{TaskDesc, TaskHash};
 use crate::trace::{MismatchPolicy, TemplatePreds, TraceError, TraceTemplate};
 use std::collections::HashMap;
@@ -117,6 +118,36 @@ impl Default for RuntimeConfig {
     }
 }
 
+impl Snapshot for RuntimeConfig {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        self.cost.snapshot(w);
+        w.put_u32(self.nodes);
+        w.put_u32(self.gpus_per_node);
+        w.put_bool(self.auto_layer);
+        self.mismatch_policy.snapshot(w);
+        w.put_bool(self.transitive_reduction);
+        w.put_u32(self.window);
+        w.put_opt_len(self.max_templates);
+        self.retention.snapshot(w);
+    }
+}
+
+impl Restore for RuntimeConfig {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            cost: CostModel::restore(r)?,
+            nodes: r.get_u32()?,
+            gpus_per_node: r.get_u32()?,
+            auto_layer: r.get_bool()?,
+            mismatch_policy: MismatchPolicy::restore(r)?,
+            transitive_reduction: r.get_bool()?,
+            window: r.get_u32()?,
+            max_templates: r.get_opt_len()?,
+            retention: LogRetention::restore(r)?,
+        })
+    }
+}
+
 /// Errors surfaced by [`Runtime`] operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
@@ -134,6 +165,13 @@ pub enum RuntimeError {
     /// (described by the message) — e.g. a zero-node distributed
     /// deployment or a zero capacity bound.
     InvalidConfig(String),
+    /// Writing or restoring a checkpoint failed.
+    Snapshot(SnapshotError),
+    /// The trace-mining pipeline failed and the engine runs under the
+    /// fail-stop finder policy (the message describes the finder error).
+    /// Under the degrade policy the same failure keeps the stream flowing
+    /// untraced instead.
+    FinderFailed(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -147,6 +185,8 @@ impl std::fmt::Display for RuntimeError {
             ),
             Self::Divergence(msg) => write!(f, "control-replication divergence: {msg}"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Snapshot(e) => write!(f, "checkpoint error: {e}"),
+            Self::FinderFailed(msg) => write!(f, "mining pipeline failed (fail-stop): {msg}"),
         }
     }
 }
@@ -156,8 +196,18 @@ impl std::error::Error for RuntimeError {
         match self {
             Self::Region(e) => Some(e),
             Self::Trace(e) => Some(e),
-            Self::AnnotationUnderAuto(_) | Self::Divergence(_) | Self::InvalidConfig(_) => None,
+            Self::Snapshot(e) => Some(e),
+            Self::AnnotationUnderAuto(_)
+            | Self::Divergence(_)
+            | Self::InvalidConfig(_)
+            | Self::FinderFailed(_) => None,
         }
+    }
+}
+
+impl From<SnapshotError> for RuntimeError {
+    fn from(e: SnapshotError) -> Self {
+        Self::Snapshot(e)
     }
 }
 
@@ -199,6 +249,73 @@ enum TraceState {
     Poisoned { id: TraceId },
 }
 
+impl Snapshot for TraceState {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        match self {
+            TraceState::Idle => w.put_u8(0),
+            TraceState::Recording { id, ops, hashes, preds, gpu_times } => {
+                w.put_u8(1);
+                w.put_u32(id.0);
+                w.put_seq(ops, |w, op| w.put_u64(op.0));
+                w.put_seq(hashes, |w, h| w.put_u64(h.0));
+                w.put_seq(preds, |w, p| {
+                    w.put_seq(&p.internal, |w, i| w.put_len(*i));
+                    w.put_bool(p.external);
+                });
+                w.put_seq(gpu_times, |w, t| w.put_f64(t.0));
+            }
+            TraceState::Replaying { id, pos, ops, head_task } => {
+                w.put_u8(2);
+                w.put_u32(id.0);
+                w.put_len(*pos);
+                w.put_seq(ops, |w, op| w.put_u64(op.0));
+                w.put_u64(*head_task);
+            }
+            TraceState::Poisoned { id } => {
+                w.put_u8(3);
+                w.put_u32(id.0);
+            }
+        }
+    }
+}
+
+impl Restore for TraceState {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(TraceState::Idle),
+            1 => {
+                let id = TraceId(r.get_u32()?);
+                let ops = r.get_seq(|r| Ok(OpId(r.get_u64()?)))?;
+                let hashes = r.get_seq(|r| Ok(TaskHash(r.get_u64()?)))?;
+                let preds = r.get_seq(|r| {
+                    Ok(TemplatePreds {
+                        internal: r.get_seq(|r| r.get_len())?,
+                        external: r.get_bool()?,
+                    })
+                })?;
+                let gpu_times = r.get_seq(|r| Ok(Micros(r.get_f64()?)))?;
+                if hashes.len() != ops.len()
+                    || preds.len() != ops.len()
+                    || gpu_times.len() != ops.len()
+                {
+                    return Err(SnapshotError::Corrupt(
+                        "recording tables disagree on length".into(),
+                    ));
+                }
+                Ok(TraceState::Recording { id, ops, hashes, preds, gpu_times })
+            }
+            2 => Ok(TraceState::Replaying {
+                id: TraceId(r.get_u32()?),
+                pos: r.get_len()?,
+                ops: r.get_seq(|r| Ok(OpId(r.get_u64()?)))?,
+                head_task: r.get_u64()?,
+            }),
+            3 => Ok(TraceState::Poisoned { id: TraceId(r.get_u32()?) }),
+            t => Err(SnapshotError::Corrupt(format!("invalid trace-state tag {t}"))),
+        }
+    }
+}
+
 /// The Legion stand-in. See the module docs.
 #[derive(Debug)]
 pub struct Runtime {
@@ -206,6 +323,12 @@ pub struct Runtime {
     forest: RegionForest,
     analyzer: DependenceAnalyzer,
     templates: HashMap<TraceId, TraceTemplate>,
+    /// Per-template utility hints pushed by the layer above (the trace
+    /// replayer's §4.3 candidate scores): the shared signal that keeps
+    /// template eviction and candidate eviction agreeing about what is
+    /// hot. A template with no hint (manual tracing, no replayer) ranks
+    /// above every hinted one and falls back to the replays/LRU key.
+    score_hints: HashMap<TraceId, f64>,
     state: TraceState,
     log: OpLog,
     /// The incremental simulator every operation streams into under
@@ -224,6 +347,7 @@ impl Runtime {
             forest: RegionForest::new(),
             analyzer: DependenceAnalyzer::new(),
             templates: HashMap::new(),
+            score_hints: HashMap::new(),
             state: TraceState::Idle,
             log: OpLog::new(config),
             pipeline,
@@ -479,6 +603,7 @@ impl Runtime {
                         }
                         MismatchPolicy::Fallback => {
                             self.templates.remove(&id);
+                            self.score_hints.remove(&id);
                             Ok(())
                         }
                     }
@@ -532,22 +657,57 @@ impl Runtime {
         self.log.push(op);
     }
 
+    /// Records the tracing layer's utility score for the trace recorded
+    /// (or about to be recorded) under `id` — the replayer's §4.3
+    /// candidate score at the moment of the replay decision. Template
+    /// eviction ranks by this shared signal, so the template store and
+    /// the candidate store stop disagreeing about what is hot. The score
+    /// is a pure function of the deterministic task stream, so
+    /// control-replicated nodes record identical hints.
+    pub fn note_trace_score(&mut self, id: TraceId, score: f64) {
+        self.score_hints.insert(id, score);
+    }
+
+    /// The latest utility hint recorded for `id`, if any.
+    pub fn trace_score(&self, id: TraceId) -> Option<f64> {
+        self.score_hints.get(&id).copied()
+    }
+
+    /// Removes a template and its utility hint, counting the eviction.
+    fn evict_template(&mut self, id: TraceId) {
+        self.templates.remove(&id);
+        self.score_hints.remove(&id);
+        self.stats.templates_evicted += 1;
+    }
+
     /// Evicts templates until the store fits `max_templates`, never
-    /// touching `active` (the just-recorded trace). Victims are chosen by
-    /// fewest replays, then least-recent use, then smallest id — a total
-    /// order, so the choice is deterministic despite the hash map.
+    /// touching `active` (the just-recorded trace).
+    ///
+    /// Victims rank by the shared utility signal first: the template with
+    /// the lowest replayer-reported score ([`Self::note_trace_score`])
+    /// evicts first, exactly the §4.3 ordering candidate eviction uses.
+    /// Templates without a hint (manual tracing puts none) outrank every
+    /// hinted one and fall back to the historical key — fewest replays,
+    /// then least-recent use, then smallest id. Every input is a pure
+    /// function of the deterministic stream, so the choice is identical
+    /// on control-replicated nodes despite the hash map.
     fn enforce_template_cap(&mut self, active: TraceId) {
         let Some(cap) = self.config.max_templates else { return };
         while self.templates.len() > cap {
+            let hints = &self.score_hints;
             let victim = self
                 .templates
                 .iter()
                 .filter(|(id, _)| **id != active)
-                .min_by_key(|(id, t)| (t.replays, t.last_used, id.0))
+                .min_by(|(ia, ta), (ib, tb)| {
+                    let score = |id: &TraceId| hints.get(id).copied().unwrap_or(f64::INFINITY);
+                    score(ia).total_cmp(&score(ib)).then_with(|| {
+                        (ta.replays, ta.last_used, ia.0).cmp(&(tb.replays, tb.last_used, ib.0))
+                    })
+                })
                 .map(|(id, _)| *id);
             let Some(victim) = victim else { break };
-            self.templates.remove(&victim);
-            self.stats.templates_evicted += 1;
+            self.evict_template(victim);
         }
     }
 
@@ -567,6 +727,7 @@ impl Runtime {
             return false;
         }
         let removed = self.templates.remove(&id).is_some();
+        self.score_hints.remove(&id);
         if removed {
             self.stats.templates_evicted += 1;
         }
@@ -617,6 +778,26 @@ impl Runtime {
         }
     }
 
+    /// The order-sensitive digest of every operation pushed so far — the
+    /// quantity a checkpoint records and a restored run must extend
+    /// identically.
+    pub fn op_digest(&self) -> u64 {
+        self.log.digest()
+    }
+
+    /// The pipeline's share of the end-to-end buffering signal (the
+    /// replayer's pending queue is folded in by the tracing layer above).
+    pub fn buffer_stats(&self) -> BufferStats {
+        match &self.pipeline {
+            Some(p) => BufferStats {
+                pipeline_deferred: p.deferred(),
+                peak_pipeline_deferred: p.peak_deferred(),
+                ..BufferStats::default()
+            },
+            None => BufferStats::default(),
+        }
+    }
+
     /// Consumes the runtime, returning the final operation log (empty of
     /// ops under [`LogRetention::Drain`]; prefer [`Self::into_artifacts`]).
     pub fn into_log(self) -> OpLog {
@@ -656,6 +837,7 @@ impl Runtime {
             MismatchPolicy::Fallback => {
                 // Discard the template; run the rest of the fragment fresh.
                 self.templates.remove(&id);
+                self.score_hints.remove(&id);
                 self.state = TraceState::Poisoned { id };
                 let op = self.log.next_op();
                 self.stats.tasks_fresh += 1;
@@ -664,6 +846,86 @@ impl Runtime {
                 Ok(OpId(op.0))
             }
         }
+    }
+
+    /// Serializes the runtime's complete state — configuration, region
+    /// forest, analyzer frontiers, template store (with utility hints),
+    /// tracing state machine, operation log, attached pipeline, and
+    /// counters — so a restored runtime continues bit-identically.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        self.config.snapshot(w);
+        self.forest.snapshot(w);
+        self.analyzer.snapshot(w);
+        let mut ids: Vec<TraceId> = self.templates.keys().copied().collect();
+        ids.sort_unstable();
+        w.put_seq(&ids, |w, id| {
+            w.put_u32(id.0);
+            self.templates[id].snapshot(w);
+        });
+        let mut hinted: Vec<TraceId> = self.score_hints.keys().copied().collect();
+        hinted.sort_unstable();
+        w.put_seq(&hinted, |w, id| {
+            w.put_u32(id.0);
+            w.put_f64(self.score_hints[id]);
+        });
+        self.state.snapshot(w);
+        self.log.snapshot(w);
+        match &self.pipeline {
+            Some(p) => {
+                w.put_bool(true);
+                p.snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        self.stats.snapshot(w);
+    }
+
+    /// Rebuilds a runtime from [`Self::write_snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on truncated or structurally impossible input
+    /// (e.g. a drained config paired with a stored log, or a pipeline
+    /// under full retention).
+    pub fn restore_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let config = RuntimeConfig::restore(r)?;
+        let forest = RegionForest::restore(r)?;
+        let analyzer = DependenceAnalyzer::restore(r)?;
+        let template_list = r.get_seq(|r| {
+            let id = TraceId(r.get_u32()?);
+            Ok((id, TraceTemplate::restore(r)?))
+        })?;
+        let mut templates = HashMap::with_capacity(template_list.len());
+        for (id, t) in template_list {
+            if templates.insert(id, t).is_some() {
+                return Err(SnapshotError::Corrupt(format!("duplicate template for {id}")));
+            }
+        }
+        let hint_list = r.get_seq(|r| Ok((TraceId(r.get_u32()?), r.get_f64()?)))?;
+        let score_hints = hint_list.into_iter().collect();
+        let state = TraceState::restore(r)?;
+        let log = OpLog::restore(r)?;
+        if *log.config() != config {
+            return Err(SnapshotError::Corrupt("log config disagrees with runtime config".into()));
+        }
+        let pipeline = if r.get_bool()? { Some(SimPipeline::restore(r)?) } else { None };
+        if pipeline.is_some() != (config.retention == LogRetention::Drain) {
+            return Err(SnapshotError::Corrupt(
+                "pipeline presence disagrees with the retention policy".into(),
+            ));
+        }
+        let stats = RuntimeStats::restore(r)?;
+        if let TraceState::Replaying { id, pos, .. } = &state {
+            let Some(template) = templates.get(id) else {
+                return Err(SnapshotError::Corrupt(
+                    "replaying a template that is not stored".into(),
+                ));
+            };
+            if *pos > template.len() {
+                return Err(SnapshotError::Corrupt("replay cursor past its template".into()));
+            }
+        }
+        Ok(Self { config, forest, analyzer, templates, score_hints, state, log, pipeline, stats })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -916,6 +1178,61 @@ mod tests {
     }
 
     #[test]
+    fn score_hints_rank_template_eviction() {
+        // The shared utility signal: a tracing layer pushes its candidate
+        // scores; eviction follows them instead of replays/LRU, so the
+        // template store agrees with the candidate store about hotness.
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1).with_max_templates(2));
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        // Trace 0: replayed twice (hot by the old replays/LRU key) but
+        // scored LOWEST by the layer above.
+        for _ in 0..3 {
+            rt.begin_trace(TraceId(0)).unwrap();
+            rt.execute_task(step_task(a, b)).unwrap();
+            rt.end_trace(TraceId(0)).unwrap();
+        }
+        rt.note_trace_score(TraceId(0), 1.0);
+        rt.begin_trace(TraceId(1)).unwrap();
+        rt.execute_task(step_task(b, a)).unwrap();
+        rt.end_trace(TraceId(1)).unwrap();
+        rt.note_trace_score(TraceId(1), 40.0);
+        assert_eq!(rt.trace_score(TraceId(1)), Some(40.0));
+        // Trace 2 records; the store must shed the lowest-*scoring*
+        // template (0), not the fewest-replayed one (1).
+        rt.note_trace_score(TraceId(2), 10.0);
+        rt.begin_trace(TraceId(2)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(2)).unwrap();
+        assert!(!rt.has_template(TraceId(0)), "lowest utility evicted despite most replays");
+        assert!(rt.has_template(TraceId(1)));
+        assert!(rt.has_template(TraceId(2)));
+        assert_eq!(rt.trace_score(TraceId(0)), None, "hint dropped with its template");
+    }
+
+    #[test]
+    fn unhinted_templates_outrank_hinted_ones() {
+        // Templates the shared signal knows nothing about (manual
+        // tracing) are never sacrificed before a scored one.
+        let mut rt = Runtime::new(RuntimeConfig::single_node(1).with_max_templates(2));
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        rt.begin_trace(TraceId(0)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(0)).unwrap();
+        rt.note_trace_score(TraceId(0), 1e9); // scored, however highly
+        rt.begin_trace(TraceId(1)).unwrap();
+        rt.execute_task(step_task(b, a)).unwrap();
+        rt.end_trace(TraceId(1)).unwrap(); // unhinted
+        rt.begin_trace(TraceId(2)).unwrap();
+        rt.execute_task(step_task(a, b)).unwrap();
+        rt.end_trace(TraceId(2)).unwrap(); // unhinted, active
+        assert!(!rt.has_template(TraceId(0)), "the scored template is the one ranked for eviction");
+        assert!(rt.has_template(TraceId(1)));
+        assert!(rt.has_template(TraceId(2)));
+    }
+
+    #[test]
     fn lru_breaks_replay_ties() {
         let mut rt = Runtime::new(RuntimeConfig::single_node(1).with_max_templates(2));
         let a = rt.create_region(1);
@@ -979,6 +1296,67 @@ mod tests {
         assert_eq!(rt.stats().traces_recorded, 3);
         assert_eq!(rt.stats().templates_evicted, 2);
         assert_eq!(rt.stats().mismatches, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_trace() {
+        use crate::snapshot::{SnapshotReader, SnapshotWriter};
+        // Checkpoint with a replay in flight (manual bracketing may cut
+        // mid-trace): the restored runtime finishes the replay and keeps
+        // producing the identical log.
+        let run = |cut: bool| {
+            let mut rt = Runtime::new(RuntimeConfig::single_node(1));
+            let a = rt.create_region(1);
+            let b = rt.create_region(1);
+            rt.begin_trace(TraceId(0)).unwrap();
+            rt.execute_task(step_task(a, b)).unwrap();
+            rt.execute_task(step_task(b, a)).unwrap();
+            rt.end_trace(TraceId(0)).unwrap();
+            rt.begin_trace(TraceId(0)).unwrap();
+            rt.execute_task(step_task(a, b)).unwrap();
+            let mut rt = if cut {
+                let mut w = SnapshotWriter::new();
+                rt.write_snapshot(&mut w);
+                let payload = w.into_payload();
+                let mut r = SnapshotReader::new(&payload);
+                let restored = Runtime::restore_snapshot(&mut r).unwrap();
+                r.expect_end().unwrap();
+                restored
+            } else {
+                rt
+            };
+            rt.execute_task(step_task(b, a)).unwrap();
+            rt.end_trace(TraceId(0)).unwrap();
+            rt.mark_iteration();
+            rt.into_artifacts()
+        };
+        let straight = run(false);
+        let resumed = run(true);
+        assert_eq!(straight.log().ops(), resumed.log().ops(), "bit-identical log");
+        assert_eq!(straight.log().digest(), resumed.log().digest());
+        assert_eq!(straight.report, resumed.report);
+        assert_eq!(straight.stats, resumed.stats);
+    }
+
+    #[test]
+    fn corrupt_runtime_snapshots_rejected() {
+        use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+        let mut rt = rt();
+        let a = rt.create_region(1);
+        let b = rt.create_region(1);
+        rt.execute_task(step_task(a, b)).unwrap();
+        let mut w = SnapshotWriter::new();
+        rt.write_snapshot(&mut w);
+        let payload = w.into_payload();
+        // Any truncation is a typed error.
+        for cut in [0, payload.len() / 3, payload.len() - 1] {
+            let mut r = SnapshotReader::new(&payload[..cut]);
+            let err = Runtime::restore_snapshot(&mut r).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::Corrupt(_)),
+                "cut {cut}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! Figure 10 (fraction of recent tasks traced) and the §6.3 overhead
 //! discussion.
 
+use crate::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+
 /// Counters accumulated by a [`crate::runtime::Runtime`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
@@ -61,9 +63,97 @@ impl std::fmt::Display for RuntimeStats {
     }
 }
 
+impl Snapshot for RuntimeStats {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        for v in [
+            self.tasks_total,
+            self.tasks_fresh,
+            self.tasks_recorded,
+            self.tasks_replayed,
+            self.traces_recorded,
+            self.trace_replays,
+            self.mismatches,
+            self.iterations,
+            self.templates_evicted,
+            self.peak_templates,
+        ] {
+            w.put_u64(v);
+        }
+    }
+}
+
+impl Restore for RuntimeStats {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            tasks_total: r.get_u64()?,
+            tasks_fresh: r.get_u64()?,
+            tasks_recorded: r.get_u64()?,
+            tasks_replayed: r.get_u64()?,
+            traces_recorded: r.get_u64()?,
+            trace_replays: r.get_u64()?,
+            mismatches: r.get_u64()?,
+            iterations: r.get_u64()?,
+            templates_evicted: r.get_u64()?,
+            peak_templates: r.get_u64()?,
+        })
+    }
+}
+
+/// End-to-end buffering depths — the unified backpressure signal.
+///
+/// Two queues in the engine hold operations "in flight between layers":
+/// the trace replayer's pending buffer (tasks withheld while a candidate
+/// match might still cover them) and the streaming simulator's deferral
+/// queue (ops parked behind an unresolved §5.2 gate). Both are bounded by
+/// the longest trace, but operators watching a production run want the
+/// *actual* depths and their high-water marks in one place —
+/// [`TaskIssuer::buffered_ops`](crate::issuer::TaskIssuer::buffered_ops)
+/// reports them uniformly across every front-end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Tasks currently buffered in the replayer's pending queue (always 0
+    /// for untraced/manual front-ends, which buffer nothing).
+    pub replayer_pending: usize,
+    /// Most tasks ever buffered in the replayer's pending queue.
+    pub peak_replayer_pending: usize,
+    /// Operations currently parked behind an unresolved gate in the
+    /// attached [`SimPipeline`](crate::exec::SimPipeline) (always 0 under
+    /// [`LogRetention::Full`](crate::exec::LogRetention), which attaches
+    /// no pipeline).
+    pub pipeline_deferred: usize,
+    /// Most operations ever parked in the pipeline at once.
+    pub peak_pipeline_deferred: usize,
+}
+
+impl BufferStats {
+    /// Total operations currently buffered end to end.
+    pub fn total(&self) -> usize {
+        self.replayer_pending + self.pipeline_deferred
+    }
+
+    /// Total buffering high-water mark (the peaks are per-queue, so this
+    /// is an upper bound on the true simultaneous peak).
+    pub fn peak_total(&self) -> usize {
+        self.peak_replayer_pending + self.peak_pipeline_deferred
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn buffer_stats_totals() {
+        let b = BufferStats {
+            replayer_pending: 3,
+            peak_replayer_pending: 9,
+            pipeline_deferred: 2,
+            peak_pipeline_deferred: 4,
+        };
+        assert_eq!(b.total(), 5);
+        assert_eq!(b.peak_total(), 13);
+        assert_eq!(BufferStats::default().total(), 0);
+    }
 
     #[test]
     fn replayed_fraction_bounds() {

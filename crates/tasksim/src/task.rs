@@ -10,6 +10,7 @@
 use crate::cost::Micros;
 use crate::ids::{FieldId, RegionId, TaskKindId};
 use crate::privilege::{Privilege, ReductionOp};
+use crate::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// One region argument of a task: which region, which fields, and with
 /// what privilege.
@@ -143,6 +144,58 @@ impl TaskDesc {
             }
         }
         TaskHash(h.finish())
+    }
+}
+
+impl Snapshot for RegionRequirement {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u32(self.region.0);
+        w.put_seq(&self.fields, |w, f| w.put_u32(f.0));
+        match self.privilege {
+            Privilege::ReadOnly => w.put_u8(0),
+            Privilege::ReadWrite => w.put_u8(1),
+            Privilege::WriteDiscard => w.put_u8(2),
+            Privilege::Reduce(op) => {
+                w.put_u8(3);
+                w.put_u32(u32::from(op.0));
+            }
+        }
+    }
+}
+
+impl Restore for RegionRequirement {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let region = RegionId(r.get_u32()?);
+        let fields = r.get_seq(|r| Ok(FieldId(r.get_u32()?)))?;
+        let privilege = match r.get_u8()? {
+            0 => Privilege::ReadOnly,
+            1 => Privilege::ReadWrite,
+            2 => Privilege::WriteDiscard,
+            3 => {
+                let op = u16::try_from(r.get_u32()?)
+                    .map_err(|_| SnapshotError::Corrupt("reduction op exceeds u16".into()))?;
+                Privilege::Reduce(crate::privilege::ReductionOp(op))
+            }
+            t => return Err(SnapshotError::Corrupt(format!("invalid privilege tag {t}"))),
+        };
+        Ok(Self { region, fields, privilege })
+    }
+}
+
+impl Snapshot for TaskDesc {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u32(self.kind.0);
+        w.put_seq(&self.requirements, |w, req| req.snapshot(w));
+        w.put_f64(self.gpu_time.0);
+    }
+}
+
+impl Restore for TaskDesc {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let kind = TaskKindId(r.get_u32()?);
+        let requirements = r.get_seq(RegionRequirement::restore)?;
+        let gpu_time = Micros(r.get_f64()?);
+        Ok(Self { kind, requirements, gpu_time })
     }
 }
 

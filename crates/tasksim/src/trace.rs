@@ -16,6 +16,7 @@
 use crate::cost::Micros;
 use crate::graph::TaskGraph;
 use crate::ids::{OpId, TraceId};
+use crate::snapshot::{Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::task::TaskHash;
 
 /// Predecessors of one task inside a template, relative to the trace
@@ -72,6 +73,40 @@ impl TraceTemplate {
         for (i, p) in self.preds.iter_mut().enumerate() {
             p.internal = r.preds(OpId(i as u64)).iter().map(|o| o.index()).collect();
         }
+    }
+}
+
+impl Snapshot for TraceTemplate {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_seq(&self.hashes, |w, h| w.put_u64(h.0));
+        w.put_seq(&self.preds, |w, p| {
+            w.put_seq(&p.internal, |w, i| w.put_len(*i));
+            w.put_bool(p.external);
+        });
+        w.put_seq(&self.gpu_times, |w, t| w.put_f64(t.0));
+        w.put_u64(self.replays);
+        w.put_u64(self.last_used);
+    }
+}
+
+impl Restore for TraceTemplate {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let hashes = r.get_seq(|r| Ok(TaskHash(r.get_u64()?)))?;
+        let preds = r.get_seq(|r| {
+            Ok(TemplatePreds { internal: r.get_seq(|r| r.get_len())?, external: r.get_bool()? })
+        })?;
+        let gpu_times = r.get_seq(|r| Ok(Micros(r.get_f64()?)))?;
+        if preds.len() != hashes.len() || gpu_times.len() != hashes.len() {
+            return Err(SnapshotError::Corrupt("template tables disagree on length".into()));
+        }
+        for (i, p) in preds.iter().enumerate() {
+            if p.internal.iter().any(|&e| e >= i) {
+                return Err(SnapshotError::Corrupt(
+                    "template edge references a non-earlier task".into(),
+                ));
+            }
+        }
+        Ok(Self { hashes, preds, gpu_times, replays: r.get_u64()?, last_used: r.get_u64()? })
     }
 }
 
@@ -161,6 +196,25 @@ pub enum MismatchPolicy {
     /// the remainder of the fragment ("fall back to the expensive
     /// dependence analysis", §2).
     Fallback,
+}
+
+impl Snapshot for MismatchPolicy {
+    fn snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_u8(match self {
+            MismatchPolicy::Strict => 0,
+            MismatchPolicy::Fallback => 1,
+        });
+    }
+}
+
+impl Restore for MismatchPolicy {
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(MismatchPolicy::Strict),
+            1 => Ok(MismatchPolicy::Fallback),
+            t => Err(SnapshotError::Corrupt(format!("invalid mismatch policy {t}"))),
+        }
+    }
 }
 
 #[cfg(test)]

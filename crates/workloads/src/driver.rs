@@ -14,6 +14,7 @@ use apophenia::Session;
 use tasksim::exec::{LogRetention, OpLog, SimReport};
 use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::RuntimeError;
+use tasksim::snapshot::CheckpointMeta;
 use tasksim::stats::RuntimeStats;
 
 /// Which tracing configuration a run uses — [`apophenia::Tracing`] under
@@ -210,6 +211,33 @@ pub fn run_workload_with(
         warmup_iterations,
         traced_samples,
     })
+}
+
+/// Checkpoints a running session into a byte buffer — the driver-level
+/// convenience over [`TaskIssuer::checkpoint`] for callers that park the
+/// snapshot in memory or hand it to their own storage layer. The session
+/// keeps running normally afterwards.
+///
+/// # Errors
+///
+/// Propagates checkpoint (I/O/serialization) errors.
+pub fn checkpoint_session(
+    issuer: &mut dyn TaskIssuer,
+) -> Result<(CheckpointMeta, Vec<u8>), RuntimeError> {
+    let mut bytes = Vec::new();
+    let meta = issuer.checkpoint(&mut bytes)?;
+    Ok((meta, bytes))
+}
+
+/// Restores a session from bytes written by [`checkpoint_session`] (or
+/// any [`TaskIssuer::checkpoint`] writer). The restored issuer continues
+/// bit-identically to the uninterrupted run.
+///
+/// # Errors
+///
+/// Typed snapshot errors on corrupt or truncated input.
+pub fn resume_session(bytes: &[u8]) -> Result<Box<dyn TaskIssuer>, RuntimeError> {
+    Session::resume_from(&mut &*bytes)
 }
 
 /// Convenience: run and return steady-state throughput (iterations/sec)

@@ -55,7 +55,8 @@ pub mod torchswe;
 
 pub use cfd::Cfd;
 pub use driver::{
-    measure_throughput, run_workload, AppParams, Mode, ProblemSize, RunOutcome, Workload,
+    checkpoint_session, measure_throughput, resume_session, run_workload, AppParams, Mode,
+    ProblemSize, RunOutcome, Workload,
 };
 pub use flexflow::FlexFlow;
 pub use htr::Htr;

@@ -1,0 +1,101 @@
+//! Checkpoint & resume: a long automatically traced run survives a
+//! "crash" and continues bit-identically.
+//!
+//! Run with `cargo run --release -p bench --example checkpoint_resume`.
+//!
+//! The program drives a stencil loop through Apophenia twice: once
+//! uninterrupted (the reference), and once killed half-way — the whole
+//! engine (mining buffers, candidate trie, replayer cursors, template
+//! store, simulation clocks, op-log digest) is serialized with
+//! `TaskIssuer::checkpoint`, the session is dropped, and
+//! `Session::resume_from` rebuilds it in what stands in for a fresh
+//! process. The run then finishes and the outputs are compared: same
+//! runtime counters, same op-stream digest, and a simulated total equal
+//! to the bit.
+
+use apophenia::{Config, Session, Tracing};
+use tasksim::cost::Micros;
+use tasksim::exec::LogRetention;
+use tasksim::ids::{RegionId, TaskKindId};
+use tasksim::issuer::TaskIssuer;
+use tasksim::runtime::RuntimeError;
+use tasksim::task::TaskDesc;
+
+const ITERS: usize = 2_000;
+const KILL_AT: usize = 900;
+
+fn build() -> Box<dyn TaskIssuer> {
+    let config = Config::standard().with_min_trace_length(2).with_multi_scale_factor(32);
+    Session::builder()
+        .nodes(1)
+        .gpus_per_node(4)
+        .tracing(Tracing::Auto(config))
+        .log_retention(LogRetention::Drain)
+        .build()
+}
+
+/// Issues iterations `[from, to)`; regions exist already when resuming.
+fn drive(issuer: &mut dyn TaskIssuer, from: usize, to: usize) -> Result<(), RuntimeError> {
+    let (a, b) = (RegionId(0), RegionId(1));
+    for _ in from..to {
+        issuer.issue_batch(vec![step(0, a, b), step(1, b, a)])?;
+        issuer.mark_iteration();
+    }
+    Ok(())
+}
+
+fn step(kind: u32, src: RegionId, dst: RegionId) -> TaskDesc {
+    TaskDesc::new(TaskKindId(kind)).reads(src).writes(dst).gpu_time(Micros(120.0))
+}
+
+fn main() -> Result<(), RuntimeError> {
+    // Reference: the run that never stops.
+    let mut straight = build();
+    straight.create_region(1);
+    straight.create_region(1);
+    drive(straight.as_mut(), 0, ITERS)?;
+    straight.flush()?;
+    let straight_digest = straight.op_digest();
+    let straight = straight.finish()?;
+
+    // The interrupted run: checkpoint at KILL_AT, drop, resume, finish.
+    let mut victim = build();
+    victim.create_region(1);
+    victim.create_region(1);
+    drive(victim.as_mut(), 0, KILL_AT)?;
+    let mut snapshot = Vec::new();
+    let meta = victim.checkpoint(&mut snapshot)?;
+    println!(
+        "checkpointed {} front-end at task {} ({} ops, digest {:016x}, {} bytes)",
+        meta.front_end_label(),
+        meta.tasks_issued,
+        meta.ops_pushed,
+        meta.op_digest,
+        snapshot.len()
+    );
+    drop(victim); // the "crash"
+
+    let mut resumed = Session::resume_from(&mut snapshot.as_slice())?;
+    assert_eq!(resumed.op_digest(), meta.op_digest, "restored exactly at the cut");
+    drive(resumed.as_mut(), KILL_AT, ITERS)?;
+    resumed.flush()?;
+    let resumed_digest = resumed.op_digest();
+    let resumed = resumed.finish()?;
+
+    println!();
+    println!("uninterrupted: {}", straight.stats);
+    println!("resumed:       {}", resumed.stats);
+    assert_eq!(straight.stats, resumed.stats, "runtime counters diverged");
+    assert_eq!(straight_digest, resumed_digest, "op-stream digest diverged");
+    assert_eq!(
+        straight.report.total.0.to_bits(),
+        resumed.report.total.0.to_bits(),
+        "simulated timelines diverged"
+    );
+    println!();
+    println!(
+        "bit-identical continuation: digest {straight_digest:016x}, simulated total {}",
+        straight.report.total
+    );
+    Ok(())
+}

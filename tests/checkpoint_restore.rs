@@ -1,0 +1,405 @@
+//! Restartable runs: checkpoint the full tracing engine mid-stream,
+//! restore it in a fresh `Session`, and prove the continuation is
+//! **bit-identical** to the uninterrupted run.
+//!
+//! The contract under test (the determinism that makes §5.1 control
+//! replication possible also makes checkpoints exact):
+//!
+//! * For all four front-ends (untraced / manual / auto / distributed) and
+//!   both retention policies (`Full` / `Drain`), a run cut at a task
+//!   boundary by `TaskIssuer::checkpoint` and resumed via
+//!   `Session::resume_from` produces the same `SimReport` (compared to
+//!   the bit) and the same op-stream digest as the run that never
+//!   stopped.
+//! * Taking a checkpoint must not perturb the run that keeps going.
+//! * Corrupt, truncated, retagged, or future-versioned snapshots are
+//!   rejected with typed [`SnapshotError`]s, never a panic or a silently
+//!   divergent restore.
+
+use apophenia::{Config, DelayModel, Session, SnapshotError, Tracing};
+use tasksim::cost::Micros;
+use tasksim::exec::LogRetention;
+use tasksim::ids::{RegionId, TaskKindId, TraceId};
+use tasksim::issuer::TaskIssuer;
+use tasksim::runtime::RuntimeError;
+use tasksim::snapshot as snap;
+use tasksim::task::TaskDesc;
+
+const ITERS: usize = 120;
+
+fn small_auto() -> Config {
+    Config::standard().with_min_trace_length(4).with_batch_size(512).with_multi_scale_factor(32)
+}
+
+fn all_tracings() -> Vec<Tracing> {
+    vec![
+        Tracing::Untraced,
+        Tracing::Manual,
+        Tracing::Auto(small_auto()),
+        Tracing::Distributed {
+            config: small_auto(),
+            delay: DelayModel::new(2024, 25),
+            initial_interval: 8,
+        },
+    ]
+}
+
+fn build(tracing: Tracing, retention: LogRetention) -> Box<dyn TaskIssuer> {
+    Session::builder().nodes(2).gpus_per_node(2).tracing(tracing).log_retention(retention).build()
+}
+
+/// Issues iterations `[from, to)` of the parity workload (fixed 8-task
+/// body, rotating partition task, periodic unique task, iteration mark).
+/// Regions are created only on the very first call — a resumed session
+/// already holds them in its restored forest under the same ids.
+fn drive_range(issuer: &mut dyn TaskIssuer, manual: bool, from: usize, to: usize) {
+    let (a, b, parts) = if from == 0 {
+        let a = issuer.create_region(1);
+        let b = issuer.create_region(1);
+        (a, b, issuer.partition(a, 4).unwrap())
+    } else {
+        (RegionId(0), RegionId(1), vec![RegionId(2), RegionId(3), RegionId(4), RegionId(5)])
+    };
+    for i in from..to {
+        if manual {
+            issuer.begin_trace(TraceId(0)).unwrap();
+        }
+        for k in 0..8u32 {
+            let (src, dst) = if k % 2 == 0 { (a, b) } else { (b, a) };
+            issuer
+                .execute_task(
+                    TaskDesc::new(TaskKindId(k))
+                        .reads(src)
+                        .read_writes(dst)
+                        .gpu_time(Micros(100.0)),
+                )
+                .unwrap();
+        }
+        if manual {
+            issuer.end_trace(TraceId(0)).unwrap();
+        }
+        issuer
+            .execute_task(
+                TaskDesc::new(TaskKindId(50)).reads(parts[i % 4]).writes(b).gpu_time(Micros(60.0)),
+            )
+            .unwrap();
+        if i % 5 == 4 {
+            issuer
+                .execute_task(
+                    TaskDesc::new(TaskKindId(1000 + i as u32)).reads(b).gpu_time(Micros(40.0)),
+                )
+                .unwrap();
+        }
+        issuer.mark_iteration();
+    }
+}
+
+/// Writes a checkpoint mid-way through an auto run (used by the
+/// corruption tests).
+fn checkpoint_bytes() -> Vec<u8> {
+    let mut issuer = build(Tracing::Auto(small_auto()), LogRetention::Full);
+    drive_range(issuer.as_mut(), false, 0, 40);
+    let mut bytes = Vec::new();
+    issuer.checkpoint(&mut bytes).unwrap();
+    bytes
+}
+
+#[test]
+fn restored_run_is_bit_identical_for_every_front_end_and_retention() {
+    for tracing in all_tracings() {
+        for retention in [LogRetention::Full, LogRetention::Drain] {
+            let label = format!("{}/{retention:?}", tracing.label());
+            let manual = tracing.is_manual();
+
+            // Reference: the run that never stops.
+            let mut straight = build(tracing.clone(), retention);
+            drive_range(straight.as_mut(), manual, 0, ITERS);
+            straight.flush().unwrap();
+            let straight_digest = straight.op_digest();
+            let straight = straight.finish().unwrap();
+
+            // Interrupted: checkpoint at iteration 47, "crash", resume in
+            // a fresh Session, finish the program.
+            let mut victim = build(tracing.clone(), retention);
+            drive_range(victim.as_mut(), manual, 0, 47);
+            let mut bytes = Vec::new();
+            let meta = victim.checkpoint(&mut bytes).unwrap();
+            assert_eq!(meta.op_digest, victim.op_digest(), "{label}: meta digest");
+            assert_eq!(meta.ops_pushed, victim.log_stats().pushed, "{label}: meta ops");
+            drop(victim);
+
+            let mut resumed = Session::resume_from(&mut bytes.as_slice()).unwrap();
+            assert_eq!(resumed.op_digest(), meta.op_digest, "{label}: restored digest");
+            assert_eq!(resumed.log_stats().pushed, meta.ops_pushed, "{label}");
+            drive_range(resumed.as_mut(), manual, 47, ITERS);
+            resumed.flush().unwrap();
+            assert_eq!(resumed.op_digest(), straight_digest, "{label}: op digest diverged");
+            let resumed = resumed.finish().unwrap();
+
+            assert_eq!(straight.stats, resumed.stats, "{label}: runtime counters diverged");
+            assert_eq!(straight.report, resumed.report, "{label}: SimReport diverged");
+            assert_eq!(
+                straight.report.total.0.to_bits(),
+                resumed.report.total.0.to_bits(),
+                "{label}: clocks diverged at the bit level"
+            );
+            match retention {
+                LogRetention::Full => {
+                    let (a, b) = (straight.log(), resumed.log());
+                    assert_eq!(a.ops(), b.ops(), "{label}: raw logs diverged");
+                    assert_eq!(a.digest(), b.digest(), "{label}");
+                }
+                LogRetention::Drain => {
+                    assert!(resumed.log.is_none(), "{label}: drained run kept a log")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpointing_never_perturbs_the_running_session() {
+    // The checkpointed issuer keeps going; its artifacts must equal a run
+    // that never checkpointed (the snapshot is a pure observation at a
+    // task boundary — the finder quiesce is invisible under the
+    // deterministic sync-mining configuration).
+    for tracing in all_tracings() {
+        let label = tracing.label();
+        let manual = tracing.is_manual();
+        let mut plain = build(tracing.clone(), LogRetention::Full);
+        drive_range(plain.as_mut(), manual, 0, ITERS);
+        plain.flush().unwrap();
+        let plain = plain.finish().unwrap();
+
+        let mut observed = build(tracing.clone(), LogRetention::Full);
+        drive_range(observed.as_mut(), manual, 0, 31);
+        let mut sink = Vec::new();
+        observed.checkpoint(&mut sink).unwrap();
+        drive_range(observed.as_mut(), manual, 31, ITERS);
+        observed.flush().unwrap();
+        let observed = observed.finish().unwrap();
+
+        assert_eq!(plain.report, observed.report, "{label}: checkpoint perturbed the run");
+        assert_eq!(plain.stats, observed.stats, "{label}");
+        assert_eq!(plain.log().digest(), observed.log().digest(), "{label}");
+    }
+}
+
+#[test]
+fn immediate_recheckpoint_is_byte_identical() {
+    // Restoring and immediately checkpointing again reproduces the same
+    // envelope byte for byte: the snapshot is a canonical encoding of the
+    // state (hash-map contents are serialized in sorted order).
+    let bytes = checkpoint_bytes();
+    let mut resumed = Session::resume_from(&mut bytes.as_slice()).unwrap();
+    let mut again = Vec::new();
+    resumed.checkpoint(&mut again).unwrap();
+    assert_eq!(bytes, again, "canonical encoding: restore ∘ checkpoint = identity");
+}
+
+#[test]
+fn meta_describes_the_cut() {
+    let mut issuer = build(
+        Tracing::Distributed {
+            config: small_auto(),
+            delay: DelayModel::new(7, 12),
+            initial_interval: 8,
+        },
+        LogRetention::Drain,
+    );
+    drive_range(issuer.as_mut(), false, 0, 20);
+    let mut bytes = Vec::new();
+    let meta = issuer.checkpoint(&mut bytes).unwrap();
+    assert_eq!(meta.format_version, snap::FORMAT_VERSION);
+    assert_eq!(meta.front_end, snap::FRONT_END_DISTRIBUTED);
+    assert_eq!(meta.front_end_label(), "distributed");
+    // 20 iterations × (8 body + 1 rotating) + 4 unique tasks.
+    assert_eq!(meta.tasks_issued, 20 * 9 + 4, "the agreed issued-task barrier");
+    assert!(meta.payload_bytes > 0);
+    assert!(bytes.len() as u64 > meta.payload_bytes, "envelope adds its header");
+}
+
+#[test]
+fn corrupt_and_truncated_snapshots_are_rejected_with_typed_errors() {
+    let bytes = checkpoint_bytes();
+
+    let expect_snapshot_err = |bytes: &[u8]| -> SnapshotError {
+        match Session::resume_from(&mut &*bytes) {
+            Err(RuntimeError::Snapshot(e)) => e,
+            Err(other) => panic!("expected a typed snapshot error, got {other}"),
+            Ok(_) => panic!("corrupt snapshot restored successfully"),
+        }
+    };
+
+    // Truncation anywhere: header, payload, digest.
+    for cut in [0, 3, 8, 10, bytes.len() / 2, bytes.len() - 1] {
+        assert_eq!(expect_snapshot_err(&bytes[..cut]), SnapshotError::Truncated, "cut {cut}");
+    }
+
+    // A flipped payload byte trips the digest.
+    let mut corrupt = bytes.clone();
+    let mid = bytes.len() / 2;
+    corrupt[mid] ^= 0x01;
+    assert_eq!(expect_snapshot_err(&corrupt), SnapshotError::DigestMismatch);
+
+    // Retagging the front-end cannot redirect the payload: the tag is
+    // digested too.
+    let mut retagged = bytes.clone();
+    retagged[8] = snap::FRONT_END_RUNTIME;
+    assert_eq!(expect_snapshot_err(&retagged), SnapshotError::DigestMismatch);
+
+    // Bad magic and future versions are typed.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'Z';
+    assert_eq!(expect_snapshot_err(&bad_magic), SnapshotError::BadMagic);
+    let mut future = bytes.clone();
+    future[4] = 0x7f;
+    assert!(matches!(expect_snapshot_err(&future), SnapshotError::UnsupportedVersion(_)));
+
+    // A well-formed envelope with an unknown front-end tag.
+    let mut unknown = Vec::new();
+    snap::write_envelope(9, b"whatever", &mut unknown).unwrap();
+    assert_eq!(expect_snapshot_err(&unknown), SnapshotError::UnknownFrontEnd(9));
+
+    // A well-formed envelope whose payload is garbage decodes to a
+    // Corrupt/Truncated error, not a panic.
+    let mut garbage = Vec::new();
+    snap::write_envelope(snap::FRONT_END_AUTO, &[0xffu8; 64], &mut garbage).unwrap();
+    assert!(matches!(
+        expect_snapshot_err(&garbage),
+        SnapshotError::Corrupt(_) | SnapshotError::Truncated
+    ));
+
+    // And the pristine bytes still restore.
+    assert!(Session::resume_from(&mut bytes.as_slice()).is_ok());
+}
+
+#[test]
+fn buffered_ops_surface_through_every_front_end() {
+    // The unified backpressure stat: pass-through front-ends report
+    // zeros; the auto front-ends report replayer buffering, and drained
+    // runs report pipeline deferrals.
+    let mut plain = build(Tracing::Untraced, LogRetention::Full);
+    drive_range(plain.as_mut(), false, 0, 10);
+    assert_eq!(plain.buffered_ops().peak_total(), 0, "nothing buffers untraced");
+
+    for tracing in [
+        Tracing::Auto(small_auto()),
+        Tracing::Distributed {
+            config: small_auto(),
+            delay: DelayModel::new(2024, 25),
+            initial_interval: 8,
+        },
+    ] {
+        let label = tracing.label();
+        let mut issuer = build(tracing, LogRetention::Drain);
+        drive_range(issuer.as_mut(), false, 0, ITERS);
+        let b = issuer.buffered_ops();
+        assert!(b.peak_replayer_pending > 0, "{label}: replayer buffered nothing: {b:?}");
+        assert!(b.peak_pipeline_deferred > 0, "{label}: pipeline deferred nothing: {b:?}");
+        issuer.flush().unwrap();
+        assert_eq!(issuer.buffered_ops().replayer_pending, 0, "{label}: flush drains");
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Issues steps `[from, to)` of a randomized program (same shape as
+    /// the issuer-parity generator: repeated bodies, unique tasks,
+    /// iteration marks).
+    fn drive_spec(
+        issuer: &mut dyn TaskIssuer,
+        spec: &[(u8, u8)],
+        manual: bool,
+        from: usize,
+        to: usize,
+    ) {
+        let (a, b) = if from == 0 {
+            (issuer.create_region(1), issuer.create_region(1))
+        } else {
+            (RegionId(0), RegionId(1))
+        };
+        for (i, &(step, gpu)) in spec[from..to].iter().enumerate() {
+            let i = from + i;
+            match step % 4 {
+                0 | 1 => {
+                    let variant = u32::from(step % 2);
+                    if manual {
+                        issuer.begin_trace(TraceId(variant)).unwrap();
+                    }
+                    for k in 0..4u32 {
+                        let (src, dst) = if k % 2 == 0 { (a, b) } else { (b, a) };
+                        issuer
+                            .execute_task(
+                                TaskDesc::new(TaskKindId(10 * variant + k))
+                                    .reads(src)
+                                    .read_writes(dst)
+                                    .gpu_time(Micros(f64::from(gpu) + 10.0)),
+                            )
+                            .unwrap();
+                    }
+                    if manual {
+                        issuer.end_trace(TraceId(variant)).unwrap();
+                    }
+                }
+                2 => {
+                    issuer
+                        .execute_task(
+                            TaskDesc::new(TaskKindId(2000 + i as u32))
+                                .reads(a)
+                                .writes(b)
+                                .gpu_time(Micros(35.0)),
+                        )
+                        .unwrap();
+                }
+                _ => issuer.mark_iteration(),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The acceptance criterion, randomized: checkpoint at a random
+        /// step of a random program and the restored run's report and op
+        /// digest equal the uninterrupted run's, for all four front-ends
+        /// under both retention policies.
+        #[test]
+        fn restore_equals_uninterrupted_on_random_programs(
+            spec in proptest::collection::vec((any::<u8>(), any::<u8>()), 8..80),
+            cut_sel in any::<u16>(),
+        ) {
+            let cut = 1 + (cut_sel as usize) % (spec.len() - 1);
+            for tracing in all_tracings() {
+                for retention in [LogRetention::Full, LogRetention::Drain] {
+                    let label = format!("{}/{retention:?}", tracing.label());
+                    let manual = tracing.is_manual();
+
+                    let mut straight = build(tracing.clone(), retention);
+                    drive_spec(straight.as_mut(), &spec, manual, 0, spec.len());
+                    straight.flush().unwrap();
+                    let straight_digest = straight.op_digest();
+                    let straight = straight.finish().unwrap();
+
+                    let mut victim = build(tracing.clone(), retention);
+                    drive_spec(victim.as_mut(), &spec, manual, 0, cut);
+                    let mut bytes = Vec::new();
+                    victim.checkpoint(&mut bytes).unwrap();
+                    drop(victim);
+                    let mut resumed = Session::resume_from(&mut bytes.as_slice()).unwrap();
+                    drive_spec(resumed.as_mut(), &spec, manual, cut, spec.len());
+                    resumed.flush().unwrap();
+                    prop_assert_eq!(
+                        resumed.op_digest(), straight_digest,
+                        "{}: digest diverged at cut {}", label, cut
+                    );
+                    let resumed = resumed.finish().unwrap();
+                    prop_assert_eq!(&straight.stats, &resumed.stats, "{}", label);
+                    prop_assert_eq!(&straight.report, &resumed.report, "{}", label);
+                }
+            }
+        }
+    }
+}
