@@ -1,0 +1,180 @@
+//! Multi-tenant serving soak: 8 tenants × 50k tasks through one
+//! `TraceService`, capped and drained.
+//!
+//! Every tenant runs automatic tracing with asynchronous mining over the
+//! *shared* pool, gated ingest quiesced on a deterministic schedule, the
+//! candidate trie and template store capped by the service's apportioned
+//! byte budgets, and `LogRetention::Drain` streaming every operation
+//! through the incremental simulator. The soak's contract, enforced every
+//! run (timing or smoke):
+//!
+//! * every tenant's peak trie bytes stay within its apportioned share of
+//!   the fleet ceiling, and its drained op residency stays O(window +
+//!   trace length) — memory is bounded no matter how long the fleet runs;
+//! * tracing keeps working under sharing (most tasks replayed) and no
+//!   tenant's mining pipeline degrades;
+//! * the fleet metrics snapshot renders with every tenant present.
+//!
+//! In `--test` smoke mode (CI) each tenant shrinks from 50k to 6k tasks
+//! and every benchmark runs once.
+
+use apophenia::{Config, Tracing};
+use apophenia_serve::{ServeConfig, StreamId, TraceService};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tasksim::cost::Micros;
+use tasksim::exec::LogRetention;
+use tasksim::ids::{RegionId, TaskKindId};
+use tasksim::runtime::RuntimeConfig;
+use tasksim::task::TaskDesc;
+
+const TENANTS: u64 = 8;
+const BODY: u32 = 8;
+
+/// `--test` smoke mode: one pass, smaller streams.
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn tasks_per_tenant() -> usize {
+    if let Some(n) = std::env::var("SERVE_SOAK_TASKS").ok().and_then(|v| v.parse().ok()) {
+        return n;
+    }
+    if smoke() {
+        6_000
+    } else {
+        50_000
+    }
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig::default()
+        .with_tenant_slots(TENANTS as usize)
+        .with_mining_threads(3)
+        .with_max_trie_bytes(TENANTS as usize * 192 * 1024)
+        .with_max_template_bytes(TENANTS as usize * 256 * 1024)
+}
+
+fn tenant_tracing() -> Tracing {
+    Tracing::Auto(
+        Config::standard()
+            .with_min_trace_length(4)
+            .with_max_trace_length(512)
+            .with_batch_size(1024)
+            .with_multi_scale_factor(64)
+            .with_async_mining()
+            .with_gated_ingest()
+            .with_max_candidates(64),
+    )
+}
+
+struct SoakOutcome {
+    tasks_total: u64,
+    replayed: u64,
+    peak_retained_max: usize,
+    snapshot: String,
+}
+
+/// Drives the whole fleet round-robin to completion and returns the
+/// figures the contract is judged on.
+fn run_serve_soak(tasks: usize) -> SoakOutcome {
+    let mut svc = TraceService::new(serve_config());
+    let mut drained = RuntimeConfig::single_node(1);
+    drained.retention = LogRetention::Drain;
+    let regions: Vec<(RegionId, RegionId)> = (0..TENANTS)
+        .map(|id| {
+            svc.register_configured(StreamId(id), tenant_tracing(), drained).unwrap();
+            let a = svc.create_region(StreamId(id), 1).unwrap();
+            let b = svc.create_region(StreamId(id), 1).unwrap();
+            (a, b)
+        })
+        .collect();
+    let iters = tasks / BODY as usize;
+    for i in 0..iters {
+        for id in 0..TENANTS {
+            let (a, b) = regions[id as usize];
+            let body: Vec<TaskDesc> = (0..BODY)
+                .map(|k| {
+                    let (src, dst) = if k % 2 == 0 { (a, b) } else { (b, a) };
+                    TaskDesc::new(TaskKindId(id as u32 * BODY + k))
+                        .reads(src)
+                        .writes(dst)
+                        .gpu_time(Micros(100.0))
+                })
+                .collect();
+            svc.submit(StreamId(id), body).unwrap();
+            svc.mark_iteration(StreamId(id)).unwrap();
+            if i % 64 == 63 {
+                svc.quiesce(StreamId(id)).unwrap();
+            }
+        }
+    }
+    for id in 0..TENANTS {
+        svc.quiesce(StreamId(id)).unwrap();
+        svc.flush(StreamId(id)).unwrap();
+    }
+    let trie_share = serve_config().trie_share().unwrap();
+    let mut out = SoakOutcome {
+        tasks_total: 0,
+        replayed: 0,
+        peak_retained_max: 0,
+        snapshot: svc.render_metrics(),
+    };
+    for m in svc.all_tenant_metrics() {
+        assert_eq!(m.degraded, None, "{}: mining pipeline healthy", m.stream);
+        assert!(
+            m.peak_trie_bytes <= trie_share,
+            "{}: peak trie bytes {} within the {trie_share}-byte share",
+            m.stream,
+            m.peak_trie_bytes
+        );
+        out.tasks_total += m.stats.tasks_total;
+        out.replayed += m.stats.tasks_replayed;
+        out.peak_retained_max = out.peak_retained_max.max(m.log.peak_retained);
+    }
+    for id in 0..TENANTS {
+        let artifacts = svc.finish(StreamId(id)).unwrap();
+        assert!(artifacts.log.is_none(), "drained tenants never materialize the log");
+    }
+    out
+}
+
+fn bench_soak(c: &mut Criterion) {
+    let tasks = tasks_per_tenant();
+    let mut g = c.benchmark_group("serve_soak");
+    g.sample_size(2);
+    g.throughput(Throughput::Elements(TENANTS * tasks as u64));
+    g.bench_function("fleet", |b| b.iter(|| run_serve_soak(tasks)));
+    g.finish();
+}
+
+/// Prints the fleet snapshot and enforces the soak's contract.
+fn report_table(_c: &mut Criterion) {
+    let tasks = tasks_per_tenant();
+    let out = run_serve_soak(tasks);
+    assert_eq!(out.tasks_total, TENANTS * (tasks - tasks % BODY as usize) as u64);
+    assert!(
+        out.replayed * 2 > out.tasks_total,
+        "sharing must not cost tracing: {}/{} replayed",
+        out.replayed,
+        out.tasks_total
+    );
+    // Drained residency is O(window + trace length), not O(stream): the
+    // same shape of bound the streaming soak enforces, fixed while the
+    // stream grows without limit.
+    let window = RuntimeConfig::single_node(1).window as usize;
+    let bound = 4 * (window + 512) + 64;
+    assert!(
+        out.peak_retained_max <= bound,
+        "drained residency {} exceeds the O(window + trace length) bound {bound}",
+        out.peak_retained_max
+    );
+    assert!(out.snapshot.starts_with(&format!("fleet tenants={TENANTS}/{TENANTS}")));
+    print!("{}", out.snapshot);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench_soak, report_table
+}
+criterion_main!(benches);

@@ -115,6 +115,18 @@ pub struct CapacityConfig {
     /// candidates are long: a few long candidates can dominate memory
     /// while staying under `max_candidates`.
     pub max_trie_nodes: Option<usize>,
+    /// Maximum candidate-trie footprint in *bytes*, computed from the
+    /// per-node footprint (see
+    /// [`TraceReplayer::trie_bytes`](crate::replayer::TraceReplayer::trie_bytes)).
+    /// Enforced alongside the count bounds — whichever trips first evicts.
+    /// Byte budgets are what a multi-tenant host apportions: tenants with
+    /// different candidate shapes consume comparable memory under the same
+    /// budget, which node *counts* cannot promise.
+    pub max_trie_bytes: Option<usize>,
+    /// Maximum template-store footprint in bytes, computed from each
+    /// template's content-derived footprint. Plumbed into the runtime
+    /// layer's bounded template store by the automatic front-ends.
+    pub max_template_bytes: Option<usize>,
 }
 
 /// Why a [`Config`] failed [`Config::validate`].
@@ -140,6 +152,12 @@ pub enum ConfigError {
     /// `capacity.max_trie_nodes == Some(0)`: the root alone occupies one
     /// node.
     ZeroMaxTrieNodes,
+    /// `capacity.max_trie_bytes == Some(0)`: the root node alone has a
+    /// nonzero footprint.
+    ZeroMaxTrieBytes,
+    /// `capacity.max_template_bytes == Some(0)`: any recorded template has
+    /// a nonzero footprint.
+    ZeroMaxTemplateBytes,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -153,6 +171,8 @@ impl std::fmt::Display for ConfigError {
             Self::ZeroCountCap => "scoring.count_cap must be at least 1",
             Self::ZeroMaxCandidates => "capacity.max_candidates must be at least 1 when set",
             Self::ZeroMaxTrieNodes => "capacity.max_trie_nodes must be at least 1 when set",
+            Self::ZeroMaxTrieBytes => "capacity.max_trie_bytes must be at least 1 when set",
+            Self::ZeroMaxTemplateBytes => "capacity.max_template_bytes must be at least 1 when set",
         };
         f.write_str(msg)
     }
@@ -207,6 +227,16 @@ pub struct Config {
     /// [`MiningMode::Async`] (ignored when mining inline). Batches are
     /// released in submission order regardless of thread count.
     pub mining_threads: usize,
+    /// Gate asynchronous ingestion behind explicit quiesce barriers
+    /// (ignored when mining inline). With the gate up, completed mining
+    /// batches are *not* released at the opportunistic per-task poll —
+    /// they wait until the host calls `quiesce()`, after which they all
+    /// ingest at the very next issue. A host that quiesces on a schedule
+    /// derived from the stream (say, every iteration) thereby makes
+    /// asynchronous runs bit-reproducible: ingestion positions become a
+    /// pure function of the task stream instead of pool timing. Costs
+    /// ingestion latency (up to one quiesce period); off by default.
+    pub gated_ingest: bool,
     /// Suffix-array construction backend used by Algorithm 2
     /// ([`SuffixBackend::Sais`] — linear time — by default; prefix
     /// doubling kept for ablations). Both backends mine identical
@@ -239,6 +269,7 @@ impl Config {
             repeats: RepeatsAlgorithm::QuickMatching,
             mining: MiningMode::Sync,
             mining_threads: 1,
+            gated_ingest: false,
             suffix_backend: SuffixBackend::default(),
             scoring: ScoringConfig::default(),
             capacity: CapacityConfig::default(),
@@ -285,6 +316,13 @@ impl Config {
         self
     }
 
+    /// Gates asynchronous ingestion behind explicit quiesce barriers,
+    /// making async runs bit-reproducible (see [`Config::gated_ingest`]).
+    pub fn with_gated_ingest(mut self) -> Self {
+        self.gated_ingest = true;
+        self
+    }
+
     /// Selects the suffix-array construction backend.
     pub fn with_suffix_backend(mut self, backend: SuffixBackend) -> Self {
         self.suffix_backend = backend;
@@ -313,6 +351,20 @@ impl Config {
     /// Bounds the number of live trie nodes (clamped to at least one).
     pub fn with_max_trie_nodes(mut self, max: usize) -> Self {
         self.capacity.max_trie_nodes = Some(max.max(1));
+        self
+    }
+
+    /// Bounds the candidate trie's byte footprint (clamped to at least
+    /// one byte).
+    pub fn with_max_trie_bytes(mut self, max: usize) -> Self {
+        self.capacity.max_trie_bytes = Some(max.max(1));
+        self
+    }
+
+    /// Bounds the template store's byte footprint (clamped to at least
+    /// one byte).
+    pub fn with_max_template_bytes(mut self, max: usize) -> Self {
+        self.capacity.max_template_bytes = Some(max.max(1));
         self
     }
 
@@ -361,6 +413,12 @@ impl Config {
         }
         if self.capacity.max_trie_nodes == Some(0) {
             return Err(ConfigError::ZeroMaxTrieNodes);
+        }
+        if self.capacity.max_trie_bytes == Some(0) {
+            return Err(ConfigError::ZeroMaxTrieBytes);
+        }
+        if self.capacity.max_template_bytes == Some(0) {
+            return Err(ConfigError::ZeroMaxTemplateBytes);
         }
         Ok(())
     }
@@ -436,11 +494,23 @@ mod tests {
         let c = Config::standard().with_max_candidates(0).with_max_trie_nodes(0);
         assert_eq!(c.capacity.max_candidates, Some(1), "clamps to >= 1");
         assert_eq!(c.capacity.max_trie_nodes, Some(1));
-        let c = Config::standard().with_max_candidates(64).with_max_trie_nodes(4096);
+        let c = Config::standard()
+            .with_max_candidates(64)
+            .with_max_trie_nodes(4096)
+            .with_max_trie_bytes(1 << 20)
+            .with_max_template_bytes(1 << 20);
         assert_eq!(
             c.capacity,
-            CapacityConfig { max_candidates: Some(64), max_trie_nodes: Some(4096) }
+            CapacityConfig {
+                max_candidates: Some(64),
+                max_trie_nodes: Some(4096),
+                max_trie_bytes: Some(1 << 20),
+                max_template_bytes: Some(1 << 20),
+            }
         );
+        let clamped = Config::standard().with_max_trie_bytes(0).with_max_template_bytes(0);
+        assert_eq!(clamped.capacity.max_trie_bytes, Some(1), "byte budgets clamp to >= 1");
+        assert_eq!(clamped.capacity.max_template_bytes, Some(1));
         assert!(c.validate().is_ok());
         assert_eq!(Config::standard().capacity, CapacityConfig::default(), "unbounded by default");
     }
@@ -484,6 +554,14 @@ mod tests {
         let mut c = Config::standard();
         c.capacity.max_trie_nodes = Some(0);
         assert_eq!(c.validate(), Err(ConfigError::ZeroMaxTrieNodes));
+
+        let mut c = Config::standard();
+        c.capacity.max_trie_bytes = Some(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxTrieBytes));
+
+        let mut c = Config::standard();
+        c.capacity.max_template_bytes = Some(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxTemplateBytes));
 
         // Errors render as readable messages.
         assert!(ConfigError::NonPositiveHalfLife.to_string().contains("half_life"));

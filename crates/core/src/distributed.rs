@@ -224,6 +224,15 @@ impl DistributedAutoTracer {
         delay: DelayModel,
         initial_interval: u64,
     ) -> Self {
+        // Fold the tracing config's template byte budget into every node's
+        // runtime config (tighter of the two when both are set) — applied
+        // identically everywhere, so byte-driven evictions stay in
+        // lock-step.
+        let mut rt_config = rt_config;
+        if let Some(bytes) = config.capacity.max_template_bytes {
+            rt_config.max_template_bytes =
+                Some(rt_config.max_template_bytes.map_or(bytes, |own| own.min(bytes)));
+        }
         let nodes = (0..rt_config.nodes)
             .map(|_| NodeState {
                 finder: TraceFinder::new(&config),
@@ -530,6 +539,21 @@ impl TaskIssuer for DistributedAutoTracer {
             peak_replayer_pending: r.peak_pending_tasks,
             ..self.nodes[0].rt.buffer_stats()
         }
+    }
+
+    /// First degraded node's mining-pipeline failure, if any.
+    fn health(&mut self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.finder.health().map_err(|e| format!("node {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Node 0's candidate-trie footprint `(current, peak)` in bytes —
+    /// identical on every node while in lock-step.
+    fn trie_footprint(&self) -> (usize, usize) {
+        let r = self.nodes[0].replayer.stats();
+        (r.trie_bytes, r.peak_trie_bytes)
     }
 
     /// Node 0's op-stream digest — identical on every node while in

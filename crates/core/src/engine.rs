@@ -10,7 +10,7 @@
 //! need no tracing annotations at all.
 
 use crate::config::{Config, FinderPolicy};
-use crate::finder::{FinderError, TraceFinder};
+use crate::finder::{FinderError, MiningPool, TraceFinder};
 use crate::metrics::{CapacitySample, CapacitySeries, TracedWindow, WarmupDetector};
 use crate::replayer::{ReplayerStats, TraceReplayer};
 use crate::snapshot::{get_config, put_config};
@@ -80,15 +80,42 @@ impl AutoTracer {
     /// Creates an engine over a fresh runtime. The runtime is forced into
     /// `auto_layer` cost accounting (12 µs launches, §5.2 replay gating).
     pub fn new(rt_config: RuntimeConfig, config: Config) -> Self {
-        Self::over(Runtime::new(rt_config.with_auto_layer()), config)
+        let rt = Runtime::new(Self::apply_caps(rt_config, &config));
+        Self::assemble(TraceFinder::new(&config), rt, config)
+    }
+
+    /// Like [`Self::new`], but the finder submits mining jobs to `pool`
+    /// instead of spawning a private worker pool — the constructor a
+    /// multi-tenant host uses so every tenant shares one set of mining
+    /// threads. Per-engine mining results and submission-order reassembly
+    /// are unaffected; only the threads are shared.
+    pub fn with_pool(rt_config: RuntimeConfig, config: Config, pool: &MiningPool) -> Self {
+        let rt = Runtime::new(Self::apply_caps(rt_config, &config));
+        Self::assemble(TraceFinder::with_pool(&config, pool), rt, config)
     }
 
     /// Layers the engine over an existing runtime (which should have been
     /// built with [`RuntimeConfig::with_auto_layer`] for faithful cost
     /// accounting).
     pub fn over(rt: Runtime, config: Config) -> Self {
+        Self::assemble(TraceFinder::new(&config), rt, config)
+    }
+
+    /// Folds the tracing config's template byte budget
+    /// ([`crate::config::CapacityConfig::max_template_bytes`]) into the
+    /// runtime config (taking the tighter of the two when both are set)
+    /// and forces auto-layer cost accounting.
+    fn apply_caps(mut rt_config: RuntimeConfig, config: &Config) -> RuntimeConfig {
+        if let Some(bytes) = config.capacity.max_template_bytes {
+            rt_config.max_template_bytes =
+                Some(rt_config.max_template_bytes.map_or(bytes, |own| own.min(bytes)));
+        }
+        rt_config.with_auto_layer()
+    }
+
+    fn assemble(finder: TraceFinder, rt: Runtime, config: Config) -> Self {
         Self {
-            finder: TraceFinder::new(&config),
+            finder,
             replayer: TraceReplayer::new(&config),
             config,
             rt,
@@ -387,6 +414,25 @@ impl TaskIssuer for AutoTracer {
             peak_replayer_pending: r.peak_pending_tasks,
             ..self.rt.buffer_stats()
         }
+    }
+
+    /// Mining-pipeline health as a description (see
+    /// [`AutoTracer::finder_health`] for the typed form).
+    fn health(&mut self) -> Result<(), String> {
+        self.finder.health().map_err(|e| e.to_string())
+    }
+
+    /// Blocks until every in-flight mining job lands (reassembled, queued
+    /// for the next poll). Makes asynchronous ingestion a pure function
+    /// of the task stream when invoked on a deterministic schedule.
+    fn quiesce(&mut self) {
+        self.finder.quiesce();
+    }
+
+    /// The candidate trie's modeled footprint (current, peak) in bytes.
+    fn trie_footprint(&self) -> (usize, usize) {
+        let r = self.replayer.stats();
+        (r.trie_bytes, r.peak_trie_bytes)
     }
 
     fn op_digest(&self) -> u64 {

@@ -14,6 +14,19 @@
 //! recycled through a return channel once a worker finishes with them,
 //! and the history slice is copied out of the ring buffer slice-wise
 //! (`VecDeque::as_slices`) rather than element by element.
+//!
+//! # Shared worker pools
+//!
+//! Asynchronous mining runs on a [`MiningPool`] — a set of worker threads
+//! behind a job channel. [`TraceFinder::new`] builds a private pool, but a
+//! pool is a cheap cloneable handle: a multi-tenant host constructs one
+//! pool and hands it to every tenant's finder via
+//! [`TraceFinder::with_pool`], so N tenants share one set of threads
+//! instead of spawning N × [`Config::mining_threads`]. Each job carries
+//! its submitter's private reply channels, so results route back to the
+//! finder that submitted them and per-finder strict submission-order
+//! reassembly is untouched by sharing. The pool's threads shut down when
+//! the last handle drops.
 
 use crate::config::{Config, IdentifierAlgorithm, MiningMode, RepeatsAlgorithm};
 use crate::sampler::MultiScaleSampler;
@@ -160,18 +173,144 @@ fn run_job(job: &Job) -> MinedBatch {
     MinedBatch { job: job.id, candidates, slice_end }
 }
 
+/// A job on the wire to a [`MiningPool`] worker: the mining request plus
+/// the submitting finder's private reply channels. Replies route back to
+/// the submitter, so any number of finders can share one pool without
+/// their results interleaving.
+struct PoolJob {
+    job: Job,
+    res_tx: Sender<MinedBatch>,
+    recycle_tx: Sender<Vec<TaskHash>>,
+    panic_tx: Sender<u64>,
+}
+
+/// Worker threads + join bookkeeping, shared by every handle clone.
+struct PoolShared {
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl Drop for PoolShared {
+    fn drop(&mut self) {
+        // The last handle's job sender was dropped just before this runs
+        // (field order in `MiningPool`), so the channel is closed: workers
+        // drain what's queued and exit; joining cannot hang.
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A pool of mining worker threads, shareable between [`TraceFinder`]s.
+///
+/// Cloning is cheap (a channel sender + an `Arc`); every clone submits
+/// into the same set of threads. Each submitted job carries its finder's
+/// private reply channels, so sharing a pool never mixes two finders'
+/// results or perturbs their submission-order reassembly. When the last
+/// handle drops, the job channel closes, the workers finish what is
+/// queued and exit, and the drop joins them.
+pub struct MiningPool {
+    /// Dropped before `shared`, closing the channel the workers block on.
+    tx: Sender<PoolJob>,
+    shared: Arc<PoolShared>,
+}
+
+impl Clone for MiningPool {
+    fn clone(&self) -> Self {
+        Self { tx: self.tx.clone(), shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl std::fmt::Debug for MiningPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiningPool")
+            .field("threads", &self.shared.threads)
+            .field("handles", &Arc::strong_count(&self.shared))
+            .finish()
+    }
+}
+
+impl MiningPool {
+    /// Spawns a pool of `threads.max(1)` mining workers.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, job_rx) = channel::<PoolJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while waiting for a job; mining
+                    // runs unlocked so workers overlap.
+                    let pj = match job_rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(PoolJob { job, res_tx, recycle_tx, panic_tx }) = pj else { break };
+                    // A panicking miner must not deadlock the submitter's
+                    // reorder buffer: answer the job with an empty batch,
+                    // report the panic, keep serving.
+                    let slice_end = job.global_start + job.tokens.len() as u64;
+                    let batch =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&job)))
+                            .unwrap_or_else(|_| {
+                                let _ = panic_tx.send(job.id);
+                                MinedBatch { job: job.id, candidates: Vec::new(), slice_end }
+                            });
+                    let _ = recycle_tx.send(job.tokens);
+                    // The submitting finder may already be gone; other
+                    // finders' jobs keep flowing regardless.
+                    let _ = res_tx.send(batch);
+                })
+            })
+            .collect();
+        Self { tx, shared: Arc::new(PoolShared { workers: Mutex::new(workers), threads }) }
+    }
+
+    /// Number of worker threads serving this pool.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Number of live handles (finders plus the host's own), for fleet
+    /// metrics.
+    pub fn handles(&self) -> usize {
+        Arc::strong_count(&self.shared)
+    }
+
+    /// Enqueues a job; `false` if the pool is dead (channel closed).
+    fn submit(&self, job: PoolJob) -> bool {
+        self.tx.send(job).is_ok()
+    }
+
+    /// A pool whose workers are already gone and whose channel is closed
+    /// — what a catastrophic worker die-off leaves behind.
+    #[cfg(test)]
+    fn dead() -> Self {
+        let (tx, rx) = channel::<PoolJob>();
+        drop(rx);
+        Self { tx, shared: Arc::new(PoolShared { workers: Mutex::new(Vec::new()), threads: 0 }) }
+    }
+}
+
 enum Miner {
     Sync {
         done: VecDeque<MinedBatch>,
     },
     Pool {
-        tx: Option<Sender<Job>>,
+        /// Handle to the (possibly shared) worker pool.
+        pool: MiningPool,
+        /// Our half of the reply channels, cloned into every job so the
+        /// pool's workers answer *this* finder.
+        res_tx: Sender<MinedBatch>,
         rx: Receiver<MinedBatch>,
         /// Job token buffers coming back from workers for reuse.
+        recycle_tx: Sender<Vec<TaskHash>>,
         recycle_rx: Receiver<Vec<TaskHash>>,
         /// Job ids whose mining panicked (answered with empty batches).
+        panic_tx: Sender<u64>,
         panic_rx: Receiver<u64>,
-        workers: Vec<JoinHandle<()>>,
         /// Jobs sent to the pool and not yet received back.
         in_flight: usize,
         /// Completed batches received out of submission order, keyed by
@@ -185,6 +324,11 @@ enum Miner {
         lost_jobs: usize,
         /// First panicked job observed (drained from `panic_rx`).
         first_panic: Option<u64>,
+        /// [`Config::gated_ingest`]: when set, completed batches are
+        /// reassembled into `ready` only by [`TraceFinder::quiesce`],
+        /// never by the opportunistic per-task poll, so release
+        /// positions are a pure function of the quiesce schedule.
+        gated: bool,
     },
 }
 
@@ -225,65 +369,52 @@ impl std::fmt::Debug for TraceFinder {
 }
 
 impl TraceFinder {
-    /// Creates a finder from a configuration.
+    /// Creates a finder from a configuration. Asynchronous mining gets a
+    /// private [`MiningPool`] of [`Config::mining_threads`] workers; a
+    /// multi-tenant host shares one pool via [`Self::with_pool`] instead.
     pub fn new(config: &Config) -> Self {
+        match config.mining {
+            MiningMode::Sync => Self::build(config, Miner::Sync { done: VecDeque::new() }),
+            MiningMode::Async => {
+                Self::with_pool(config, &MiningPool::new(config.mining_threads.max(1)))
+            }
+        }
+    }
+
+    /// Creates a finder whose asynchronous mining jobs run on `pool`
+    /// instead of a private pool. Results still come back in strict
+    /// per-finder submission order: each job carries this finder's reply
+    /// channels, so sharing a pool is invisible to the mining semantics.
+    /// With [`MiningMode::Sync`] the pool is unused (mining runs inline).
+    pub fn with_pool(config: &Config, pool: &MiningPool) -> Self {
         let miner = match config.mining {
             MiningMode::Sync => Miner::Sync { done: VecDeque::new() },
             MiningMode::Async => {
-                let threads = config.mining_threads.max(1);
-                let (tx, job_rx) = channel::<Job>();
-                let job_rx = Arc::new(Mutex::new(job_rx));
                 let (res_tx, rx) = channel::<MinedBatch>();
                 let (recycle_tx, recycle_rx) = channel::<Vec<TaskHash>>();
                 let (panic_tx, panic_rx) = channel::<u64>();
-                let workers = (0..threads)
-                    .map(|_| {
-                        let job_rx = Arc::clone(&job_rx);
-                        let res_tx = res_tx.clone();
-                        let recycle_tx = recycle_tx.clone();
-                        let panic_tx = panic_tx.clone();
-                        std::thread::spawn(move || loop {
-                            // Hold the lock only while waiting for a job;
-                            // mining runs unlocked so workers overlap.
-                            let job = match job_rx.lock() {
-                                Ok(rx) => rx.recv(),
-                                Err(_) => break,
-                            };
-                            let Ok(job) = job else { break };
-                            // A panicking miner must not deadlock the
-                            // reorder buffer: answer the job with an empty
-                            // batch, report the panic, keep serving.
-                            let slice_end = job.global_start + job.tokens.len() as u64;
-                            let batch =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    run_job(&job)
-                                }))
-                                .unwrap_or_else(|_| {
-                                    let _ = panic_tx.send(job.id);
-                                    MinedBatch { job: job.id, candidates: Vec::new(), slice_end }
-                                });
-                            let _ = recycle_tx.send(job.tokens);
-                            if res_tx.send(batch).is_err() {
-                                break;
-                            }
-                        })
-                    })
-                    .collect();
                 Miner::Pool {
-                    tx: Some(tx),
+                    pool: pool.clone(),
+                    res_tx,
                     rx,
+                    recycle_tx,
                     recycle_rx,
+                    panic_tx,
                     panic_rx,
-                    workers,
                     in_flight: 0,
                     pending: BTreeMap::new(),
                     next_emit: 0,
                     ready: VecDeque::new(),
                     lost_jobs: 0,
                     first_panic: None,
+                    gated: config.gated_ingest,
                 }
             }
         };
+        Self::build(config, miner)
+    }
+
+    fn build(config: &Config, miner: Miner) -> Self {
         Self {
             buffer: VecDeque::with_capacity(config.batch_size),
             buffer_start: 0,
@@ -315,15 +446,13 @@ impl TraceFinder {
     }
 
     /// Test hook: simulates every worker dying with jobs still queued —
-    /// the submission channel closes, workers are joined, and any results
-    /// they managed to produce are discarded.
+    /// the finder's pool handle is swapped for a dead pool (dropping a
+    /// private pool joins its workers) and any results the old workers
+    /// managed to produce are discarded.
     #[cfg(test)]
     pub(crate) fn kill_pool_for_test(&mut self) {
-        if let Miner::Pool { tx, workers, rx, .. } = &mut self.miner {
-            drop(tx.take());
-            for w in workers.drain(..) {
-                let _ = w.join();
-            }
+        if let Miner::Pool { pool, rx, .. } = &mut self.miner {
+            *pool = MiningPool::dead();
             let (dead_tx, dead_rx) = channel::<MinedBatch>();
             drop(dead_tx);
             *rx = dead_rx;
@@ -406,11 +535,16 @@ impl TraceFinder {
                 done.push_back(run_job(&job));
                 self.spare.push(job.tokens);
             }
-            Miner::Pool { tx, in_flight, lost_jobs, .. } => {
+            Miner::Pool { pool, res_tx, recycle_tx, panic_tx, in_flight, lost_jobs, .. } => {
                 // A dead pool (all workers gone, channel closed) must not
                 // panic the submission path: count the lost job and keep
                 // the stream flowing untraced.
-                let sent = tx.as_ref().is_some_and(|t| t.send(job).is_ok());
+                let sent = pool.submit(PoolJob {
+                    job,
+                    res_tx: res_tx.clone(),
+                    recycle_tx: recycle_tx.clone(),
+                    panic_tx: panic_tx.clone(),
+                });
                 if sent {
                     *in_flight += 1;
                 } else {
@@ -434,10 +568,12 @@ impl TraceFinder {
 
     /// Returns all completed batches, in submission order. Batches that
     /// completed ahead of an unfinished predecessor are withheld until the
-    /// predecessor lands. A pool disconnect is detected here too: the
-    /// outstanding jobs are counted as lost and batches stranded behind
-    /// the resulting ordering hole are released rather than withheld
-    /// forever.
+    /// predecessor lands; under [`Config::gated_ingest`] *every* batch is
+    /// withheld until a [`Self::quiesce`] lands it, so release positions
+    /// never depend on worker timing. A pool disconnect is detected here
+    /// too: the outstanding jobs are counted as lost and batches stranded
+    /// behind the resulting ordering hole (or a closed gate) are released
+    /// rather than withheld forever.
     pub fn poll_completed(&mut self) -> Vec<MinedBatch> {
         match &mut self.miner {
             Miner::Sync { done } => done.drain(..).collect(),
@@ -450,6 +586,7 @@ impl TraceFinder {
                 ready,
                 lost_jobs,
                 first_panic,
+                gated,
                 ..
             } => {
                 loop {
@@ -471,8 +608,11 @@ impl TraceFinder {
                 while let Ok(job) = panic_rx.try_recv() {
                     first_panic.get_or_insert(job);
                 }
-                Self::release_in_order(pending, next_emit, ready);
+                if !*gated {
+                    Self::release_in_order(pending, next_emit, ready);
+                }
                 if *lost_jobs > 0 {
+                    Self::release_in_order(pending, next_emit, ready);
                     ready.extend(std::mem::take(pending).into_values());
                 }
                 ready.drain(..).collect()
@@ -482,11 +622,14 @@ impl TraceFinder {
 
     /// Blocks until every in-flight mining job has landed and been
     /// reassembled into the ready queue — the quiescent point a snapshot
-    /// cuts at. A no-op for synchronous mining (jobs complete at
-    /// submission). Nothing is released to the caller; the batches stay
-    /// queued for the next [`Self::poll_completed`], whether that happens
-    /// on this finder or on one restored from the snapshot.
-    fn quiesce(&mut self) {
+    /// cuts at, and the barrier a host uses to make asynchronous
+    /// ingestion deterministic (after a quiesce, every submitted analysis
+    /// is ingested at the very next poll, a pure function of the stream).
+    /// A no-op for synchronous mining (jobs complete at submission).
+    /// Nothing is released to the caller; the batches stay queued for the
+    /// next [`Self::poll_completed`], whether that happens on this finder
+    /// or on one restored from a snapshot.
+    pub fn quiesce(&mut self) {
         let Miner::Pool {
             rx,
             panic_rx,
@@ -682,17 +825,6 @@ pub(crate) fn get_batch(r: &mut SnapshotReader<'_>) -> Result<MinedBatch, Snapsh
     })
 }
 
-impl Drop for TraceFinder {
-    fn drop(&mut self) {
-        if let Miner::Pool { tx, workers, .. } = &mut self.miner {
-            drop(tx.take());
-            for w in workers.drain(..) {
-                let _ = w.join();
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -789,6 +921,27 @@ mod tests {
         let bs = fs.drain_blocking();
         let ba = fa.drain_blocking();
         assert_eq!(bs, ba, "mining results are mode-independent");
+    }
+
+    #[test]
+    fn gated_ingest_releases_only_at_quiesce() {
+        let mut f = TraceFinder::new(&cfg().with_async_mining().with_gated_ingest());
+        feed_pattern(&mut f, &[1, 2, 3, 4], 8);
+        // However long we poll, the gate holds completed batches back.
+        for _ in 0..50 {
+            assert!(f.poll_completed().is_empty(), "no release before quiesce");
+            std::thread::yield_now();
+        }
+        f.quiesce();
+        let batches = f.poll_completed();
+        assert!(!batches.is_empty(), "quiesce landed the analyses");
+        for w in batches.windows(2) {
+            assert!(w[0].job < w[1].job, "submission order preserved");
+        }
+        // And the gated results are the same analyses sync mining produces.
+        let mut fs = TraceFinder::new(&cfg());
+        feed_pattern(&mut fs, &[1, 2, 3, 4], 8);
+        assert_eq!(batches, fs.poll_completed(), "gating changes timing, never results");
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub use config::{
 };
 pub use distributed::{DelayModel, DistributedAutoTracer};
 pub use engine::AutoTracer;
-pub use finder::{FinderError, MinedBatch, MinedCandidate, TraceFinder};
+pub use finder::{FinderError, MinedBatch, MinedCandidate, MiningPool, TraceFinder};
 pub use metrics::{CapacitySample, CapacitySeries, TracedWindow, WarmupDetector};
 pub use replayer::{TraceReplayer, TraceSink};
 pub use session::{Session, SessionBuilder, Tracing};

@@ -144,6 +144,14 @@ struct PendingTask {
     global: u64,
 }
 
+/// Bytes charged per live trie node by the deterministic byte model
+/// behind [`CapacityConfig::max_trie_bytes`]: the node struct (child map
+/// header, terminal, depth, subtree bookkeeping) plus its parent's child
+/// entry. Deliberately a model constant rather than an allocator probe —
+/// byte budgets must be a pure function of the deterministic stream so
+/// replicated nodes enforce them in lock-step.
+pub const TRIE_NODE_FOOTPRINT: usize = 96;
+
 /// Counters the replayer exposes to the engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplayerStats {
@@ -179,6 +187,12 @@ pub struct ReplayerStats {
     pub pending_tasks: usize,
     /// Most tasks ever buffered in the pending queue at once.
     pub peak_pending_tasks: usize,
+    /// Current candidate-store footprint under the deterministic byte
+    /// model (see [`TraceReplayer::trie_bytes`]).
+    pub trie_bytes: usize,
+    /// Highest candidate-store footprint observed, sampled after capacity
+    /// enforcement — the figure a `max_trie_bytes` budget bounds.
+    pub peak_trie_bytes: usize,
 }
 
 /// The online recognizer/replayer. See module docs.
@@ -258,12 +272,33 @@ impl TraceReplayer {
         self.enforce_capacity();
         self.stats.peak_candidates = self.stats.peak_candidates.max(self.trie.candidate_count());
         self.stats.candidates = self.trie.candidate_count();
+        self.stats.peak_trie_bytes = self.stats.peak_trie_bytes.max(self.trie_bytes());
+    }
+
+    /// The candidate store's current footprint under the deterministic
+    /// byte model backing [`CapacityConfig::max_trie_bytes`]: a flat
+    /// [`TRIE_NODE_FOOTPRINT`] per live node plus the stored candidate
+    /// contents. A *model*, not an allocator measurement — it is a pure
+    /// function of the live structure, so control-replicated nodes (§5.1)
+    /// agree on it and evict identically, and a snapshot restores to the
+    /// same figure.
+    pub fn trie_bytes(&self) -> usize {
+        self.trie.node_count() * TRIE_NODE_FOOTPRINT
+            + self.meta.iter().map(|m| m.len * std::mem::size_of::<TaskHash>()).sum::<usize>()
+    }
+
+    /// Like [`Self::trie_bytes`] but charging *allocated* node slots
+    /// (live + free-listed) — the figure compaction exists to shrink.
+    fn trie_allocated_bytes(&self) -> usize {
+        self.trie.allocated_node_count() * TRIE_NODE_FOOTPRINT
+            + self.meta.iter().map(|m| m.len * std::mem::size_of::<TaskHash>()).sum::<usize>()
     }
 
     /// Whether the trie currently exceeds a configured bound.
     fn over_capacity(&self) -> bool {
         self.capacity.max_candidates.is_some_and(|m| self.trie.candidate_count() > m)
             || self.capacity.max_trie_nodes.is_some_and(|m| self.trie.node_count() > m)
+            || self.capacity.max_trie_bytes.is_some_and(|m| self.trie_bytes() > m)
     }
 
     /// Evicts lowest-scoring candidates until the [`CapacityConfig`]
@@ -326,7 +361,8 @@ impl TraceReplayer {
         // not just live structure) or the free list outweighs the live
         // set. Surviving cursors are remapped to the rebuilt nodes.
         let over_alloc =
-            self.capacity.max_trie_nodes.is_some_and(|m| self.trie.allocated_node_count() > m);
+            self.capacity.max_trie_nodes.is_some_and(|m| self.trie.allocated_node_count() > m)
+                || self.capacity.max_trie_bytes.is_some_and(|m| self.trie_allocated_bytes() > m);
         if self.trie.free_node_count() > 0
             && (over_alloc || self.trie.free_node_count() > self.trie.node_count())
         {
@@ -426,6 +462,7 @@ impl TraceReplayer {
             candidates: self.trie.candidate_count(),
             meta_capacity: self.meta.len(),
             pending_tasks: self.pending.len(),
+            trie_bytes: self.trie_bytes(),
             ..self.stats
         }
     }
@@ -527,6 +564,7 @@ impl TraceReplayer {
         w.put_len(s.peak_trie_nodes);
         w.put_len(s.peak_meta_capacity);
         w.put_len(s.peak_pending_tasks);
+        w.put_len(s.peak_trie_bytes);
     }
 
     /// Rebuilds a replayer from `config` plus the state captured by
@@ -610,7 +648,10 @@ impl TraceReplayer {
             peak_meta_capacity: r.get_len()?,
             pending_tasks: replayer.pending.len(),
             peak_pending_tasks: r.get_len()?,
+            trie_bytes: 0,
+            peak_trie_bytes: r.get_len()?,
         };
+        replayer.stats.trie_bytes = replayer.trie_bytes();
         Ok(replayer)
     }
 
@@ -1176,6 +1217,31 @@ mod tests {
             r.trie_allocated_nodes()
         );
         assert!(s.peak_trie_nodes < 20 * 8, "peaks stayed far below unbounded growth");
+    }
+
+    #[test]
+    fn trie_byte_budget_bounds_memory() {
+        // Room for roughly two 8-token candidates under the byte model;
+        // the third wave must evict the stalest.
+        let budget = 2 * (8 * TRIE_NODE_FOOTPRINT + 64) + TRIE_NODE_FOOTPRINT;
+        let mut r = TraceReplayer::new(&cfg(2).with_max_trie_bytes(budget));
+        for wave in 0..12u32 {
+            let base = wave * 100;
+            let content: Vec<TaskHash> = (base..base + 8).map(hash).collect();
+            r.ingest(&MinedBatch {
+                job: u64::from(wave),
+                candidates: vec![MinedCandidate {
+                    content,
+                    occurrences: vec![u64::from(wave) * 100, u64::from(wave) * 100 + 8],
+                }],
+                slice_end: u64::from(wave + 1) * 100,
+            });
+            assert!(r.trie_bytes() <= budget, "live bytes within budget: {}", r.trie_bytes());
+        }
+        let s = r.stats();
+        assert!(s.evicted_candidates > 0, "budget forced evictions: {s:?}");
+        assert!(s.peak_trie_bytes <= budget, "post-enforcement peak bounded: {s:?}");
+        assert_eq!(s.trie_bytes, r.trie_bytes(), "stats mirror the live figure");
     }
 
     #[test]

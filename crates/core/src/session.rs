@@ -41,6 +41,7 @@
 use crate::config::Config;
 use crate::distributed::{DelayModel, DistributedAutoTracer};
 use crate::engine::AutoTracer;
+use crate::finder::MiningPool;
 use tasksim::exec::LogRetention;
 use tasksim::issuer::TaskIssuer;
 use tasksim::runtime::{Runtime, RuntimeConfig};
@@ -95,6 +96,7 @@ impl Tracing {
 pub struct SessionBuilder {
     runtime: RuntimeConfig,
     tracing: Tracing,
+    pool: Option<MiningPool>,
 }
 
 impl SessionBuilder {
@@ -133,13 +135,28 @@ impl SessionBuilder {
         self
     }
 
+    /// Hands the [`Tracing::Auto`] front-end a shared [`MiningPool`]
+    /// instead of letting it spawn a private worker pool — the hook a
+    /// multi-tenant host uses so every tenant's asynchronous mining runs
+    /// on one set of threads. Ignored by front-ends without a finder
+    /// (untraced/manual) and by [`Tracing::Distributed`], whose simulated
+    /// per-node finders are deliberately private (each node of a real
+    /// deployment is its own process).
+    pub fn mining_pool(mut self, pool: &MiningPool) -> Self {
+        self.pool = Some(pool.clone());
+        self
+    }
+
     /// Builds the issuer. Automatic front-ends force the runtime into
     /// `auto_layer` cost accounting themselves; untraced/manual runs keep
     /// the plain 7 µs launch path.
     pub fn build(self) -> Box<dyn TaskIssuer> {
         match self.tracing {
             Tracing::Untraced | Tracing::Manual => Box::new(Runtime::new(self.runtime)),
-            Tracing::Auto(config) => Box::new(AutoTracer::new(self.runtime, config)),
+            Tracing::Auto(config) => match &self.pool {
+                Some(pool) => Box::new(AutoTracer::with_pool(self.runtime, config, pool)),
+                None => Box::new(AutoTracer::new(self.runtime, config)),
+            },
             Tracing::Distributed { config, delay, initial_interval } => {
                 Box::new(DistributedAutoTracer::new(self.runtime, config, delay, initial_interval))
             }
@@ -154,7 +171,11 @@ pub struct Session;
 impl Session {
     /// Starts building a front-end: one node, one GPU, untraced.
     pub fn builder() -> SessionBuilder {
-        SessionBuilder { runtime: RuntimeConfig::single_node(1), tracing: Tracing::Untraced }
+        SessionBuilder {
+            runtime: RuntimeConfig::single_node(1),
+            tracing: Tracing::Untraced,
+            pool: None,
+        }
     }
 
     /// Restores a front-end from a checkpoint written by

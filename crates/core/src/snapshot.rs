@@ -74,11 +74,14 @@ pub fn put_config(w: &mut SnapshotWriter, c: &Config) {
     w.put_f64(c.scoring.replay_bonus);
     w.put_opt_len(c.capacity.max_candidates);
     w.put_opt_len(c.capacity.max_trie_nodes);
+    w.put_opt_len(c.capacity.max_trie_bytes);
+    w.put_opt_len(c.capacity.max_template_bytes);
     w.put_bool(c.winnow_prefilter);
     w.put_u8(match c.finder_policy {
         FinderPolicy::DegradeUntraced => 0,
         FinderPolicy::FailStop => 1,
     });
+    w.put_bool(c.gated_ingest);
 }
 
 /// Reads a [`Config`] written by [`put_config`].
@@ -123,6 +126,8 @@ pub fn get_config(r: &mut SnapshotReader<'_>) -> Result<Config, SnapshotError> {
         capacity: CapacityConfig {
             max_candidates: r.get_opt_len()?,
             max_trie_nodes: r.get_opt_len()?,
+            max_trie_bytes: r.get_opt_len()?,
+            max_template_bytes: r.get_opt_len()?,
         },
         winnow_prefilter: r.get_bool()?,
         finder_policy: match r.get_u8()? {
@@ -130,6 +135,9 @@ pub fn get_config(r: &mut SnapshotReader<'_>) -> Result<Config, SnapshotError> {
             1 => FinderPolicy::FailStop,
             t => return Err(bad("finder policy", t)),
         },
+        // Written (and therefore read) last: appended after the fields
+        // above to keep their payload offsets stable.
+        gated_ingest: r.get_bool()?,
     })
 }
 
@@ -146,10 +154,13 @@ mod tests {
             .with_multi_scale_factor(64)
             .with_async_mining()
             .with_mining_threads(3)
+            .with_gated_ingest()
             .with_suffix_backend(SuffixBackend::Doubling)
             .with_winnow_prefilter()
             .with_max_candidates(9)
             .with_max_trie_nodes(99)
+            .with_max_trie_bytes(4096)
+            .with_max_template_bytes(8192)
             .with_finder_policy(FinderPolicy::FailStop);
         c.identifier = IdentifierAlgorithm::FixedBatch;
         c.repeats = RepeatsAlgorithm::Lzw;

@@ -77,7 +77,12 @@ impl RunArtifacts {
 /// implementations preserve application order: tasks reach the underlying
 /// analysis in exactly the order they were issued, whether one at a time
 /// or through [`issue_batch`](TaskIssuer::issue_batch).
-pub trait TaskIssuer {
+///
+/// The trait is bounded `Send` so a boxed front-end can move onto a
+/// server worker thread (one tenant per stream in a multi-tenant
+/// service). Issuers are still driven from one thread at a time — the
+/// bound is about *moving* ownership, not sharing it.
+pub trait TaskIssuer: Send {
     /// Creates a new top-level region with `fields` fields.
     fn create_region(&mut self, fields: u32) -> RegionId;
 
@@ -161,9 +166,43 @@ pub trait TaskIssuer {
 
     /// End-to-end buffering depths and peaks (replayer pending queue +
     /// pipeline deferral queue) — the backpressure signal operators watch
-    /// on long runs. For distributed front-ends: node 0's view.
-    fn buffered_ops(&self) -> BufferStats {
-        BufferStats::default()
+    /// on long runs, and the signal admission control keys off. For
+    /// distributed front-ends: node 0's view.
+    ///
+    /// Required (no default): a defaulted all-zero answer once let a
+    /// front-end silently report "nothing buffered" forever, blinding any
+    /// backpressure consumer. Every front-end must state its real depths
+    /// — a genuinely unbuffered front-end returns zeros *explicitly*.
+    fn buffered_ops(&self) -> BufferStats;
+
+    /// Whether the front-end's tracing machinery is healthy, as a
+    /// human-readable degradation description (`Err`) or `Ok`. The
+    /// default `Ok(())` is accurate for front-ends with nothing that can
+    /// degrade; automatic front-ends surface mining-pipeline failures
+    /// (lost jobs, worker panics) here. Takes `&mut self` because health
+    /// evidence arrives on channels that must be drained to be observed.
+    fn health(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Blocks until all asynchronous background work (mining jobs in
+    /// flight) has completed, without releasing or ingesting anything —
+    /// the barrier a host inserts to make asynchronous tracing
+    /// deterministic: after a quiesce, every submitted analysis lands at
+    /// the next issue, a pure function of the task stream. Default: no-op
+    /// (synchronous front-ends have nothing to wait for; the distributed
+    /// front-end determinizes ingestion with the §5.1 agreement protocol
+    /// instead).
+    fn quiesce(&mut self) {}
+
+    /// The candidate trie's modeled footprint in bytes as
+    /// `(current, peak)` — the figure a trie byte budget bounds. Defaults
+    /// to `(0, 0)`, which is *accurate* (not a silent placeholder) for
+    /// front-ends without a candidate store: only automatic tracing
+    /// builds a trie. Template-store bytes are reported separately via
+    /// [`RuntimeStats::template_bytes`] in [`Self::stats`].
+    fn trie_footprint(&self) -> (usize, usize) {
+        (0, 0)
     }
 
     /// The order-sensitive digest of every operation pushed so far (node
@@ -355,6 +394,16 @@ mod tests {
         assert_eq!(full.stats, drained.stats);
         assert!(drained.log.is_none(), "drained run materializes no log");
         assert!(full.log.is_some());
+    }
+
+    #[test]
+    fn issuers_are_send() {
+        // Compile-time property: a boxed front-end must be movable onto a
+        // server worker thread. If `TaskIssuer: Send` (or any
+        // implementor's internals) regresses, this stops compiling.
+        fn assert_send<T: Send>() {}
+        assert_send::<Runtime>();
+        assert_send::<Box<dyn TaskIssuer>>();
     }
 
     #[test]

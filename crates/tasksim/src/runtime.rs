@@ -59,6 +59,13 @@ pub struct RuntimeConfig {
     /// active (just-recorded or currently replaying) trace is never
     /// evicted; an evicted id simply re-records on its next `begin_trace`.
     pub max_templates: Option<usize>,
+    /// Maximum template-store footprint in bytes under the deterministic
+    /// byte model ([`TraceTemplate::footprint_bytes`]); `None` =
+    /// unbounded. Enforced alongside `max_templates` with the same
+    /// eviction order and the same never-evict-the-active-trace rule, so
+    /// one oversized active template can exceed the budget transiently
+    /// rather than deadlock the store.
+    pub max_template_bytes: Option<usize>,
     /// What happens to operations after analysis: materialize the whole
     /// [`OpLog`] ([`LogRetention::Full`], the historical behaviour) or
     /// stream each op through an attached [`SimPipeline`] and drop it
@@ -79,6 +86,7 @@ impl RuntimeConfig {
             transitive_reduction: true,
             window: 30_000,
             max_templates: None,
+            max_template_bytes: None,
             retention: LogRetention::Full,
         }
     }
@@ -97,6 +105,13 @@ impl RuntimeConfig {
     /// Bounds the template store (clamped to at least one template).
     pub fn with_max_templates(mut self, max: usize) -> Self {
         self.max_templates = Some(max.max(1));
+        self
+    }
+
+    /// Bounds the template store's byte footprint (clamped to at least
+    /// one byte).
+    pub fn with_max_template_bytes(mut self, max: usize) -> Self {
+        self.max_template_bytes = Some(max.max(1));
         self
     }
 
@@ -128,6 +143,7 @@ impl Snapshot for RuntimeConfig {
         w.put_bool(self.transitive_reduction);
         w.put_u32(self.window);
         w.put_opt_len(self.max_templates);
+        w.put_opt_len(self.max_template_bytes);
         self.retention.snapshot(w);
     }
 }
@@ -143,6 +159,7 @@ impl Restore for RuntimeConfig {
             transitive_reduction: r.get_bool()?,
             window: r.get_u32()?,
             max_templates: r.get_opt_len()?,
+            max_template_bytes: r.get_opt_len()?,
             retention: LogRetention::restore(r)?,
         })
     }
@@ -586,6 +603,10 @@ impl Runtime {
                     self.stats.traces_recorded += 1;
                     self.stats.peak_templates =
                         self.stats.peak_templates.max(self.templates.len() as u64);
+                    // Peak bytes sample *before* enforcement: the byte
+                    // high-water includes the transient the new template
+                    // causes, exactly like `peak_templates`.
+                    self.note_template_bytes();
                     self.enforce_template_cap(id);
                 }
                 Ok(())
@@ -604,6 +625,7 @@ impl Runtime {
                         MismatchPolicy::Fallback => {
                             self.templates.remove(&id);
                             self.score_hints.remove(&id);
+                            self.note_template_bytes();
                             Ok(())
                         }
                     }
@@ -678,10 +700,32 @@ impl Runtime {
         self.templates.remove(&id);
         self.score_hints.remove(&id);
         self.stats.templates_evicted += 1;
+        self.note_template_bytes();
     }
 
-    /// Evicts templates until the store fits `max_templates`, never
-    /// touching `active` (the just-recorded trace).
+    /// The template store's current footprint under the deterministic
+    /// byte model ([`TraceTemplate::footprint_bytes`]) — the figure
+    /// [`RuntimeConfig::max_template_bytes`] bounds.
+    pub fn template_bytes(&self) -> u64 {
+        self.templates.values().map(|t| t.footprint_bytes() as u64).sum()
+    }
+
+    /// Refreshes the byte-footprint counters after any template mutation.
+    fn note_template_bytes(&mut self) {
+        self.stats.template_bytes = self.template_bytes();
+        self.stats.peak_template_bytes =
+            self.stats.peak_template_bytes.max(self.stats.template_bytes);
+    }
+
+    /// Whether the template store exceeds a configured bound.
+    fn over_template_cap(&self) -> bool {
+        self.config.max_templates.is_some_and(|cap| self.templates.len() > cap)
+            || self.config.max_template_bytes.is_some_and(|cap| self.template_bytes() > cap as u64)
+    }
+
+    /// Evicts templates until the store fits `max_templates` and
+    /// `max_template_bytes`, never touching `active` (the just-recorded
+    /// trace).
     ///
     /// Victims rank by the shared utility signal first: the template with
     /// the lowest replayer-reported score ([`Self::note_trace_score`])
@@ -692,8 +736,7 @@ impl Runtime {
     /// function of the deterministic stream, so the choice is identical
     /// on control-replicated nodes despite the hash map.
     fn enforce_template_cap(&mut self, active: TraceId) {
-        let Some(cap) = self.config.max_templates else { return };
-        while self.templates.len() > cap {
+        while self.over_template_cap() {
             let hints = &self.score_hints;
             let victim = self
                 .templates
@@ -730,6 +773,7 @@ impl Runtime {
         self.score_hints.remove(&id);
         if removed {
             self.stats.templates_evicted += 1;
+            self.note_template_bytes();
         }
         removed
     }
@@ -838,6 +882,7 @@ impl Runtime {
                 // Discard the template; run the rest of the fragment fresh.
                 self.templates.remove(&id);
                 self.score_hints.remove(&id);
+                self.note_template_bytes();
                 self.state = TraceState::Poisoned { id };
                 let op = self.log.next_op();
                 self.stats.tasks_fresh += 1;

@@ -44,7 +44,10 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 4] = *b"APSN";
 
 /// Version of the on-disk layout (see the module docs for the policy).
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: byte-denominated capacity budgets joined the serialized
+/// configuration (`CapacityConfig::max_trie_bytes` /
+/// `max_template_bytes`, `RuntimeConfig::max_template_bytes`).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Front-end tag: a bare [`crate::runtime::Runtime`] (untraced or
 /// manually annotated).

@@ -32,6 +32,13 @@ pub struct RuntimeStats {
     pub templates_evicted: u64,
     /// Most templates ever stored at once.
     pub peak_templates: u64,
+    /// Current template-store footprint under the deterministic byte model
+    /// ([`crate::trace::TraceTemplate::footprint_bytes`]).
+    pub template_bytes: u64,
+    /// Most bytes the template store ever held — the figure a byte budget
+    /// (`RuntimeConfig::max_template_bytes`) bounds, sampled *before*
+    /// enforcement so the transient from the newest recording is visible.
+    pub peak_template_bytes: u64,
 }
 
 impl RuntimeStats {
@@ -76,6 +83,8 @@ impl Snapshot for RuntimeStats {
             self.iterations,
             self.templates_evicted,
             self.peak_templates,
+            self.template_bytes,
+            self.peak_template_bytes,
         ] {
             w.put_u64(v);
         }
@@ -95,6 +104,8 @@ impl Restore for RuntimeStats {
             iterations: r.get_u64()?,
             templates_evicted: r.get_u64()?,
             peak_templates: r.get_u64()?,
+            template_bytes: r.get_u64()?,
+            peak_template_bytes: r.get_u64()?,
         })
     }
 }

@@ -53,6 +53,26 @@ impl TraceTemplate {
         self.hashes.len()
     }
 
+    /// The template's footprint under the deterministic byte model
+    /// backing a byte-bounded template store: the struct itself plus its
+    /// content-derived tables (hashes, per-task predecessor lists, GPU
+    /// times). Derived from element *counts*, never allocator capacity,
+    /// so identical templates cost identical bytes on every node and
+    /// across a checkpoint/restore.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.hashes.len() * std::mem::size_of::<TaskHash>()
+            + self
+                .preds
+                .iter()
+                .map(|p| {
+                    std::mem::size_of::<TemplatePreds>()
+                        + p.internal.len() * std::mem::size_of::<usize>()
+                })
+                .sum::<usize>()
+            + self.gpu_times.len() * std::mem::size_of::<Micros>()
+    }
+
     /// Whether the template contains no tasks.
     pub fn is_empty(&self) -> bool {
         self.hashes.is_empty()
