@@ -22,7 +22,7 @@ use tasksim::snapshot::{
     self, CheckpointMeta, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
 };
 use tasksim::stats::{BufferStats, RuntimeStats};
-use tasksim::task::TaskDesc;
+use tasksim::task::{TaskDesc, TaskHash};
 
 /// Automatic tracing layered over a [`Runtime`].
 ///
@@ -74,6 +74,9 @@ pub struct AutoTracer {
     iter_total: u64,
     /// Tasks the application has issued so far (including buffered ones).
     issued: u64,
+    /// Reusable `(task, hash)` accumulator for [`TaskIssuer::issue_batch`]
+    /// — always empty between calls, so it is not serialized.
+    batch_scratch: Vec<(TaskDesc, TaskHash)>,
 }
 
 impl AutoTracer {
@@ -126,6 +129,7 @@ impl AutoTracer {
             iter_traced: 0,
             iter_total: 0,
             issued: 0,
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -162,6 +166,43 @@ impl AutoTracer {
             self.sample_capacity();
         }
         self.replayer.on_task(task, hash, &mut self.rt)
+    }
+
+    /// The batched core of Algorithm 1: hashes and records every task,
+    /// accumulating `(task, hash)` pairs in `run` and flushing them
+    /// through [`TraceReplayer::on_batch`] whenever a mined batch must
+    /// ingest at its exact stream position (and once at the end).
+    fn issue_batch_inner(
+        &mut self,
+        tasks: &mut Vec<TaskDesc>,
+        run: &mut Vec<(TaskDesc, TaskHash)>,
+    ) -> Result<(), RuntimeError> {
+        for task in tasks.drain(..) {
+            let hash = task.semantic_hash();
+            self.issued += 1;
+            self.finder.record(hash);
+            self.enforce_finder_policy()?;
+            let mut ingested = false;
+            for batch in self.finder.poll_completed() {
+                // Everything buffered so far precedes the finder's
+                // completion position in the stream: it must go through
+                // the replayer before the batch ingests, or recognition
+                // decisions could shift relative to the reference path.
+                if !run.is_empty() {
+                    self.replayer.on_batch(run, &mut self.rt)?;
+                }
+                self.replayer.ingest(&batch);
+                ingested = true;
+            }
+            if ingested {
+                self.sample_capacity();
+            }
+            run.push((task, hash));
+        }
+        if !run.is_empty() {
+            self.replayer.on_batch(run, &mut self.rt)?;
+        }
+        Ok(())
     }
 
     /// Under [`FinderPolicy::FailStop`], turns a degraded mining pipeline
@@ -325,6 +366,7 @@ impl AutoTracer {
             iter_traced: r.get_u64()?,
             iter_total: r.get_u64()?,
             issued: r.get_u64()?,
+            batch_scratch: Vec::new(),
         })
     }
 
@@ -364,20 +406,45 @@ impl TaskIssuer for AutoTracer {
         AutoTracer::execute_task(self, task)
     }
 
-    /// The batched hot path: each task is hashed and fed to the finder and
-    /// replayer exactly as in [`AutoTracer::execute_task`] (mined batches
-    /// still ingest at their deterministic stream positions, so the
-    /// operation log is bit-identical to task-at-a-time issuance), but the
-    /// runtime-stats delta and traced-window metrics are folded in once
-    /// per batch instead of once per task.
-    fn issue_batch(&mut self, tasks: Vec<TaskDesc>) -> Result<(), RuntimeError> {
-        let mut result = Ok(());
-        for task in tasks {
-            if let Err(e) = self.issue_one(task) {
+    /// The batched hot path: each task is hashed and fed to the finder
+    /// exactly as in [`AutoTracer::execute_task`], but tasks accumulate in
+    /// a reusable scratch vector and reach the replayer through
+    /// [`TraceReplayer::on_batch`], which forwards contiguous untraceable
+    /// runs to the runtime as single
+    /// [`TraceSink::execute_batch`](crate::replayer::TraceSink::execute_batch)
+    /// calls. Mined batches still ingest at their deterministic stream
+    /// positions — the accumulated run is flushed through the replayer
+    /// first — so the operation log is bit-identical to task-at-a-time
+    /// issuance, and the runtime-stats delta and traced-window metrics are
+    /// folded in once per batch instead of once per task.
+    ///
+    /// Under [`Config::reference_pipeline`] every task takes the frozen
+    /// per-task path instead.
+    fn issue_batch(&mut self, mut tasks: Vec<TaskDesc>) -> Result<(), RuntimeError> {
+        if self.config.reference_pipeline {
+            let mut result = Ok(());
+            for task in tasks {
+                if let Err(e) = self.issue_one(task) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            self.absorb_stats();
+            return result;
+        }
+        let mut run = std::mem::take(&mut self.batch_scratch);
+        run.clear();
+        let mut result = self.issue_batch_inner(&mut tasks, &mut run);
+        if result.is_err() && !run.is_empty() {
+            // The buffered tasks precede the failing issue in stream
+            // order, so they still reach the replayer — and an error
+            // forwarding them happened "first" and wins.
+            if let Err(e) = self.replayer.on_batch(&mut run, &mut self.rt) {
                 result = Err(e);
-                break;
             }
         }
+        run.clear();
+        self.batch_scratch = run;
         self.absorb_stats();
         result
     }

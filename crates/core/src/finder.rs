@@ -347,6 +347,10 @@ pub struct TraceFinder {
     backend: SuffixBackend,
     /// Recycled job token buffers awaiting reuse.
     spare: Vec<Vec<TaskHash>>,
+    /// Bound on `spare`: with at most `mining_threads` jobs in flight
+    /// (plus the one being built), buffers past that can never be handed
+    /// out before another returns, so hoarding them is pure bloat.
+    spare_cap: usize,
     /// Winnowing pre-filter parameters, when enabled.
     prefilter: Option<WinnowConfig>,
     /// Total analyses submitted (exposed for overhead accounting).
@@ -430,6 +434,7 @@ impl TraceFinder {
             algo: config.repeats,
             backend: config.suffix_backend,
             spare: Vec::new(),
+            spare_cap: config.mining_threads.max(1) + 1,
             prefilter: config.winnow_prefilter.then(|| {
                 // Tune the winnowing guarantee to the minimum trace length:
                 // a slice with no duplicate fingerprints provably has no
@@ -490,12 +495,28 @@ impl TraceFinder {
     fn take_buffer(&mut self) -> Vec<TaskHash> {
         if let Miner::Pool { recycle_rx, .. } = &self.miner {
             while let Ok(returned) = recycle_rx.try_recv() {
-                self.spare.push(returned);
+                if self.spare.len() < self.spare_cap {
+                    self.spare.push(returned);
+                }
             }
         }
         let mut buf = self.spare.pop().unwrap_or_default();
         buf.clear();
         buf
+    }
+
+    /// Returns a job buffer to the recycle pool, dropping it when the
+    /// pool is already at [`Self::spare_cap`].
+    fn stash_spare(&mut self, buf: Vec<TaskHash>) {
+        if self.spare.len() < self.spare_cap {
+            self.spare.push(buf);
+        }
+    }
+
+    /// Recycled buffers currently pooled (test hook for the spare bound).
+    #[cfg(test)]
+    pub(crate) fn spare_len(&self) -> usize {
+        self.spare.len()
     }
 
     /// Submits the buffer suffix starting at `from` (buffer-relative).
@@ -514,7 +535,7 @@ impl TraceFinder {
         if let Some(cfg) = self.prefilter {
             if !has_repetition_evidence(&tokens, cfg) {
                 self.jobs_prefiltered += 1;
-                self.spare.push(tokens);
+                self.stash_spare(tokens);
                 return; // Provably nothing long enough to trace.
             }
         }
@@ -533,7 +554,7 @@ impl TraceFinder {
         match &mut self.miner {
             Miner::Sync { done } => {
                 done.push_back(run_job(&job));
-                self.spare.push(job.tokens);
+                self.stash_spare(job.tokens);
             }
             Miner::Pool { pool, res_tx, recycle_tx, panic_tx, in_flight, lost_jobs, .. } => {
                 // A dead pool (all workers gone, channel closed) must not
@@ -974,6 +995,33 @@ mod tests {
         let expect: Vec<u64> = (0..seen.len() as u64).collect();
         assert_eq!(seen, expect, "batches released in strict submission order");
         assert!(!seen.is_empty(), "jobs actually ran");
+    }
+
+    #[test]
+    fn spare_pool_is_bounded_by_worker_count() {
+        // Many jobs complete between submissions, so the recycle channel
+        // piles up far more returned buffers than the pool can ever have
+        // in flight at once. The drain in `take_buffer` must cap `spare`
+        // at `mining_threads + 1` and drop the excess instead of hoarding
+        // every buffer the run ever allocated.
+        let mut f = TraceFinder::new(&cfg().with_async_mining().with_mining_threads(2));
+        let mut recycled = false;
+        for round in 0..8 {
+            // Submit a burst of jobs, then wait for all of them: every
+            // job buffer is now queued on the recycle channel at once.
+            feed_pattern(&mut f, &[1, 2, 3, 4, 5, 6, 7, 8], 8);
+            let _ = f.drain_blocking();
+            // One more sampler firing: its submission bulk-drains the
+            // recycle backlog into `spare` — bounded, excess dropped.
+            feed_pattern(&mut f, &[1, 2, 3, 4, 5, 6, 7, 8], 1);
+            assert!(
+                f.spare_len() <= 2 + 1,
+                "round {round}: spare pool grew to {} buffers",
+                f.spare_len()
+            );
+            recycled |= f.spare_len() > 0;
+        }
+        assert!(recycled, "recycling actually happened");
     }
 
     #[test]

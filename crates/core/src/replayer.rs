@@ -54,6 +54,23 @@ pub trait TraceSink {
     fn end_trace(&mut self, id: TraceId) -> Result<(), Self::Error>;
     /// Forwards a task launch.
     fn execute_task(&mut self, task: TaskDesc) -> Result<(), Self::Error>;
+    /// Forwards a contiguous run of untraced task launches in one call —
+    /// the batched sink path [`TraceReplayer::on_batch`] drives. Must be
+    /// observably equivalent to calling [`Self::execute_task`] on each
+    /// element in order, leaving the buffer empty on success; sinks with
+    /// per-call overhead (stat folds, pipeline pumping) override it to pay
+    /// that overhead once per run. On error, tasks already forwarded stay
+    /// forwarded and the rest are dropped with the drained buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-task error.
+    fn execute_batch(&mut self, tasks: &mut Vec<TaskDesc>) -> Result<(), Self::Error> {
+        for task in tasks.drain(..) {
+            self.execute_task(task)?;
+        }
+        Ok(())
+    }
     /// Notifies the sink that no future replay will reference `id` (the
     /// candidate recorded under it was evicted), so any template stored
     /// for it can be dropped. Without this, candidate eviction would
@@ -94,6 +111,10 @@ impl TraceSink for tasksim::runtime::Runtime {
 
     fn execute_task(&mut self, task: TaskDesc) -> Result<(), Self::Error> {
         tasksim::runtime::Runtime::execute_task(self, task).map(|_| ())
+    }
+
+    fn execute_batch(&mut self, tasks: &mut Vec<TaskDesc>) -> Result<(), Self::Error> {
+        tasksim::runtime::Runtime::execute_batch(self, tasks)
     }
 
     fn forget_trace(&mut self, id: TraceId) -> Result<(), Self::Error> {
@@ -142,6 +163,26 @@ struct CompletedMatch {
 struct PendingTask {
     desc: TaskDesc,
     global: u64,
+}
+
+/// Memoized image of the most recently replayed candidate's trie path,
+/// letting the mid-replay steady state advance its single cursor without
+/// hash-map stepping. Guarded by the trie epoch: any trie mutation
+/// invalidates it, and it is rebuilt (at most once per candidate per
+/// epoch) on the next replay. Never serialized — a restored replayer
+/// rebuilds it lazily.
+#[derive(Debug, Default)]
+struct ReplayMemo {
+    cand: Option<CandidateId>,
+    epoch: u64,
+    /// The candidate's token sequence.
+    seq: Vec<TaskHash>,
+    /// The trie node at each position (root excluded).
+    chain: Vec<NodeId>,
+    /// Whether the node at each position ends fast stepping: a terminal
+    /// (some candidate completes there — the generic path must record the
+    /// match) or a leaf (the cursor dies there).
+    stop: Vec<bool>,
 }
 
 /// Bytes charged per live trie node by the deterministic byte model
@@ -215,6 +256,29 @@ pub struct TraceReplayer {
     /// Global index of the next arriving task.
     now: u64,
     stats: ReplayerStats,
+    /// `Config::reference_pipeline`: route through the frozen per-task
+    /// reference path instead of the fast paths.
+    reference: bool,
+    /// Bumped on every trie mutation (ingest); guards [`ReplayMemo`].
+    trie_epoch: u64,
+    /// When `Some(i)`: exactly one cursor is live, sitting at
+    /// `memo.chain[i]` with no completed match outstanding — the
+    /// mid-replay steady state. Cleared by anything that perturbs cursors
+    /// outside the per-task step (ingest, flush).
+    fast_pos: Option<usize>,
+    memo: ReplayMemo,
+    /// Double-buffer scratch swapped with `cursors` each generic step, so
+    /// the steady states never allocate a survivor vector.
+    scratch_cursors: Vec<Cursor>,
+    /// Reusable run buffer behind [`Self::on_batch`]'s contiguous
+    /// untraced forwarding.
+    run_buf: Vec<TaskDesc>,
+    /// Reusable scratch collections for `enforce_capacity` (the hot
+    /// ingest path must not rebuild them per call).
+    scratch_pending: HashSet<u32>,
+    scratch_cursor_nodes: HashSet<NodeId>,
+    scratch_ranked: Vec<(f64, u32)>,
+    scratch_dead: HashSet<NodeId>,
 }
 
 impl TraceReplayer {
@@ -234,6 +298,16 @@ impl TraceReplayer {
             next_trace: 0,
             now: 0,
             stats: ReplayerStats::default(),
+            reference: config.reference_pipeline,
+            trie_epoch: 0,
+            fast_pos: None,
+            memo: ReplayMemo::default(),
+            scratch_cursors: Vec::new(),
+            run_buf: Vec::new(),
+            scratch_pending: HashSet::new(),
+            scratch_cursor_nodes: HashSet::new(),
+            scratch_ranked: Vec::new(),
+            scratch_dead: HashSet::new(),
         }
     }
 
@@ -241,6 +315,11 @@ impl TraceReplayer {
     /// `max_trace_length` tokens (Figure 8) and registers each piece, then
     /// enforces the [`CapacityConfig`] bounds by score-based eviction.
     pub fn ingest(&mut self, batch: &MinedBatch) {
+        // The trie is about to change shape (and capacity enforcement may
+        // remap cursors): invalidate the replay memo and disengage the
+        // fast path until the generic step re-establishes it.
+        self.trie_epoch += 1;
+        self.fast_pos = None;
         for cand in &batch.candidates {
             let mut offset = 0usize;
             while offset < cand.content.len() {
@@ -313,18 +392,29 @@ impl TraceReplayer {
         if !self.over_capacity() {
             return;
         }
+        // All working collections are taken from reusable scratch fields
+        // and returned below: capacity enforcement sits on the ingest hot
+        // path and must not rebuild them per call.
+        //
         // Candidates whose in-flight occurrence awaits a replay decision.
-        let pending: HashSet<u32> = self.completed.iter().map(|c| c.cand.0).collect();
-        let cursor_nodes: HashSet<NodeId> = self.cursors.iter().map(|c| c.node).collect();
-        let mut ranked: Vec<(f64, u32)> = (0..self.trie.candidate_slots() as u32)
-            .filter(|&i| self.trie.is_live(CandidateId(i)))
-            .map(|i| (self.score(CandidateId(i), self.now), i))
-            .collect();
+        let mut pending = std::mem::take(&mut self.scratch_pending);
+        pending.clear();
+        pending.extend(self.completed.iter().map(|c| c.cand.0));
+        let mut cursor_nodes = std::mem::take(&mut self.scratch_cursor_nodes);
+        cursor_nodes.clear();
+        cursor_nodes.extend(self.cursors.iter().map(|c| c.node));
+        let mut ranked = std::mem::take(&mut self.scratch_ranked);
+        ranked.clear();
+        ranked.extend(
+            (0..self.trie.candidate_slots() as u32)
+                .filter(|&i| self.trie.is_live(CandidateId(i)))
+                .map(|i| (self.score(CandidateId(i), self.now), i)),
+        );
         // Lowest score evicts first; ties evict the newer (higher) id.
         ranked.sort_by(|a, b| {
             a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then_with(|| b.1.cmp(&a.1))
         });
-        for (_, idx) in ranked {
+        for &(_, idx) in &ranked {
             if !self.over_capacity() {
                 break;
             }
@@ -344,8 +434,11 @@ impl TraceReplayer {
             if !pruned.is_empty() && !self.cursors.is_empty() {
                 // Deferral keeps cursor-occupied paths alive, so this is
                 // defensive: no cursor should ever sit on a pruned node.
-                let dead: HashSet<NodeId> = pruned.into_iter().collect();
+                let mut dead = std::mem::take(&mut self.scratch_dead);
+                dead.clear();
+                dead.extend(pruned);
                 self.cursors.retain(|c| !dead.contains(&c.node));
+                self.scratch_dead = dead;
             }
             // The template recorded under the candidate's trace id (if
             // any) is unreachable once the candidate is gone; queue it so
@@ -356,6 +449,9 @@ impl TraceReplayer {
             self.meta[idx as usize] = CandidateMeta::default();
             self.stats.evicted_candidates += 1;
         }
+        self.scratch_pending = pending;
+        self.scratch_cursor_nodes = cursor_nodes;
+        self.scratch_ranked = ranked;
         // Compact when the freed slots matter: either the allocated table
         // exceeds the configured node bound (the bound is about memory,
         // not just live structure) or the free list outweighs the live
@@ -363,6 +459,7 @@ impl TraceReplayer {
         let over_alloc =
             self.capacity.max_trie_nodes.is_some_and(|m| self.trie.allocated_node_count() > m)
                 || self.capacity.max_trie_bytes.is_some_and(|m| self.trie_allocated_bytes() > m);
+        let mut compacted = false;
         if self.trie.free_node_count() > 0
             && (over_alloc || self.trie.free_node_count() > self.trie.node_count())
         {
@@ -371,17 +468,22 @@ impl TraceReplayer {
                 c.node = remap[c.node.index()].expect("cursors sit on live nodes");
             }
             self.stats.trie_compactions += 1;
+            compacted = true;
         }
         // Shrink the candidate id space (and the parallel `meta` side
         // table) past the last live candidate: slots are reused, but
         // without this the tables would stay at their historical high
         // water forever (ROADMAP follow-up). Trailing slots are exactly
         // the ones no live id indexes, so truncation never moves a live
-        // candidate and stays deterministic across replicated nodes.
+        // candidate and stays deterministic across replicated nodes. The
+        // backing allocation is released only when a compaction already
+        // decided memory matters — never on the routine ingest path.
         let slots = self.trie.truncate_candidates();
         if slots < self.meta.len() {
             self.meta.truncate(slots);
-            self.meta.shrink_to_fit();
+            if compacted {
+                self.meta.shrink_to_fit();
+            }
         }
     }
 
@@ -392,6 +494,214 @@ impl TraceReplayer {
     ///
     /// Propagates the first sink error.
     pub fn on_task<S: TraceSink>(
+        &mut self,
+        desc: TaskDesc,
+        hash: TaskHash,
+        sink: &mut S,
+    ) -> Result<(), S::Error> {
+        if self.reference {
+            return self.on_task_reference(desc, hash, sink);
+        }
+        self.drain_retired(sink)?;
+        // Untraceable steady state: nothing buffered, nothing matching,
+        // and no candidate starts with this token (the root map makes the
+        // check exact, so the root cursor the slow path would spawn is
+        // guaranteed to die without side effects). Forward immediately —
+        // no queue traffic, no cursor churn, no allocation.
+        if self.cursors.is_empty()
+            && self.completed.is_empty()
+            && self.pending.is_empty()
+            && !self.trie.can_start_with(hash)
+        {
+            self.now += 1;
+            // The slow path buffers the task and flushes it within the
+            // same call; mirror the stats it would have recorded.
+            self.stats.peak_pending_tasks = self.stats.peak_pending_tasks.max(1);
+            self.stats.forwarded_untraced += 1;
+            return sink.execute_task(desc);
+        }
+        self.on_task_hot(desc, hash, sink)
+    }
+
+    /// Feeds a batch of tasks, forwarding maximal untraceable runs to the
+    /// sink as single [`TraceSink::execute_batch`] calls. Drains `tasks`;
+    /// the (now empty) vector keeps its capacity for the caller to refill.
+    ///
+    /// Event order, per-task stats, and the sink's op digest are
+    /// bit-identical to feeding every task through [`Self::on_task`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first sink error. Tasks already counted in the
+    /// current untraceable run keep their stats even if the flushing
+    /// `execute_batch` fails — the engine aborts on sink errors, so the
+    /// torn counters are never observed by a successful run.
+    pub fn on_batch<S: TraceSink>(
+        &mut self,
+        tasks: &mut Vec<(TaskDesc, TaskHash)>,
+        sink: &mut S,
+    ) -> Result<(), S::Error> {
+        if self.reference {
+            for (desc, hash) in tasks.drain(..) {
+                self.on_task_reference(desc, hash, sink)?;
+            }
+            return Ok(());
+        }
+        // Retired trace ids only accumulate during ingest, which cannot
+        // happen mid-batch: one drain up front covers the whole batch.
+        self.drain_retired(sink)?;
+        let mut run = std::mem::take(&mut self.run_buf);
+        run.clear();
+        let result = self.on_batch_inner(tasks, &mut run, sink);
+        run.clear();
+        self.run_buf = run;
+        result
+    }
+
+    fn on_batch_inner<S: TraceSink>(
+        &mut self,
+        tasks: &mut Vec<(TaskDesc, TaskHash)>,
+        run: &mut Vec<TaskDesc>,
+        sink: &mut S,
+    ) -> Result<(), S::Error> {
+        for (desc, hash) in tasks.drain(..) {
+            // Same condition (and stats emulation) as the untraceable
+            // fast path in `on_task`, but the forward is deferred into
+            // `run` so contiguous untraceable tasks reach the sink as one
+            // `execute_batch` call.
+            if self.cursors.is_empty()
+                && self.completed.is_empty()
+                && self.pending.is_empty()
+                && !self.trie.can_start_with(hash)
+            {
+                self.now += 1;
+                self.stats.peak_pending_tasks = self.stats.peak_pending_tasks.max(1);
+                self.stats.forwarded_untraced += 1;
+                run.push(desc);
+                continue;
+            }
+            // Order matters: the buffered untraceable run precedes this
+            // task in the stream, so it must reach the sink first.
+            if !run.is_empty() {
+                sink.execute_batch(run)?;
+            }
+            self.on_task_hot(desc, hash, sink)?;
+        }
+        if !run.is_empty() {
+            sink.execute_batch(run)?;
+        }
+        Ok(())
+    }
+
+    /// The non-reference per-task path: try the memoized mid-replay fast
+    /// lane, fall back to the generic cursor step.
+    fn on_task_hot<S: TraceSink>(
+        &mut self,
+        desc: TaskDesc,
+        hash: TaskHash,
+        sink: &mut S,
+    ) -> Result<(), S::Error> {
+        // Mid-replay steady state: exactly one cursor walking the
+        // memoized candidate chain (the `fast_pos` invariant, established
+        // by `try_engage_fast` and torn down by ingest/flush before the
+        // trie or cursors can change shape). If the next token continues
+        // the chain without completing it, and no other candidate could
+        // spawn a root cursor here, the generic step reduces to: buffer
+        // the task and advance the lone cursor. `decide` is provably a
+        // no-op (nothing completed, no cursor died, the minimum cursor
+        // start is unchanged), so it is skipped entirely.
+        if let Some(i) = self.fast_pos {
+            let next = i + 1;
+            if next < self.memo.seq.len()
+                && hash == self.memo.seq[next]
+                && !self.memo.stop[next]
+                && !self.trie.can_start_with(hash)
+            {
+                let global = self.now;
+                self.now += 1;
+                self.pending.push_back(PendingTask { desc, global });
+                self.stats.peak_pending_tasks =
+                    self.stats.peak_pending_tasks.max(self.pending.len());
+                self.cursors[0].node = self.memo.chain[next];
+                self.fast_pos = Some(next);
+                return Ok(());
+            }
+            // Disengage before the generic step mutates cursor state.
+            self.fast_pos = None;
+        }
+        self.step_generic(desc, hash, sink)
+    }
+
+    /// The generic cursor step, restructured around reusable scratch
+    /// buffers: no allocation once the cursor vectors reach their
+    /// steady-state capacity.
+    fn step_generic<S: TraceSink>(
+        &mut self,
+        desc: TaskDesc,
+        hash: TaskHash,
+        sink: &mut S,
+    ) -> Result<(), S::Error> {
+        let global = self.now;
+        self.now += 1;
+        self.pending.push_back(PendingTask { desc, global });
+        self.stats.peak_pending_tasks = self.stats.peak_pending_tasks.max(self.pending.len());
+
+        // Advance cursors (including a fresh one starting here) through
+        // the reusable double buffer; completions land directly in
+        // `self.completed`.
+        let pre_existing = self.cursors.len();
+        let mut survivors = std::mem::take(&mut self.scratch_cursors);
+        survivors.clear();
+        let mut kept = 0usize;
+        for idx in 0..=pre_existing {
+            let cur = if idx < pre_existing {
+                self.cursors[idx]
+            } else {
+                // Spawn the root cursor only when this token can actually
+                // start a candidate — `can_start_with` is exact, so a
+                // skipped spawn is one that would have died in `step`.
+                if !self.trie.can_start_with(hash) {
+                    break;
+                }
+                Cursor { node: Trie::<TaskHash>::ROOT, start: global }
+            };
+            if let Some(next) = self.trie.step(cur.node, hash) {
+                if let Some(cand) = self.trie.terminal(next) {
+                    self.completed.push(CompletedMatch { cand, start: cur.start, end: global + 1 });
+                    let m = &mut self.meta[cand.0 as usize];
+                    m.count = m.count.saturating_add(1);
+                    m.last_seen = global + 1;
+                }
+                // Leaf cursors cannot extend further; drop them.
+                if !self.trie.is_leaf(next) {
+                    survivors.push(Cursor { node: next, start: cur.start });
+                    if idx < pre_existing {
+                        kept += 1;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut self.cursors, &mut survivors);
+        self.scratch_cursors = survivors;
+
+        // `decide` can only act when a match is awaiting a verdict or a
+        // cursor death moved the flushable prefix. With no completions
+        // pending and every pre-existing cursor surviving, the minimum
+        // cursor start is unchanged (a fresh root survivor starts at
+        // `global`, past everything buffered), so the replay loop and the
+        // prefix flush are both no-ops — skip the whole pass.
+        if !self.completed.is_empty() || kept != pre_existing {
+            self.decide(sink)?;
+        }
+        self.try_engage_fast();
+        Ok(())
+    }
+
+    /// The frozen per-task reference pipeline (see
+    /// [`Config::reference_pipeline`]): the pre-optimization recognizer
+    /// step, kept verbatim as the behavioral baseline the fast paths are
+    /// pinned against.
+    fn on_task_reference<S: TraceSink>(
         &mut self,
         desc: TaskDesc,
         hash: TaskHash,
@@ -443,6 +753,7 @@ impl TraceReplayer {
     /// Propagates the first sink error.
     pub fn flush<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), S::Error> {
         self.drain_retired(sink)?;
+        self.fast_pos = None;
         // No more tokens will arrive: live cursors can never finish.
         self.cursors.clear();
         while let Some(best) = self.best_completed() {
@@ -765,7 +1076,51 @@ impl TraceReplayer {
         // Drop cursors and matches overlapping the consumed interval.
         self.cursors.retain(|c| c.start >= m.end);
         self.completed.retain(|c| c.start >= m.end);
+        // A candidate that just replayed is the one most likely to walk
+        // the stream again immediately: memoize its chain so the next
+        // occurrence can take the fast lane.
+        self.memoize(m.cand);
         Ok(())
+    }
+
+    /// Caches candidate `cand`'s token sequence, node chain, and per-node
+    /// stop flags for the mid-replay fast path. Idempotent per trie epoch:
+    /// the steady-state call (same candidate, unchanged trie) returns
+    /// without touching the heap.
+    fn memoize(&mut self, cand: CandidateId) {
+        if self.memo.cand == Some(cand) && self.memo.epoch == self.trie_epoch {
+            return;
+        }
+        self.memo.cand = None;
+        self.memo.seq.clear();
+        self.memo.chain.clear();
+        self.memo.stop.clear();
+        let Some(chain) = self.trie.path_nodes(cand) else {
+            return;
+        };
+        self.memo.seq.extend_from_slice(self.trie.candidate(cand));
+        for &node in &chain {
+            self.memo.stop.push(self.trie.terminal(node).is_some() || self.trie.is_leaf(node));
+        }
+        self.memo.chain = chain;
+        self.memo.cand = Some(cand);
+        self.memo.epoch = self.trie_epoch;
+    }
+
+    /// Engages the mid-replay fast path when its invariant holds: no
+    /// pending verdicts, exactly one live cursor, and that cursor sits on
+    /// the first node of the (current-epoch) memoized chain.
+    fn try_engage_fast(&mut self) {
+        self.fast_pos = None;
+        if self.completed.is_empty()
+            && self.cursors.len() == 1
+            && self.memo.cand.is_some()
+            && self.memo.epoch == self.trie_epoch
+            && !self.memo.chain.is_empty()
+            && self.cursors[0].node == self.memo.chain[0]
+        {
+            self.fast_pos = Some(0);
+        }
     }
 }
 

@@ -26,6 +26,35 @@
 
 use crate::Token;
 use std::collections::HashMap;
+use std::hash::Hasher;
+
+/// Deterministic FNV-1a hasher backing the dense root map. The map is
+/// process-local (never serialized), so native-endian integer writes are
+/// fine; what matters is that equal tokens always land in the same bucket.
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Buckets in the dense root-occupancy map: one cache line's worth of
+/// `u32` counters on either side of a 256-entry table.
+const ROOT_BUCKETS: usize = 256;
 
 /// Identifies a candidate sequence stored in a [`Trie`].
 ///
@@ -105,6 +134,12 @@ pub struct Trie<T> {
     free_candidates: Vec<u32>,
     /// Candidates currently stored (lengths slots with a non-zero length).
     live_candidates: usize,
+    /// Dense occupancy counters over the root's outgoing tokens, bucketed
+    /// by FNV-1a hash: a zero bucket proves no candidate starts with that
+    /// token, letting [`Self::can_start_with`] answer the common negative
+    /// without touching the root hash map. Rebuilt on restore, never
+    /// serialized.
+    root_map: Box<[u32; ROOT_BUCKETS]>,
 }
 
 impl<T: Token> Trie<T> {
@@ -120,7 +155,15 @@ impl<T: Token> Trie<T> {
             free_nodes: Vec::new(),
             free_candidates: Vec::new(),
             live_candidates: 0,
+            root_map: Box::new([0; ROOT_BUCKETS]),
         }
+    }
+
+    /// The dense root-map bucket for `token`.
+    fn root_bucket(token: &T) -> usize {
+        let mut h = Fnv1a::default();
+        std::hash::Hash::hash(token, &mut h);
+        (h.finish() & (ROOT_BUCKETS as u64 - 1)) as usize
     }
 
     /// Allocates a node, reusing a free-listed slot when one exists.
@@ -162,6 +205,9 @@ impl<T: Token> Trie<T> {
                 None => {
                     let n = self.alloc_node(depth);
                     self.nodes[cur.0 as usize].children.insert(tok, n);
+                    if cur == Self::ROOT {
+                        self.root_map[Self::root_bucket(&tok)] += 1;
+                    }
                     n
                 }
             };
@@ -224,6 +270,9 @@ impl<T: Token> Trie<T> {
             let node = &self.nodes[n.0 as usize];
             if node.children.is_empty() && node.terminal.is_none() {
                 self.nodes[path[i - 1].0 as usize].children.remove(&seq[i - 1]);
+                if i == 1 {
+                    self.root_map[Self::root_bucket(&seq[0])] -= 1;
+                }
                 self.free_nodes.push(n.0);
                 pruned.push(n);
             } else {
@@ -411,9 +460,11 @@ impl<T: Token> Trie<T> {
     }
 
     /// Whether any candidate starts with `token` (i.e. a fresh cursor could
-    /// make progress).
+    /// make progress). A zero bucket in the dense root map settles the
+    /// common negative with one array read; occupied buckets fall back to
+    /// the exact root hash-map probe, so the answer is always exact.
     pub fn can_start_with(&self, token: T) -> bool {
-        self.nodes[0].children.contains_key(&token)
+        self.root_map[Self::root_bucket(&token)] != 0 && self.nodes[0].children.contains_key(&token)
     }
 }
 
@@ -552,6 +603,10 @@ impl<T: Token> Trie<T> {
                 return Err("free-listed candidate slot is live".into());
             }
         }
+        let mut root_map = Box::new([0u32; ROOT_BUCKETS]);
+        for tok in nodes[0].children.keys() {
+            root_map[Self::root_bucket(tok)] += 1;
+        }
         let trie = Self {
             nodes,
             lengths: snap.lengths,
@@ -559,6 +614,7 @@ impl<T: Token> Trie<T> {
             free_nodes: snap.free_nodes,
             free_candidates: snap.free_candidates,
             live_candidates,
+            root_map,
         };
         // Every live candidate must be recognized along an intact path.
         for idx in 0..trie.lengths.len() {

@@ -271,6 +271,10 @@ impl TaskIssuer for Runtime {
         Runtime::execute_task(self, task).map(|_| ())
     }
 
+    fn issue_batch(&mut self, mut tasks: Vec<TaskDesc>) -> Result<(), RuntimeError> {
+        Runtime::execute_batch(self, &mut tasks)
+    }
+
     fn begin_trace(&mut self, id: TraceId) -> Result<(), RuntimeError> {
         Runtime::begin_trace(self, id)
     }

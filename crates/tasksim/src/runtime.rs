@@ -352,6 +352,11 @@ pub struct Runtime {
     /// [`LogRetention::Drain`] (`None` under [`LogRetention::Full`], where
     /// the stored log is simulated in one batch pass at the end).
     pipeline: Option<SimPipeline>,
+    /// True only inside [`Self::execute_batch`]: [`Self::append`] then
+    /// enqueues into the pipeline without pumping it, and the batch loop
+    /// pumps once at the end. Never true at a task boundary, so it is
+    /// deliberately not serialized.
+    batching: bool,
     stats: RuntimeStats,
 }
 
@@ -368,6 +373,7 @@ impl Runtime {
             state: TraceState::Idle,
             log: OpLog::new(config),
             pipeline,
+            batching: false,
             stats: RuntimeStats::default(),
         }
     }
@@ -544,6 +550,38 @@ impl Runtime {
         Ok(op)
     }
 
+    /// Issues a batch of tasks, pumping the attached [`SimPipeline`] (if
+    /// any) once at the end instead of after every task. Drains `tasks`;
+    /// the (now empty) vector keeps its capacity for the caller to refill.
+    ///
+    /// The final [`SimReport`](crate::sim::SimReport), the runtime stats,
+    /// and the op digest are bit-identical to issuing every task through
+    /// [`Self::execute_task`]: the log is still fed per-op, and the
+    /// pipeline's commit recurrences are insensitive to pump placement
+    /// (see [`SimPipeline::feed_push`]). Only the pipeline's transient
+    /// residency peaks coarsen to batch granularity.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first task error; the pipeline is
+    /// pumped before returning so it never holds unprocessed operations
+    /// across the call.
+    pub fn execute_batch(&mut self, tasks: &mut Vec<TaskDesc>) -> Result<(), RuntimeError> {
+        self.batching = true;
+        let mut result = Ok(());
+        for task in tasks.drain(..) {
+            if let Err(e) = self.execute_task(task) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.batching = false;
+        if let Some(pipeline) = &mut self.pipeline {
+            pipeline.pump();
+        }
+        result
+    }
+
     /// Starts a trace: records a template on first use of `id`, replays it
     /// afterwards.
     ///
@@ -672,9 +710,17 @@ impl Runtime {
     /// Routes one operation per the retention policy: into the attached
     /// pipeline under [`LogRetention::Drain`] (the log still counts and
     /// digests it), stored in the log under [`LogRetention::Full`].
+    ///
+    /// Inside [`Self::execute_batch`] the pipeline pump is deferred to
+    /// the end of the batch; the log is always fed per-op, so the op
+    /// digest is untouched by batching.
     fn append(&mut self, op: LogOp) {
         if let Some(pipeline) = &mut self.pipeline {
-            pipeline.feed(&op);
+            if self.batching {
+                pipeline.feed_push(&op);
+            } else {
+                pipeline.feed(&op);
+            }
         }
         self.log.push(op);
     }
@@ -970,7 +1016,18 @@ impl Runtime {
                 return Err(SnapshotError::Corrupt("replay cursor past its template".into()));
             }
         }
-        Ok(Self { config, forest, analyzer, templates, score_hints, state, log, pipeline, stats })
+        Ok(Self {
+            config,
+            forest,
+            analyzer,
+            templates,
+            score_hints,
+            state,
+            log,
+            pipeline,
+            batching: false,
+            stats,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -47,7 +47,9 @@ pub const MAGIC: [u8; 4] = *b"APSN";
 /// v2: byte-denominated capacity budgets joined the serialized
 /// configuration (`CapacityConfig::max_trie_bytes` /
 /// `max_template_bytes`, `RuntimeConfig::max_template_bytes`).
-pub const FORMAT_VERSION: u32 = 2;
+/// v3: the reference-pipeline selector joined the serialized
+/// configuration (`Config::reference_pipeline`).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Front-end tag: a bare [`crate::runtime::Runtime`] (untraced or
 /// manually annotated).

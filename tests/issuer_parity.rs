@@ -22,7 +22,7 @@ use apophenia::{Config, DelayModel, Session, Tracing};
 use tasksim::cost::Micros;
 use tasksim::exec::{simulate, LogOp, LogRetention, OpLog, SimReport};
 use tasksim::ids::{TaskKindId, TraceId};
-use tasksim::issuer::TaskIssuer;
+use tasksim::issuer::{RunArtifacts, TaskIssuer};
 use tasksim::task::{TaskDesc, TaskHash};
 
 const ITERS: usize = 200;
@@ -41,6 +41,17 @@ fn all_tracings() -> Vec<Tracing> {
             delay: DelayModel::new(2024, 25),
             initial_interval: 8,
         },
+    ]
+}
+
+/// The two automatically traced front-ends, either on the optimized hot
+/// paths (default) or on the frozen per-task reference pipeline
+/// (`Config::reference_pipeline`) the hot paths are pinned against.
+fn auto_tracings(reference: bool) -> Vec<Tracing> {
+    let cfg = if reference { small_auto().with_reference_pipeline() } else { small_auto() };
+    vec![
+        Tracing::Auto(cfg.clone()),
+        Tracing::Distributed { config: cfg, delay: DelayModel::new(2024, 25), initial_interval: 8 },
     ]
 }
 
@@ -148,6 +159,39 @@ fn issue_batch_is_bit_identical_to_single_issue() {
             batched.ops(),
             "{label}: batched issuance changed the operation log"
         );
+    }
+}
+
+fn run_artifacts(tracing: Tracing, batched: bool, retention: LogRetention) -> RunArtifacts {
+    let manual = tracing.is_manual();
+    let mut issuer = build(tracing, retention);
+    drive(issuer.as_mut(), manual, batched);
+    issuer.finish().unwrap()
+}
+
+#[test]
+fn fast_paths_match_the_frozen_reference_pipeline() {
+    // The recognize/replay hot paths (untraceable short-circuit,
+    // mid-replay memo, batched forwarding, deferred pipeline pump) must
+    // be invisible: against the frozen per-task reference pipeline, the
+    // operation log is bit-for-bit identical and every counter agrees —
+    // per-task and batched, stored (Full) and streaming (Drain).
+    for (fast, reference) in auto_tracings(false).into_iter().zip(auto_tracings(true)) {
+        let label = fast.label();
+        let reference = run_artifacts(reference, false, LogRetention::Full);
+        for batched in [false, true] {
+            let got = run_artifacts(fast.clone(), batched, LogRetention::Full);
+            assert_eq!(
+                reference.log().ops(),
+                got.log().ops(),
+                "{label} batched={batched}: op log diverged from the reference pipeline"
+            );
+            assert_eq!(reference.stats, got.stats, "{label} batched={batched}");
+            assert_eq!(reference.report, got.report, "{label} batched={batched}");
+            let drained = run_artifacts(fast.clone(), batched, LogRetention::Drain);
+            assert_eq!(reference.report, drained.report, "{label} batched={batched} drained");
+            assert_eq!(reference.stats, drained.stats, "{label} batched={batched} drained");
+        }
     }
 }
 
@@ -370,6 +414,30 @@ mod proptests {
                     &drain_report,
                     "{}: simulate(&OpLog) diverged from the pipeline", label
                 );
+            }
+        }
+
+        /// The optimized hot paths reproduce the frozen reference
+        /// pipeline bit-for-bit across random program shapes: same
+        /// operation log, same report, for both auto front-ends.
+        #[test]
+        fn fast_paths_equal_reference_on_random_streams(
+            spec in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..120),
+        ) {
+            for (fast, reference) in
+                auto_tracings(false).into_iter().zip(auto_tracings(true))
+            {
+                let label = fast.label();
+                let (ref_report, ref_log) =
+                    report_of(reference, LogRetention::Full, &spec);
+                let (fast_report, fast_log) =
+                    report_of(fast, LogRetention::Full, &spec);
+                prop_assert_eq!(
+                    ref_log.as_ref().expect("full retention").ops(),
+                    fast_log.as_ref().expect("full retention").ops(),
+                    "{}: op log diverged from the reference pipeline", label
+                );
+                prop_assert_eq!(&ref_report, &fast_report, "{}", label);
             }
         }
     }
