@@ -76,7 +76,7 @@ pub struct AutoTracer {
     issued: u64,
     /// Reusable `(task, hash)` accumulator for [`TaskIssuer::issue_batch`]
     /// — always empty between calls, so it is not serialized.
-    batch_scratch: Vec<(TaskDesc, TaskHash)>,
+    batch_scratch: Vec<(TaskDesc, TaskHash)>, // snapshot: derived
 }
 
 impl AutoTracer {

@@ -340,19 +340,20 @@ pub struct TraceFinder {
     sampler: MultiScaleSampler,
     miner: Miner,
     next_job: u64,
-    min_len: usize,
-    batch_size: usize,
-    identifier: IdentifierAlgorithm,
-    algo: RepeatsAlgorithm,
-    backend: SuffixBackend,
+    min_len: usize,                  // snapshot: derived (from Config)
+    batch_size: usize,               // snapshot: derived (from Config)
+    identifier: IdentifierAlgorithm, // snapshot: derived (from Config)
+    algo: RepeatsAlgorithm,          // snapshot: derived (from Config)
+    backend: SuffixBackend,          // snapshot: derived (from Config)
     /// Recycled job token buffers awaiting reuse.
+    // snapshot: derived — a recycling pool; fresh buffers are equivalent
     spare: Vec<Vec<TaskHash>>,
     /// Bound on `spare`: with at most `mining_threads` jobs in flight
     /// (plus the one being built), buffers past that can never be handed
     /// out before another returns, so hoarding them is pure bloat.
-    spare_cap: usize,
+    spare_cap: usize, // snapshot: derived (from Config)
     /// Winnowing pre-filter parameters, when enabled.
-    prefilter: Option<WinnowConfig>,
+    prefilter: Option<WinnowConfig>, // snapshot: derived (from Config)
     /// Total analyses submitted (exposed for overhead accounting).
     pub jobs_submitted: u64,
     /// Analyses skipped by the winnowing pre-filter.

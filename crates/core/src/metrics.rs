@@ -83,7 +83,7 @@ impl CapacitySeries {
 pub struct TracedWindow {
     window: usize,
     ring: VecDeque<bool>,
-    traced_in_ring: usize,
+    traced_in_ring: usize, // snapshot: derived — recounted from `ring` on restore
     /// `(task index, percent traced of last `window`)` samples.
     samples: Vec<(u64, f64)>,
     sample_every: u64,

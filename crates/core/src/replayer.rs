@@ -248,37 +248,39 @@ pub struct TraceReplayer {
     /// their templates at the next forwarding opportunity (eviction runs
     /// inside `ingest`, which has no sink at hand).
     retired_traces: Vec<TraceId>,
-    scoring: ScoringConfig,
-    capacity: CapacityConfig,
-    min_len: usize,
-    max_piece: usize,
+    scoring: ScoringConfig,   // snapshot: derived (from Config)
+    capacity: CapacityConfig, // snapshot: derived (from Config)
+    min_len: usize,           // snapshot: derived (from Config)
+    max_piece: usize,         // snapshot: derived (from Config)
     next_trace: u32,
     /// Global index of the next arriving task.
     now: u64,
     stats: ReplayerStats,
     /// `Config::reference_pipeline`: route through the frozen per-task
     /// reference path instead of the fast paths.
-    reference: bool,
+    reference: bool, // snapshot: derived (from Config)
     /// Bumped on every trie mutation (ingest); guards [`ReplayMemo`].
-    trie_epoch: u64,
+    /// A restored replayer starts at epoch zero with a cold memo, which
+    /// only costs one generic step before the fast path re-engages.
+    trie_epoch: u64, // snapshot: derived
     /// When `Some(i)`: exactly one cursor is live, sitting at
     /// `memo.chain[i]` with no completed match outstanding — the
     /// mid-replay steady state. Cleared by anything that perturbs cursors
     /// outside the per-task step (ingest, flush).
-    fast_pos: Option<usize>,
-    memo: ReplayMemo,
+    fast_pos: Option<usize>, // snapshot: derived — re-established by the next step
+    memo: ReplayMemo, // snapshot: derived — rebuilt lazily per epoch
     /// Double-buffer scratch swapped with `cursors` each generic step, so
     /// the steady states never allocate a survivor vector.
-    scratch_cursors: Vec<Cursor>,
+    scratch_cursors: Vec<Cursor>, // snapshot: derived
     /// Reusable run buffer behind [`Self::on_batch`]'s contiguous
     /// untraced forwarding.
-    run_buf: Vec<TaskDesc>,
+    run_buf: Vec<TaskDesc>, // snapshot: derived
     /// Reusable scratch collections for `enforce_capacity` (the hot
     /// ingest path must not rebuild them per call).
-    scratch_pending: HashSet<u32>,
-    scratch_cursor_nodes: HashSet<NodeId>,
-    scratch_ranked: Vec<(f64, u32)>,
-    scratch_dead: HashSet<NodeId>,
+    scratch_pending: HashSet<u32>, // snapshot: derived
+    scratch_cursor_nodes: HashSet<NodeId>, // snapshot: derived
+    scratch_ranked: Vec<(f64, u32)>, // snapshot: derived
+    scratch_dead: HashSet<NodeId>, // snapshot: derived
 }
 
 impl TraceReplayer {
@@ -325,8 +327,9 @@ impl TraceReplayer {
             while offset < cand.content.len() {
                 let end = (offset + self.max_piece).min(cand.content.len());
                 let piece = &cand.content[offset..end];
-                if piece.len() >= self.min_len.max(1) {
-                    let id = self.trie.insert(piece).expect("non-empty piece");
+                if let Some(id) =
+                    (piece.len() >= self.min_len.max(1)).then(|| self.trie.insert(piece)).flatten()
+                {
                     let idx = id.0 as usize;
                     if self.meta.len() <= idx {
                         self.meta.resize_with(idx + 1, CandidateMeta::default);
@@ -337,6 +340,13 @@ impl TraceReplayer {
                     let occ_end =
                         cand.occurrences.iter().map(|&o| o + end as u64).max().unwrap_or(0);
                     m.last_seen = m.last_seen.max(occ_end.min(batch.slice_end));
+                } else {
+                    // `insert` rejects only empty pieces, which the
+                    // `min_len.max(1)` guard already filtered out.
+                    debug_assert!(
+                        piece.len() < self.min_len.max(1),
+                        "non-empty piece rejected by the trie"
+                    );
                 }
                 offset = end;
             }
@@ -430,7 +440,12 @@ impl TraceReplayer {
             {
                 continue;
             }
-            let pruned = self.trie.remove(id).expect("ranked candidates are live");
+            let Some(pruned) = self.trie.remove(id) else {
+                // `ranked` was built from live slots and nothing in this
+                // loop kills a candidate it has not popped yet.
+                debug_assert!(false, "ranked candidate {idx} is dead");
+                continue;
+            };
             if !pruned.is_empty() && !self.cursors.is_empty() {
                 // Deferral keeps cursor-occupied paths alive, so this is
                 // defensive: no cursor should ever sit on a pruned node.
@@ -464,9 +479,19 @@ impl TraceReplayer {
             && (over_alloc || self.trie.free_node_count() > self.trie.node_count())
         {
             let remap = self.trie.compact();
-            for c in &mut self.cursors {
-                c.node = remap[c.node.index()].expect("cursors sit on live nodes");
-            }
+            // Deferral keeps cursor paths live, so every cursor's node has
+            // a slot in the rebuilt trie; a cursor that lost its node
+            // anyway is dead weight, not a reason to abort the stream.
+            self.cursors.retain_mut(|c| match remap.get(c.node.index()).copied().flatten() {
+                Some(node) => {
+                    c.node = node;
+                    true
+                }
+                None => {
+                    debug_assert!(false, "cursor sits on a compacted-away node");
+                    false
+                }
+            });
             self.stats.trie_compactions += 1;
             compacted = true;
         }
@@ -830,7 +855,7 @@ impl TraceReplayer {
     pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
         let snap = self.trie.to_snapshot();
         w.put_seq(&snap.nodes, |w, n| {
-            w.put_seq(&n.children, |w, (tok, child)| {
+            w.put_seq(&n.sorted_children, |w, (tok, child)| {
                 w.put_u64(tok.0);
                 w.put_u32(*child);
             });
@@ -894,7 +919,7 @@ impl TraceReplayer {
     ) -> Result<Self, SnapshotError> {
         let nodes = r.get_seq(|r| {
             Ok(NodeSnapshot {
-                children: r.get_seq(|r| Ok((TaskHash(r.get_u64()?), r.get_u32()?)))?,
+                sorted_children: r.get_seq(|r| Ok((TaskHash(r.get_u64()?), r.get_u32()?)))?,
                 terminal: r.get_opt_u32()?,
                 depth: r.get_u32()?,
                 subtree_max: r.get_u32()?,
@@ -946,6 +971,29 @@ impl TraceReplayer {
         replayer.retired_traces = r.get_seq(|r| Ok(TraceId(r.get_u32()?)))?;
         replayer.next_trace = r.get_u32()?;
         replayer.now = r.get_u64()?;
+        // Replay's queue pops are total only because the pending buffer is
+        // a contiguous run of global indices ending just before `now`,
+        // with every completed-match window inside that run. A live
+        // engine maintains this by construction; a snapshot merely claims
+        // it, so verify the claim instead of panicking mid-replay later.
+        let mut expect = replayer.pending.front().map(|p| p.global);
+        for p in &replayer.pending {
+            if Some(p.global) != expect {
+                return Err(SnapshotError::Corrupt("pending globals are not contiguous".into()));
+            }
+            expect = p.global.checked_add(1);
+        }
+        if replayer.pending.back().is_some_and(|b| b.global.checked_add(1) != Some(replayer.now)) {
+            return Err(SnapshotError::Corrupt("pending buffer does not end at `now`".into()));
+        }
+        let window_lo = replayer.pending.front().map_or(replayer.now, |p| p.global);
+        for c in &replayer.completed {
+            if c.start < window_lo || c.end > replayer.now || c.start >= c.end {
+                return Err(SnapshotError::Corrupt(
+                    "completed match window outside the pending buffer".into(),
+                ));
+            }
+        }
         replayer.stats = ReplayerStats {
             forwarded_untraced: r.get_u64()?,
             forwarded_traced: r.get_u64()?,
@@ -1020,7 +1068,7 @@ impl TraceReplayer {
             .min()
             .unwrap_or(self.now);
         while self.pending.front().is_some_and(|p| p.global < keep_from) {
-            let p = self.pending.pop_front().expect("front exists");
+            let Some(p) = self.pending.pop_front() else { break };
             self.stats.forwarded_untraced += 1;
             sink.execute_task(p.desc)?;
         }
@@ -1043,7 +1091,7 @@ impl TraceReplayer {
     fn replay<S: TraceSink>(&mut self, m: CompletedMatch, sink: &mut S) -> Result<(), S::Error> {
         // Forward the untraced prefix.
         while self.pending.front().is_some_and(|p| p.global < m.start) {
-            let p = self.pending.pop_front().expect("front exists");
+            let Some(p) = self.pending.pop_front() else { break };
             self.stats.forwarded_untraced += 1;
             sink.execute_task(p.desc)?;
         }
@@ -1065,7 +1113,13 @@ impl TraceReplayer {
         sink.record_trace_score(tid, score)?;
         sink.begin_trace(tid)?;
         for _ in m.start..m.end {
-            let p = self.pending.pop_front().expect("matched tasks are pending");
+            // Total by construction: matches are minted over buffered
+            // tasks, and `restore_snapshot` rejects images whose match
+            // windows fall outside the pending run.
+            let Some(p) = self.pending.pop_front() else {
+                debug_assert!(false, "matched task window outran the pending buffer");
+                break;
+            };
             self.stats.forwarded_traced += 1;
             sink.execute_task(p.desc)?;
         }

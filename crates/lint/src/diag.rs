@@ -1,0 +1,89 @@
+//! Diagnostics: what a rule reports and how it prints.
+
+use std::fmt;
+
+/// Identity of a rule: the short code diagnostics lead with and the
+/// human slug `lint: allow(...)` annotations name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RuleId {
+    pub code: &'static str,
+    pub slug: &'static str,
+}
+
+/// Every rule the engine ships, in reporting order. The annotation audit
+/// resolves `lint: allow(<rule>)` names against this table, so adding a
+/// rule here is all it takes for its allows to be recognized.
+pub const RULES: &[RuleId] = &[
+    RuleId { code: "D001", slug: "unordered-iter" },
+    RuleId { code: "D002", slug: "ambient-state" },
+    RuleId { code: "P001", slug: "hot-path-panic" },
+    RuleId { code: "S001", slug: "snapshot-coverage" },
+    RuleId { code: "A001", slug: "allow-missing-reason" },
+    RuleId { code: "A002", slug: "stale-allow" },
+    RuleId { code: "A003", slug: "unknown-rule" },
+];
+
+/// Looks a rule up by code or slug (annotations may use either).
+pub fn rule_by_name(name: &str) -> Option<RuleId> {
+    RULES.iter().copied().find(|r| r.code == name || r.slug == name)
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: RuleId,
+    /// Root-relative `/`-separated path.
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// How to fix it (printed as a `help:` second line).
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Sort key: file, then position, then rule.
+    pub fn sort_key(&self) -> (String, usize, usize, &'static str) {
+        (self.file.clone(), self.line, self.col, self.rule.code)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{}: {}[{}] {}",
+            self.file, self.line, self.col, self.rule.code, self.rule.slug, self.message
+        )?;
+        write!(f, "  help: {}", self.hint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_accepts_code_and_slug() {
+        assert_eq!(rule_by_name("D001"), rule_by_name("unordered-iter"));
+        assert!(rule_by_name("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn display_prints_position_rule_and_hint() {
+        let d = Diagnostic {
+            rule: RULES[0],
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            col: 3,
+            message: "bad".into(),
+            hint: "fix".into(),
+        };
+        let s = d.to_string();
+        assert!(s.starts_with("crates/x/src/a.rs:7:3: D001[unordered-iter] bad"));
+        assert!(s.ends_with("help: fix"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The driver: walks the workspace, runs every rule over every file,
+//! then audits the annotations.
+
+use crate::config::{LintConfig, FIXTURE_DIR};
+use crate::diag::Diagnostic;
+use crate::rules::{annotations, determinism, panics, snapshot, LintFile, Rule, RuleCtx};
+use crate::source::{normalize_rel, SourceFile};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of one lint run.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Sorted by file, position, rule.
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+/// Lints every `.rs` file under `root`, excluding build output, VCS
+/// metadata, and the seeded-violation fixture corpus (which exists to
+/// be dirty — lint it explicitly with a path argument).
+///
+/// # Errors
+///
+/// Propagates directory-walk and file-read errors.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> io::Result<LintRun> {
+    let mut files = Vec::new();
+    walk(root, root, false, &mut files)?;
+    Ok(lint_files(root, &files, config))
+}
+
+/// Lints explicit paths (files or directories). Fixture files are *not*
+/// excluded here: pointing the linter at the corpus is how the golden
+/// tests — and curious humans — watch every rule fire.
+///
+/// # Errors
+///
+/// Propagates walk/read errors; unknown paths error out rather than
+/// silently linting nothing.
+pub fn lint_paths(root: &Path, paths: &[PathBuf], config: &LintConfig) -> io::Result<LintRun> {
+    let mut files = Vec::new();
+    for p in paths {
+        let resolved = if p.exists() { p.clone() } else { root.join(p) };
+        if !resolved.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such path: {}", p.display()),
+            ));
+        }
+        if resolved.is_dir() {
+            walk(root, &resolved, true, &mut files)?;
+        } else {
+            files.push(resolved);
+        }
+    }
+    Ok(lint_files(root, &files, config))
+}
+
+/// Recursive `.rs` walk with deterministic (sorted) order.
+fn walk(root: &Path, dir: &Path, include_fixtures: bool, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            if !include_fixtures && rel_of(root, &path).contains(FIXTURE_DIR) {
+                continue;
+            }
+            walk(root, &path, include_fixtures, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    normalize_rel(path.strip_prefix(root).unwrap_or(path))
+}
+
+/// Loads, lexes and checks `files`, then runs the annotation audit.
+fn lint_files(root: &Path, files: &[PathBuf], config: &LintConfig) -> LintRun {
+    let rules: [&dyn Rule; 3] =
+        [&determinism::Determinism, &panics::Panics, &snapshot::SnapshotCoverage];
+    let mut lint_files = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = rel_of(root, path);
+        match SourceFile::load(path, rel) {
+            Ok(source) => lint_files.push(LintFile::new(source)),
+            Err(err) => eprintln!("apophenia-lint: skipping {}: {err}", path.display()),
+        }
+    }
+    let mut ctx = RuleCtx::new(config);
+    for file in &lint_files {
+        for rule in rules {
+            rule.check(file, &mut ctx);
+        }
+    }
+    annotations::audit(&lint_files, &mut ctx);
+    let mut diagnostics = ctx.diagnostics;
+    diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    LintRun { diagnostics, files_scanned: lint_files.len() }
+}
+
+/// Workspace root discovery: the linter lives at `crates/lint`, so its
+/// manifest dir is two levels below the root; fall back to the current
+/// directory when run outside cargo.
+pub fn workspace_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.ancestors().nth(2) {
+            return root.to_path_buf();
+        }
+    }
+    std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
+}

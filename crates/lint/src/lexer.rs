@@ -1,0 +1,394 @@
+//! A hand-rolled Rust lexer — the zero-dependency foundation the rule
+//! engine walks.
+//!
+//! The lexer understands exactly as much Rust as a source-level checker
+//! needs to be trustworthy: strings (plain, raw with any `#` arity, byte,
+//! byte-raw), char literals vs. lifetimes, line comments (doc comments
+//! included), *nested* block comments, numbers with range-safe dot
+//! handling (`0..9` is three tokens, `1.5e3` is one), identifiers, and
+//! single-character punctuation. Everything a rule matches on is a real
+//! token, so `"Instant::now"` inside a string literal or a comment can
+//! never trip a determinism rule.
+//!
+//! Tokens carry byte spans plus 1-based line/column, which diagnostics
+//! print directly.
+
+/// What a token is. Punctuation is deliberately single-character — rules
+/// match multi-character operators (`::`, `->`) as token sequences, which
+/// keeps the lexer trivial to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`self`, `for`, `HashMap`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (distinguished from chars).
+    Lifetime,
+    /// Integer or float literal, suffix included.
+    Number,
+    /// Any string literal form: `"..."`, `r#"..."#`, `b"..."`, `br"..."`.
+    Str,
+    /// A character or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// `// ...` including `///` and `//!` doc forms.
+    LineComment,
+    /// `/* ... */`, nesting handled.
+    BlockComment,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token: kind plus location.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte range into the source text.
+    pub start: usize,
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+    /// 1-based byte column of the token's first byte.
+    pub col: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment of either form.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` completely. Unknown bytes become punctuation tokens, so
+/// lexing never fails — a garbled file degrades to garbled tokens, and
+/// the rules simply find nothing to match.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    toks: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let c = self.src[self.pos];
+            // Raw/byte literals push their own token (they must be able
+            // to fall back to a plain identifier without consuming).
+            if (c == b'r' || c == b'b') && self.raw_or_byte_literal() {
+                continue;
+            }
+            let kind = match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => {
+                    self.bump();
+                    TokKind::Punct(c as char)
+                }
+            };
+            self.toks.push(Tok { kind, start, end: self.pos, line, col });
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// A plain (escaped) string body, after the opening quote position.
+    fn string(&mut self) -> TokKind {
+        self.bump(); // opening '"'
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokKind::Str
+    }
+
+    /// `'a` / `'static` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // '\''
+        if self.pos >= self.src.len() {
+            return TokKind::Char;
+        }
+        if self.src[self.pos] == b'\\' {
+            // Definitely a char literal with an escape.
+            self.bump();
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+            if self.peek(0) == Some(b'\'') {
+                self.bump();
+            }
+            return TokKind::Char;
+        }
+        let c = self.src[self.pos];
+        if c == b'_' || c.is_ascii_alphanumeric() {
+            // Could be `'a'` (char) or `'a` / `'static` (lifetime): a
+            // char literal has exactly one character then a quote.
+            if self.peek(1) == Some(b'\'') {
+                self.bump();
+                self.bump();
+                return TokKind::Char;
+            }
+            while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+                self.bump();
+            }
+            return TokKind::Lifetime;
+        }
+        // `'('` and other single-symbol chars.
+        self.bump();
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+        TokKind::Char
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+    /// Returns false (consuming nothing) when the `r`/`b` starts a plain
+    /// identifier; otherwise consumes the literal, pushes its token, and
+    /// returns true.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let (line, col, start) = (self.line, self.col, self.pos);
+        let mut i = self.pos;
+        let mut is_raw = false;
+        if self.src[i] == b'b' {
+            i += 1;
+            if self.src.get(i) == Some(&b'r') {
+                i += 1;
+                is_raw = true;
+            }
+        } else {
+            // starts with 'r'
+            i += 1;
+            is_raw = true;
+        }
+        let mut hashes = 0usize;
+        while is_raw && self.src.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        match self.src.get(i) {
+            Some(&b'"') => {}
+            Some(&b'\'') if !is_raw => {
+                // b'x' byte char: consume prefix then delegate.
+                self.bump(); // 'b'
+                let kind = self.char_or_lifetime();
+                self.toks.push(Tok { kind, start, end: self.pos, line, col });
+                return true;
+            }
+            _ => return false, // plain identifier like `ranked` or `best`
+        }
+        // Consume up to and including the opening quote.
+        while self.pos <= i {
+            self.bump();
+        }
+        if is_raw {
+            // Scan for `"` followed by `hashes` hash marks; no escapes.
+            'outer: while self.pos < self.src.len() {
+                if self.src[self.pos] == b'"' {
+                    for k in 0..hashes {
+                        if self.peek(1 + k) != Some(b'#') {
+                            self.bump();
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                self.bump();
+            }
+        } else {
+            // b"..." with escapes: same scan as a plain string.
+            while self.pos < self.src.len() {
+                match self.src[self.pos] {
+                    b'\\' => {
+                        self.bump();
+                        if self.pos < self.src.len() {
+                            self.bump();
+                        }
+                    }
+                    b'"' => {
+                        self.bump();
+                        break;
+                    }
+                    _ => self.bump(),
+                }
+            }
+        }
+        self.toks.push(Tok { kind: TokKind::Str, start, end: self.pos, line, col });
+        true
+    }
+
+    /// Numbers, with `.` consumed only when it really continues the
+    /// literal — `0..9` and `1.max(2)` must not swallow the dot.
+    fn number(&mut self) -> TokKind {
+        while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump(); // '.'
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+        }
+        // Exponent sign: `1e-3` — the alnum scan stops at '-'.
+        if self.peek(0).is_some_and(|c| c == b'-' || c == b'+')
+            && self.src[self.pos - 1] | 0x20 == b'e'
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        TokKind::Number
+    }
+
+    fn ident(&mut self) -> TokKind {
+        while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+            self.bump();
+        }
+        TokKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_punct_numbers() {
+        let ks = kinds("let x = a.iter();");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "iter", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let ks = kinds("0..9 1.5 1..=2");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["0", ".", ".", "9", "1.5", "1", ".", ".", "=", "2"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let ks = kinds(r##"let s = "Instant::now()"; r#"HashMap"# ;"##);
+        assert!(ks.iter().all(|(k, t)| *k == TokKind::Str || !t.contains("Instant")));
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn byte_and_raw_strings() {
+        let ks = kinds(r##"b"ab\"c" br#"x"y"# b'z' rate"##);
+        let strs: Vec<&str> =
+            ks.iter().filter(|(k, _)| *k == TokKind::Str).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(strs, [r#"b"ab\"c""#, r##"br#"x"y"#"##]);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Char && t == "b'z'"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "rate"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = ks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 2));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ks = kinds("a /* outer /* inner */ still */ b");
+        let texts: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| !matches!(k, TokKind::BlockComment))
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(texts, ["a", "b"]);
+    }
+
+    #[test]
+    fn line_and_doc_comments() {
+        let ks = kinds("/// doc\n//! inner\n// lint: allow(x): y\ncode");
+        let comments = ks.iter().filter(|(k, _)| *k == TokKind::LineComment).count();
+        assert_eq!(comments, 3);
+        assert_eq!(ks.last().unwrap().1, "code");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,33 @@
+//! apophenia-lint: an offline, dependency-free static analysis pass
+//! enforcing the workspace's determinism and snapshot-coverage
+//! contracts.
+//!
+//! The engine's replay decisions must be bit-identical across runs,
+//! processes, and distributed peers, and its snapshots must round-trip
+//! every byte of live state. Both properties die by a thousand innocent
+//! edits: a debug print iterating a `HashMap`, an `Instant::now()` in a
+//! scoring path, a field added to a struct but not to its codec. The
+//! rules here catch those edits at lint time:
+//!
+//! | rule | slug | what it patrols |
+//! |------|------|-----------------|
+//! | D001 | `unordered-iter` | hash-order leaks in determinism-critical modules |
+//! | D002 | `ambient-state` | wall clocks, hash seeds, thread identity |
+//! | P001 | `hot-path-panic` | `unwrap`/`expect`/`panic!` on the replay hot path |
+//! | S001 | `snapshot-coverage` | struct fields missing from snapshot codecs |
+//! | A001 | `allow-missing-reason` | allows without justification |
+//! | A002 | `stale-allow` | allows that suppress nothing |
+//! | A003 | `unknown-rule` | allows naming unknown rules |
+//!
+//! Run it as `cargo run -p apophenia-lint -- [--deny] [paths…]`. The
+//! implementation is a hand-rolled lexer ([`lexer`]), a line table
+//! ([`source`]), rule scoping ([`config`]), the rule engine and the
+//! four rule families ([`rules`]), and the workspace driver
+//! ([`driver`]) — no dependencies, no `syn`, no network.
+
+pub mod config;
+pub mod diag;
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+pub mod source;

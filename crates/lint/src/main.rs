@@ -1,0 +1,56 @@
+//! CLI entry point: `apophenia-lint [--deny] [paths…]`.
+
+use apophenia_lint::config::LintConfig;
+use apophenia_lint::driver::{lint_paths, lint_workspace, workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: apophenia-lint [--deny] [paths…]\n\n  \
+    Lints the whole workspace when no paths are given (the fixture\n  \
+    corpus under crates/lint/tests/fixtures is excluded unless named\n  \
+    explicitly).\n\n  --deny    exit non-zero when any finding is reported";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("apophenia-lint: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    let root = workspace_root();
+    let config = LintConfig::workspace();
+    let run = if paths.is_empty() {
+        lint_workspace(&root, &config)
+    } else {
+        lint_paths(&root, &paths, &config)
+    };
+    let run = match run {
+        Ok(run) => run,
+        Err(err) => {
+            eprintln!("apophenia-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &run.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "apophenia-lint: {} finding(s) across {} file(s)",
+        run.diagnostics.len(),
+        run.files_scanned
+    );
+    if deny && !run.diagnostics.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,104 @@
+//! A-rules: the annotation audit. Runs after every other rule so it can
+//! see which `lint: allow` annotations actually suppressed a finding.
+//!
+//! * **A001 `allow-missing-reason`** — an allow with no reason text.
+//!   Allows are load-bearing documentation; "trust me" is not a reason.
+//! * **A002 `stale-allow`** — an allow that suppressed nothing this
+//!   run. Stale allows rot into blanket permission for future bugs.
+//! * **A003 `unknown-rule`** — an allow naming a rule the engine does
+//!   not ship (typo, or malformed syntax).
+//!
+//! These report through the unsuppressable path: an annotation cannot
+//! vouch for itself.
+
+use super::{LintFile, RuleCtx};
+use crate::diag::{rule_by_name, RULES};
+
+/// Audits every allow across `files` against the fired set in `ctx`.
+pub fn audit(files: &[LintFile], ctx: &mut RuleCtx<'_>) {
+    for file in files {
+        if file.test_context {
+            continue;
+        }
+        for a in &file.allows {
+            if file.in_test(a.line) {
+                continue;
+            }
+            if rule_by_name(&a.rule_name).is_none() {
+                let what = if a.rule_name.is_empty() {
+                    "malformed `lint: allow` annotation".to_string()
+                } else {
+                    format!("`lint: allow({})` names a rule this linter does not ship", a.rule_name)
+                };
+                ctx.report_unsuppressable(
+                    file,
+                    RULES[6],
+                    a.line,
+                    a.col,
+                    what,
+                    "write `// lint: allow(<rule>): <reason>` with a known rule code or slug"
+                        .into(),
+                );
+                continue;
+            }
+            if a.reason.is_empty() {
+                ctx.report_unsuppressable(
+                    file,
+                    RULES[4],
+                    a.line,
+                    a.col,
+                    format!("`lint: allow({})` carries no reason", a.rule_name),
+                    "append `: <reason>` explaining why the finding is safe here".into(),
+                );
+                continue;
+            }
+            if !ctx.fired_allows.contains(&(file.source.rel.clone(), a.line)) {
+                ctx.report_unsuppressable(
+                    file,
+                    RULES[5],
+                    a.line,
+                    a.col,
+                    format!("`lint: allow({})` suppressed nothing in this run", a.rule_name),
+                    "delete the stale annotation (or move it onto the line it was meant to \
+                     cover)"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::rules::tests::file_of;
+    use crate::rules::Rule;
+
+    #[test]
+    fn audits_reason_staleness_and_unknown_rules() {
+        let f = file_of(
+            "fn f() {\n    // lint: allow(ambient-state)\n    let t = Instant::now();\n    // lint: allow(no-such-rule): whatever\n    let x = 1;\n    // lint: allow(unordered-iter): nothing here iterates\n    let y = 2;\n}\n",
+        );
+        let config = LintConfig::workspace();
+        let mut ctx = RuleCtx::new(&config);
+        crate::rules::determinism::Determinism.check(&f, &mut ctx);
+        audit(std::slice::from_ref(&f), &mut ctx);
+        let mut codes: Vec<(&str, usize)> =
+            ctx.diagnostics.iter().map(|d| (d.rule.code, d.line)).collect();
+        codes.sort_unstable();
+        // The reasonless allow still suppresses the D002 finding on line
+        // 3 (reasonlessness is its own finding, not a dead switch).
+        assert_eq!(codes, vec![("A001", 2), ("A002", 6), ("A003", 4)]);
+    }
+
+    #[test]
+    fn fired_allows_are_clean() {
+        let f = file_of("fn f() {\n    // lint: allow(ambient-state): bench-only build\n    let t = Instant::now();\n}\n");
+        let config = LintConfig::workspace();
+        let mut ctx = RuleCtx::new(&config);
+        crate::rules::determinism::Determinism.check(&f, &mut ctx);
+        audit(std::slice::from_ref(&f), &mut ctx);
+        assert!(ctx.diagnostics.is_empty(), "got {:?}", ctx.diagnostics);
+    }
+}

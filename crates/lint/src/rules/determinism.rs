@@ -1,0 +1,395 @@
+//! D-rules: determinism.
+//!
+//! * **D001 `unordered-iter`** — iteration over hash-backed containers
+//!   in determinism-critical modules. `HashMap`/`HashSet` iteration
+//!   order varies per process (SipHash keys are random), so any
+//!   iteration whose order can leak into replay decisions, snapshot
+//!   bytes, or distributed lock-step must be sorted or routed through a
+//!   `BTreeMap`/`BTreeSet`.
+//! * **D002 `ambient-state`** — ambient nondeterminism sources
+//!   (`Instant::now`, `SystemTime::now`, `RandomState::new`,
+//!   `thread::current`) anywhere outside the bench/shim trees.
+//!
+//! D001 needs no type inference: it tracks, per file, the names that
+//! are *declared* hash-backed (`x: HashMap<..>`, `x = HashSet::new()`,
+//! `let y = std::mem::take(&mut tracked)`) and flags iteration through
+//! them unless the statement is provably order-insensitive (folds into
+//! a commutative reduction, collects into a B-tree, or is sorted within
+//! the next two statements).
+
+use super::{LintFile, Rule, RuleCtx};
+use crate::diag::{RuleId, RULES};
+use crate::lexer::TokKind;
+use std::collections::BTreeSet;
+
+const D001: RuleId = RULES[0];
+const D002: RuleId = RULES[1];
+
+/// Methods that expose hash-iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Consumers whose result does not depend on iteration order. `min_by`
+/// and `max_by` are deliberately absent: with a non-total key they
+/// return the *first* extremum encountered, which is order-dependent.
+const ORDER_INSENSITIVE: &[&str] =
+    &["sum", "product", "count", "len", "is_empty", "all", "any", "max", "min"];
+
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn id(&self) -> RuleId {
+        D001
+    }
+
+    fn check(&self, file: &LintFile, ctx: &mut RuleCtx<'_>) {
+        if file.test_context {
+            return;
+        }
+        if ctx.config.is_deterministic_module(&file.source.rel) {
+            unordered_iter(file, ctx);
+        }
+        if ctx.config.ambient_applies(&file.source.rel) {
+            ambient_state(file, ctx);
+        }
+    }
+}
+
+/// D001: flag iteration through hash-backed names.
+fn unordered_iter(file: &LintFile, ctx: &mut RuleCtx<'_>) {
+    let tracked = hash_backed_names(file);
+    if tracked.is_empty() {
+        return;
+    }
+    let mut sites: BTreeSet<usize> = BTreeSet::new();
+
+    // `base.iter()` / `self.base.keys()` … method form.
+    for i in 2..file.code.len() {
+        if file.code[i].kind != TokKind::Ident
+            || !ITER_METHODS.contains(&file.text(i))
+            || i + 1 >= file.code.len()
+            || !file.punct_is(i + 1, '(')
+            || !file.punct_is(i - 1, '.')
+            || file.code[i - 2].kind != TokKind::Ident
+        {
+            continue;
+        }
+        if tracked.contains(file.text(i - 2)) {
+            sites.insert(i - 2);
+        }
+    }
+
+    // `for pat in <expr-with-tracked-name> {` header form.
+    for i in 0..file.code.len() {
+        if !file.ident_is(i, "for") {
+            continue;
+        }
+        let d = file.depth[i];
+        // Find the loop's `in` keyword at the same depth before the body
+        // opens; `impl Trait for Type` and `for<'a>` bounds have none.
+        let mut in_at = None;
+        for j in i + 1..file.code.len() {
+            if file.depth[j] < d || (file.depth[j] == d && file.punct_is(j, '{')) {
+                break;
+            }
+            if file.depth[j] == d && file.ident_is(j, "in") {
+                in_at = Some(j);
+                break;
+            }
+        }
+        let Some(in_at) = in_at else { continue };
+        for j in in_at + 1..file.code.len() {
+            if file.depth[j] < d || (file.depth[j] == d && file.punct_is(j, '{')) {
+                break;
+            }
+            if file.code[j].kind == TokKind::Ident && tracked.contains(file.text(j)) {
+                // Skip names that only receive a method call handled by
+                // the method form above (avoids double-reporting).
+                let is_method_base = j + 2 < file.code.len()
+                    && file.punct_is(j + 1, '.')
+                    && ITER_METHODS.contains(&file.text(j + 2));
+                if !is_method_base {
+                    sites.insert(j);
+                }
+            }
+        }
+    }
+
+    for n in sites {
+        let tok = file.code[n];
+        if file.in_test(tok.line) || statement_is_order_insensitive(file, n) {
+            continue;
+        }
+        ctx.report(
+            file,
+            D001,
+            tok.line,
+            tok.col,
+            format!(
+                "iteration over hash-backed `{}` leaks nondeterministic order in a \
+                 determinism-critical module",
+                file.text(n)
+            ),
+            "sort the result (or collect into a BTreeMap/BTreeSet), or annotate \
+             `// lint: allow(unordered-iter): <reason>`"
+                .into(),
+        );
+    }
+}
+
+/// Whether the statement around code token `n` neutralizes iteration
+/// order: collects into a B-tree, ends in a commutative reduction, or
+/// binds a local that is sorted within the next two statements.
+fn statement_is_order_insensitive(file: &LintFile, n: usize) -> bool {
+    let s = file.stmt_start(n);
+    let e = file.stmt_end(s);
+    for j in s..=e.min(file.code.len() - 1) {
+        if file.code[j].kind != TokKind::Ident {
+            continue;
+        }
+        let t = file.text(j);
+        if t == "BTreeMap" || t == "BTreeSet" {
+            return true;
+        }
+        if ORDER_INSENSITIVE.contains(&t) && j + 1 < file.code.len() && file.punct_is(j + 1, '(') {
+            return true;
+        }
+    }
+    // `let v = map.keys().collect(); v.sort();` — look ahead two
+    // statements for a sort of the bound name.
+    if file.ident_is(s, "let") {
+        let mut b = s + 1;
+        if b < file.code.len() && file.ident_is(b, "mut") {
+            b += 1;
+        }
+        if b < file.code.len() && file.code[b].kind == TokKind::Ident {
+            let bound = file.text(b).to_string();
+            let mut t = e + 1;
+            for _ in 0..2 {
+                if t >= file.code.len() {
+                    break;
+                }
+                let te = file.stmt_end(t);
+                let mut saw_bound = false;
+                let mut saw_sort = false;
+                for j in t..=te.min(file.code.len() - 1) {
+                    if file.code[j].kind == TokKind::Ident {
+                        let txt = file.text(j);
+                        saw_bound |= txt == bound;
+                        saw_sort |= txt.starts_with("sort");
+                    }
+                }
+                if saw_bound && saw_sort {
+                    return true;
+                }
+                t = te + 1;
+            }
+        }
+    }
+    false
+}
+
+/// Names declared hash-backed in this file: typed fields/locals,
+/// `HashMap::new()`-style initializers, and `mem::take` aliases of an
+/// already-tracked name.
+fn hash_backed_names(file: &LintFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..file.code.len() {
+        if file.code[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = file.text(i);
+        if t != "HashMap" && t != "HashSet" {
+            continue;
+        }
+        // Walk back over a leading path (`std :: collections ::`).
+        let mut j = i;
+        while j >= 3
+            && file.punct_is(j - 1, ':')
+            && file.punct_is(j - 2, ':')
+            && file.code[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j >= 2 {
+            // `name : [path::]HashMap<..>` — typed field or local. A
+            // single `:` only: `::` was consumed by the path walk.
+            if file.punct_is(j - 1, ':')
+                && !(j >= 2 && file.punct_is(j - 2, ':'))
+                && file.code[j - 2].kind == TokKind::Ident
+            {
+                names.insert(file.text(j - 2).to_string());
+            }
+            // `name = [path::]HashMap::new()` (or with_capacity/default).
+            if file.punct_is(j - 1, '=') && file.code[j - 2].kind == TokKind::Ident {
+                let ctor = i + 3 < file.code.len()
+                    && file.punct_is(i + 1, ':')
+                    && file.punct_is(i + 2, ':')
+                    && matches!(file.text(i + 3), "new" | "with_capacity" | "default");
+                if ctor {
+                    names.insert(file.text(j - 2).to_string());
+                }
+            }
+        }
+    }
+    // `let alias = std::mem::take(&mut tracked)` keeps the hash backing.
+    for i in 0..file.code.len() {
+        if !file.ident_is(i, "take") || i + 4 >= file.code.len() {
+            continue;
+        }
+        if !(file.punct_is(i + 1, '(')
+            && file.punct_is(i + 2, '&')
+            && file.ident_is(i + 3, "mut")
+            && file.code[i + 4].kind == TokKind::Ident
+            && names.contains(file.text(i + 4)))
+        {
+            continue;
+        }
+        let s = file.stmt_start(i);
+        if file.ident_is(s, "let") {
+            let mut b = s + 1;
+            if file.ident_is(b, "mut") {
+                b += 1;
+            }
+            if file.code[b].kind == TokKind::Ident {
+                names.insert(file.text(b).to_string());
+            }
+        }
+    }
+    names
+}
+
+/// D002: ambient nondeterminism sources.
+fn ambient_state(file: &LintFile, ctx: &mut RuleCtx<'_>) {
+    for i in 0..file.code.len() {
+        if file.code[i].kind != TokKind::Ident || file.in_test(file.code[i].line) {
+            continue;
+        }
+        let path2 = |a: &str| {
+            i + 3 < file.code.len()
+                && file.text(i) == a
+                && file.punct_is(i + 1, ':')
+                && file.punct_is(i + 2, ':')
+                && file.code[i + 3].kind == TokKind::Ident
+        };
+        let (message, hint): (&str, &str) = if path2("Instant") && file.ident_is(i + 3, "now") {
+            (
+                "`Instant::now()` injects wall-clock time into deterministic logic",
+                "thread a logical clock value through instead, or annotate \
+                 `// lint: allow(ambient-state): <reason>`",
+            )
+        } else if path2("SystemTime") && file.ident_is(i + 3, "now") {
+            (
+                "`SystemTime::now()` injects wall-clock time into deterministic logic",
+                "take the timestamp as an input instead, or annotate \
+                 `// lint: allow(ambient-state): <reason>`",
+            )
+        } else if path2("RandomState") && matches!(file.text(i + 3), "new" | "default") {
+            (
+                "`RandomState::new()` seeds per-process hash randomness",
+                "use a fixed-seed hasher or an ordered container, or annotate \
+                 `// lint: allow(ambient-state): <reason>`",
+            )
+        } else if path2("thread") && file.ident_is(i + 3, "current") {
+            (
+                "`thread::current()` leaks scheduler identity into deterministic logic",
+                "pass an explicit worker id through instead, or annotate \
+                 `// lint: allow(ambient-state): <reason>`",
+            )
+        } else {
+            continue;
+        };
+        let tok = file.code[i];
+        ctx.report(file, D002, tok.line, tok.col, message.into(), hint.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::rules::tests::file_of;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn det_file(src: &str) -> LintFile {
+        LintFile::new(SourceFile::from_text(
+            PathBuf::from("replayer.rs"),
+            "crates/core/src/replayer.rs".into(),
+            src.into(),
+        ))
+    }
+
+    fn run(file: &LintFile) -> Vec<String> {
+        let config = LintConfig::workspace();
+        let mut ctx = RuleCtx::new(&config);
+        Determinism.check(file, &mut ctx);
+        ctx.diagnostics.iter().map(|d| format!("{}:{}", d.rule.code, d.line)).collect()
+    }
+
+    #[test]
+    fn flags_map_iteration_in_critical_module() {
+        let f = det_file(
+            "struct S { m: HashMap<u32, u32> }\nfn f(s: &S) {\n    for (k, v) in s.m.iter() {\n        use_(k, v);\n    }\n}\n",
+        );
+        assert_eq!(run(&f), vec!["D001:3"]);
+    }
+
+    #[test]
+    fn sorted_and_btree_uses_are_clean() {
+        let f = det_file(
+            "struct S { m: HashMap<u32, u32> }\nfn f(s: &S) -> u64 {\n    let mut ks: Vec<u32> = s.m.keys().copied().collect();\n    ks.sort_unstable();\n    let _b: BTreeMap<u32, u32> = s.m.iter().map(|(a, b)| (*a, *b)).collect();\n    s.m.values().map(|v| u64::from(*v)).sum()\n}\n",
+        );
+        assert!(run(&f).is_empty(), "got {:?}", run(&f));
+    }
+
+    #[test]
+    fn for_over_reference_is_flagged() {
+        let f = det_file(
+            "fn f(live: &HashSet<u32>) {}\nfn g() {\n    let mut seen = HashSet::new();\n    for x in &seen {\n        use_(x);\n    }\n}\n",
+        );
+        assert_eq!(run(&f), vec!["D001:4"]);
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_and_fires() {
+        let f = det_file(
+            "struct S { m: HashMap<u32, u32> }\nfn f(s: &S) -> Option<u32> {\n    // lint: allow(unordered-iter): min_by key is a total order\n    s.m.iter().min_by(|a, b| a.1.cmp(b.1)).map(|(k, _)| *k)\n}\n",
+        );
+        let config = LintConfig::workspace();
+        let mut ctx = RuleCtx::new(&config);
+        Determinism.check(&f, &mut ctx);
+        assert!(ctx.diagnostics.is_empty());
+        assert!(ctx.fired_allows.contains(&("crates/core/src/replayer.rs".to_string(), 3)));
+    }
+
+    #[test]
+    fn ambient_state_everywhere_but_exempt_trees() {
+        let f =
+            file_of("fn f() {\n    let t = Instant::now();\n    let h = RandomState::new();\n}\n");
+        assert_eq!(run(&f), vec!["D002:2", "D002:3"]);
+        let bench = LintFile::new(SourceFile::from_text(
+            PathBuf::from("b.rs"),
+            "crates/bench/src/b.rs".into(),
+            "fn f() { let t = Instant::now(); }\n".into(),
+        ));
+        assert!(run(&bench).is_empty());
+    }
+
+    #[test]
+    fn test_blocks_are_skipped() {
+        let f = det_file(
+            "struct S { m: HashMap<u32, u32> }\n#[cfg(test)]\nmod tests {\n    fn t(s: &S) {\n        for k in s.m.keys() { use_(k); }\n        let t = Instant::now();\n    }\n}\n",
+        );
+        assert!(run(&f).is_empty());
+    }
+}

@@ -1,0 +1,426 @@
+//! The rule engine: a lexed view of one file, annotation handling, and
+//! the context rules report into.
+//!
+//! # Annotations
+//!
+//! Two comment forms adjust the rules:
+//!
+//! * `// lint: allow(<rule>): <reason>` — suppresses the named rule
+//!   (code or slug) on the annotation's own line, or — when the comment
+//!   stands alone — on the statement that starts on the next code line.
+//!   The annotation audit (A-rules) demands a non-empty reason and that
+//!   every allow actually suppresses something.
+//! * `// snapshot: derived` — marks a struct field as rebuilt rather
+//!   than serialized, exempting it from snapshot-coverage (S001).
+//!
+//! Statement extent is computed from token depth (parens, brackets and
+//! braces all nest), so an annotation above a multi-line statement
+//! covers the whole statement header.
+
+pub mod annotations;
+pub mod determinism;
+pub mod panics;
+pub mod snapshot;
+
+use crate::config::LintConfig;
+use crate::diag::{rule_by_name, Diagnostic, RuleId};
+use crate::lexer::{lex, Tok, TokKind};
+use crate::source::SourceFile;
+use std::collections::HashSet;
+
+/// A `lint: allow(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule name as written (code or slug; may be unknown).
+    pub rule_name: String,
+    pub reason: String,
+    /// The annotation's own line.
+    pub line: usize,
+    pub col: usize,
+    /// Inclusive line range the allow suppresses.
+    pub covers: (usize, usize),
+}
+
+/// A `// snapshot: derived` field mark.
+#[derive(Debug, Clone)]
+pub struct DerivedMark {
+    pub line: usize,
+    /// Inclusive line range (the field's declaration line).
+    pub covers: (usize, usize),
+}
+
+/// One file, lexed and indexed for the rules.
+#[derive(Debug)]
+pub struct LintFile {
+    pub source: SourceFile,
+    /// Code tokens only (comments stripped).
+    pub code: Vec<Tok>,
+    /// Nesting depth each code token resides at: tokens inside `()`,
+    /// `[]` or `{}` are one deeper than the brackets themselves.
+    pub depth: Vec<u32>,
+    /// Per line (index `line - 1`): inside a `#[test]` / `#[cfg(test)]`
+    /// item.
+    test_lines: Vec<bool>,
+    /// Whole file is test/bench/example context (path-derived).
+    pub test_context: bool,
+    pub allows: Vec<Allow>,
+    pub deriveds: Vec<DerivedMark>,
+}
+
+impl LintFile {
+    /// Lexes and indexes `source`.
+    pub fn new(source: SourceFile) -> Self {
+        let toks = lex(&source.text);
+        let code: Vec<Tok> = toks.iter().copied().filter(|t| !t.is_comment()).collect();
+        let mut depth = Vec::with_capacity(code.len());
+        let mut d: u32 = 0;
+        for t in &code {
+            match t.kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                    depth.push(d);
+                    d += 1;
+                }
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                    d = d.saturating_sub(1);
+                    depth.push(d);
+                }
+                _ => depth.push(d),
+            }
+        }
+        let test_context = LintConfig::is_test_context(&source.rel);
+        let mut file = Self {
+            test_lines: vec![false; source.line_count() + 1],
+            source,
+            code,
+            depth,
+            test_context,
+            allows: Vec::new(),
+            deriveds: Vec::new(),
+        };
+        file.mark_test_items();
+        file.collect_annotations(&toks);
+        file
+    }
+
+    /// The text of code token `i`.
+    pub fn text(&self, i: usize) -> &str {
+        self.code[i].text(&self.source.text)
+    }
+
+    /// Whether code token `i` is the identifier `s`.
+    pub fn ident_is(&self, i: usize, s: &str) -> bool {
+        self.code[i].kind == TokKind::Ident && self.text(i) == s
+    }
+
+    /// Whether code token `i` is the punctuation `c`.
+    pub fn punct_is(&self, i: usize, c: char) -> bool {
+        self.code[i].kind == TokKind::Punct(c)
+    }
+
+    /// Whether 1-based `line` sits inside a test-gated item.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+
+    /// Index of the first token of the statement containing code token
+    /// `i`: walks back to the nearest `;`, `{` or `}` at or below the
+    /// running minimum depth (an enclosing statement boundary).
+    pub fn stmt_start(&self, i: usize) -> usize {
+        let mut min_d = self.depth[i];
+        for j in (0..i).rev() {
+            min_d = min_d.min(self.depth[j]);
+            if self.depth[j] <= min_d
+                && matches!(
+                    self.code[j].kind,
+                    TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}')
+                )
+            {
+                return j + 1;
+            }
+        }
+        0
+    }
+
+    /// Index of the token ending the statement that starts at code token
+    /// `s`: the first `;`, `,` (struct fields, match arms) or
+    /// block-opening `{` at the statement's depth, or the token before
+    /// the enclosing block closes.
+    pub fn stmt_end(&self, s: usize) -> usize {
+        let d0 = self.depth.get(s).copied().unwrap_or(0);
+        for j in s..self.code.len() {
+            if self.depth[j] < d0 {
+                return j;
+            }
+            if self.depth[j] == d0
+                && matches!(
+                    self.code[j].kind,
+                    TokKind::Punct(';') | TokKind::Punct(',') | TokKind::Punct('{')
+                )
+            {
+                return j;
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Index of the code token matching the `{` at code index `open`.
+    pub fn matching_brace(&self, open: usize) -> usize {
+        let d = self.depth[open];
+        for j in open + 1..self.code.len() {
+            if self.punct_is(j, '}') && self.depth[j] == d {
+                return j;
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Marks the line extents of items behind `#[test]`-ish attributes
+    /// (`#[test]`, `#[cfg(test)]`, `#[bench]`).
+    fn mark_test_items(&mut self) {
+        let mut i = 0;
+        while i < self.code.len() {
+            if !self.punct_is(i, '#') || i + 1 >= self.code.len() || !self.punct_is(i + 1, '[') {
+                i += 1;
+                continue;
+            }
+            let close = self.matching_bracket(i + 1);
+            let is_test = (i + 2..close).any(|k| {
+                self.code[k].kind == TokKind::Ident && matches!(self.text(k), "test" | "bench")
+            });
+            if !is_test {
+                i = close + 1;
+                continue;
+            }
+            // Skip any further attributes, then find the item's extent:
+            // its first `;` at item depth (extern/use item) or its body
+            // braces.
+            let mut j = close + 1;
+            while j + 1 < self.code.len() && self.punct_is(j, '#') && self.punct_is(j + 1, '[') {
+                j = self.matching_bracket(j + 1) + 1;
+            }
+            if j >= self.code.len() {
+                break;
+            }
+            let d_item = self.depth[j];
+            let mut end = j;
+            for k in j..self.code.len() {
+                if self.depth[k] < d_item {
+                    end = k;
+                    break;
+                }
+                if self.depth[k] == d_item && self.punct_is(k, ';') {
+                    end = k;
+                    break;
+                }
+                if self.depth[k] == d_item && self.punct_is(k, '{') {
+                    end = self.matching_brace(k);
+                    break;
+                }
+                end = k;
+            }
+            let (from, to) = (self.code[i].line, self.code[end].line);
+            for line in from..=to.min(self.test_lines.len() - 1) {
+                self.test_lines[line] = true;
+            }
+            i = end + 1;
+        }
+    }
+
+    /// Index of the code token matching the `[` at code index `open`.
+    fn matching_bracket(&self, open: usize) -> usize {
+        let d = self.depth[open];
+        for j in open + 1..self.code.len() {
+            if self.punct_is(j, ']') && self.depth[j] == d {
+                return j;
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Extracts `lint: allow` / `snapshot: derived` annotations from the
+    /// comment tokens and computes their coverage.
+    fn collect_annotations(&mut self, toks: &[Tok]) {
+        for t in toks {
+            if t.kind != TokKind::LineComment {
+                continue;
+            }
+            let body = t.text(&self.source.text).trim_start_matches('/').trim();
+            let covers = self.annotation_coverage(t);
+            if let Some(rest) = body.strip_prefix("lint:") {
+                let rest = rest.trim();
+                let (rule_name, reason) = parse_allow(rest);
+                self.allows.push(Allow { rule_name, reason, line: t.line, col: t.col, covers });
+            } else if let Some(rest) = body.strip_prefix("snapshot:") {
+                if rest.trim().trim_end_matches(|c: char| !c.is_alphanumeric()) == "derived"
+                    || rest.trim().starts_with("derived")
+                {
+                    self.deriveds.push(DerivedMark { line: t.line, covers });
+                }
+            }
+        }
+    }
+
+    /// A trailing annotation covers its own line; a stand-alone comment
+    /// line covers the statement starting at the next code line.
+    fn annotation_coverage(&self, ann: &Tok) -> (usize, usize) {
+        let trailing = self.code.iter().any(|c| c.line == ann.line && c.start < ann.start);
+        if trailing {
+            return (ann.line, ann.line);
+        }
+        // First code token past the annotation's line.
+        let Some(s) = self.code.iter().position(|c| c.line > ann.line) else {
+            return (ann.line, ann.line);
+        };
+        let end = self.stmt_end(s);
+        (ann.line, self.code[end].line.max(self.code[s].line))
+    }
+}
+
+/// Parses `allow(<rule>): <reason>` (the `lint:` prefix already
+/// stripped). Returns the rule name (empty when malformed) and the
+/// reason with any trailing golden-test `//~` marker removed.
+fn parse_allow(rest: &str) -> (String, String) {
+    let Some(open) = rest.find("allow(") else {
+        return (String::new(), String::new());
+    };
+    let after = &rest[open + "allow(".len()..];
+    let Some(close) = after.find(')') else {
+        return (String::new(), String::new());
+    };
+    let rule_name = after[..close].trim().to_string();
+    let mut reason = after[close + 1..].trim_start_matches(':').trim().to_string();
+    if let Some(marker) = reason.find("//~") {
+        reason.truncate(marker);
+    }
+    (rule_name, reason.trim().to_string())
+}
+
+/// Shared reporting context for one lint run.
+#[derive(Debug)]
+pub struct RuleCtx<'a> {
+    pub config: &'a LintConfig,
+    pub diagnostics: Vec<Diagnostic>,
+    /// `(file, allow line)` pairs that suppressed at least one finding.
+    pub fired_allows: HashSet<(String, usize)>,
+    /// `(file, mark line)` pairs that exempted a genuinely missing field.
+    pub fired_deriveds: HashSet<(String, usize)>,
+}
+
+impl<'a> RuleCtx<'a> {
+    pub fn new(config: &'a LintConfig) -> Self {
+        Self {
+            config,
+            diagnostics: Vec::new(),
+            fired_allows: HashSet::new(),
+            fired_deriveds: HashSet::new(),
+        }
+    }
+
+    /// Reports a finding unless a matching `lint: allow` covers it; a
+    /// matching allow is marked as fired instead.
+    pub fn report(
+        &mut self,
+        file: &LintFile,
+        rule: RuleId,
+        line: usize,
+        col: usize,
+        message: String,
+        hint: String,
+    ) {
+        for a in &file.allows {
+            let named = rule_by_name(&a.rule_name);
+            if named == Some(rule) && a.covers.0 <= line && line <= a.covers.1 {
+                self.fired_allows.insert((file.source.rel.clone(), a.line));
+                return;
+            }
+        }
+        self.report_unsuppressable(file, rule, line, col, message, hint);
+    }
+
+    /// Reports without consulting allows (the A-rules audit the
+    /// annotations themselves, so they must not be silenceable).
+    pub fn report_unsuppressable(
+        &mut self,
+        file: &LintFile,
+        rule: RuleId,
+        line: usize,
+        col: usize,
+        message: String,
+        hint: String,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            rule,
+            file: file.source.rel.clone(),
+            line,
+            col,
+            message,
+            hint,
+        });
+    }
+}
+
+/// A rule family.
+pub trait Rule {
+    fn id(&self) -> RuleId;
+    fn check(&self, file: &LintFile, ctx: &mut RuleCtx<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    pub(crate) fn file_of(src: &str) -> LintFile {
+        LintFile::new(SourceFile::from_text(
+            PathBuf::from("mem.rs"),
+            "crates/x/src/mem.rs".into(),
+            src.into(),
+        ))
+    }
+
+    #[test]
+    fn statement_extent_spans_multiline_headers() {
+        let f = file_of("fn f() {\n    let v = self\n        .map\n        .iter()\n        .collect();\n    other();\n}\n");
+        // token for `let`
+        let let_idx = (0..f.code.len()).position(|i| f.ident_is(i, "let")).unwrap();
+        let end = f.stmt_end(let_idx);
+        assert!(f.punct_is(end, ';'));
+        assert_eq!(f.code[end].line, 5);
+    }
+
+    #[test]
+    fn cfg_test_items_marked() {
+        let f = file_of(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n",
+        );
+        assert!(!f.in_test(1));
+        assert!(f.in_test(2));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn allow_coverage_trailing_and_standalone() {
+        let f = file_of(
+            "fn f() {\n    x.keys(); // lint: allow(unordered-iter): tie-broken\n    // lint: allow(hot-path-panic): guarded above\n    y\n        .unwrap();\n}\n",
+        );
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].covers, (2, 2));
+        assert_eq!(f.allows[0].reason, "tie-broken");
+        assert_eq!(f.allows[1].covers, (3, 5), "stand-alone allow spans the next statement");
+    }
+
+    #[test]
+    fn derived_marks_cover_their_field() {
+        let f = file_of("struct S {\n    a: u32,\n    // snapshot: derived\n    b: u32,\n    c: u32, // snapshot: derived\n}\n");
+        assert_eq!(f.deriveds.len(), 2);
+        assert_eq!(f.deriveds[0].covers, (3, 4), "mark must not leak past the field's comma");
+        assert_eq!(f.deriveds[1].covers, (5, 5));
+    }
+
+    #[test]
+    fn allow_reason_strips_golden_markers() {
+        let f = file_of("// lint: allow(ambient-state): //~ A001\nlet x = 1;\n");
+        assert_eq!(f.allows[0].reason, "");
+    }
+}

@@ -1,0 +1,114 @@
+//! P001 `hot-path-panic`: `unwrap()`, `expect(..)` and `panic!(..)` in
+//! the recognize/replay hot path.
+//!
+//! The hot path runs once per traced task event; a panic there aborts
+//! every tenant sharing the engine mid-stream. Invariants must surface
+//! as typed errors (recoverable) or `debug_assert!` (checked in tests,
+//! free in release), never as aborts. Sites whose infallibility is a
+//! proven structural invariant can carry
+//! `// lint: allow(hot-path-panic): <reason>`.
+
+use super::{LintFile, Rule, RuleCtx};
+use crate::diag::{RuleId, RULES};
+use crate::lexer::TokKind;
+
+const P001: RuleId = RULES[2];
+
+pub struct Panics;
+
+impl Rule for Panics {
+    fn id(&self) -> RuleId {
+        P001
+    }
+
+    fn check(&self, file: &LintFile, ctx: &mut RuleCtx<'_>) {
+        if file.test_context || !ctx.config.is_hot_panic_module(&file.source.rel) {
+            return;
+        }
+        for i in 0..file.code.len() {
+            if file.code[i].kind != TokKind::Ident || file.in_test(file.code[i].line) {
+                continue;
+            }
+            let t = file.text(i);
+            let message = match t {
+                // `.unwrap()` / `.expect(..)` method calls only; idents
+                // like `unwrap_or` are different tokens and never match.
+                "unwrap" | "expect"
+                    if i >= 1
+                        && file.punct_is(i - 1, '.')
+                        && i + 1 < file.code.len()
+                        && file.punct_is(i + 1, '(') =>
+                {
+                    format!("`.{t}(..)` can abort the recognize/replay hot path")
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if i + 1 < file.code.len() && file.punct_is(i + 1, '!') =>
+                {
+                    format!("`{t}!` can abort the recognize/replay hot path")
+                }
+                _ => continue,
+            };
+            let tok = file.code[i];
+            ctx.report(
+                file,
+                P001,
+                tok.line,
+                tok.col,
+                message,
+                "return a typed error, or guard with `debug_assert!` plus a graceful \
+                 fallback; annotate `// lint: allow(hot-path-panic): <reason>` only for \
+                 proven structural invariants"
+                    .into(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn hot_file(src: &str) -> LintFile {
+        LintFile::new(SourceFile::from_text(
+            PathBuf::from("engine.rs"),
+            "crates/core/src/engine.rs".into(),
+            src.into(),
+        ))
+    }
+
+    fn run(file: &LintFile) -> Vec<usize> {
+        let config = LintConfig::workspace();
+        let mut ctx = RuleCtx::new(&config);
+        Panics.check(file, &mut ctx);
+        ctx.diagnostics.iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let f = hot_file(
+            "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"present\");\n    if a > b { panic!(\"no\"); }\n    a\n}\n",
+        );
+        assert_eq!(run(&f), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn unwrap_or_and_tests_are_clean() {
+        let f = hot_file(
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+        );
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_modules_are_clean() {
+        let f = LintFile::new(SourceFile::from_text(
+            PathBuf::from("sais.rs"),
+            "crates/substrings/src/sais.rs".into(),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".into(),
+        ));
+        assert!(run(&f).is_empty());
+    }
+}

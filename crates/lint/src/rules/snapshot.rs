@@ -1,0 +1,422 @@
+//! S001 `snapshot-coverage`: every named field of a snapshot-capable
+//! struct must flow through *both* halves of its snapshot codec.
+//!
+//! A struct is snapshot-capable when the same file implements one of
+//! the recognized codec pairs for it:
+//!
+//! * inherent `write_snapshot` / `restore_snapshot`
+//! * inherent `to_snapshot` / `from_snapshot`
+//! * `fn snapshot` in `impl …Snapshot for T` + `fn restore` in
+//!   `impl …Restore for T`
+//!
+//! The check is textual: the field's identifier must appear somewhere
+//! in each half's body. That is deliberately loose — a mention counts
+//! even through a helper call — because the failure mode this rule
+//! exists for is the silent one: a field *added* to the struct and
+//! mentioned in neither half (or only the write half), which replays
+//! fine until a restore resurrects a stale default. Fields rebuilt
+//! after restore are exempted with `// snapshot: derived`.
+
+use super::{LintFile, Rule, RuleCtx};
+use crate::diag::{RuleId, RULES};
+use crate::lexer::TokKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+const S001: RuleId = RULES[3];
+
+/// A named-field struct definition.
+struct StructDef {
+    name: String,
+    /// `(field name, line, col)` in declaration order.
+    fields: Vec<(String, usize, usize)>,
+}
+
+/// One method of interest inside an `impl` block.
+struct MethodSite {
+    type_name: String,
+    /// Last segment of the implemented trait's path, if any.
+    trait_name: Option<String>,
+    method: String,
+    /// Code-token extent of the method body (inclusive).
+    body: (usize, usize),
+}
+
+pub struct SnapshotCoverage;
+
+impl Rule for SnapshotCoverage {
+    fn id(&self) -> RuleId {
+        S001
+    }
+
+    fn check(&self, file: &LintFile, ctx: &mut RuleCtx<'_>) {
+        if file.test_context {
+            return;
+        }
+        let structs = collect_structs(file);
+        let methods = collect_methods(file);
+        let mut by_type: BTreeMap<&str, Vec<&MethodSite>> = BTreeMap::new();
+        for m in &methods {
+            by_type.entry(&m.type_name).or_default().push(m);
+        }
+        for s in &structs {
+            let Some(ms) = by_type.get(s.name.as_str()) else { continue };
+            let Some((write, restore, pair)) = codec_pair(ms) else { continue };
+            let write_idents = body_idents(file, write.body);
+            let restore_idents = body_idents(file, restore.body);
+            for (field, line, col) in &s.fields {
+                if file.in_test(*line) {
+                    continue;
+                }
+                let in_w = write_idents.contains(field.as_str());
+                let in_r = restore_idents.contains(field.as_str());
+                if in_w && in_r {
+                    continue;
+                }
+                if let Some(mark) =
+                    file.deriveds.iter().find(|d| d.covers.0 <= *line && *line <= d.covers.1)
+                {
+                    ctx.fired_deriveds.insert((file.source.rel.clone(), mark.line));
+                    continue;
+                }
+                let message = match (in_w, in_r) {
+                    (true, false) => format!(
+                        "field `{field}` of `{}` is written by `{}` but never touched by `{}`",
+                        s.name, write.method, restore.method
+                    ),
+                    (false, true) => format!(
+                        "field `{field}` of `{}` is restored by `{}` but never written by `{}`",
+                        s.name, restore.method, write.method
+                    ),
+                    _ => format!(
+                        "field `{field}` of `{}` is not covered by its `{pair}` codec",
+                        s.name
+                    ),
+                };
+                ctx.report(
+                    file,
+                    S001,
+                    *line,
+                    *col,
+                    message,
+                    "serialize the field on both sides (and bump the snapshot FORMAT_VERSION \
+                     if the byte layout changes), or mark it `// snapshot: derived` if it is \
+                     rebuilt after restore"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+/// Picks the codec pair implemented for one type, if complete.
+fn codec_pair<'a>(ms: &[&'a MethodSite]) -> Option<(&'a MethodSite, &'a MethodSite, &'static str)> {
+    let find = |name: &str, want_trait: Option<&str>| {
+        ms.iter().copied().find(|m| {
+            m.method == name
+                && match want_trait {
+                    Some(t) => m.trait_name.as_deref().is_some_and(|tn| tn.contains(t)),
+                    None => true,
+                }
+        })
+    };
+    if let (Some(w), Some(r)) = (find("write_snapshot", None), find("restore_snapshot", None)) {
+        return Some((w, r, "write_snapshot/restore_snapshot"));
+    }
+    if let (Some(w), Some(r)) = (find("to_snapshot", None), find("from_snapshot", None)) {
+        return Some((w, r, "to_snapshot/from_snapshot"));
+    }
+    if let (Some(w), Some(r)) =
+        (find("snapshot", Some("Snapshot")), find("restore", Some("Restore")))
+    {
+        return Some((w, r, "Snapshot/Restore"));
+    }
+    None
+}
+
+/// All identifier texts within a code-token extent.
+fn body_idents(file: &LintFile, body: (usize, usize)) -> BTreeSet<&str> {
+    (body.0..=body.1.min(file.code.len().saturating_sub(1)))
+        .filter(|&i| file.code[i].kind == TokKind::Ident)
+        .map(|i| file.text(i))
+        .collect()
+}
+
+/// Parses every named-field struct in the file.
+fn collect_structs(file: &LintFile) -> Vec<StructDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < file.code.len() {
+        if !file.ident_is(i, "struct")
+            || i + 1 >= file.code.len()
+            || file.code[i + 1].kind != TokKind::Ident
+        {
+            i += 1;
+            continue;
+        }
+        let name = file.text(i + 1).to_string();
+        let d = file.depth[i];
+        // Find the body `{` at the struct's depth; `;` (unit) or `(`
+        // (tuple) first means there are no named fields to check.
+        let mut open = None;
+        for j in i + 2..file.code.len() {
+            if file.depth[j] < d {
+                break;
+            }
+            if file.depth[j] == d {
+                match file.code[j].kind {
+                    TokKind::Punct('{') => {
+                        open = Some(j);
+                        break;
+                    }
+                    TokKind::Punct(';') | TokKind::Punct('(') => break,
+                    _ => {}
+                }
+            }
+        }
+        let Some(open) = open else {
+            i += 2;
+            continue;
+        };
+        let close = file.matching_brace(open);
+        let mut fields = Vec::new();
+        for j in open + 1..close {
+            // A field is `ident :` (single colon) directly inside the
+            // struct braces, preceded by `{`, `,`, an attribute `]`,
+            // `pub`, or a `pub(crate)` closing paren.
+            if file.depth[j] != file.depth[open] + 1
+                || file.code[j].kind != TokKind::Ident
+                || j + 1 >= file.code.len()
+                || !file.punct_is(j + 1, ':')
+                || (j + 2 < file.code.len() && file.punct_is(j + 2, ':'))
+            {
+                continue;
+            }
+            let prev_ok = matches!(
+                file.code[j - 1].kind,
+                TokKind::Punct('{')
+                    | TokKind::Punct(',')
+                    | TokKind::Punct(']')
+                    | TokKind::Punct(')')
+            ) || file.ident_is(j - 1, "pub");
+            if prev_ok {
+                fields.push((file.text(j).to_string(), file.code[j].line, file.code[j].col));
+            }
+        }
+        out.push(StructDef { name, fields });
+        i = close + 1;
+    }
+    out
+}
+
+/// Parses every `impl` block and records its codec-relevant methods.
+fn collect_methods(file: &LintFile) -> Vec<MethodSite> {
+    const WANTED: &[&str] = &[
+        "write_snapshot",
+        "restore_snapshot",
+        "to_snapshot",
+        "from_snapshot",
+        "snapshot",
+        "restore",
+    ];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < file.code.len() {
+        if !file.ident_is(i, "impl") || !item_position(file, i) {
+            i += 1;
+            continue;
+        }
+        let d = file.depth[i];
+        let mut j = i + 1;
+        // Skip `impl<...>` generics (angle brackets are plain puncts, so
+        // count them, treating `->` arrows as opaque).
+        if j < file.code.len() && file.punct_is(j, '<') {
+            let mut angle = 1usize;
+            j += 1;
+            while j < file.code.len() && angle > 0 {
+                if file.punct_is(j, '-') && j + 1 < file.code.len() && file.punct_is(j + 1, '>') {
+                    j += 2;
+                    continue;
+                }
+                if file.punct_is(j, '<') {
+                    angle += 1;
+                } else if file.punct_is(j, '>') {
+                    angle -= 1;
+                }
+                j += 1;
+            }
+        }
+        // First path: the trait (if a `for` follows) or the self type.
+        let (first, mut k) = read_path_last_ident(file, j);
+        let mut trait_name: Option<String> = None;
+        let mut type_name = first;
+        if k < file.code.len() && file.ident_is(k, "for") {
+            trait_name = type_name.take();
+            // Self type may be `&'a mut X` etc.
+            let mut t = k + 1;
+            while t < file.code.len()
+                && (file.punct_is(t, '&')
+                    || file.code[t].kind == TokKind::Lifetime
+                    || file.ident_is(t, "mut"))
+            {
+                t += 1;
+            }
+            let (second, k2) = read_path_last_ident(file, t);
+            type_name = second;
+            k = k2;
+        }
+        let Some(type_name) = type_name else {
+            i += 1;
+            continue;
+        };
+        // Body braces.
+        let mut open = None;
+        for b in k..file.code.len() {
+            if file.depth[b] < d {
+                break;
+            }
+            if file.depth[b] == d && file.punct_is(b, '{') {
+                open = Some(b);
+                break;
+            }
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let close = file.matching_brace(open);
+        let inner = file.depth[open] + 1;
+        let mut m = open + 1;
+        while m < close {
+            if file.depth[m] == inner
+                && file.ident_is(m, "fn")
+                && m + 1 < file.code.len()
+                && file.code[m + 1].kind == TokKind::Ident
+            {
+                let method = file.text(m + 1);
+                if WANTED.contains(&method) {
+                    // The method body is its first `{` at this depth.
+                    let mut body = None;
+                    for b in m + 2..close {
+                        if file.depth[b] == inner && file.punct_is(b, '{') {
+                            body = Some((b, file.matching_brace(b)));
+                            break;
+                        }
+                        if file.depth[b] == inner && file.punct_is(b, ';') {
+                            break;
+                        }
+                    }
+                    if let Some(body) = body {
+                        out.push(MethodSite {
+                            type_name: type_name.clone(),
+                            trait_name: trait_name.clone(),
+                            method: method.to_string(),
+                            body,
+                        });
+                        m = body.1 + 1;
+                        continue;
+                    }
+                }
+            }
+            m += 1;
+        }
+        i = close + 1;
+    }
+    out
+}
+
+/// Whether the `impl` at code index `i` starts an item (as opposed to
+/// `-> impl Trait` or `&impl Trait` type positions).
+fn item_position(file: &LintFile, i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    match file.code[i - 1].kind {
+        TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') | TokKind::Punct(']') => {
+            true
+        }
+        TokKind::Ident => matches!(file.text(i - 1), "pub" | "unsafe" | "default"),
+        _ => false,
+    }
+}
+
+/// Reads a `Seg :: Seg :: Last` path starting at `j`; returns the last
+/// segment and the index just past the path (generic arguments of the
+/// last segment are skipped).
+fn read_path_last_ident(file: &LintFile, mut j: usize) -> (Option<String>, usize) {
+    let mut last = None;
+    while j < file.code.len() && file.code[j].kind == TokKind::Ident {
+        last = Some(file.text(j).to_string());
+        j += 1;
+        if j + 1 < file.code.len() && file.punct_is(j, ':') && file.punct_is(j + 1, ':') {
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    // Skip `<...>` generic arguments.
+    if j < file.code.len() && file.punct_is(j, '<') {
+        let mut angle = 1usize;
+        j += 1;
+        while j < file.code.len() && angle > 0 {
+            if file.punct_is(j, '<') {
+                angle += 1;
+            } else if file.punct_is(j, '>') {
+                angle -= 1;
+            }
+            j += 1;
+        }
+    }
+    (last, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::rules::tests::file_of;
+
+    fn run(file: &LintFile) -> Vec<(usize, String)> {
+        let config = LintConfig::workspace();
+        let mut ctx = RuleCtx::new(&config);
+        SnapshotCoverage.check(file, &mut ctx);
+        ctx.diagnostics.iter().map(|d| (d.line, d.message.clone())).collect()
+    }
+
+    #[test]
+    fn dropped_field_is_caught() {
+        let f = file_of(
+            "struct Stats {\n    pub hits: u64,\n    pub misses: u64,\n}\nimpl Stats {\n    fn write_snapshot(&self, w: &mut Vec<u8>) {\n        put(w, self.hits);\n    }\n    fn restore_snapshot(r: &mut &[u8]) -> Self {\n        Self { hits: get(r), misses: 0 }\n    }\n}\n",
+        );
+        let got = run(&f);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 3);
+        assert!(got[0].1.contains("`misses`"));
+        assert!(got[0].1.contains("never written"));
+    }
+
+    #[test]
+    fn derived_mark_exempts() {
+        let f = file_of(
+            "struct Stats {\n    pub hits: u64,\n    // snapshot: derived\n    pub cache: u64,\n}\nimpl Stats {\n    fn write_snapshot(&self, w: &mut Vec<u8>) { put(w, self.hits); }\n    fn restore_snapshot(r: &mut &[u8]) -> Self { Self { hits: get(r), cache: 0 } }\n}\n",
+        );
+        // `cache` appears in restore but not write; the mark covers it.
+        let got = run(&f);
+        assert!(got.is_empty(), "got {got:?}");
+    }
+
+    #[test]
+    fn trait_pair_is_recognized() {
+        let f = file_of(
+            "struct T {\n    a: u32,\n    b: u32,\n}\nimpl codec::Snapshot for T {\n    fn snapshot(&self, w: &mut Vec<u8>) { put(w, self.a); }\n}\nimpl codec::Restore for T {\n    fn restore(&mut self, r: &mut &[u8]) { self.a = get(r); }\n}\n",
+        );
+        let got = run(&f);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].1.contains("`b`"));
+    }
+
+    #[test]
+    fn structs_without_codecs_are_ignored() {
+        let f = file_of("struct Free {\n    a: u32,\n}\nimpl Free {\n    fn new() -> Self { Self { a: 0 } }\n}\n");
+        assert!(run(&f).is_empty());
+    }
+}

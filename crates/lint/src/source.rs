@@ -1,0 +1,76 @@
+//! Source map: file contents plus the line table diagnostics and golden
+//! tests index into.
+
+use std::path::{Path, PathBuf};
+
+/// One loaded source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute (or as-given) path on disk.
+    pub path: PathBuf,
+    /// Path relative to the lint root, `/`-separated — what diagnostics
+    /// print and what scope patterns match against.
+    pub rel: String,
+    /// Complete file text.
+    pub text: String,
+    /// Byte offset of the start of each line (line 1 at index 0).
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Loads `path`, recording `rel` as its root-relative display path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying read error.
+    pub fn load(path: &Path, rel: String) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Self::from_text(path.to_path_buf(), rel, text))
+    }
+
+    /// Builds a file from in-memory text (used by unit tests).
+    pub fn from_text(path: PathBuf, rel: String, text: String) -> Self {
+        let mut line_starts = vec![0];
+        line_starts
+            .extend(text.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i + 1));
+        Self { path, rel, text, line_starts }
+    }
+
+    /// Number of lines (a trailing newline does not add an empty line).
+    pub fn line_count(&self) -> usize {
+        if self.line_starts.last().copied() == Some(self.text.len()) && self.text.ends_with('\n') {
+            self.line_starts.len() - 1
+        } else {
+            self.line_starts.len()
+        }
+    }
+
+    /// The text of 1-based line `n`, without its newline.
+    pub fn line_text(&self, n: usize) -> &str {
+        let start = self.line_starts.get(n - 1).copied().unwrap_or(self.text.len());
+        let end = self.line_starts.get(n).copied().unwrap_or(self.text.len());
+        self.text[start..end].trim_end_matches(['\n', '\r'])
+    }
+}
+
+/// Normalizes a path for scope matching and display: `/`-separated,
+/// no leading `./`.
+pub fn normalize_rel(path: &Path) -> String {
+    let s: String =
+        path.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/");
+    s.trim_start_matches("./").to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_table_round_trips() {
+        let f = SourceFile::from_text(PathBuf::from("x.rs"), "x.rs".into(), "ab\ncd\n\nef".into());
+        assert_eq!(f.line_count(), 4);
+        assert_eq!(f.line_text(1), "ab");
+        assert_eq!(f.line_text(3), "");
+        assert_eq!(f.line_text(4), "ef");
+    }
+}

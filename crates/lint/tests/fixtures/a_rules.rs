@@ -1,0 +1,30 @@
+//! Seeded A-rule violations: the annotation audit auditing itself. Not
+//! a compile target.
+
+use std::collections::HashMap;
+
+struct Table {
+    rows: HashMap<u32, u32>,
+}
+
+impl Table {
+    fn reasonless(&self) -> Vec<u32> {
+        // lint: allow(unordered-iter): //~ A001
+        self.rows.keys().copied().collect()
+    }
+
+    fn stale(&self) -> u32 {
+        // lint: allow(hot-path-panic): nothing below can panic //~ A002
+        self.rows.len() as u32
+    }
+
+    fn unknown(&self) -> u32 {
+        // lint: allow(no-such-rule): the rule name is a typo //~ A003
+        42
+    }
+
+    fn healthy(&self) -> Vec<(u32, u32)> {
+        // lint: allow(unordered-iter): the fixture demonstrates a healthy allow
+        self.rows.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}

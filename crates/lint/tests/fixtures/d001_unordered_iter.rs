@@ -1,0 +1,55 @@
+//! Seeded D001 violations: hash-order iteration in a (fixture-scoped)
+//! determinism-critical module. Trailing tilde markers name the line's
+//! expected finding; every unmarked line must stay clean.
+//!
+//! This file is reference material for the golden tests, not a compile
+//! target — nothing under `tests/fixtures/` is built.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Registry {
+    slots: HashMap<u32, String>,
+    live: HashSet<u32>,
+}
+
+impl Registry {
+    fn leak_collect_order(&self) -> Vec<u32> {
+        self.slots.keys().copied().collect() //~ D001
+    }
+
+    fn leak_for_loop(&self) {
+        for id in &self.live { //~ D001
+            record(*id);
+        }
+    }
+
+    fn leak_drain(&mut self) -> Vec<(u32, String)> {
+        self.slots.drain().collect() //~ D001
+    }
+
+    fn leak_fresh_local(&self) {
+        let scratch = HashMap::with_capacity(4);
+        for (k, v) in scratch.iter() { //~ D001
+            record_pair(k, v);
+        }
+    }
+
+    fn clean_sorted(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.slots.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn clean_btree(&self) -> BTreeMap<u32, String> {
+        self.slots.iter().map(|(k, v)| (*k, v.clone())).collect::<BTreeMap<_, _>>()
+    }
+
+    fn clean_commutative(&self) -> usize {
+        self.live.iter().count()
+    }
+
+    fn allowed(&self) -> Option<u32> {
+        // lint: allow(unordered-iter): the fixture demonstrates a fired allow
+        self.live.iter().copied().min_by(|a, b| a.cmp(b))
+    }
+}

@@ -1,0 +1,34 @@
+//! Seeded D002 violations: ambient nondeterminism sources that must
+//! never feed traced logic. Not a compile target.
+
+use std::collections::hash_map::RandomState;
+use std::thread;
+use std::time::{Instant, SystemTime};
+
+fn stamp_with_wall_clock() -> (Instant, SystemTime) {
+    let mono = Instant::now(); //~ D002
+    let wall = SystemTime::now(); //~ D002
+    (mono, wall)
+}
+
+fn seed_private_table() -> RandomState {
+    RandomState::new() //~ D002
+}
+
+fn tag_by_scheduler() -> String {
+    format!("{:?}", thread::current().id()) //~ D002
+}
+
+fn clean_logical_clock(now: u64) -> u64 {
+    now + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_look_at_the_clock() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,48 @@
+//! Seeded P001 violations: aborts on the (fixture-scoped) recognize/
+//! replay hot path. Not a compile target.
+
+fn pop_decided(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap() //~ P001
+}
+
+fn front_task(queue: &[u64]) -> u64 {
+    *queue.first().expect("queue is non-empty") //~ P001
+}
+
+fn reject(flag: bool) {
+    if flag {
+        panic!("invariant broken"); //~ P001
+    }
+}
+
+fn exhaustive(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!("kinds above zero are filtered at ingest"), //~ P001
+    }
+}
+
+fn clean_fallback(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap_or(0)
+}
+
+fn clean_guarded(queue: &mut Vec<u64>) -> u64 {
+    let Some(head) = queue.pop() else {
+        debug_assert!(false, "callers never hand over an empty queue");
+        return 0;
+    };
+    head
+}
+
+fn allowed(queue: &mut Vec<u64>) -> u64 {
+    // lint: allow(hot-path-panic): the fixture demonstrates a fired allow
+    queue.pop().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let _ = Some(1).unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! Seeded S001 violation: a stats struct mirroring the engine's
+//! `ReplayerStats`, with one field deliberately dropped from both codec
+//! halves — the silent snapshot rot this rule exists to catch. Not a
+//! compile target.
+
+#[derive(Default)]
+pub struct MirrorStats {
+    pub forwarded_untraced: u64,
+    pub forwarded_traced: u64,
+    pub traces_issued: u64, //~ S001
+    // snapshot: derived — recomputed by the owner after restore
+    pub pending_tasks: u64,
+}
+
+impl MirrorStats {
+    pub fn write_snapshot(&self, out: &mut Vec<u64>) {
+        out.push(self.forwarded_untraced);
+        out.push(self.forwarded_traced);
+        // `traces_issued` forgotten here and below: S001 must flag it.
+    }
+
+    pub fn restore_snapshot(words: &[u64]) -> Self {
+        let mut stats = Self::default();
+        stats.forwarded_untraced = words[0];
+        stats.forwarded_traced = words[1];
+        stats
+    }
+}
+
+pub struct CleanCounter {
+    pub ticks: u64,
+}
+
+impl CleanCounter {
+    pub fn write_snapshot(&self, out: &mut Vec<u64>) {
+        out.push(self.ticks);
+    }
+
+    pub fn restore_snapshot(words: &[u64]) -> Self {
+        Self { ticks: words[0] }
+    }
+}

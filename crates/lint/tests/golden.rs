@@ -1,0 +1,89 @@
+//! Golden diagnostics over the seeded-violation fixture corpus: every
+//! rule fires exactly where a `//~ CODE` marker says it should, and
+//! nowhere else.
+
+use apophenia_lint::config::{LintConfig, FIXTURE_DIR};
+use apophenia_lint::driver::{lint_paths, workspace_root};
+use std::collections::BTreeSet;
+
+type Finding = (String, usize, String);
+
+/// Expected findings parsed from the `//~ CODE [CODE…]` markers in the
+/// fixture sources.
+fn seeded_expectations() -> BTreeSet<Finding> {
+    let dir = workspace_root().join(FIXTURE_DIR);
+    let mut expected = BTreeSet::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixture dir exists")
+        .map(|e| e.expect("fixture entry").path())
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "fixture corpus is missing");
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let name = path.file_name().and_then(|n| n.to_str()).expect("utf-8 name");
+        let rel = format!("{FIXTURE_DIR}/{name}");
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        for (i, line) in text.lines().enumerate() {
+            let Some(tail) = line.split("//~").nth(1) else { continue };
+            for code in tail.split_whitespace() {
+                expected.insert((rel.clone(), i + 1, code.to_string()));
+            }
+        }
+    }
+    expected
+}
+
+#[test]
+fn fixtures_fire_exactly_where_seeded() {
+    let root = workspace_root();
+    let run = lint_paths(&root, &[root.join(FIXTURE_DIR)], &LintConfig::workspace())
+        .expect("fixture corpus lints");
+    let got: BTreeSet<Finding> =
+        run.diagnostics.iter().map(|d| (d.file.clone(), d.line, d.rule.code.to_string())).collect();
+    assert_eq!(
+        got.len(),
+        run.diagnostics.len(),
+        "duplicate diagnostics on one line: {:#?}",
+        run.diagnostics
+    );
+    let expected = seeded_expectations();
+    let missing: Vec<_> = expected.difference(&got).collect();
+    let surprise: Vec<_> = got.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && surprise.is_empty(),
+        "seeded-but-silent: {missing:#?}\nfired-but-unseeded: {surprise:#?}"
+    );
+}
+
+#[test]
+fn every_shipped_rule_is_demonstrated() {
+    let fired: BTreeSet<String> =
+        seeded_expectations().into_iter().map(|(_, _, code)| code).collect();
+    for rule in apophenia_lint::diag::RULES {
+        assert!(
+            fired.contains(rule.code),
+            "rule {} [{}] has no fixture demonstrating it",
+            rule.code,
+            rule.slug
+        );
+    }
+}
+
+#[test]
+fn diagnostics_carry_position_and_hint() {
+    let root = workspace_root();
+    let run = lint_paths(&root, &[root.join(FIXTURE_DIR)], &LintConfig::workspace())
+        .expect("fixture corpus lints");
+    for d in &run.diagnostics {
+        let rendered = d.to_string();
+        assert!(
+            rendered.starts_with(&format!("{}:{}:{}: {}[", d.file, d.line, d.col, d.rule.code)),
+            "malformed diagnostic header: {rendered}"
+        );
+        assert!(rendered.contains("help: "), "diagnostic without a fix hint: {rendered}");
+        assert!(d.col >= 1, "columns are 1-based");
+    }
+}

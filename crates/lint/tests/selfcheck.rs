@@ -1,0 +1,44 @@
+//! Self-check: the real workspace must hold its own determinism
+//! contract — `apophenia-lint --deny` clean — and the CLI's exit codes
+//! must distinguish clean from dirty trees.
+
+use apophenia_lint::config::{LintConfig, FIXTURE_DIR};
+use apophenia_lint::driver::{lint_workspace, workspace_root};
+use std::process::Command;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let run = lint_workspace(&root, &LintConfig::workspace()).expect("workspace walk");
+    assert!(run.files_scanned > 50, "walk found too few files — wrong root? ({})", root.display());
+    let rendered: Vec<String> = run.diagnostics.iter().map(ToString::to_string).collect();
+    assert!(
+        run.diagnostics.is_empty(),
+        "the workspace must stay lint-clean; fix or annotate:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn deny_exits_zero_on_workspace_and_nonzero_on_fixtures() {
+    let bin = env!("CARGO_BIN_EXE_apophenia-lint");
+    let root = workspace_root();
+    let clean = Command::new(bin)
+        .arg("--deny")
+        .current_dir(&root)
+        .output()
+        .expect("run apophenia-lint --deny");
+    assert!(
+        clean.status.success(),
+        "--deny must exit 0 on the workspace:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+    let dirty = Command::new(bin)
+        .args(["--deny", FIXTURE_DIR])
+        .current_dir(&root)
+        .output()
+        .expect("run apophenia-lint --deny on fixtures");
+    assert!(!dirty.status.success(), "--deny must exit non-zero on the seeded fixture corpus");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(stdout.contains("finding(s)"), "summary line missing:\n{stdout}");
+}

@@ -133,13 +133,14 @@ pub struct Trie<T> {
     /// Tombstoned candidate slots available for reuse.
     free_candidates: Vec<u32>,
     /// Candidates currently stored (lengths slots with a non-zero length).
+    // snapshot: derived — recounted from `lengths` on restore
     live_candidates: usize,
     /// Dense occupancy counters over the root's outgoing tokens, bucketed
     /// by FNV-1a hash: a zero bucket proves no candidate starts with that
     /// token, letting [`Self::can_start_with`] answer the common negative
     /// without touching the root hash map. Rebuilt on restore, never
     /// serialized.
-    root_map: Box<[u32; ROOT_BUCKETS]>,
+    root_map: Box<[u32; ROOT_BUCKETS]>, // snapshot: derived
 }
 
 impl<T: Token> Trie<T> {
@@ -284,14 +285,16 @@ impl<T: Token> Trie<T> {
         // candidate may have been the longest through these nodes).
         for i in (0..=last_live).rev() {
             let n = path[i];
-            let children: Vec<NodeId> =
-                self.nodes[n.0 as usize].children.values().copied().collect();
-            let mut max =
-                self.nodes[n.0 as usize].terminal.map_or(0, |c| self.lengths[c.0 as usize]);
-            for child in children {
-                max = max.max(self.nodes[child.0 as usize].subtree_max);
-            }
-            self.nodes[n.0 as usize].subtree_max = max;
+            let node = &self.nodes[n.0 as usize];
+            let term = node.terminal.map_or(0, |c| self.lengths[c.0 as usize]);
+            let best = node
+                .children
+                .values()
+                .map(|child| self.nodes[child.0 as usize].subtree_max)
+                .max()
+                .unwrap_or(0)
+                .max(term);
+            self.nodes[n.0 as usize].subtree_max = best;
         }
         Some(pruned)
     }
@@ -480,7 +483,7 @@ impl<T: Token> Default for Trie<T> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSnapshot<T> {
     /// `(token, child slot index)` transitions, sorted by token.
-    pub children: Vec<(T, u32)>,
+    pub sorted_children: Vec<(T, u32)>,
     /// Terminal candidate slot, if a candidate ends here.
     pub terminal: Option<u32>,
     /// Tokens from the root.
@@ -519,7 +522,7 @@ impl<T: Token> Trie<T> {
                     n.children.iter().map(|(&tok, &id)| (tok, id.0)).collect();
                 children.sort_unstable_by_key(|&(tok, _)| tok);
                 NodeSnapshot {
-                    children,
+                    sorted_children: children,
                     terminal: n.terminal.map(|c| c.0),
                     depth: n.depth,
                     subtree_max: n.subtree_max,
@@ -574,11 +577,11 @@ impl<T: Token> Trie<T> {
         let mut nodes = Vec::with_capacity(node_bound);
         for (idx, n) in snap.nodes.iter().enumerate() {
             let free = free_node_set.contains(&(idx as u32));
-            if free && (!n.children.is_empty() || n.terminal.is_some()) {
+            if free && (!n.sorted_children.is_empty() || n.terminal.is_some()) {
                 return Err("free-listed node is not empty".into());
             }
-            let mut children = HashMap::with_capacity(n.children.len());
-            for &(tok, child) in &n.children {
+            let mut children = HashMap::with_capacity(n.sorted_children.len());
+            for &(tok, child) in &n.sorted_children {
                 if child as usize >= node_bound || child == 0 {
                     return Err("child index out of range".into());
                 }
@@ -604,6 +607,8 @@ impl<T: Token> Trie<T> {
             }
         }
         let mut root_map = Box::new([0u32; ROOT_BUCKETS]);
+        // lint: allow(unordered-iter): bucket counts are commutative sums —
+        // visit order cannot affect the counters' final values
         for tok in nodes[0].children.keys() {
             root_map[Self::root_bucket(tok)] += 1;
         }
@@ -842,7 +847,7 @@ mod tests {
         assert!(Trie::from_snapshot(bad).is_err(), "length/content mismatch");
 
         let mut bad = good.clone();
-        bad.nodes[0].children[0].1 = 99;
+        bad.nodes[0].sorted_children[0].1 = 99;
         assert!(Trie::from_snapshot(bad).is_err(), "child out of range");
 
         let mut bad = good.clone();

@@ -524,8 +524,8 @@ struct ExecTask {
 #[derive(Debug, Clone)]
 pub struct SimPipeline {
     cfg: RuntimeConfig,
-    launch: Micros,
-    window: u64,
+    launch: Micros, // snapshot: derived (from cfg, as in `new`)
+    window: u64,    // snapshot: derived (from cfg, as in `new`)
 
     // Application stage.
     app_t: Micros,

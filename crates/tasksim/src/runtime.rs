@@ -356,7 +356,7 @@ pub struct Runtime {
     /// enqueues into the pipeline without pumping it, and the batch loop
     /// pumps once at the end. Never true at a task boundary, so it is
     /// deliberately not serialized.
-    batching: bool,
+    batching: bool, // snapshot: derived
     stats: RuntimeStats,
 }
 
@@ -784,6 +784,9 @@ impl Runtime {
     fn enforce_template_cap(&mut self, active: TraceId) {
         while self.over_template_cap() {
             let hints = &self.score_hints;
+            // lint: allow(unordered-iter): the comparator is a total order
+            // ending in the unique template id, so `min_by` picks the same
+            // victim whatever order the hash map yields
             let victim = self
                 .templates
                 .iter()
